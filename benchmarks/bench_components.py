@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the substrate components.
+
+These are genuine pytest-benchmark timings (multiple rounds) covering
+the hot paths: simulator stepping, the steady-state solver, the
+queueing simulator, the utilization monitor, and the model fit.  They
+guard against performance regressions that would make the experiment
+harness impractically slow.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ServerSimulator,
+    UtilizationMonitor,
+    fit_power_model,
+    run_characterization_steady,
+)
+from repro.workloads.queuing import MMcQueueSimulator
+
+
+def test_simulator_step_rate(benchmark, spec):
+    """One simulated minute (60 x 1 s steps) of the full server."""
+    sim = ServerSimulator(spec=spec, seed=0, initial_fan_rpm=3000.0)
+
+    def one_minute():
+        for _ in range(60):
+            sim.step(1.0, 75.0)
+
+    benchmark(one_minute)
+
+
+def test_steady_state_solver(benchmark, spec):
+    """One equilibrium solve (used 45x per LUT build)."""
+    sim = ServerSimulator(spec=spec, seed=0, initial_fan_rpm=2400.0)
+    benchmark(lambda: sim.settle_to_steady_state(75.0))
+
+
+def test_queue_simulator(benchmark):
+    """One minute of M/M/16 shell-workload generation."""
+    sim = MMcQueueSimulator.for_target_utilization(
+        40.0, servers=16, mean_service_s=45.0, seed=1
+    )
+    benchmark(lambda: sim.run(60.0))
+
+
+def test_utilization_monitor(benchmark):
+    """1000 monitor observations with a 60 s window."""
+    def run():
+        monitor = UtilizationMonitor(window_s=60.0)
+        for i in range(1000):
+            monitor.observe(float(i), 50.0 if i % 2 else 100.0, 1.0)
+        return monitor.utilization_pct()
+
+    benchmark(run)
+
+
+def test_power_model_fit(benchmark, spec):
+    """The full 40-point characterization fit."""
+    samples = run_characterization_steady(spec=spec, seed=0)
+    benchmark(lambda: fit_power_model(samples))

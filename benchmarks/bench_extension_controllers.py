@@ -1,0 +1,82 @@
+"""Extension A4 — PI and Oracle controllers vs the paper's three.
+
+The paper's conclusion points to richer runtime control as future
+work.  This bench runs the PI temperature tracker and the
+perfect-model Oracle alongside Default / Bang-bang / LUT on Test-3:
+
+* the Oracle bounds what any utilization-driven policy can achieve —
+  the LUT should sit within a fraction of a percent of it;
+* the PI tracker shows what temperature regulation alone (without
+  leakage awareness) gives up.
+"""
+
+from __future__ import annotations
+
+from bench_helpers import write_artifact
+from repro import (
+    ExperimentConfig,
+    LUTController,
+    OracleController,
+    PIController,
+    build_mpc_from_characterization,
+    fit_fan_power_model,
+    fit_power_model,
+    net_savings_pct,
+    run_characterization_steady,
+    run_experiment,
+)
+from repro.experiments.report import paper_controllers
+from repro.workloads.tests import build_test3_random_steps
+
+
+def test_extension_controllers(benchmark, spec, paper_lut, results_dir):
+    profile = build_test3_random_steps(seed=1234)
+    config = ExperimentConfig(seed=0)
+    samples = run_characterization_steady(spec=spec, seed=0)
+    fitted = fit_power_model(samples)
+    fan_model = fit_fan_power_model(
+        [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+    )
+
+    def run_all():
+        controllers = paper_controllers(lut=paper_lut, spec=spec) + [
+            PIController(target_c=70.0),
+            build_mpc_from_characterization(samples, fitted, fan_model),
+            OracleController(spec=spec),
+        ]
+        return {
+            c.name: run_experiment(c, profile, spec=spec, config=config)
+            for c in controllers
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = results["Default"].metrics
+
+    lines = ["Extension A4: controller family on Test-3"]
+    lines.append(
+        f"{'scheme':<10} {'energy(kWh)':>12} {'net save':>9} {'maxT(C)':>8} "
+        f"{'#fan':>5} {'avgRPM':>7}"
+    )
+    savings = {}
+    for name, result in results.items():
+        m = result.metrics
+        save = 0.0 if name == "Default" else net_savings_pct(base, m)
+        savings[name] = save
+        lines.append(
+            f"{name:<10} {m.energy_kwh:>12.4f} {save:>8.1f}% "
+            f"{m.max_temperature_c:>8.1f} {m.fan_speed_changes:>5d} "
+            f"{m.avg_rpm:>7.0f}"
+        )
+    write_artifact(results_dir, "extension_controllers.txt", "\n".join(lines))
+
+    # Every adaptive scheme beats the overcooling default.
+    for name in ("Bang-bang", "LUT", "PI", "MPC", "Oracle"):
+        assert savings[name] > 0.0, name
+    # The MPC (same model artifacts, transient-aware) tracks the LUT.
+    assert abs(savings["MPC"] - savings["LUT"]) < 1.0
+    # The oracle bounds the family; the LUT comes within 1.5 points.
+    assert savings["Oracle"] >= savings["LUT"] - 0.3
+    assert savings["Oracle"] - savings["LUT"] < 1.5
+    # All controllers keep the machine out of the emergency region.
+    for name, result in results.items():
+        assert result.metrics.max_temperature_c < 80.0, name

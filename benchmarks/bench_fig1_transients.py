@@ -1,0 +1,82 @@
+"""Benchmark E1/E2 — Fig. 1(a) and Fig. 1(b): thermal transients.
+
+Regenerates the temperature-vs-time series of the paper's Fig. 1 and
+verifies the headline transient claims: settle time ~15 min at
+1800 RPM vs ~5 min at 4200 RPM, steady bands ordered by fan speed and
+by utilization, fast PWM ripple at low fan speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_helpers import write_artifact
+from repro import fig1a_series, fig1b_series
+from repro.telemetry.analysis import settle_time_s
+
+LOAD_START_S = 300.0
+LOAD_END_S = 2100.0
+
+
+def _settle_minutes(series):
+    time_min = series["time_min"]
+    temps = series["cpu0_temp_c"]
+    mask = (time_min * 60.0 >= LOAD_START_S) & (time_min * 60.0 < LOAD_END_S)
+    return settle_time_s(time_min[mask] * 60.0, temps[mask], tolerance=1.5) / 60.0
+
+
+def test_fig1a(benchmark, spec, results_dir):
+    """Fig. 1(a): CPU0 temperature at 100% load across fan speeds."""
+    series = benchmark.pedantic(
+        lambda: fig1a_series(spec=spec, seed=1), rounds=1, iterations=1
+    )
+
+    lines = ["Fig 1(a): CPU0 temperature, 100% utilization"]
+    lines.append(f"{'RPM':>6} {'T_final(C)':>11} {'settle(min)':>12}")
+    finals = {}
+    for rpm in sorted(series):
+        data = series[rpm]
+        mask = data["time_min"] * 60.0 < LOAD_END_S
+        final = float(np.mean(data["cpu0_temp_c"][mask][-300:]))
+        finals[rpm] = final
+        lines.append(f"{rpm:>6.0f} {final:>11.1f} {_settle_minutes(data):>12.1f}")
+    write_artifact(results_dir, "fig1a.txt", "\n".join(lines))
+
+    # Shape checks (paper: ~15 min vs ~5 min, 55-85 degC band, ordered).
+    ordered = [finals[rpm] for rpm in sorted(finals)]
+    assert ordered == sorted(ordered, reverse=True)
+    assert 80.0 < finals[1800.0] < 90.0
+    assert 53.0 < finals[4200.0] < 63.0
+    assert _settle_minutes(series[1800.0]) > 10.0
+    assert _settle_minutes(series[4200.0]) < 7.0
+
+
+def test_fig1b(benchmark, spec, results_dir):
+    """Fig. 1(b): temperature at 1800 RPM across utilization levels."""
+    series = benchmark.pedantic(
+        lambda: fig1b_series(spec=spec, seed=1), rounds=1, iterations=1
+    )
+
+    lines = ["Fig 1(b): CPU0 temperature, 1800 RPM"]
+    lines.append(f"{'util%':>6} {'T_final(C)':>11} {'ripple(C)':>10}")
+    finals = {}
+    for u in sorted(series):
+        data = series[u]
+        t_s = data["time_min"] * 60.0
+        steady = (t_s >= 1500.0) & (t_s < LOAD_END_S)
+        final = float(np.mean(data["cpu0_temp_c"][steady]))
+        ripple = float(
+            np.max(data["cpu0_temp_c"][steady]) - np.min(data["cpu0_temp_c"][steady])
+        )
+        finals[u] = final
+        lines.append(f"{u:>6.0f} {final:>11.1f} {ripple:>10.1f}")
+    write_artifact(results_dir, "fig1b.txt", "\n".join(lines))
+
+    ordered = [finals[u] for u in sorted(finals)]
+    assert ordered == sorted(ordered)
+    # PWM duty-cycling produces visible thermal oscillation below 100%.
+    data50 = series[50.0]
+    t_s = data50["time_min"] * 60.0
+    steady = (t_s >= 1500.0) & (t_s < LOAD_END_S)
+    ripple = np.ptp(data50["cpu0_temp_c"][steady])
+    assert ripple > 1.5

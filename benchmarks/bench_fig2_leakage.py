@@ -1,0 +1,112 @@
+"""Benchmark E3/E4/E5 — Fig. 2 and the leakage model fit.
+
+Regenerates the leakage/fan power tradeoff curves and the model fit
+the LUT is built from, and verifies: exponential leakage, convex
+leak+fan with minimum near 70 degC / 2400 RPM, ~30 W fan-setting
+savings headroom, and a fit error at the paper's ~2 W scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_helpers import write_artifact
+from repro import (
+    fig2a_series,
+    fig2b_series,
+    fit_power_model,
+    run_characterization_steady,
+)
+from repro.models.leakage import (
+    PAPER_FIT_ERROR_W,
+    PAPER_K2_W,
+    PAPER_K3_PER_C,
+)
+
+
+def test_fig2a(benchmark, spec, results_dir):
+    """Fig. 2(a): leakage, fan, and sum vs avg CPU temp at 100% load."""
+    data = benchmark.pedantic(
+        lambda: fig2a_series(spec=spec), rounds=1, iterations=1
+    )
+
+    lines = ["Fig 2(a): power vs avg CPU temperature, 100% utilization"]
+    lines.append(f"{'T(C)':>7} {'RPM':>6} {'leak(W)':>8} {'fan(W)':>7} {'sum(W)':>7}")
+    for t, r, leak, fan, total in zip(
+        data["temperature_c"],
+        data["fan_rpm"],
+        data["leakage_w"],
+        data["fan_power_w"],
+        data["leak_plus_fan_w"],
+    ):
+        lines.append(f"{t:>7.1f} {r:>6.0f} {leak:>8.1f} {fan:>7.1f} {total:>7.1f}")
+    best = int(np.argmin(data["leak_plus_fan_w"]))
+    lines.append(
+        f"minimum: {data['leak_plus_fan_w'][best]:.1f} W at "
+        f"{data['temperature_c'][best]:.1f} C / {data['fan_rpm'][best]:.0f} RPM"
+    )
+    write_artifact(results_dir, "fig2a.txt", "\n".join(lines))
+
+    # Paper: minimum around 70 degC, corresponding to 2400 RPM.
+    assert abs(data["fan_rpm"][best] - 2400.0) <= 300.0
+    assert 66.0 <= data["temperature_c"][best] <= 76.0
+    # Paper: fan-setting-only savings can reach 30 W.
+    assert np.ptp(data["leak_plus_fan_w"]) >= 30.0
+
+
+def test_fig2b(benchmark, spec, results_dir):
+    """Fig. 2(b): fan+leakage vs temperature for all duty cycles."""
+    series = benchmark.pedantic(
+        lambda: fig2b_series(spec=spec), rounds=1, iterations=1
+    )
+
+    lines = ["Fig 2(b): leak+fan vs temperature per utilization"]
+    minima = {}
+    for u in sorted(series):
+        data = series[u]
+        best = int(np.argmin(data["leak_plus_fan_w"]))
+        minima[u] = (
+            data["temperature_c"][best],
+            data["fan_rpm"][best],
+            data["leak_plus_fan_w"][best],
+        )
+        lines.append(
+            f"util {u:>5.0f}%: min {minima[u][2]:6.1f} W at "
+            f"{minima[u][0]:5.1f} C / {minima[u][1]:4.0f} RPM"
+        )
+    write_artifact(results_dir, "fig2b.txt", "\n".join(lines))
+
+    # Paper: "for all the optimum points, average temperature is never
+    # higher than 70-75 degC" and each utilization has its own optimum.
+    for u, (temp, rpm, _) in minima.items():
+        assert temp <= 75.0, u
+    # Optimum fan speed is non-decreasing with utilization.
+    rpms = [minima[u][1] for u in sorted(minima)]
+    assert rpms == sorted(rpms)
+
+
+def test_fit_quality(benchmark, spec, results_dir):
+    """E5: the empirical model fit (paper: k1=0.4452, k2=0.3231,
+    k3=0.04749, 2.243 W error, 98% accuracy)."""
+
+    def pipeline():
+        raw = run_characterization_steady(spec=spec, seed=5, aggregate=False)
+        return fit_power_model(raw)
+
+    fitted = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+
+    lines = [
+        "Leakage model fit (compute power = C + k1*U + k2*exp(k3*T))",
+        f"  C  = {fitted.c_w:8.2f} W   (absorbs board/idle power; paper does not report)",
+        f"  k1 = {fitted.k1_w_per_pct:8.4f} W/%  (paper 0.4452 under its unit convention)",
+        f"  k2 = {fitted.k2_w:8.4f} W    (ground truth 2 sockets x {PAPER_K2_W} = {2*PAPER_K2_W:.4f})",
+        f"  k3 = {fitted.k3_per_c:8.5f} /C   (paper {PAPER_K3_PER_C})",
+        f"  RMSE = {fitted.quality.rmse_w:.3f} W  (paper {PAPER_FIT_ERROR_W} W)",
+        f"  accuracy = {fitted.quality.accuracy_pct:.2f}%  (paper ~98%)",
+    ]
+    write_artifact(results_dir, "fit_quality.txt", "\n".join(lines))
+
+    assert fitted.k3_per_c == pytest.approx(PAPER_K3_PER_C, rel=0.12)
+    assert fitted.quality.rmse_w < 3.5
+    assert fitted.quality.accuracy_pct > 98.0

@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def write_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Persist one regenerated artifact and echo it (visible with -s)."""
+    path = Path(results_dir) / name
+    path.write_text(text + "\n")
+    print(f"\n--- {name} ---\n{text}")

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and result-artifact helpers.
+
+Every figure/table bench writes its regenerated rows/series to
+``benchmarks/results/`` so the reproduction artifacts survive the
+pytest run (stdout is captured by default).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import default_server_spec
+from repro.experiments.report import build_paper_lut
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def spec():
+    """The calibrated server spec shared by all benches."""
+    return default_server_spec()
+
+
+@pytest.fixture(scope="session")
+def paper_lut(spec):
+    """The LUT from the full offline pipeline (characterize/fit/optimize)."""
+    return build_paper_lut(spec=spec, seed=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where benches persist their regenerated artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

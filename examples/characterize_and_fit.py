@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's characterization study (Figs. 1 and 2).
+
+Runs the transient experiments behind Fig. 1 (temperature vs time for
+several fan speeds and utilization levels), the steady-state sweep
+behind Fig. 2 (leakage/fan power vs temperature), and the model fit —
+then renders each as an ASCII chart.
+
+Usage::
+
+    python examples/characterize_and_fit.py
+"""
+
+import numpy as np
+
+from repro import (
+    fig1a_series,
+    fig1b_series,
+    fig2a_series,
+    fit_power_model,
+    run_characterization_steady,
+)
+
+
+def ascii_chart(series, width=72, height=16, xlabel="", ylabel=""):
+    """Plot ``{label: (x, y)}`` series as an ASCII chart string."""
+    all_x = np.concatenate([x for x, _ in series.values()])
+    all_y = np.concatenate([y for _, y in series.values()])
+    x_min, x_max = float(np.min(all_x)), float(np.max(all_x))
+    y_min, y_max = float(np.min(all_y)), float(np.max(all_y))
+    if x_max == x_min or y_max == y_min:
+        return "(degenerate chart)"
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for (label, (x, y)), marker in zip(series.items(), markers):
+        cols = ((np.asarray(x) - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = ((np.asarray(y) - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+    lines = [f"{y_max:7.1f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("        |" + "".join(row))
+    lines.append(f"{y_min:7.1f} |" + "".join(grid[-1]))
+    lines.append("        +" + "-" * width)
+    lines.append(f"         {x_min:<10.1f}{xlabel:^{width - 20}}{x_max:>10.1f}")
+    legend = "  ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), markers)
+    )
+    lines.append("         " + legend)
+    if ylabel:
+        lines.insert(0, f"  [{ylabel}]")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Fig. 1(a): CPU0 temperature, 100% utilization, per fan speed")
+    print("=" * 72)
+    fig1a = fig1a_series(seed=1)
+    chart = {
+        f"{rpm:.0f}RPM": (data["time_min"], data["cpu0_temp_c"])
+        for rpm, data in sorted(fig1a.items())
+    }
+    print(ascii_chart(chart, xlabel="time (min)", ylabel="temperature degC"))
+
+    print()
+    print("=" * 72)
+    print("Fig. 1(b): CPU0 temperature at 1800 RPM, per utilization")
+    print("=" * 72)
+    fig1b = fig1b_series(seed=1)
+    chart = {
+        f"{u:.0f}%": (data["time_min"], data["cpu0_temp_c"])
+        for u, data in sorted(fig1b.items())
+    }
+    print(ascii_chart(chart, xlabel="time (min)", ylabel="temperature degC"))
+
+    print()
+    print("=" * 72)
+    print("Fig. 2(a): leakage / fan / leak+fan power vs CPU temperature")
+    print("=" * 72)
+    fig2a = fig2a_series()
+    chart = {
+        "leak": (fig2a["temperature_c"], fig2a["leakage_w"]),
+        "fan": (fig2a["temperature_c"], fig2a["fan_power_w"]),
+        "sum": (fig2a["temperature_c"], fig2a["leak_plus_fan_w"]),
+    }
+    print(ascii_chart(chart, xlabel="avg CPU temperature (degC)", ylabel="power W"))
+    best = int(np.argmin(fig2a["leak_plus_fan_w"]))
+    print(
+        f"\noptimum: {fig2a['leak_plus_fan_w'][best]:.1f} W at "
+        f"{fig2a['temperature_c'][best]:.1f} degC / "
+        f"{fig2a['fan_rpm'][best]:.0f} RPM "
+        f"(paper: minimum around 70 degC at 2400 RPM)"
+    )
+
+    print()
+    print("=" * 72)
+    print("Leakage model fit (paper SIV)")
+    print("=" * 72)
+    raw = run_characterization_steady(seed=5, aggregate=False)
+    fitted = fit_power_model(raw)
+    print(f"  P_compute = C + k1*U + k2*exp(k3*T)")
+    print(f"  C  = {fitted.c_w:.2f} W (absorbs board + idle power)")
+    print(f"  k1 = {fitted.k1_w_per_pct:.4f} W/%")
+    print(f"  k2 = {fitted.k2_w:.4f} W   (paper: 0.3231 per socket)")
+    print(f"  k3 = {fitted.k3_per_c:.5f} /degC (paper: 0.04749)")
+    print(
+        f"  RMSE = {fitted.quality.rmse_w:.3f} W, "
+        f"accuracy = {fitted.quality.accuracy_pct:.1f}% "
+        f"(paper: 2.243 W, 98%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

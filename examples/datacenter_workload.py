@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Data-center scenario: stochastic shell workload + warm aisle.
+
+Goes beyond the paper's isolated 24 degC lab in two directions the
+paper flags as real-world concerns:
+
+* the workload comes from the stochastic queueing model of Test-4
+  (Poisson arrivals, exponential services — Meisner & Wenisch's shell
+  workload emulation), at several offered loads;
+* the machine sits in a warm, drifting aisle (28 +/- 2 degC CRAC
+  oscillation) instead of the cold isolated test room — the paper
+  notes its lab is "colder than the ambient of a data center".
+
+It compares the full controller family (Default, Bang-bang, LUT, PI,
+Oracle) under those conditions.
+
+Usage::
+
+    python examples/datacenter_workload.py
+"""
+
+from repro import (
+    ExperimentConfig,
+    MMcQueueSimulator,
+    OracleController,
+    PIController,
+    build_test4_stochastic,
+    net_savings_pct,
+    run_experiment,
+)
+from repro.experiments.report import build_paper_lut, paper_controllers
+from repro.server.ambient import SinusoidalAmbient
+
+
+def describe_queue(target_pct: float) -> None:
+    """Show what the underlying queueing process produces."""
+    sim = MMcQueueSimulator.for_target_utilization(
+        target_pct, servers=16, mean_service_s=45.0, seed=7
+    )
+    _, _, stats = sim.run(duration_s=1800.0)
+    print(
+        f"  offered load {stats.offered_load:4.2f}: "
+        f"mean util {stats.mean_utilization_pct:5.1f}%, "
+        f"mean wait {stats.mean_wait_s:5.1f} s, "
+        f"{stats.jobs_completed} jobs completed"
+    )
+
+
+def main() -> None:
+    print("shell-workload queueing statistics (M/M/16 batch slots):")
+    for target in (25.0, 40.0, 60.0):
+        describe_queue(target)
+
+    print("\nbuilding LUT (characterized in the 24 degC lab, as the paper does)...")
+    lut = build_paper_lut(seed=0)
+
+    # Warm drifting aisle: 28 +/- 2 degC, one-hour CRAC period.
+    aisle = SinusoidalAmbient(mean_c=28.0, amplitude_c=2.0, period_s=3600.0)
+
+    controllers = paper_controllers(lut=lut) + [
+        PIController(target_c=70.0),
+        OracleController(ambient_c=28.0),
+    ]
+
+    print("\n80-minute stochastic workload at 40% offered load, warm aisle:")
+    header = (
+        f"{'scheme':<10}{'energy(kWh)':>12}{'net save':>10}"
+        f"{'peak(W)':>9}{'maxT(C)':>9}{'#fan':>6}{'avgRPM':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    profile = build_test4_stochastic(target_utilization_pct=40.0, seed=21)
+    config = ExperimentConfig(seed=3)
+    baseline = None
+    for controller in controllers:
+        result = run_experiment(controller, profile, config=config, ambient=aisle)
+        m = result.metrics
+        if baseline is None:
+            baseline = m
+            save = "--"
+        else:
+            save = f"{net_savings_pct(baseline, m):.1f}%"
+        print(
+            f"{controller.name:<10}{m.energy_kwh:>12.4f}{save:>10}"
+            f"{m.peak_power_w:>9.0f}{m.max_temperature_c:>9.1f}"
+            f"{m.fan_speed_changes:>6d}{m.avg_rpm:>8.0f}"
+        )
+
+    print(
+        "\nnote: in the warm aisle the LUT (characterized at 24 degC) rides "
+        "closer to the 75 degC ceiling than in the paper's lab — the gap "
+        "between LUT and Oracle (which knows the true ambient) shows the "
+        "cost of characterizing in one environment and deploying in another."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's LUT controller and measure its savings.
+
+Runs the complete pipeline in four steps:
+
+1. characterize the server over the (utilization x fan speed) grid,
+2. fit the empirical power decomposition (leakage model),
+3. build the lookup table of optimum fan speeds,
+4. run the LUT controller against the default firmware behaviour on an
+   80-minute variable workload and compare energy.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    FixedSpeedController,
+    LUTController,
+    build_lut_from_characterization,
+    build_test3_random_steps,
+    fit_fan_power_model,
+    fit_power_model,
+    net_savings_pct,
+    run_characterization_steady,
+    run_experiment,
+)
+
+
+def main() -> None:
+    # 1. Characterize: 8 utilization levels x 5 fan speeds, with
+    #    CSTH-style noisy telemetry at each steady point.
+    print("characterizing server (8 utilization levels x 5 fan speeds)...")
+    samples = run_characterization_steady(seed=0)
+
+    # 2. Fit P_compute = C + k1*U + k2*exp(k3*T) and the cubic fan law.
+    fitted = fit_power_model(samples)
+    fan_model = fit_fan_power_model(
+        [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+    )
+    print(
+        f"fitted model: C={fitted.c_w:.1f} W, k1={fitted.k1_w_per_pct:.3f} W/%, "
+        f"k2={fitted.k2_w:.4f} W, k3={fitted.k3_per_c:.5f} /degC "
+        f"(RMSE {fitted.quality.rmse_w:.2f} W, "
+        f"accuracy {fitted.quality.accuracy_pct:.1f}%)"
+    )
+
+    # 3. Build the LUT: optimum fan speed per utilization level, subject
+    #    to the 75 degC reliability ceiling.
+    lut, _ = build_lut_from_characterization(samples, fitted, fan_model)
+    print("lookup table (utilization% -> RPM):")
+    for level, rpm in lut.as_dict().items():
+        print(f"  {level:5.0f}% -> {rpm:.0f} RPM")
+
+    # 4. Compare against the default fixed-3300-RPM firmware on Test-3.
+    profile = build_test3_random_steps()
+    print("\nrunning 80-minute Test-3 under both controllers...")
+    default_run = run_experiment(FixedSpeedController(rpm=3300.0), profile)
+    lut_run = run_experiment(LUTController(lut), profile)
+
+    savings = net_savings_pct(default_run.metrics, lut_run.metrics)
+    print(f"\n{'':<12}{'energy':>10}{'peak':>8}{'maxT':>7}{'avgRPM':>8}")
+    for name, m in (
+        ("default", default_run.metrics),
+        ("LUT", lut_run.metrics),
+    ):
+        print(
+            f"{name:<12}{m.energy_kwh:>9.4f}k{m.peak_power_w:>7.0f}W"
+            f"{m.max_temperature_c:>6.1f}C{m.avg_rpm:>8.0f}"
+        )
+    print(f"\nnet energy savings: {savings:.1f}%")
+    print(
+        f"peak power reduction: "
+        f"{default_run.metrics.peak_power_w - lut_run.metrics.peak_power_w:.0f} W"
+    )
+
+
+if __name__ == "__main__":
+    main()

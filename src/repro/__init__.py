@@ -1,0 +1,154 @@
+"""repro — reproduction of *Leakage and Temperature Aware Server
+Control for Improving Energy Efficiency in Data Centers* (Zapater et
+al., DATE 2013).
+
+The package builds the paper's full stack on a calibrated server
+simulator: characterization sweeps, the empirical leakage model fit,
+LUT construction, and the runtime fan controllers, plus the experiment
+harness regenerating every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        build_paper_lut, LUTController, run_experiment,
+        build_test3_random_steps,
+    )
+
+    lut = build_paper_lut()
+    result = run_experiment(LUTController(lut), build_test3_random_steps())
+    print(result.metrics)
+"""
+
+from repro.core import (
+    BangBangController,
+    CoordinatedController,
+    ControllerObservation,
+    FanController,
+    FixedSpeedController,
+    LookupTable,
+    LUTController,
+    ModelPredictiveController,
+    OracleController,
+    PIController,
+    ThermalMap,
+    build_lut_from_characterization,
+    build_mpc_from_characterization,
+    build_lut_from_spec,
+    optimal_fan_speed,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentMetrics,
+    ExperimentProtocol,
+    ExperimentResult,
+    build_table1,
+    compute_metrics,
+    energy_kwh,
+    fig1a_series,
+    fig1b_series,
+    fig2a_series,
+    fig2b_series,
+    fig3_series,
+    net_savings_pct,
+    render_table1,
+    run_characterization_steady,
+    run_characterization_transient,
+    run_constant_load_experiment,
+    run_experiment,
+)
+from repro.experiments.report import build_paper_lut, paper_controllers
+from repro.models import (
+    ActivePowerModel,
+    CharacterizationSample,
+    FanPowerModel,
+    FittedPowerModel,
+    LeakageModel,
+    fit_fan_power_model,
+    fit_power_model,
+    steady_state_map,
+    steady_state_point,
+)
+from repro.server import (
+    ConstantAmbient,
+    DvfsSpec,
+    PState,
+    default_dvfs_ladder,
+    ServerSimulator,
+    ServerSpec,
+    default_server_spec,
+)
+from repro.workloads import (
+    LoadGen,
+    MMcQueueSimulator,
+    UtilizationMonitor,
+    build_test1_ramp,
+    build_test2_periods,
+    build_test3_random_steps,
+    build_test4_stochastic,
+    paper_test_profiles,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BangBangController",
+    "CoordinatedController",
+    "ControllerObservation",
+    "FanController",
+    "FixedSpeedController",
+    "LookupTable",
+    "LUTController",
+    "ModelPredictiveController",
+    "OracleController",
+    "PIController",
+    "ThermalMap",
+    "build_lut_from_characterization",
+    "build_mpc_from_characterization",
+    "build_lut_from_spec",
+    "optimal_fan_speed",
+    "ExperimentConfig",
+    "ExperimentMetrics",
+    "ExperimentProtocol",
+    "ExperimentResult",
+    "build_table1",
+    "compute_metrics",
+    "energy_kwh",
+    "fig1a_series",
+    "fig1b_series",
+    "fig2a_series",
+    "fig2b_series",
+    "fig3_series",
+    "net_savings_pct",
+    "render_table1",
+    "run_characterization_steady",
+    "run_characterization_transient",
+    "run_constant_load_experiment",
+    "run_experiment",
+    "build_paper_lut",
+    "paper_controllers",
+    "ActivePowerModel",
+    "CharacterizationSample",
+    "FanPowerModel",
+    "FittedPowerModel",
+    "LeakageModel",
+    "fit_fan_power_model",
+    "fit_power_model",
+    "steady_state_map",
+    "steady_state_point",
+    "ConstantAmbient",
+    "DvfsSpec",
+    "PState",
+    "default_dvfs_ladder",
+    "ServerSimulator",
+    "ServerSpec",
+    "default_server_spec",
+    "LoadGen",
+    "MMcQueueSimulator",
+    "UtilizationMonitor",
+    "build_test1_ramp",
+    "build_test2_periods",
+    "build_test3_random_steps",
+    "build_test4_stochastic",
+    "paper_test_profiles",
+    "__version__",
+]

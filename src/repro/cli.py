@@ -1,0 +1,330 @@
+"""Command-line interface: the paper's workflow as subcommands.
+
+::
+
+    python -m repro characterize --output samples.csv
+    python -m repro fit --samples samples.csv
+    python -m repro lut --samples samples.csv --output lut.json
+    python -m repro run --controller lut --test test3 --lut lut.json
+    python -m repro table1
+    python -m repro fig --figure 2a
+
+Every subcommand prints plain text and writes optional artifacts, so
+the full reproduction can be driven from a shell with no Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.controllers.bangbang import BangBangController
+from repro.core.controllers.default import FixedSpeedController
+from repro.core.controllers.lut import LUTController
+from repro.core.controllers.mpc import build_mpc_from_characterization
+from repro.core.controllers.oracle import OracleController
+from repro.core.controllers.pid import PIController
+from repro.core.lut import LookupTable, build_lut_from_characterization
+from repro.experiments.characterization import run_characterization_steady
+from repro.experiments.report import (
+    build_paper_lut,
+    build_table1,
+    fig1a_series,
+    fig1b_series,
+    fig2a_series,
+    fig2b_series,
+    fig3_series,
+    render_table1,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.models.fitting import (
+    CharacterizationSample,
+    fit_fan_power_model,
+    fit_power_model,
+)
+from repro.reporting import ascii_chart, format_table
+from repro.workloads.tests import paper_test_profiles
+
+SAMPLE_COLUMNS = (
+    "utilization_pct",
+    "fan_rpm",
+    "avg_cpu_temperature_c",
+    "compute_power_w",
+    "fan_power_w",
+)
+
+
+def _write_samples(samples: Sequence[CharacterizationSample], path: Path) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SAMPLE_COLUMNS)
+        for s in samples:
+            writer.writerow(
+                [
+                    s.utilization_pct,
+                    s.fan_rpm,
+                    s.avg_cpu_temperature_c,
+                    s.compute_power_w,
+                    s.fan_power_w,
+                ]
+            )
+
+
+def _read_samples(path: Path) -> List[CharacterizationSample]:
+    with path.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(SAMPLE_COLUMNS) - set(reader.fieldnames or ())
+        if missing:
+            raise SystemExit(f"samples file missing columns: {sorted(missing)}")
+        return [
+            CharacterizationSample(
+                utilization_pct=float(row["utilization_pct"]),
+                fan_rpm=float(row["fan_rpm"]),
+                avg_cpu_temperature_c=float(row["avg_cpu_temperature_c"]),
+                compute_power_w=float(row["compute_power_w"]),
+                fan_power_w=float(row["fan_power_w"]),
+            )
+            for row in reader
+        ]
+
+
+def _samples_or_default(args) -> List[CharacterizationSample]:
+    if args.samples is not None:
+        return _read_samples(Path(args.samples))
+    return run_characterization_steady(seed=args.seed)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_characterize(args) -> int:
+    samples = run_characterization_steady(
+        seed=args.seed, aggregate=not args.raw
+    )
+    rows = [
+        [
+            f"{s.utilization_pct:.0f}",
+            f"{s.fan_rpm:.0f}",
+            f"{s.avg_cpu_temperature_c:.1f}",
+            f"{s.compute_power_w:.1f}",
+            f"{s.fan_power_w:.1f}",
+        ]
+        for s in samples
+    ]
+    print(format_table(["util%", "rpm", "T(C)", "P_compute(W)", "P_fan(W)"], rows))
+    if args.output:
+        _write_samples(samples, Path(args.output))
+        print(f"\nwrote {len(samples)} samples to {args.output}")
+    return 0
+
+
+def cmd_fit(args) -> int:
+    samples = _samples_or_default(args)
+    fitted = fit_power_model(samples)
+    fan = fit_fan_power_model(
+        [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+    )
+    print("power model: P_compute = C + k1*U + k2*exp(k3*T)")
+    print(f"  C  = {fitted.c_w:.2f} W")
+    print(f"  k1 = {fitted.k1_w_per_pct:.4f} W/%")
+    print(f"  k2 = {fitted.k2_w:.4f} W")
+    print(f"  k3 = {fitted.k3_per_c:.5f} /degC")
+    print(
+        f"  RMSE = {fitted.quality.rmse_w:.3f} W, "
+        f"accuracy = {fitted.quality.accuracy_pct:.2f}%"
+    )
+    print(
+        f"fan model: P_fan = {fan.coeff_w:.1f} W * (rpm/{fan.rpm_ref:.0f})"
+        f"^{fan.exponent:.2f}"
+    )
+    return 0
+
+
+def cmd_lut(args) -> int:
+    samples = _samples_or_default(args)
+    fitted = fit_power_model(samples)
+    fan = fit_fan_power_model(
+        [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+    )
+    lut, results = build_lut_from_characterization(
+        samples, fitted, fan, max_temperature_c=args.max_temp
+    )
+    rows = [
+        [
+            f"{r.utilization_pct:.0f}",
+            f"{r.fan_rpm:.0f}",
+            f"{r.predicted_temperature_c:.1f}",
+            f"{r.predicted_leak_plus_fan_w:.1f}",
+        ]
+        for r in results
+    ]
+    print(format_table(["util%", "rpm", "T_pred(C)", "leak+fan(W)"], rows))
+    if args.output:
+        lut.save(Path(args.output))
+        print(f"\nwrote LUT to {args.output}")
+    return 0
+
+
+def _build_controller(name: str, args):
+    if name == "default":
+        return FixedSpeedController(rpm=args.rpm)
+    if name == "bangbang":
+        return BangBangController()
+    if name == "pi":
+        return PIController()
+    if name == "oracle":
+        return OracleController()
+    if name == "lut":
+        if args.lut:
+            lut = LookupTable.load(Path(args.lut))
+        else:
+            lut = build_paper_lut(seed=args.seed)
+        return LUTController(lut)
+    if name == "mpc":
+        samples = _samples_or_default(args)
+        fitted = fit_power_model(samples)
+        fan = fit_fan_power_model(
+            [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+        )
+        return build_mpc_from_characterization(samples, fitted, fan)
+    raise SystemExit(f"unknown controller {name!r}")
+
+
+def cmd_run(args) -> int:
+    profiles = paper_test_profiles()
+    if args.test not in profiles:
+        raise SystemExit(f"unknown test {args.test!r} (have {sorted(profiles)})")
+    controller = _build_controller(args.controller, args)
+    result = run_experiment(
+        controller, profiles[args.test], config=ExperimentConfig(seed=args.seed)
+    )
+    m = result.metrics
+    print(f"controller : {result.controller_name}")
+    print(f"test       : {args.test}")
+    print(f"energy     : {m.energy_kwh:.4f} kWh (net {m.net_energy_kwh:.4f})")
+    print(f"peak power : {m.peak_power_w:.0f} W")
+    print(f"max temp   : {m.max_temperature_c:.1f} degC")
+    print(f"fan changes: {m.fan_speed_changes}")
+    print(f"avg RPM    : {m.avg_rpm:.0f}")
+    if args.trace:
+        path = result.recorder.to_csv(Path(args.trace))
+        print(f"trace      : {path}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    table = build_table1(config=ExperimentConfig(seed=args.seed))
+    print(render_table1(table))
+    return 0
+
+
+def cmd_fig(args) -> int:
+    if args.figure == "1a":
+        series = fig1a_series(seed=args.seed)
+        chart = {
+            f"{rpm:.0f}RPM": (d["time_min"], d["cpu0_temp_c"])
+            for rpm, d in sorted(series.items())
+        }
+        print(ascii_chart(chart, xlabel="time (min)", ylabel="temperature degC"))
+    elif args.figure == "1b":
+        series = fig1b_series(seed=args.seed)
+        chart = {
+            f"{u:.0f}%": (d["time_min"], d["cpu0_temp_c"])
+            for u, d in sorted(series.items())
+        }
+        print(ascii_chart(chart, xlabel="time (min)", ylabel="temperature degC"))
+    elif args.figure == "2a":
+        data = fig2a_series()
+        chart = {
+            "leak": (data["temperature_c"], data["leakage_w"]),
+            "fan": (data["temperature_c"], data["fan_power_w"]),
+            "sum": (data["temperature_c"], data["leak_plus_fan_w"]),
+        }
+        print(ascii_chart(chart, xlabel="avg CPU temp (degC)", ylabel="power W"))
+        best = int(np.argmin(data["leak_plus_fan_w"]))
+        print(
+            f"minimum {data['leak_plus_fan_w'][best]:.1f} W at "
+            f"{data['temperature_c'][best]:.1f} degC / "
+            f"{data['fan_rpm'][best]:.0f} RPM"
+        )
+    elif args.figure == "2b":
+        series = fig2b_series()
+        chart = {
+            f"{u:.0f}%": (d["temperature_c"], d["leak_plus_fan_w"])
+            for u, d in sorted(series.items())
+        }
+        print(ascii_chart(chart, xlabel="avg CPU temp (degC)", ylabel="leak+fan W"))
+    elif args.figure == "3":
+        series = fig3_series(seed=args.seed)
+        chart = {
+            scheme: (d["time_min"], d["max_cpu_temp_c"])
+            for scheme, d in series.items()
+        }
+        print(ascii_chart(chart, xlabel="time (min)", ylabel="max CPU temp degC"))
+    else:
+        raise SystemExit(f"unknown figure {args.figure!r}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Leakage/temperature-aware server control (DATE'13) reproduction",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="run the steady-state sweep")
+    p.add_argument("--output", help="write samples CSV here")
+    p.add_argument("--raw", action="store_true", help="keep raw per-poll samples")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("fit", help="fit the power/fan models")
+    p.add_argument("--samples", help="samples CSV (default: run a sweep)")
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser("lut", help="build the optimum-fan-speed table")
+    p.add_argument("--samples", help="samples CSV (default: run a sweep)")
+    p.add_argument("--output", help="write LUT JSON here")
+    p.add_argument("--max-temp", type=float, default=75.0, dest="max_temp")
+    p.set_defaults(func=cmd_lut)
+
+    p = sub.add_parser("run", help="run one controller on one test workload")
+    p.add_argument(
+        "--controller",
+        default="lut",
+        choices=("default", "bangbang", "lut", "pi", "oracle", "mpc"),
+    )
+    p.add_argument("--test", default="test3")
+    p.add_argument("--lut", help="LUT JSON for the lut controller")
+    p.add_argument("--samples", help="samples CSV for the mpc controller")
+    p.add_argument("--rpm", type=float, default=3300.0, help="default-controller RPM")
+    p.add_argument("--trace", help="write the full trace CSV here")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig", help="regenerate a figure as an ASCII chart")
+    p.add_argument("--figure", required=True, choices=("1a", "1b", "2a", "2b", "3"))
+    p.set_defaults(func=cmd_fig)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: leakage/temperature-aware cooling.
+
+* :mod:`repro.core.thermal_map` — interpolated steady-state temperature
+  over (utilization, fan speed) from characterization data,
+* :mod:`repro.core.optimizer` — optimum-fan-speed search minimizing
+  ``P_leak + P_fan`` under the reliability temperature ceiling,
+* :mod:`repro.core.lut` — the lookup table addressed by utilization,
+* :mod:`repro.core.controllers` — the runtime fan controllers
+  (default fixed-speed, bang-bang, LUT-based, plus PI and oracle
+  extensions).
+"""
+
+from repro.core.controllers import (
+    BangBangController,
+    CoordinatedController,
+    ControllerObservation,
+    FanController,
+    FixedSpeedController,
+    LUTController,
+    ModelPredictiveController,
+    OracleController,
+    PIController,
+    build_mpc_from_characterization,
+)
+from repro.core.lut import LookupTable, build_lut_from_characterization, build_lut_from_spec
+from repro.core.optimizer import OptimizationResult, optimal_fan_speed
+from repro.core.thermal_map import ThermalMap
+
+__all__ = [
+    "BangBangController",
+    "CoordinatedController",
+    "ControllerObservation",
+    "FanController",
+    "FixedSpeedController",
+    "LUTController",
+    "ModelPredictiveController",
+    "OracleController",
+    "PIController",
+    "LookupTable",
+    "build_lut_from_characterization",
+    "build_lut_from_spec",
+    "OptimizationResult",
+    "optimal_fan_speed",
+    "build_mpc_from_characterization",
+    "ThermalMap",
+]

@@ -1,0 +1,54 @@
+"""Controller interface and the observation record controllers act on.
+
+A controller periodically receives a :class:`ControllerObservation` —
+exactly what the DLC-PC can see at runtime: measured (noisy) CPU
+temperatures, the ``sar``-style windowed utilization, and its own last
+fan command.  It returns a new RPM command or ``None`` to keep the
+current speed.  Ground truth is deliberately *not* part of the
+observation (except for the oracle extension, which models perfect
+knowledge).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ControllerObservation:
+    """What a controller can observe at one polling instant."""
+
+    time_s: float
+    #: Hottest measured CPU die sensor, °C (bang-bang's input).
+    max_cpu_temperature_c: float
+    #: Mean of the measured CPU die sensors, °C.
+    avg_cpu_temperature_c: float
+    #: Windowed utilization estimate from the monitor, percent.
+    utilization_pct: float
+    #: The currently commanded fan speed, RPM.
+    current_rpm_command: float
+
+
+class FanController(ABC):
+    """Base class for all fan-speed control policies."""
+
+    #: How often the policy is evaluated, seconds.
+    poll_interval_s: float = 10.0
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name (used in reports)."""
+        return type(self).__name__
+
+    @abstractmethod
+    def decide(self, observation: ControllerObservation) -> Optional[float]:
+        """Return a new RPM command, or ``None`` to hold the current one."""
+
+    def initial_rpm(self) -> Optional[float]:
+        """RPM to command at experiment start (``None``: leave as-is)."""
+        return None
+
+    def reset(self) -> None:
+        """Clear internal state between experiments."""

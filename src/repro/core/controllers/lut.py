@@ -1,0 +1,62 @@
+"""The proposed LUT-based proactive controller (paper §V).
+
+Polls the ``sar``-style utilization monitor every second — fast enough
+to catch sudden spikes *before* a thermal event — looks up the optimum
+fan speed for the current level, and commands it.  To protect fan
+reliability under unstable workloads, after each RPM change further
+changes are locked out for one minute (a safe choice given the large
+thermal time constants): the controller reacts immediately to the
+first spike, then holds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controllers.base import ControllerObservation, FanController
+from repro.core.lut import LookupTable
+
+
+class LUTController(FanController):
+    """Utilization-driven lookup-table fan controller."""
+
+    def __init__(
+        self,
+        lut: LookupTable,
+        poll_interval_s: float = 1.0,
+        lockout_s: float = 60.0,
+    ):
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if lockout_s < 0:
+            raise ValueError("lockout_s must be non-negative")
+        self.lut = lut
+        self.poll_interval_s = poll_interval_s
+        self.lockout_s = lockout_s
+        self._last_change_s: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return "LUT"
+
+    def reset(self) -> None:
+        self._last_change_s = None
+
+    def initial_rpm(self) -> Optional[float]:
+        # Start from the idle entry: the experiment protocol begins
+        # with an idle stabilization phase.
+        return self.lut.query(0.0)
+
+    def _locked_out(self, time_s: float) -> bool:
+        if self._last_change_s is None:
+            return False
+        return time_s - self._last_change_s < self.lockout_s
+
+    def decide(self, observation: ControllerObservation) -> Optional[float]:
+        target = self.lut.query(observation.utilization_pct)
+        if target == observation.current_rpm_command:
+            return None
+        if self._locked_out(observation.time_s):
+            return None
+        self._last_change_s = observation.time_s
+        return target

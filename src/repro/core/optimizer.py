@@ -1,0 +1,91 @@
+"""Optimum-fan-speed search: minimize ``P_leak + P_fan`` at fixed load.
+
+This implements the insight of Fig. 2: at any utilization the sum of
+leakage power (decreasing with fan speed through lower temperature)
+and fan power (cubic in fan speed) is convex, so there is a single
+optimum fan speed — and it always lands below the 75 °C reliability
+ceiling on the characterized server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.thermal_map import ThermalMap
+from repro.models.leakage import FanPowerModel, LeakageModel
+from repro.units import validate_utilization_pct
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of the per-utilization fan speed optimization."""
+
+    utilization_pct: float
+    fan_rpm: float
+    predicted_temperature_c: float
+    predicted_leakage_w: float
+    predicted_fan_power_w: float
+    #: True when no candidate satisfied the temperature ceiling and the
+    #: coolest (fastest) candidate was selected as a fallback.
+    constraint_fallback: bool
+
+    @property
+    def predicted_leak_plus_fan_w(self) -> float:
+        """The minimized objective."""
+        return self.predicted_leakage_w + self.predicted_fan_power_w
+
+
+def optimal_fan_speed(
+    utilization_pct: float,
+    candidates_rpm: Sequence[float],
+    thermal_map: ThermalMap,
+    leakage_model: LeakageModel,
+    fan_power_model: FanPowerModel,
+    max_temperature_c: float = 75.0,
+) -> OptimizationResult:
+    """Pick the candidate fan speed minimizing predicted leak+fan power.
+
+    Only the temperature-*dependent* part of the leakage model enters
+    the objective; the constant ``C`` (which also absorbs board power
+    in the fitted model) shifts every candidate equally and cannot be
+    influenced by cooling.
+    """
+    validate_utilization_pct(utilization_pct)
+    if not candidates_rpm:
+        raise ValueError("need at least one candidate fan speed")
+
+    best: Optional[OptimizationResult] = None
+    fallback: Optional[OptimizationResult] = None
+    for rpm in sorted(candidates_rpm):
+        temp = thermal_map.temperature_c(utilization_pct, rpm)
+        leak = float(leakage_model.variable_power_w(temp))
+        fan = float(fan_power_model.power_w(rpm))
+        result = OptimizationResult(
+            utilization_pct=utilization_pct,
+            fan_rpm=float(rpm),
+            predicted_temperature_c=temp,
+            predicted_leakage_w=leak,
+            predicted_fan_power_w=fan,
+            constraint_fallback=False,
+        )
+        if fallback is None or temp < fallback.predicted_temperature_c:
+            fallback = result
+        if temp > max_temperature_c:
+            continue
+        if best is None or result.predicted_leak_plus_fan_w < (
+            best.predicted_leak_plus_fan_w
+        ):
+            best = result
+
+    if best is not None:
+        return best
+    assert fallback is not None  # candidates_rpm was non-empty
+    return OptimizationResult(
+        utilization_pct=fallback.utilization_pct,
+        fan_rpm=fallback.fan_rpm,
+        predicted_temperature_c=fallback.predicted_temperature_c,
+        predicted_leakage_w=fallback.predicted_leakage_w,
+        predicted_fan_power_w=fallback.predicted_fan_power_w,
+        constraint_fallback=True,
+    )

@@ -1,0 +1,117 @@
+"""Steady-state temperature map over (utilization, fan speed).
+
+The LUT builder needs to predict the equilibrium CPU temperature a
+candidate fan speed would produce at a given utilization.  The paper
+derives this from its characterization measurements; this class
+interpolates bilinearly over the measured grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.fitting import CharacterizationSample
+from repro.units import validate_utilization_pct
+
+
+class ThermalMap:
+    """Bilinear interpolation of avg CPU temperature over (U, rpm)."""
+
+    def __init__(
+        self,
+        utilizations_pct: Sequence[float],
+        fan_rpms: Sequence[float],
+        temperatures_c: np.ndarray,
+    ):
+        utils = np.asarray(utilizations_pct, dtype=float)
+        rpms = np.asarray(fan_rpms, dtype=float)
+        temps = np.asarray(temperatures_c, dtype=float)
+        if utils.ndim != 1 or rpms.ndim != 1:
+            raise ValueError("grid axes must be 1-D")
+        if np.any(np.diff(utils) <= 0) or np.any(np.diff(rpms) <= 0):
+            raise ValueError("grid axes must be strictly increasing")
+        if temps.shape != (utils.size, rpms.size):
+            raise ValueError(
+                f"temperature grid shape {temps.shape} does not match axes "
+                f"({utils.size}, {rpms.size})"
+            )
+        if not np.all(np.isfinite(temps)):
+            raise ValueError("temperature grid contains non-finite values")
+        self._utils = utils
+        self._rpms = rpms
+        self._temps = temps
+
+    @property
+    def utilizations_pct(self) -> np.ndarray:
+        """The utilization grid axis."""
+        return self._utils.copy()
+
+    @property
+    def fan_rpms(self) -> np.ndarray:
+        """The fan-speed grid axis."""
+        return self._rpms.copy()
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[CharacterizationSample]) -> "ThermalMap":
+        """Build from a full-factorial characterization sweep.
+
+        Raises ``ValueError`` if any (utilization, rpm) grid cell is
+        missing, because silent extrapolation over holes would corrupt
+        the LUT.
+        """
+        if not samples:
+            raise ValueError("no characterization samples")
+        utils = sorted({s.utilization_pct for s in samples})
+        rpms = sorted({s.fan_rpm for s in samples})
+        by_key: Dict[Tuple[float, float], list] = {}
+        for s in samples:
+            by_key.setdefault((s.utilization_pct, s.fan_rpm), []).append(
+                s.avg_cpu_temperature_c
+            )
+        temps = np.empty((len(utils), len(rpms)))
+        for i, u in enumerate(utils):
+            for j, r in enumerate(rpms):
+                cell = by_key.get((u, r))
+                if not cell:
+                    raise ValueError(
+                        f"characterization grid missing cell (U={u}%, {r} RPM)"
+                    )
+                temps[i, j] = float(np.mean(cell))
+        return cls(utils, rpms, temps)
+
+    def temperature_c(self, utilization_pct: float, fan_rpm: float) -> float:
+        """Interpolated equilibrium temperature; clamps outside the grid."""
+        validate_utilization_pct(utilization_pct)
+        u = float(np.clip(utilization_pct, self._utils[0], self._utils[-1]))
+        r = float(np.clip(fan_rpm, self._rpms[0], self._rpms[-1]))
+
+        i = int(np.searchsorted(self._utils, u, side="right") - 1)
+        i = min(max(i, 0), self._utils.size - 2) if self._utils.size > 1 else 0
+        j = int(np.searchsorted(self._rpms, r, side="right") - 1)
+        j = min(max(j, 0), self._rpms.size - 2) if self._rpms.size > 1 else 0
+
+        if self._utils.size == 1 and self._rpms.size == 1:
+            return float(self._temps[0, 0])
+        if self._utils.size == 1:
+            return float(
+                np.interp(r, self._rpms, self._temps[0, :])
+            )
+        if self._rpms.size == 1:
+            return float(np.interp(u, self._utils, self._temps[:, 0]))
+
+        u0, u1 = self._utils[i], self._utils[i + 1]
+        r0, r1 = self._rpms[j], self._rpms[j + 1]
+        fu = (u - u0) / (u1 - u0)
+        fr = (r - r0) / (r1 - r0)
+        t00 = self._temps[i, j]
+        t01 = self._temps[i, j + 1]
+        t10 = self._temps[i + 1, j]
+        t11 = self._temps[i + 1, j + 1]
+        return float(
+            t00 * (1 - fu) * (1 - fr)
+            + t01 * (1 - fu) * fr
+            + t10 * fu * (1 - fr)
+            + t11 * fu * fr
+        )

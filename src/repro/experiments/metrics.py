@@ -1,0 +1,101 @@
+"""Table I's evaluation metrics.
+
+Net energy savings follow the paper's definition: the total server
+idle energy (the hardware-configuration-dependent floor that fan
+control cannot influence) is subtracted from each scheme's energy
+before computing the relative saving against the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import joules_to_kwh, validate_non_negative
+
+#: numpy renamed trapz to trapezoid in 2.0; support both.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+def energy_kwh(times_s, power_w) -> float:
+    """Trapezoidal energy integral of a power trace, in kWh."""
+    times = np.asarray(times_s, dtype=float)
+    power = np.asarray(power_w, dtype=float)
+    if times.shape != power.shape or times.size < 2:
+        raise ValueError("need matching times/power arrays with >= 2 samples")
+    if np.any(np.diff(times) < 0):
+        raise ValueError("times must be non-decreasing")
+    return joules_to_kwh(float(_trapezoid(power, times)))
+
+
+def count_command_changes(rpm_commands) -> int:
+    """Number of fan-speed command changes over a trace."""
+    commands = np.asarray(rpm_commands, dtype=float)
+    if commands.size < 2:
+        return 0
+    return int(np.sum(commands[1:] != commands[:-1]))
+
+
+@dataclass(frozen=True)
+class ExperimentMetrics:
+    """The Table I row for one (test, controller) pair."""
+
+    energy_kwh: float
+    net_energy_kwh: float
+    peak_power_w: float
+    max_temperature_c: float
+    fan_speed_changes: int
+    avg_rpm: float
+    avg_utilization_pct: float
+    duration_s: float
+
+    @property
+    def avg_power_w(self) -> float:
+        """Time-averaged wall power."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.energy_kwh * 3.6e6 / self.duration_s
+
+
+def compute_metrics(
+    times_s,
+    total_power_w,
+    max_temperature_trace_c,
+    rpm_commands,
+    actual_rpms,
+    utilization_pct,
+    static_idle_w: float,
+) -> ExperimentMetrics:
+    """Assemble all Table I metrics from experiment traces."""
+    validate_non_negative(static_idle_w, "static_idle_w")
+    times = np.asarray(times_s, dtype=float)
+    duration = float(times[-1] - times[0])
+    total = energy_kwh(times, total_power_w)
+    idle_energy = joules_to_kwh(static_idle_w * duration)
+    return ExperimentMetrics(
+        energy_kwh=total,
+        net_energy_kwh=total - idle_energy,
+        peak_power_w=float(np.max(total_power_w)),
+        max_temperature_c=float(np.max(max_temperature_trace_c)),
+        fan_speed_changes=count_command_changes(rpm_commands),
+        avg_rpm=float(np.mean(actual_rpms)),
+        avg_utilization_pct=float(np.mean(utilization_pct)),
+        duration_s=duration,
+    )
+
+
+def net_savings_pct(
+    baseline: ExperimentMetrics, candidate: ExperimentMetrics
+) -> float:
+    """Relative net-energy saving of *candidate* over *baseline*.
+
+    Positive when the candidate consumes less net energy.  Matches the
+    paper's 3rd→4th column computation in Table I.
+    """
+    if baseline.net_energy_kwh <= 0:
+        raise ValueError("baseline net energy must be positive")
+    return 100.0 * (
+        (baseline.net_energy_kwh - candidate.net_energy_kwh)
+        / baseline.net_energy_kwh
+    )

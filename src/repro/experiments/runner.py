@@ -1,0 +1,216 @@
+"""Closed-loop experiment runner.
+
+Reproduces the testbed's runtime wiring: LoadGen synthesizes the
+instantaneous load, the server simulator integrates power and thermal
+state, the utilization monitor emulates ``sar`` polling, and the
+controller (running on the DLC-PC) periodically observes the noisy
+CSTH channels plus the monitored utilization and commands fan speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.controllers.base import ControllerObservation, FanController
+from repro.experiments.metrics import ExperimentMetrics, compute_metrics
+from repro.experiments.protocol import ExperimentProtocol
+from repro.server.ambient import AmbientModel, ConstantAmbient
+from repro.server.server import ServerSimulator
+from repro.server.specs import ServerSpec, default_server_spec
+from repro.telemetry.recorder import TraceRecorder
+from repro.workloads.loadgen import (
+    DEFAULT_PWM_PERIOD_S,
+    LoadGen,
+    UtilizationMonitor,
+)
+from repro.workloads.profile import UtilizationProfile
+
+#: Trace schema produced by every experiment run.
+TRACE_COLUMNS = (
+    "time_s",
+    "target_util_pct",
+    "instantaneous_util_pct",
+    "monitored_util_pct",
+    "cpu0_junction_c",
+    "cpu1_junction_c",
+    "max_junction_c",
+    "measured_max_cpu_c",
+    "dimm_bank_c",
+    "rpm_command",
+    "mean_rpm",
+    "power_total_w",
+    "power_fan_w",
+    "power_leakage_w",
+    "power_active_w",
+    "power_memory_w",
+    "power_board_w",
+    "pstate_index",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of the closed-loop simulation."""
+
+    dt_s: float = 1.0
+    pwm_period_s: float = DEFAULT_PWM_PERIOD_S
+    monitor_window_s: float = 60.0
+    loadgen_mode: str = "pwm"
+    protocol: ExperimentProtocol = field(default_factory=ExperimentProtocol)
+    #: Wrap the profile in the protocol's idle head/tail phases.
+    apply_protocol_phases: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+
+
+@dataclass
+class ExperimentResult:
+    """Traces + metrics of one closed-loop run."""
+
+    controller_name: str
+    recorder: TraceRecorder
+    metrics: ExperimentMetrics
+    config: ExperimentConfig
+
+    def column(self, name: str) -> np.ndarray:
+        """Shortcut into the trace recorder."""
+        return self.recorder.column(name)
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """All trace columns."""
+        return self.recorder.as_arrays()
+
+
+def run_experiment(
+    controller: FanController,
+    profile: UtilizationProfile,
+    spec: Optional[ServerSpec] = None,
+    config: Optional[ExperimentConfig] = None,
+    ambient: Optional[AmbientModel] = None,
+) -> ExperimentResult:
+    """Run one controller against one workload profile.
+
+    The run follows the paper's protocol: the server starts from a
+    forced cold state (idle equilibrium at 3600 RPM), the controller's
+    initial command is applied at ``t = 0``, then the closed loop steps
+    at ``config.dt_s`` for the profile duration.
+    """
+    spec = spec if spec is not None else default_server_spec()
+    config = config if config is not None else ExperimentConfig()
+    protocol = config.protocol
+    if ambient is None:
+        ambient = ConstantAmbient(protocol.ambient_c)
+
+    if config.apply_protocol_phases:
+        profile = protocol.wrap_profile(profile)
+
+    sim = ServerSimulator(spec=spec, ambient=ambient, seed=config.seed)
+    protocol.force_cold_state(sim)
+
+    controller.reset()
+    initial = controller.initial_rpm()
+    rpm_command = initial if initial is not None else sim.fans.mean_rpm
+    sim.set_fan_rpm(rpm_command)
+
+    loadgen = LoadGen(
+        profile, pwm_period_s=config.pwm_period_s, mode=config.loadgen_mode
+    )
+    monitor = UtilizationMonitor(window_s=config.monitor_window_s)
+    # The cold-start protocol idles the machine for >= 10 minutes before
+    # t = 0, so the utilization monitor window starts filled with idle
+    # samples (otherwise the first PWM on-phase would read as a 100%
+    # spike and trigger a spurious fan change).
+    warmup_start = -config.monitor_window_s
+    t_warm = warmup_start
+    while t_warm < 0.0:
+        monitor.observe(t_warm, 0.0, config.dt_s)
+        t_warm += config.dt_s
+    recorder = TraceRecorder(TRACE_COLUMNS)
+
+    duration_s = profile.duration_s
+    steps = int(round(duration_s / config.dt_s))
+    if steps <= 0:
+        raise ValueError("profile too short for the configured dt_s")
+
+    next_poll_s = 0.0
+    time_s = 0.0
+    for _ in range(steps):
+        target = loadgen.target_pct(time_s)
+        instantaneous = loadgen.instantaneous_pct(time_s)
+
+        if time_s >= next_poll_s - 1e-9:
+            measured = sim.measured_cpu_temperatures_c()
+            observation = ControllerObservation(
+                time_s=time_s,
+                max_cpu_temperature_c=max(measured),
+                avg_cpu_temperature_c=float(np.mean(measured)),
+                utilization_pct=monitor.utilization_pct(),
+                current_rpm_command=rpm_command,
+            )
+            decision = controller.decide(observation)
+            if decision is not None and decision != rpm_command:
+                rpm_command = decision
+                sim.set_fan_rpm(rpm_command)
+            # Controllers with a DVFS policy (CoordinatedController)
+            # additionally expose decide_pstate.
+            decide_pstate = getattr(controller, "decide_pstate", None)
+            if decide_pstate is not None:
+                pstate = decide_pstate(observation)
+                if pstate is not None:
+                    sim.set_pstate(pstate)
+            next_poll_s += controller.poll_interval_s
+
+        state = sim.step(config.dt_s, instantaneous)
+        # The monitor sees what sar reports: the *executed* busy
+        # fraction, which saturates at 100% when a too-deep p-state
+        # cannot keep up with demand.
+        monitor.observe(time_s, state.utilization_pct, config.dt_s)
+        time_s = state.time_s
+
+        measured_now = sim.measured_cpu_temperatures_c()
+        recorder.record(
+            {
+                "time_s": time_s,
+                "target_util_pct": target,
+                "instantaneous_util_pct": instantaneous,
+                "monitored_util_pct": monitor.utilization_pct(),
+                "cpu0_junction_c": state.thermal.junction_c[0],
+                "cpu1_junction_c": state.thermal.junction_c[
+                    min(1, len(state.thermal.junction_c) - 1)
+                ],
+                "max_junction_c": state.max_junction_c,
+                "measured_max_cpu_c": max(measured_now),
+                "dimm_bank_c": state.thermal.dimm_bank_c,
+                "rpm_command": rpm_command,
+                "mean_rpm": state.mean_fan_rpm,
+                "power_total_w": state.power.total_w,
+                "power_fan_w": state.power.fan_w,
+                "power_leakage_w": state.power.cpu_leakage_w,
+                "power_active_w": state.power.cpu_active_w,
+                "power_memory_w": state.power.memory_w,
+                "power_board_w": state.power.board_w,
+                "pstate_index": state.pstate_index,
+            }
+        )
+
+    metrics = compute_metrics(
+        times_s=recorder.column("time_s"),
+        total_power_w=recorder.column("power_total_w"),
+        max_temperature_trace_c=recorder.column("max_junction_c"),
+        rpm_commands=recorder.column("rpm_command"),
+        actual_rpms=recorder.column("mean_rpm"),
+        utilization_pct=recorder.column("target_util_pct"),
+        static_idle_w=sim.power_model.static_idle_w(),
+    )
+    return ExperimentResult(
+        controller_name=controller.name,
+        recorder=recorder,
+        metrics=metrics,
+        config=config,
+    )

@@ -1,0 +1,172 @@
+"""Sensitivity studies around the paper's operating point.
+
+The paper characterizes one machine in one 24 °C room and notes that
+its lab is colder than a production aisle.  These sweeps quantify how
+the headline result — the LUT controller's net savings and thermal
+envelope — moves when the environment or the silicon changes:
+
+* :func:`sweep_ambient` — deploy the 24 °C-characterized LUT into
+  warmer rooms (the characterize-here / deploy-there gap),
+* :func:`sweep_leakage_strength` — scale the exponential leakage
+  coefficient, emulating leakier future process nodes (the paper's own
+  motivation: "as technology nodes shrink, leakage becomes an
+  important contributor"),
+* :func:`sweep_sensor_noise` — degrade telemetry quality and watch the
+  controllers' robustness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.controllers.default import FixedSpeedController
+from repro.core.controllers.lut import LUTController
+from repro.core.lut import LookupTable
+from repro.experiments.metrics import ExperimentMetrics, net_savings_pct
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.server.ambient import ConstantAmbient
+from repro.server.specs import SensorNoiseSpec, ServerSpec, default_server_spec
+from repro.workloads.profile import UtilizationProfile
+from repro.workloads.tests import build_test3_random_steps
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One sweep point: the LUT scheme against the default scheme."""
+
+    parameter: float
+    default_metrics: ExperimentMetrics
+    lut_metrics: ExperimentMetrics
+
+    @property
+    def net_savings_pct(self) -> float:
+        """LUT net savings over the default at this point."""
+        return net_savings_pct(self.default_metrics, self.lut_metrics)
+
+    @property
+    def lut_max_temperature_c(self) -> float:
+        """Thermal envelope of the LUT scheme at this point."""
+        return self.lut_metrics.max_temperature_c
+
+
+def _run_pair(
+    spec: ServerSpec,
+    lut: LookupTable,
+    profile: UtilizationProfile,
+    ambient_c: float,
+    seed: int,
+) -> SensitivityPoint:
+    config = ExperimentConfig(seed=seed)
+    ambient = ConstantAmbient(ambient_c)
+    default_run = run_experiment(
+        FixedSpeedController(rpm=spec.default_fan_rpm),
+        profile,
+        spec=spec,
+        config=config,
+        ambient=ambient,
+    )
+    lut_run = run_experiment(
+        LUTController(lut), profile, spec=spec, config=config, ambient=ambient
+    )
+    return SensitivityPoint(
+        parameter=ambient_c,
+        default_metrics=default_run.metrics,
+        lut_metrics=lut_run.metrics,
+    )
+
+
+def sweep_ambient(
+    lut: LookupTable,
+    ambients_c: Sequence[float] = (18.0, 21.0, 24.0, 27.0, 30.0),
+    spec: Optional[ServerSpec] = None,
+    profile: Optional[UtilizationProfile] = None,
+    seed: int = 0,
+) -> Dict[float, SensitivityPoint]:
+    """Run the LUT (characterized at 24 °C) across room temperatures."""
+    spec = spec if spec is not None else default_server_spec()
+    profile = profile if profile is not None else build_test3_random_steps()
+    return {
+        float(a): _run_pair(spec, lut, profile, a, seed) for a in ambients_c
+    }
+
+
+def scale_leakage(spec: ServerSpec, factor: float) -> ServerSpec:
+    """A spec whose exponential leakage prefactor is scaled by *factor*."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    sockets = tuple(
+        dataclasses.replace(socket, leak_k2_w=socket.leak_k2_w * factor)
+        for socket in spec.sockets
+    )
+    return dataclasses.replace(spec, sockets=sockets)
+
+
+def sweep_leakage_strength(
+    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    spec: Optional[ServerSpec] = None,
+    profile: Optional[UtilizationProfile] = None,
+    ambient_c: float = 24.0,
+    seed: int = 0,
+) -> Dict[float, SensitivityPoint]:
+    """Scale leakage (future nodes) and rebuild the LUT for each point.
+
+    Unlike the ambient sweep, the LUT is *re-characterized per point* —
+    leakier silicon shifts the optimum fan speeds, and the pipeline is
+    expected to track that.
+    """
+    from repro.experiments.report import build_paper_lut  # avoid cycle
+
+    spec = spec if spec is not None else default_server_spec()
+    profile = profile if profile is not None else build_test3_random_steps()
+    results: Dict[float, SensitivityPoint] = {}
+    for factor in factors:
+        scaled = scale_leakage(spec, factor)
+        lut = build_paper_lut(spec=scaled, seed=seed)
+        point = _run_pair(scaled, lut, profile, ambient_c, seed)
+        results[float(factor)] = SensitivityPoint(
+            parameter=float(factor),
+            default_metrics=point.default_metrics,
+            lut_metrics=point.lut_metrics,
+        )
+    return results
+
+
+def scale_sensor_noise(spec: ServerSpec, factor: float) -> ServerSpec:
+    """A spec whose sensor noise sigmas are scaled by *factor*."""
+    if factor < 0:
+        raise ValueError("factor must be non-negative")
+    noise = spec.sensor_noise
+    scaled = SensorNoiseSpec(
+        temperature_sigma_c=noise.temperature_sigma_c * factor,
+        temperature_quantum_c=noise.temperature_quantum_c,
+        power_sigma_w=noise.power_sigma_w * factor,
+        power_quantum_w=noise.power_quantum_w,
+        voltage_sigma_v=noise.voltage_sigma_v * factor,
+        current_sigma_a=noise.current_sigma_a * factor,
+    )
+    return dataclasses.replace(spec, sensor_noise=scaled)
+
+
+def sweep_sensor_noise(
+    lut: LookupTable,
+    factors: Sequence[float] = (0.0, 1.0, 3.0, 10.0),
+    spec: Optional[ServerSpec] = None,
+    profile: Optional[UtilizationProfile] = None,
+    ambient_c: float = 24.0,
+    seed: int = 0,
+) -> Dict[float, SensitivityPoint]:
+    """Degrade telemetry noise and re-run the controller comparison."""
+    spec = spec if spec is not None else default_server_spec()
+    profile = profile if profile is not None else build_test3_random_steps()
+    results: Dict[float, SensitivityPoint] = {}
+    for factor in factors:
+        scaled = scale_sensor_noise(spec, factor)
+        point = _run_pair(scaled, lut, profile, ambient_c, seed)
+        results[float(factor)] = SensitivityPoint(
+            parameter=float(factor),
+            default_metrics=point.default_metrics,
+            lut_metrics=point.lut_metrics,
+        )
+    return results

@@ -1,0 +1,106 @@
+"""Analytical power model forms from the paper's Eqn. (1)-(2).
+
+``P_total = P_active + P_leak + P_fan`` with
+``P_active = k1 * U`` and ``P_leak = C + k2 * exp(k3 * T)``.
+
+These classes are the *model* side of the reproduction: they are what
+the fitting pipeline produces and what the LUT builder consumes.  The
+simulator's ground truth lives in :mod:`repro.server.power`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import validate_non_negative
+
+#: The constants the paper reports from its fit (§IV).
+PAPER_K1_W_PER_PCT = 0.4452
+PAPER_K2_W = 0.3231
+PAPER_K3_PER_C = 0.04749
+PAPER_FIT_ERROR_W = 2.243
+PAPER_FIT_ACCURACY_PCT = 98.0
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """``P_leak(T) = C + k2 * exp(k3 * T)`` — Eqn. (2)."""
+
+    c_w: float
+    k2_w: float
+    k3_per_c: float
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.k2_w, "k2_w")
+        validate_non_negative(self.k3_per_c, "k3_per_c")
+
+    def power_w(self, temperature_c):
+        """Leakage power at *temperature_c* (scalar or array)."""
+        t = np.asarray(temperature_c, dtype=float)
+        result = self.c_w + self.k2_w * np.exp(self.k3_per_c * t)
+        return float(result) if np.isscalar(temperature_c) else result
+
+    def variable_power_w(self, temperature_c):
+        """The temperature-dependent part only, ``k2 * exp(k3 * T)``.
+
+        This is the term that trades off against fan power; the
+        constant ``C`` cannot be influenced by cooling.
+        """
+        t = np.asarray(temperature_c, dtype=float)
+        result = self.k2_w * np.exp(self.k3_per_c * t)
+        return float(result) if np.isscalar(temperature_c) else result
+
+    def slope_w_per_c(self, temperature_c: float) -> float:
+        """d P_leak / dT at *temperature_c* — the leakage sensitivity."""
+        return self.k2_w * self.k3_per_c * math.exp(self.k3_per_c * temperature_c)
+
+    @classmethod
+    def paper_fit(cls, c_w: float = 0.0) -> "LeakageModel":
+        """The paper's published constants (k2, k3); C is not reported."""
+        return cls(c_w=c_w, k2_w=PAPER_K2_W, k3_per_c=PAPER_K3_PER_C)
+
+
+@dataclass(frozen=True)
+class ActivePowerModel:
+    """``P_active(U) = k1 * U`` with U in percent — Eqn. (2)."""
+
+    k1_w_per_pct: float
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.k1_w_per_pct, "k1_w_per_pct")
+
+    def power_w(self, utilization_pct):
+        """Active power at *utilization_pct* (scalar or array)."""
+        u = np.asarray(utilization_pct, dtype=float)
+        result = self.k1_w_per_pct * u
+        return float(result) if np.isscalar(utilization_pct) else result
+
+    @classmethod
+    def paper_fit(cls) -> "ActivePowerModel":
+        """The paper's published k1."""
+        return cls(k1_w_per_pct=PAPER_K1_W_PER_PCT)
+
+
+@dataclass(frozen=True)
+class FanPowerModel:
+    """``P_fan(rpm) = coeff * (rpm / rpm_ref) ** exponent`` for the bank."""
+
+    coeff_w: float
+    exponent: float
+    rpm_ref: float
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.coeff_w, "coeff_w")
+        if self.exponent < 1.0:
+            raise ValueError("exponent must be >= 1")
+        if self.rpm_ref <= 0:
+            raise ValueError("rpm_ref must be positive")
+
+    def power_w(self, rpm):
+        """Bank power at *rpm* (scalar or array)."""
+        r = np.asarray(rpm, dtype=float)
+        result = self.coeff_w * (r / self.rpm_ref) ** self.exponent
+        return float(result) if np.isscalar(rpm) else result

@@ -1,0 +1,178 @@
+"""Reliability accounting for controller comparisons.
+
+The paper's design choices are reliability-driven but unquantified:
+the 75 °C operational ceiling cites nanometer-scale wear-out (its
+ref. [7]), and the 1-minute fan-change lockout exists "to prevent fan
+reliability issues".  This module scores an experiment trace on the
+three standard wear-out channels so those choices can be evaluated:
+
+* **Arrhenius thermal aging** — steady-state wear (electromigration,
+  NBTI, TDDB) accelerates exponentially with junction temperature:
+  ``AF = exp(Ea/k * (1/T_ref - 1/T))``.  We integrate the acceleration
+  factor over the trace to get *consumed lifetime relative to
+  operating constantly at the reference temperature*.
+* **Coffin–Manson thermal cycling** — solder-joint fatigue from
+  temperature swings: each cycle of amplitude ``dT`` consumes
+  ``(dT / dT_ref) ** exponent`` reference-cycle equivalents.
+* **Fan bearing wear** — bearing life shortens with speed (an L10-life
+  inverse power law) and each speed change adds a start/stop-like
+  stress event, which is why the paper limits change frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.analysis import count_thermal_cycles
+from repro.units import validate_non_negative
+
+#: Boltzmann constant, eV/K.
+BOLTZMANN_EV_K = 8.617333262e-5
+
+#: Default activation energy for silicon wear-out mechanisms, eV.
+DEFAULT_ACTIVATION_ENERGY_EV = 0.7
+
+#: Default Coffin-Manson exponent for solder fatigue.
+DEFAULT_COFFIN_MANSON_EXPONENT = 2.35
+
+
+def arrhenius_acceleration(
+    temperature_c: float,
+    reference_c: float = 55.0,
+    activation_energy_ev: float = DEFAULT_ACTIVATION_ENERGY_EV,
+) -> float:
+    """Wear acceleration factor at *temperature_c* vs *reference_c*.
+
+    1.0 at the reference; roughly doubles every ~10 °C with the default
+    activation energy.
+    """
+    validate_non_negative(activation_energy_ev, "activation_energy_ev")
+    t_k = temperature_c + 273.15
+    ref_k = reference_c + 273.15
+    if t_k <= 0 or ref_k <= 0:
+        raise ValueError("temperatures must be above absolute zero")
+    return math.exp(
+        activation_energy_ev / BOLTZMANN_EV_K * (1.0 / ref_k - 1.0 / t_k)
+    )
+
+
+def integrated_thermal_aging(
+    times_s,
+    junction_temps_c,
+    reference_c: float = 55.0,
+    activation_energy_ev: float = DEFAULT_ACTIVATION_ENERGY_EV,
+) -> float:
+    """Consumed lifetime over a trace, in reference-temperature hours.
+
+    Integrates the Arrhenius acceleration factor: a result of 2.0 for a
+    1-hour trace means the hour aged the part as much as two hours at
+    the reference temperature would have.
+    """
+    times = np.asarray(times_s, dtype=float)
+    temps = np.asarray(junction_temps_c, dtype=float)
+    if times.shape != temps.shape or times.size < 2:
+        raise ValueError("need matching arrays with >= 2 samples")
+    factors = np.array(
+        [
+            arrhenius_acceleration(t, reference_c, activation_energy_ev)
+            for t in temps
+        ]
+    )
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    aged_s = float(trapezoid(factors, times))
+    return aged_s / 3600.0
+
+
+def coffin_manson_damage(
+    junction_temps_c,
+    reference_swing_c: float = 20.0,
+    exponent: float = DEFAULT_COFFIN_MANSON_EXPONENT,
+    counting_amplitude_c: float = 5.0,
+) -> float:
+    """Thermal-cycling fatigue consumed over a trace.
+
+    Counts cycles above *counting_amplitude_c*, assigns each the trace's
+    mean large-cycle amplitude, and converts to equivalent
+    *reference_swing_c* cycles via the Coffin-Manson inverse power law.
+    Returned unit: equivalent reference cycles.
+    """
+    temps = np.asarray(junction_temps_c, dtype=float)
+    if temps.size < 3:
+        return 0.0
+    if reference_swing_c <= 0:
+        raise ValueError("reference_swing_c must be positive")
+    cycles = count_thermal_cycles(temps, amplitude_c=counting_amplitude_c)
+    if cycles == 0:
+        return 0.0
+    # Amplitude estimate: the large-signal swing of the trace, which
+    # upper-bounds per-cycle amplitude (conservative for reliability).
+    amplitude = float(np.percentile(temps, 95) - np.percentile(temps, 5))
+    amplitude = max(amplitude, counting_amplitude_c)
+    return cycles * (amplitude / reference_swing_c) ** exponent
+
+
+def fan_bearing_wear(
+    times_s,
+    rpms,
+    speed_changes: int,
+    reference_rpm: float = 3300.0,
+    life_exponent: float = 3.0,
+    change_penalty_hours: float = 0.05,
+) -> float:
+    """Bearing life consumed, in reference-speed hours.
+
+    Running at speed ``w`` consumes life ``(w / w_ref) ** life_exponent``
+    times faster than at the reference speed, and every commanded speed
+    change adds *change_penalty_hours* of equivalent wear (a transient
+    bearing-load event, on the order of minutes of life — the cost the
+    paper's lockout bounds).
+    """
+    times = np.asarray(times_s, dtype=float)
+    speeds = np.asarray(rpms, dtype=float)
+    if times.shape != speeds.shape or times.size < 2:
+        raise ValueError("need matching arrays with >= 2 samples")
+    if reference_rpm <= 0:
+        raise ValueError("reference_rpm must be positive")
+    validate_non_negative(float(speed_changes), "speed_changes")
+    factors = (speeds / reference_rpm) ** life_exponent
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    worn_s = float(trapezoid(factors, times))
+    return worn_s / 3600.0 + speed_changes * change_penalty_hours
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Wear-out summary of one experiment run."""
+
+    thermal_aging_ref_hours: float
+    thermal_cycling_ref_cycles: float
+    fan_wear_ref_hours: float
+    max_temperature_c: float
+    duration_hours: float
+
+    @property
+    def aging_rate(self) -> float:
+        """Thermal aging per wall hour (1.0 = reference-temperature pace)."""
+        if self.duration_hours <= 0:
+            return 0.0
+        return self.thermal_aging_ref_hours / self.duration_hours
+
+
+def reliability_report(result) -> ReliabilityReport:
+    """Score an :class:`~repro.experiments.runner.ExperimentResult`."""
+    times = result.column("time_s")
+    temps = result.column("max_junction_c")
+    rpms = result.column("mean_rpm")
+    duration_h = float(times[-1] - times[0]) / 3600.0
+    return ReliabilityReport(
+        thermal_aging_ref_hours=integrated_thermal_aging(times, temps),
+        thermal_cycling_ref_cycles=coffin_manson_damage(temps),
+        fan_wear_ref_hours=fan_bearing_wear(
+            times, rpms, result.metrics.fan_speed_changes
+        ),
+        max_temperature_c=float(np.max(temps)),
+        duration_hours=duration_h,
+    )

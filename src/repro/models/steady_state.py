@@ -1,0 +1,113 @@
+"""Steady-state power/temperature maps over (utilization, fan speed).
+
+These maps are the raw material for the leakage–temperature tradeoff
+analysis (Fig. 2) and for the LUT construction: at each grid point the
+equilibrium CPU temperature, the leakage, and the fan power are known,
+so ``P_leak + P_fan`` can be minimized per utilization level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.server.ambient import ConstantAmbient
+from repro.server.server import ServerSimulator
+from repro.server.specs import ServerSpec, default_server_spec
+from repro.units import validate_utilization_pct
+
+
+@dataclass(frozen=True)
+class SteadyStatePoint:
+    """Equilibrium operating point at one (utilization, rpm) setting."""
+
+    utilization_pct: float
+    fan_rpm: float
+    avg_junction_c: float
+    max_junction_c: float
+    dimm_bank_c: float
+    cpu_leakage_w: float
+    cpu_active_w: float
+    fan_power_w: float
+    total_power_w: float
+
+    @property
+    def leak_plus_fan_w(self) -> float:
+        """The convex tradeoff quantity of Fig. 2."""
+        return self.cpu_leakage_w + self.fan_power_w
+
+
+def steady_state_point(
+    utilization_pct: float,
+    fan_rpm: float,
+    spec: ServerSpec | None = None,
+    ambient_c: float = 24.0,
+) -> SteadyStatePoint:
+    """Solve one equilibrium operating point from the ground-truth model."""
+    validate_utilization_pct(utilization_pct)
+    if spec is None:
+        spec = default_server_spec()
+    sim = ServerSimulator(
+        spec=spec,
+        ambient=ConstantAmbient(ambient_c),
+        seed=0,
+        initial_fan_rpm=fan_rpm,
+    )
+    state = sim.settle_to_steady_state(utilization_pct)
+    thermal = state.thermal
+    return SteadyStatePoint(
+        utilization_pct=utilization_pct,
+        fan_rpm=fan_rpm,
+        avg_junction_c=thermal.mean_junction_c,
+        max_junction_c=thermal.max_junction_c,
+        dimm_bank_c=thermal.dimm_bank_c,
+        cpu_leakage_w=state.power.cpu_leakage_w,
+        cpu_active_w=state.power.cpu_active_w,
+        fan_power_w=state.power.fan_w,
+        total_power_w=state.power.total_w,
+    )
+
+
+def steady_state_map(
+    utilizations_pct: Sequence[float],
+    fan_rpms: Sequence[float],
+    spec: ServerSpec | None = None,
+    ambient_c: float = 24.0,
+) -> Dict[Tuple[float, float], SteadyStatePoint]:
+    """Solve the full (utilization × rpm) equilibrium grid."""
+    if not utilizations_pct or not fan_rpms:
+        raise ValueError("grid axes must be non-empty")
+    if spec is None:
+        spec = default_server_spec()
+    grid: Dict[Tuple[float, float], SteadyStatePoint] = {}
+    for u in utilizations_pct:
+        for rpm in fan_rpms:
+            grid[(float(u), float(rpm))] = steady_state_point(
+                u, rpm, spec=spec, ambient_c=ambient_c
+            )
+    return grid
+
+
+def optimal_rpm_per_utilization(
+    grid: Dict[Tuple[float, float], SteadyStatePoint],
+    max_temperature_c: float = 75.0,
+) -> Dict[float, SteadyStatePoint]:
+    """Pick, per utilization, the grid point minimizing leak+fan power.
+
+    Points whose equilibrium temperature exceeds the reliability
+    ceiling are excluded; if every candidate violates it, the coolest
+    (highest-RPM) point is selected instead, mirroring a controller
+    that must still pick *some* speed.
+    """
+    by_util: Dict[float, List[SteadyStatePoint]] = {}
+    for (u, _), point in grid.items():
+        by_util.setdefault(u, []).append(point)
+
+    best: Dict[float, SteadyStatePoint] = {}
+    for u, points in by_util.items():
+        admissible = [p for p in points if p.max_junction_c <= max_temperature_c]
+        if admissible:
+            best[u] = min(admissible, key=lambda p: p.leak_plus_fan_w)
+        else:
+            best[u] = max(points, key=lambda p: p.fan_rpm)
+    return best

@@ -1,0 +1,13 @@
+"""Terminal-friendly rendering of experiment results.
+
+The benches and examples render figures as ASCII charts and tables so
+the reproduction artifacts live in plain-text files:
+
+* :func:`ascii_chart` — multi-series scatter/line chart,
+* :func:`sparkline` — one-line trend rendering,
+* :func:`format_table` — aligned text tables from rows of cells.
+"""
+
+from repro.reporting.ascii import ascii_chart, format_table, sparkline
+
+__all__ = ["ascii_chart", "format_table", "sparkline"]

@@ -1,0 +1,128 @@
+"""ASCII rendering primitives for figures and tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+#: Marker characters assigned to chart series, in order.
+SERIES_MARKERS = "ox+*#@%&"
+
+#: Density ramp used by :func:`sparkline`.
+SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_chart(
+    series: Mapping[str, Tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 16,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render ``{label: (x, y)}`` series as a multi-line ASCII chart.
+
+    Series are overplotted with distinct markers and a legend is
+    appended.  Intended for monotone-ish experiment curves, not for
+    publication graphics.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to render")
+    if len(series) > len(SERIES_MARKERS):
+        raise ValueError(f"at most {len(SERIES_MARKERS)} series supported")
+
+    for label, (x, y) in series.items():
+        if len(np.asarray(x)) != len(np.asarray(y)):
+            raise ValueError(f"series {label!r} has mismatched x/y lengths")
+        if len(np.asarray(x)) == 0:
+            raise ValueError(f"series {label!r} is empty")
+
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    x_min, x_max = float(np.min(all_x)), float(np.max(all_x))
+    y_min, y_max = float(np.min(all_y)), float(np.max(all_y))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (x, y)), marker in zip(series.items(), SERIES_MARKERS):
+        xs = np.asarray(x, dtype=float)
+        ys = np.asarray(y, dtype=float)
+        cols = ((xs - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = ((ys - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = []
+    if ylabel:
+        lines.append(f"  [{ylabel}]")
+    lines.append(f"{y_max:9.1f} |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + "|" + "".join(row))
+    lines.append(f"{y_min:9.1f} |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    footer = f"{x_min:<12.1f}{xlabel:^{max(0, width - 24)}}{x_max:>12.1f}"
+    lines.append(" " * 10 + footer)
+    legend = "  ".join(
+        f"{marker}={label}"
+        for (label, _), marker in zip(series.items(), SERIES_MARKERS)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a numeric series as a one-line density sparkline."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("empty series")
+    if width < 1:
+        raise ValueError("width must be positive")
+    idx = np.linspace(0, data.size - 1, min(width, data.size)).astype(int)
+    sampled = data[idx]
+    lo, hi = float(np.min(sampled)), float(np.max(sampled))
+    if hi == lo:
+        return SPARK_BLOCKS[0] * len(sampled)
+    scaled = ((sampled - lo) / (hi - lo) * (len(SPARK_BLOCKS) - 1)).astype(int)
+    return "".join(SPARK_BLOCKS[s] for s in scaled)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    *align* is one character per column, ``<`` or ``>`` (default:
+    ``<`` for the first column, ``>`` for the rest — label then
+    numbers).
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    ncols = len(headers)
+    for row in rows:
+        if len(row) != ncols:
+            raise ValueError("row width does not match headers")
+    if not align:
+        align = "<" + ">" * (ncols - 1)
+    if len(align) != ncols or any(a not in "<>" for a in align):
+        raise ValueError("align must be one of <,> per column")
+
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(ncols)]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(
+            f"{cell:{align[i]}{widths[i]}}" for i, cell in enumerate(row)
+        )
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Enterprise-server simulation substrate.
+
+This package replaces the paper's physical testbed (a 2-socket SPARC T3
+enterprise server with externally powered fans) with a calibrated
+physics model:
+
+* :mod:`repro.server.specs` — hardware description dataclasses and the
+  default SPARC-T3-class server specification,
+* :mod:`repro.server.fan` — cubic fan power law, airflow, slew limits,
+* :mod:`repro.server.power` — active / leakage / memory / board power,
+* :mod:`repro.server.thermal` — RC thermal network with fan-speed
+  dependent convective resistances,
+* :mod:`repro.server.sensors` — noisy, quantized sensor channels,
+* :mod:`repro.server.ambient` — machine-room ambient model,
+* :mod:`repro.server.server` — the composed closed simulator.
+"""
+
+from repro.server.ambient import AmbientModel, ConstantAmbient, SinusoidalAmbient
+from repro.server.dvfs import DvfsSpec, PState, default_dvfs_ladder
+from repro.server.fan import FanBank, FanModel, fan_speed_ladder
+from repro.server.faults import (
+    DriftFault,
+    DropoutFault,
+    FaultableSensor,
+    OffsetFault,
+    SensorFault,
+    SpikeFault,
+    StuckFault,
+)
+from repro.server.power import PowerBreakdown, PowerModel
+from repro.server.sensors import Sensor, SensorSpec
+from repro.server.server import ServerSimulator, ServerState
+from repro.server.specs import (
+    CpuSocketSpec,
+    FanSpec,
+    MemorySpec,
+    SensorNoiseSpec,
+    ServerSpec,
+    default_server_spec,
+)
+from repro.server.thermal import ThermalNetwork, ThermalState
+
+__all__ = [
+    "AmbientModel",
+    "ConstantAmbient",
+    "SinusoidalAmbient",
+    "DvfsSpec",
+    "PState",
+    "default_dvfs_ladder",
+    "DriftFault",
+    "DropoutFault",
+    "FaultableSensor",
+    "OffsetFault",
+    "SensorFault",
+    "SpikeFault",
+    "StuckFault",
+    "FanBank",
+    "FanModel",
+    "fan_speed_ladder",
+    "PowerBreakdown",
+    "PowerModel",
+    "Sensor",
+    "SensorSpec",
+    "ServerSimulator",
+    "ServerState",
+    "CpuSocketSpec",
+    "FanSpec",
+    "MemorySpec",
+    "SensorNoiseSpec",
+    "ServerSpec",
+    "default_server_spec",
+    "ThermalNetwork",
+    "ThermalState",
+]

@@ -1,0 +1,62 @@
+"""Machine-room ambient temperature models.
+
+All the paper's experiments run in an isolated environment at a
+constant 24 °C.  The drifting model supports sensitivity studies of the
+controllers under data-center-style ambient variation (the paper notes
+its test room is colder than a production data center).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.units import validate_non_negative, validate_temperature_c
+
+
+class AmbientModel(ABC):
+    """Ambient (fan inlet) temperature as a function of time."""
+
+    @abstractmethod
+    def temperature_c(self, time_s: float) -> float:
+        """Inlet air temperature at simulation time ``time_s``."""
+
+
+class ConstantAmbient(AmbientModel):
+    """Fixed ambient temperature (the paper's 24 °C isolated room)."""
+
+    def __init__(self, temperature_c: float = 24.0):
+        self._temperature_c = validate_temperature_c(temperature_c)
+
+    def temperature_c(self, time_s: float) -> float:
+        return self._temperature_c
+
+
+class SinusoidalAmbient(AmbientModel):
+    """Slow sinusoidal ambient drift around a mean value.
+
+    Used by sensitivity benches to emulate CRAC supply-temperature
+    oscillation in a real data center aisle.
+    """
+
+    def __init__(
+        self,
+        mean_c: float = 24.0,
+        amplitude_c: float = 2.0,
+        period_s: float = 3600.0,
+        phase_rad: float = 0.0,
+    ):
+        validate_temperature_c(mean_c, "mean_c")
+        validate_non_negative(amplitude_c, "amplitude_c")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.mean_c = mean_c
+        self.amplitude_c = amplitude_c
+        self.period_s = period_s
+        self.phase_rad = phase_rad
+
+    def temperature_c(self, time_s: float) -> float:
+        omega = 2.0 * math.pi / self.period_s
+        return self.mean_c + self.amplitude_c * math.sin(
+            omega * time_s + self.phase_rad
+        )

@@ -1,0 +1,167 @@
+"""Fan models: cubic power law, airflow, slew limiting, fan banks.
+
+The testbed drives three *pairs* of fans from external Agilent E3644A
+supplies, so each pair can be commanded independently.  All the paper's
+experiments nevertheless command the same speed to all pairs; the bank
+API supports both styles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.server.specs import FanSpec
+from repro.units import clamp, validate_non_negative
+
+
+def fan_speed_ladder(
+    spec: FanSpec, step_rpm: float = 600.0
+) -> Tuple[float, ...]:
+    """Return the discrete RPM settings used by the paper's controllers.
+
+    With the default spec this is ``(1800, 2400, 3000, 3600, 4200)`` —
+    the five speeds characterized in §IV.
+    """
+    validate_non_negative(step_rpm, "step_rpm")
+    if step_rpm == 0:
+        raise ValueError("step_rpm must be positive")
+    speeds: List[float] = []
+    rpm = spec.rpm_min
+    while rpm <= spec.rpm_max + 1e-9:
+        speeds.append(round(rpm, 6))
+        rpm += step_rpm
+    return tuple(speeds)
+
+
+class FanModel:
+    """One fan: command tracking with slew limits, power, airflow."""
+
+    def __init__(self, spec: FanSpec, initial_rpm: float | None = None):
+        self.spec = spec
+        if initial_rpm is None:
+            initial_rpm = spec.rpm_min
+        self._rpm = self._validated_rpm(initial_rpm)
+        self._command_rpm = self._rpm
+
+    def _validated_rpm(self, rpm: float) -> float:
+        validate_non_negative(rpm, "rpm")
+        if not self.spec.rpm_min <= rpm <= self.spec.rpm_max:
+            raise ValueError(
+                f"rpm {rpm} outside supported range "
+                f"[{self.spec.rpm_min}, {self.spec.rpm_max}]"
+            )
+        return float(rpm)
+
+    @property
+    def rpm(self) -> float:
+        """Current rotor speed."""
+        return self._rpm
+
+    @property
+    def command_rpm(self) -> float:
+        """Last commanded set point."""
+        return self._command_rpm
+
+    def set_command(self, rpm: float) -> None:
+        """Command a new speed; the rotor slews toward it on `step`."""
+        self._command_rpm = self._validated_rpm(rpm)
+
+    def step(self, dt_s: float) -> None:
+        """Advance rotor dynamics by ``dt_s`` seconds (slew-limited)."""
+        validate_non_negative(dt_s, "dt_s")
+        max_delta = self.spec.slew_rpm_per_s * dt_s
+        delta = clamp(self._command_rpm - self._rpm, -max_delta, max_delta)
+        self._rpm += delta
+
+    def power_w(self, rpm: float | None = None) -> float:
+        """Electrical power at *rpm* (defaults to the current speed)."""
+        if rpm is None:
+            rpm = self._rpm
+        validate_non_negative(rpm, "rpm")
+        ratio = rpm / self.spec.rpm_ref
+        return self.spec.power_at_ref_w * ratio ** self.spec.power_exponent
+
+    def airflow_cfm(self, rpm: float | None = None) -> float:
+        """Volumetric airflow at *rpm* (defaults to the current speed)."""
+        if rpm is None:
+            rpm = self._rpm
+        validate_non_negative(rpm, "rpm")
+        return self.spec.cfm_at_ref * rpm / self.spec.rpm_ref
+
+
+class FanBank:
+    """The chassis fan complement: ``group_count`` independent pairs."""
+
+    def __init__(
+        self,
+        spec: FanSpec,
+        fan_count: int = 6,
+        fans_per_group: int = 2,
+        initial_rpm: float | None = None,
+    ):
+        if fan_count <= 0 or fans_per_group <= 0:
+            raise ValueError("fan_count and fans_per_group must be positive")
+        if fan_count % fans_per_group != 0:
+            raise ValueError("fan_count must divide evenly into groups")
+        self.spec = spec
+        self.fans_per_group = fans_per_group
+        self._fans = [
+            FanModel(spec, initial_rpm=initial_rpm) for _ in range(fan_count)
+        ]
+
+    @property
+    def fan_count(self) -> int:
+        """Total number of fans."""
+        return len(self._fans)
+
+    @property
+    def group_count(self) -> int:
+        """Number of independently commanded fan groups."""
+        return len(self._fans) // self.fans_per_group
+
+    def _group_fans(self, group: int) -> Sequence[FanModel]:
+        if not 0 <= group < self.group_count:
+            raise IndexError(f"fan group {group} out of range")
+        start = group * self.fans_per_group
+        return self._fans[start : start + self.fans_per_group]
+
+    def set_group_command(self, group: int, rpm: float) -> None:
+        """Command one fan pair to *rpm*."""
+        for fan in self._group_fans(group):
+            fan.set_command(rpm)
+
+    def set_all_commands(self, rpm: float) -> None:
+        """Command every fan to *rpm* (the paper's usual configuration)."""
+        for fan in self._fans:
+            fan.set_command(rpm)
+
+    def step(self, dt_s: float) -> None:
+        """Advance all rotor dynamics by ``dt_s`` seconds."""
+        for fan in self._fans:
+            fan.step(dt_s)
+
+    @property
+    def rpms(self) -> Tuple[float, ...]:
+        """Current speed of every fan."""
+        return tuple(fan.rpm for fan in self._fans)
+
+    @property
+    def mean_rpm(self) -> float:
+        """Average rotor speed across the bank."""
+        return sum(self.rpms) / self.fan_count
+
+    def total_power_w(self) -> float:
+        """Aggregate electrical power of the bank at current speeds."""
+        return sum(fan.power_w() for fan in self._fans)
+
+    def total_airflow_cfm(self) -> float:
+        """Aggregate chassis airflow at current speeds."""
+        return sum(fan.airflow_cfm() for fan in self._fans)
+
+    def power_at_uniform_rpm_w(self, rpm: float) -> float:
+        """Bank power if every fan ran at *rpm* (steady-state planning)."""
+        return self._fans[0].power_w(rpm) * self.fan_count
+
+    def airflow_at_uniform_rpm_cfm(self, rpm: float) -> float:
+        """Bank airflow if every fan ran at *rpm*."""
+        return self._fans[0].airflow_cfm(rpm) * self.fan_count

@@ -1,0 +1,147 @@
+"""Sensor fault injection.
+
+CSTH exists for electronic prognostics — detecting degrading sensors
+and components from telemetry (Gross et al., MFPT 2006, the paper's
+ref. [3]).  Fan controllers consume the same sensor channels, so a
+stuck or drifting thermal sensor directly corrupts control decisions:
+a stuck-low sensor can blind the bang-bang controller to overheating.
+
+This module injects the classic failure modes into any sensor channel:
+
+* ``StuckFault`` — the reading freezes at a value,
+* ``DriftFault`` — a slow additive ramp (degrading sensor),
+* ``OffsetFault`` — a fixed calibration offset,
+* ``SpikeFault`` — intermittent large excursions,
+* ``DropoutFault`` — the channel goes silent (NaN readings).
+
+Faults are time-scheduled so experiments can inject mid-run.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import validate_non_negative
+
+
+class SensorFault(ABC):
+    """A transformation applied to a sensor reading while active."""
+
+    def __init__(self, start_s: float = 0.0, end_s: float = math.inf):
+        validate_non_negative(start_s, "start_s")
+        if end_s <= start_s:
+            raise ValueError("end_s must be after start_s")
+        self.start_s = start_s
+        self.end_s = end_s
+
+    def active(self, time_s: float) -> bool:
+        """Whether the fault is in effect at *time_s*."""
+        return self.start_s <= time_s < self.end_s
+
+    @abstractmethod
+    def apply(self, time_s: float, reading: float) -> float:
+        """Transform *reading* (called only while active)."""
+
+
+class StuckFault(SensorFault):
+    """The reading freezes at ``stuck_value``."""
+
+    def __init__(self, stuck_value: float, start_s: float = 0.0, end_s: float = math.inf):
+        super().__init__(start_s, end_s)
+        self.stuck_value = float(stuck_value)
+
+    def apply(self, time_s: float, reading: float) -> float:
+        return self.stuck_value
+
+
+class OffsetFault(SensorFault):
+    """A fixed calibration offset is added to every reading."""
+
+    def __init__(self, offset: float, start_s: float = 0.0, end_s: float = math.inf):
+        super().__init__(start_s, end_s)
+        self.offset = float(offset)
+
+    def apply(self, time_s: float, reading: float) -> float:
+        return reading + self.offset
+
+
+class DriftFault(SensorFault):
+    """An additive ramp growing at ``rate_per_s`` from fault onset."""
+
+    def __init__(
+        self, rate_per_s: float, start_s: float = 0.0, end_s: float = math.inf
+    ):
+        super().__init__(start_s, end_s)
+        self.rate_per_s = float(rate_per_s)
+
+    def apply(self, time_s: float, reading: float) -> float:
+        return reading + self.rate_per_s * (time_s - self.start_s)
+
+
+class SpikeFault(SensorFault):
+    """Random large excursions with a given per-reading probability."""
+
+    def __init__(
+        self,
+        magnitude: float,
+        probability: float = 0.05,
+        seed: int = 0,
+        start_s: float = 0.0,
+        end_s: float = math.inf,
+    ):
+        super().__init__(start_s, end_s)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.magnitude = float(magnitude)
+        self.probability = probability
+        self._rng = np.random.default_rng(seed)
+
+    def apply(self, time_s: float, reading: float) -> float:
+        if self._rng.random() < self.probability:
+            sign = 1.0 if self._rng.random() < 0.5 else -1.0
+            return reading + sign * self.magnitude
+        return reading
+
+
+class DropoutFault(SensorFault):
+    """The channel returns NaN (no data) while active."""
+
+    def apply(self, time_s: float, reading: float) -> float:
+        return math.nan
+
+
+class FaultableSensor:
+    """Wraps a reading source with a schedule of injected faults.
+
+    Faults compose in registration order (e.g. an offset on top of a
+    drift); a stuck or dropout fault naturally dominates anything
+    applied before it.
+    """
+
+    def __init__(self):
+        self._faults: list[SensorFault] = []
+
+    def inject(self, fault: SensorFault) -> None:
+        """Register one fault."""
+        self._faults.append(fault)
+
+    def clear(self) -> None:
+        """Remove all faults (repair)."""
+        self._faults.clear()
+
+    @property
+    def fault_count(self) -> int:
+        """Number of registered faults."""
+        return len(self._faults)
+
+    def transform(self, time_s: float, reading: float) -> float:
+        """Apply every active fault to *reading*."""
+        value = reading
+        for fault in self._faults:
+            if fault.active(time_s):
+                value = fault.apply(time_s, value)
+        return value

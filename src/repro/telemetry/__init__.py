@@ -1,0 +1,50 @@
+"""Continuous System Telemetry Harness (CSTH) substrate.
+
+The paper collects runtime dynamics through Oracle's CSTH running on
+the service processor: four CPU die temperatures, 32 DIMM temperatures,
+per-core voltage/current and whole-system power, polled every 10 s.
+This package reimplements that telemetry path:
+
+* :mod:`repro.telemetry.channel` — named sample channels with bounded
+  history,
+* :mod:`repro.telemetry.harness` — periodic polling of provider
+  callables into channels,
+* :mod:`repro.telemetry.recorder` — tabular trace capture / CSV export,
+* :mod:`repro.telemetry.analysis` — trace statistics used in the
+  evaluation (settle time, overshoot, thermal cycles, rolling means).
+"""
+
+from repro.telemetry.analysis import (
+    count_threshold_crossings,
+    count_thermal_cycles,
+    max_overshoot,
+    rolling_mean,
+    settle_time_s,
+    summarize,
+    TraceSummary,
+)
+from repro.telemetry.anomaly import (
+    SimilarityModel,
+    SprtDetector,
+    TelemetryWatchdog,
+)
+from repro.telemetry.channel import TelemetryChannel, TelemetrySample
+from repro.telemetry.harness import TelemetryHarness
+from repro.telemetry.recorder import TraceRecorder
+
+__all__ = [
+    "SimilarityModel",
+    "SprtDetector",
+    "TelemetryWatchdog",
+    "TelemetryChannel",
+    "TelemetrySample",
+    "TelemetryHarness",
+    "TraceRecorder",
+    "TraceSummary",
+    "count_threshold_crossings",
+    "count_thermal_cycles",
+    "max_overshoot",
+    "rolling_mean",
+    "settle_time_s",
+    "summarize",
+]

@@ -1,0 +1,152 @@
+"""Trace statistics used throughout the evaluation.
+
+These reproduce the quantities the paper reads off its measurements:
+settle times (Fig. 1a), overshoot past the 75 °C reliability ceiling
+(bang-bang discussion), thermal cycling (fan reliability discussion),
+and windowed averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_arrays(times_s, values) -> tuple:
+    times = np.asarray(times_s, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    if times.shape != vals.shape:
+        raise ValueError("times and values must have the same shape")
+    if times.ndim != 1:
+        raise ValueError("expected 1-D series")
+    if times.size == 0:
+        raise ValueError("empty series")
+    if np.any(np.diff(times) < 0):
+        raise ValueError("times must be non-decreasing")
+    return times, vals
+
+
+def rolling_mean(times_s, values, window_s: float) -> np.ndarray:
+    """Trailing-window mean of an (irregular) time series.
+
+    ``result[i]`` is the mean of all samples with
+    ``times[i] - window_s < t <= times[i]``.
+    """
+    times, vals = _as_arrays(times_s, values)
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    out = np.empty_like(vals)
+    start = 0
+    acc = 0.0
+    for i in range(len(vals)):
+        acc += vals[i]
+        while times[i] - times[start] >= window_s:
+            acc -= vals[start]
+            start += 1
+        out[i] = acc / (i - start + 1)
+    return out
+
+
+def settle_time_s(
+    times_s, values, tolerance: float = 1.0, hold_s: float = 120.0
+) -> float:
+    """Time at which the series enters and stays inside a tolerance
+    band around its final value.
+
+    Used on Fig. 1(a)-style transients: the paper reads ~15 min at
+    1800 RPM vs ~5 min at 4200 RPM.
+    """
+    times, vals = _as_arrays(times_s, values)
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    final = vals[-1]
+    inside = np.abs(vals - final) <= tolerance
+    # Earliest index from which the series stays inside the band for at
+    # least hold_s (and through the end of the trace).
+    for i in range(len(vals)):
+        if not inside[i]:
+            continue
+        if np.all(inside[i:]) and times[-1] - times[i] >= min(
+            hold_s, times[-1] - times[0]
+        ):
+            return float(times[i] - times[0])
+    return float(times[-1] - times[0])
+
+
+def max_overshoot(values, threshold: float) -> float:
+    """Largest excursion above *threshold* (0 if never exceeded)."""
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("empty series")
+    excess = vals - threshold
+    peak = float(np.max(excess))
+    return max(0.0, peak)
+
+
+def count_threshold_crossings(values, threshold: float) -> int:
+    """Number of upward crossings of *threshold*."""
+    vals = np.asarray(values, dtype=float)
+    if vals.size < 2:
+        return 0
+    above = vals > threshold
+    return int(np.sum(~above[:-1] & above[1:]))
+
+
+def count_thermal_cycles(values, amplitude_c: float = 5.0) -> int:
+    """Count peak-to-trough thermal cycles exceeding *amplitude_c*.
+
+    Uses a rainflow-style turning-point scan: consecutive local
+    extrema whose span exceeds the amplitude threshold count as one
+    half-cycle; two half-cycles make a cycle.  Thermal cycling drives
+    solder-joint wear-out, which is why the paper limits fan-speed
+    change frequency.
+    """
+    vals = np.asarray(values, dtype=float)
+    if amplitude_c <= 0:
+        raise ValueError("amplitude_c must be positive")
+    if vals.size < 3:
+        return 0
+    # Reduce to turning points.
+    diffs = np.diff(vals)
+    direction = np.sign(diffs)
+    turning = [vals[0]]
+    for i in range(1, len(direction)):
+        if direction[i] != 0 and direction[i] != direction[i - 1] and direction[i - 1] != 0:
+            turning.append(vals[i])
+    turning.append(vals[-1])
+    half_cycles = 0
+    for a, b in zip(turning[:-1], turning[1:]):
+        if abs(b - a) >= amplitude_c:
+            half_cycles += 1
+    return half_cycles // 2
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Descriptive statistics of one telemetry series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def peak_to_peak(self) -> float:
+        """Total excursion of the series."""
+        return self.maximum - self.minimum
+
+
+def summarize(values) -> TraceSummary:
+    """Compute :class:`TraceSummary` for a series."""
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("empty series")
+    return TraceSummary(
+        count=int(vals.size),
+        mean=float(np.mean(vals)),
+        std=float(np.std(vals)),
+        minimum=float(np.min(vals)),
+        maximum=float(np.max(vals)),
+    )

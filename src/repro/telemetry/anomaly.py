@@ -1,0 +1,294 @@
+"""Telemetry anomaly detection (the prognostics role of CSTH).
+
+The Continuous System Telemetry Harness was built for *electronic
+prognostics*: learn the correlation structure of healthy telemetry,
+estimate what each sensor "should" read from the others, and flag
+channels whose residuals drift — Gross et al.'s MSET + SPRT pipeline
+(the paper's ref. [3]).  This module implements a compact version:
+
+* :class:`SimilarityModel` — a kernel-regression state estimator in
+  the MSET family: given a library of healthy training vectors, each
+  observation is reconstructed as a similarity-weighted combination of
+  memorized states; per-channel residuals follow.
+* :class:`SprtDetector` — Wald's sequential probability ratio test on
+  the residual stream of one channel: detects a mean shift of a given
+  magnitude with configured false/missed-alarm probabilities, far
+  earlier than a fixed threshold on the raw signal.
+* :class:`TelemetryWatchdog` — glue: fit on healthy history, then
+  stream observations and report alarmed channels.
+
+This is what lets the reproduction study the interaction between fan
+control and sensor health: a drifting thermal sensor is caught by the
+watchdog long before it pushes the bang-bang controller into a wrong
+regime (see ``tests/test_fault_injection.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class SimilarityModel:
+    """Kernel-regression state estimation over healthy telemetry.
+
+    Training memorizes ``memory_size`` representative vectors (chosen
+    by a min-max coverage heuristic, as MSET implementations do).  At
+    runtime an observation ``x`` is reconstructed as
+    ``x_hat = sum_i w_i m_i`` with ``w_i ∝ exp(-||x - m_i||^2 / h^2)``
+    over memorized vectors ``m_i``; residual = ``x - x_hat``.
+    """
+
+    def __init__(self, memory_size: int = 50, bandwidth: float = 1.0):
+        if memory_size < 2:
+            raise ValueError("memory_size must be >= 2")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.memory_size = memory_size
+        self.bandwidth = bandwidth
+        self._memory: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._memory is not None
+
+    def fit(self, training: np.ndarray) -> "SimilarityModel":
+        """Memorize representative vectors from healthy *training* data.
+
+        ``training`` is (n_samples, n_channels).  Selection: always the
+        per-channel extreme vectors (so the memory spans the operating
+        envelope), then greedy farthest-point sampling.
+        """
+        data = np.asarray(training, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("training must be (n_samples >= 2, n_channels)")
+        if not np.all(np.isfinite(data)):
+            raise ValueError("training data must be finite")
+
+        self._mean = data.mean(axis=0)
+        scale = data.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        normalized = (data - self._mean) / self._scale
+
+        selected: List[int] = []
+        # Envelope vectors: per-channel argmin / argmax.
+        for ch in range(normalized.shape[1]):
+            selected.append(int(np.argmin(normalized[:, ch])))
+            selected.append(int(np.argmax(normalized[:, ch])))
+        selected = list(dict.fromkeys(selected))  # dedupe, keep order
+
+        # Greedy farthest-point fill.
+        target = min(self.memory_size, normalized.shape[0])
+        chosen = normalized[selected]
+        while len(selected) < target:
+            dists = np.min(
+                np.linalg.norm(
+                    normalized[:, None, :] - chosen[None, :, :], axis=2
+                ),
+                axis=1,
+            )
+            candidate = int(np.argmax(dists))
+            if candidate in selected:
+                break
+            selected.append(candidate)
+            chosen = normalized[selected]
+
+        self._memory = normalized[selected]
+        return self
+
+    def estimate(self, observation: Sequence[float]) -> np.ndarray:
+        """Reconstruct *observation* from the memorized healthy states."""
+        if not self.fitted:
+            raise RuntimeError("fit() must be called before estimate()")
+        x = (np.asarray(observation, dtype=float) - self._mean) / self._scale
+        if x.shape != (self._memory.shape[1],):
+            raise ValueError(
+                f"observation has {x.shape[0]} channels, "
+                f"model expects {self._memory.shape[1]}"
+            )
+        d2 = np.sum((self._memory - x) ** 2, axis=1)
+        weights = np.exp(-d2 / self.bandwidth**2)
+        total = float(np.sum(weights))
+        if total < 1e-300:
+            # Far outside the training envelope: nearest memory vector.
+            x_hat = self._memory[int(np.argmin(d2))]
+        else:
+            x_hat = weights @ self._memory / total
+        return x_hat * self._scale + self._mean
+
+    def residuals(self, observation: Sequence[float]) -> np.ndarray:
+        """``observation - estimate(observation)`` per channel."""
+        return np.asarray(observation, dtype=float) - self.estimate(observation)
+
+    def estimate_loo(self, observation: Sequence[float]) -> np.ndarray:
+        """Leave-one-out estimate: channel *i* predicted from the others.
+
+        A faulty channel distorts the plain estimate of *every* channel
+        (including its own, which partially hides the fault and smears
+        residual onto healthy channels).  Excluding channel *i* from
+        its own similarity weights keeps the fault out of its estimate,
+        giving clean per-channel attribution.
+        """
+        if not self.fitted:
+            raise RuntimeError("fit() must be called before estimate_loo()")
+        x = (np.asarray(observation, dtype=float) - self._mean) / self._scale
+        if x.shape != (self._memory.shape[1],):
+            raise ValueError(
+                f"observation has {x.shape[0]} channels, "
+                f"model expects {self._memory.shape[1]}"
+            )
+        n_channels = self._memory.shape[1]
+        estimates = np.empty(n_channels)
+        diff2 = (self._memory - x) ** 2
+        total_d2 = np.sum(diff2, axis=1)
+        for i in range(n_channels):
+            d2 = total_d2 - diff2[:, i]
+            weights = np.exp(-d2 / self.bandwidth**2)
+            total = float(np.sum(weights))
+            if total < 1e-300:
+                estimates[i] = self._memory[int(np.argmin(d2)), i]
+            else:
+                estimates[i] = float(weights @ self._memory[:, i] / total)
+        return estimates * self._scale + self._mean
+
+    def residuals_loo(self, observation: Sequence[float]) -> np.ndarray:
+        """Per-channel residuals against the leave-one-out estimates."""
+        return np.asarray(observation, dtype=float) - self.estimate_loo(observation)
+
+
+@dataclass
+class SprtDecision:
+    """Outcome of feeding one residual to the SPRT."""
+
+    alarmed: bool
+    statistic: float
+
+
+class SprtDetector:
+    """Wald sequential probability ratio test for a residual mean shift.
+
+    Tests H0: residual ~ N(0, sigma^2) against H1: N(shift, sigma^2).
+    The log-likelihood ratio accumulates per sample; crossing the upper
+    boundary raises an alarm, crossing the lower boundary accepts H0
+    and restarts.  Two-sided detection runs one test per sign.
+
+    Because the test restarts after every H0 acceptance, the *per-test*
+    false-alarm probability compounds over a long stream; the defaults
+    are therefore far smaller than a single-shot Wald test would use
+    (production MSET/SPRT deployments run alpha around 1e-6..1e-9).
+    """
+
+    def __init__(
+        self,
+        sigma: float,
+        shift: float,
+        false_alarm: float = 1e-6,
+        missed_alarm: float = 1e-6,
+    ):
+        if sigma <= 0 or shift <= 0:
+            raise ValueError("sigma and shift must be positive")
+        if not 0 < false_alarm < 1 or not 0 < missed_alarm < 1:
+            raise ValueError("alarm probabilities must be in (0, 1)")
+        self.sigma = sigma
+        self.shift = shift
+        self._upper = math.log((1.0 - missed_alarm) / false_alarm)
+        self._lower = math.log(missed_alarm / (1.0 - false_alarm))
+        self._llr_pos = 0.0
+        self._llr_neg = 0.0
+        self.alarmed = False
+
+    def reset(self) -> None:
+        """Clear accumulated evidence and alarm state."""
+        self._llr_pos = 0.0
+        self._llr_neg = 0.0
+        self.alarmed = False
+
+    def update(self, residual: float) -> SprtDecision:
+        """Feed one residual; returns the running decision."""
+        if not math.isfinite(residual):
+            # A silent channel is itself an anomaly.
+            self.alarmed = True
+            return SprtDecision(alarmed=True, statistic=math.inf)
+        # LLR increment for a mean shift in a Gaussian stream.
+        inc_pos = self.shift * (residual - self.shift / 2.0) / self.sigma**2
+        inc_neg = -self.shift * (residual + self.shift / 2.0) / self.sigma**2
+        self._llr_pos = max(self._lower, self._llr_pos + inc_pos)
+        self._llr_neg = max(self._lower, self._llr_neg + inc_neg)
+        if self._llr_pos <= self._lower:
+            self._llr_pos = 0.0
+        if self._llr_neg <= self._lower:
+            self._llr_neg = 0.0
+        statistic = max(self._llr_pos, self._llr_neg)
+        if statistic >= self._upper:
+            self.alarmed = True
+        return SprtDecision(alarmed=self.alarmed, statistic=statistic)
+
+
+class TelemetryWatchdog:
+    """Fit a similarity model on healthy telemetry, then stream-detect.
+
+    One SPRT per channel runs on the similarity-model residuals; an
+    alarm names the faulty channel, which an operator (or an automated
+    policy) can then mask from the fan controller's input.
+    """
+
+    def __init__(
+        self,
+        channel_names: Sequence[str],
+        memory_size: int = 50,
+        bandwidth: float = 1.5,
+        shift_sigmas: float = 4.0,
+        false_alarm: float = 1e-6,
+    ):
+        if not channel_names:
+            raise ValueError("need at least one channel")
+        self.channel_names = tuple(channel_names)
+        self.model = SimilarityModel(memory_size=memory_size, bandwidth=bandwidth)
+        self.shift_sigmas = shift_sigmas
+        self.false_alarm = false_alarm
+        self._detectors: Dict[str, SprtDetector] = {}
+
+    def fit(self, training: np.ndarray) -> "TelemetryWatchdog":
+        """Train on healthy (n_samples, n_channels) telemetry."""
+        data = np.asarray(training, dtype=float)
+        if data.shape[1] != len(self.channel_names):
+            raise ValueError("training width must match channel count")
+        self.model.fit(data)
+        residuals = np.array([self.model.residuals_loo(row) for row in data])
+        for i, name in enumerate(self.channel_names):
+            sigma = float(np.std(residuals[:, i]))
+            sigma = max(sigma, 1e-6)
+            self._detectors[name] = SprtDetector(
+                sigma=sigma,
+                shift=self.shift_sigmas * sigma,
+                false_alarm=self.false_alarm,
+                missed_alarm=self.false_alarm,
+            )
+        return self
+
+    def observe(self, observation: Sequence[float]) -> List[str]:
+        """Feed one telemetry vector; returns newly/any alarmed channels."""
+        if not self._detectors:
+            raise RuntimeError("fit() must be called before observe()")
+        values = np.asarray(observation, dtype=float)
+        finite = np.where(np.isfinite(values), values, 0.0)
+        residuals = self.model.residuals_loo(finite)
+        alarmed: List[str] = []
+        for i, name in enumerate(self.channel_names):
+            residual = values[i] - (finite[i] - residuals[i])
+            self._detectors[name].update(residual)
+            if self._detectors[name].alarmed:
+                alarmed.append(name)
+        return alarmed
+
+    @property
+    def alarmed_channels(self) -> List[str]:
+        """Channels whose SPRT has fired so far."""
+        return [n for n, d in self._detectors.items() if d.alarmed]

@@ -1,0 +1,79 @@
+"""Telemetry channels: named, unit-tagged, bounded sample history."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One timestamped observation on a channel."""
+
+    time_s: float
+    value: float
+
+
+class TelemetryChannel:
+    """A single telemetry signal (e.g. ``cpu0.temp0``).
+
+    Samples are kept in a bounded ring buffer, mirroring the service
+    processor's limited history; the recorder persists full traces.
+    """
+
+    def __init__(self, name: str, unit: str, maxlen: Optional[int] = 100_000):
+        if not name:
+            raise ValueError("channel name must be non-empty")
+        self.name = name
+        self.unit = unit
+        self._samples: Deque[TelemetrySample] = deque(maxlen=maxlen)
+
+    def append(self, time_s: float, value: float) -> None:
+        """Record one observation."""
+        if self._samples and time_s < self._samples[-1].time_s:
+            raise ValueError(
+                f"non-monotonic sample time on {self.name}: "
+                f"{time_s} < {self._samples[-1].time_s}"
+            )
+        self._samples.append(TelemetrySample(time_s, float(value)))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[TelemetrySample]:
+        return iter(self._samples)
+
+    @property
+    def latest(self) -> Optional[TelemetrySample]:
+        """Most recent sample, or ``None`` if empty."""
+        return self._samples[-1] if self._samples else None
+
+    def times(self) -> np.ndarray:
+        """Sample times as a numpy array."""
+        return np.array([s.time_s for s in self._samples])
+
+    def values(self) -> np.ndarray:
+        """Sample values as a numpy array."""
+        return np.array([s.value for s in self._samples])
+
+    def window(self, start_s: float, end_s: float) -> List[TelemetrySample]:
+        """Samples with ``start_s <= time < end_s``."""
+        if end_s < start_s:
+            raise ValueError("window end before start")
+        return [s for s in self._samples if start_s <= s.time_s < end_s]
+
+    def mean_over(self, start_s: float, end_s: float) -> float:
+        """Mean value over a time window; raises if the window is empty."""
+        samples = self.window(start_s, end_s)
+        if not samples:
+            raise ValueError(
+                f"no samples on {self.name} in [{start_s}, {end_s})"
+            )
+        return float(np.mean([s.value for s in samples]))
+
+    def as_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` arrays for plotting or analysis."""
+        return self.times(), self.values()

@@ -1,0 +1,117 @@
+"""Periodic polling of sensor providers into telemetry channels.
+
+Mirrors the CSTH deployment in the paper: the harness knows a set of
+named providers (callables returning the current sensor value), polls
+them every ``poll_interval_s`` (10 s in the paper) and appends the
+readings to per-channel histories.  The Data Logging and Control PC
+(DLC-PC) role of draining those channels belongs to
+:class:`repro.telemetry.recorder.TraceRecorder` and the experiment
+runner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.telemetry.channel import TelemetryChannel
+
+Provider = Callable[[], float]
+
+
+class TelemetryHarness:
+    """Polls registered providers on a fixed period."""
+
+    def __init__(self, poll_interval_s: float = 10.0):
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        self.poll_interval_s = poll_interval_s
+        self._providers: Dict[str, Provider] = {}
+        self._channels: Dict[str, TelemetryChannel] = {}
+        self._last_poll_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, unit: str, provider: Provider) -> TelemetryChannel:
+        """Register one provider; returns its backing channel."""
+        if name in self._providers:
+            raise ValueError(f"channel {name!r} already registered")
+        channel = TelemetryChannel(name, unit)
+        self._providers[name] = provider
+        self._channels[name] = channel
+        return channel
+
+    def register_vector(
+        self,
+        prefix: str,
+        unit: str,
+        provider: Callable[[], Sequence[float]],
+        count: int,
+    ) -> None:
+        """Register a multi-element provider as ``prefix.0 .. prefix.N-1``.
+
+        The provider is invoked once per poll and its elements fan out
+        to the individual channels (e.g. the 32 DIMM temperatures).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+
+        cache: Dict[str, Sequence[float]] = {}
+
+        def element(index: int) -> Provider:
+            def read() -> float:
+                # One underlying read per poll: the first element drains
+                # the provider, later elements reuse the cached vector.
+                if index == 0 or "values" not in cache:
+                    cache["values"] = tuple(provider())
+                values = cache["values"]
+                if len(values) != count:
+                    raise ValueError(
+                        f"provider for {prefix!r} returned {len(values)} "
+                        f"elements, expected {count}"
+                    )
+                value = values[index]
+                if index == count - 1:
+                    cache.pop("values", None)
+                return value
+
+            return read
+
+        for i in range(count):
+            self.register(f"{prefix}.{i}", unit, element(i))
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    @property
+    def channel_names(self) -> Iterable[str]:
+        """Names of all registered channels."""
+        return tuple(self._channels)
+
+    def channel(self, name: str) -> TelemetryChannel:
+        """Look up one channel by name."""
+        if name not in self._channels:
+            raise KeyError(f"unknown telemetry channel {name!r}")
+        return self._channels[name]
+
+    def due(self, time_s: float) -> bool:
+        """Whether a poll is due at simulation time *time_s*."""
+        if self._last_poll_s is None:
+            return True
+        return time_s - self._last_poll_s >= self.poll_interval_s - 1e-9
+
+    def poll(self, time_s: float) -> Dict[str, float]:
+        """Read every provider and append samples at *time_s*."""
+        readings: Dict[str, float] = {}
+        for name, provider in self._providers.items():
+            value = float(provider())
+            self._channels[name].append(time_s, value)
+            readings[name] = value
+        self._last_poll_s = time_s
+        return readings
+
+    def maybe_poll(self, time_s: float) -> Optional[Dict[str, float]]:
+        """Poll only if the polling period has elapsed."""
+        if self.due(time_s):
+            return self.poll(time_s)
+        return None

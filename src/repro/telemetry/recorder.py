@@ -1,0 +1,63 @@
+"""Tabular trace capture and CSV export (the DLC-PC's logging role)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+
+
+class TraceRecorder:
+    """Accumulates fixed-schema rows and exposes them as arrays/CSV."""
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("recorder needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError("duplicate column names")
+        self.columns = tuple(columns)
+        self._rows: List[tuple] = []
+
+    def record(self, row: Mapping[str, float]) -> None:
+        """Append one row; every schema column must be present."""
+        missing = [c for c in self.columns if c not in row]
+        if missing:
+            raise ValueError(f"row missing columns: {missing}")
+        self._rows.append(tuple(float(row[c]) for c in self.columns))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a numpy array."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        index = self.columns.index(name)
+        return np.array([row[index] for row in self._rows])
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """All columns as a name → array mapping."""
+        return {name: self.column(name) for name in self.columns}
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the trace to *path* as CSV; returns the path."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self._rows)
+        return path
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "TraceRecorder":
+        """Load a trace previously written by :meth:`to_csv`."""
+        path = Path(path)
+        with path.open("r", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            recorder = cls(header)
+            for row in reader:
+                recorder.record(dict(zip(header, map(float, row))))
+        return recorder

@@ -1,0 +1,121 @@
+"""Physical units, conversions, and shared numeric helpers.
+
+The simulator works internally in SI-adjacent units chosen for
+readability in the data-center domain:
+
+* temperature — degrees Celsius (``°C``)
+* power — watts (``W``)
+* energy — joules internally, kilowatt-hours at reporting boundaries
+* fan speed — revolutions per minute (``RPM``)
+* airflow — cubic feet per minute (``CFM``), the unit server fan
+  datasheets use
+* time — seconds
+
+Only trivially-testable pure functions live here so that every other
+module can depend on this one without creating import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Seconds in one minute / one hour, for readable conversions.
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+
+#: Joules in one kilowatt-hour.
+JOULES_PER_KWH = 3.6e6
+
+#: Density of air at ~25 °C sea level, kg/m^3.
+AIR_DENSITY_KG_M3 = 1.184
+
+#: Specific heat capacity of air, J/(kg K).
+AIR_SPECIFIC_HEAT_J_KG_K = 1006.0
+
+#: One cubic foot per minute in m^3/s.
+CFM_TO_M3_S = 4.719474e-4
+
+#: Absolute zero in Celsius; used for sanity checks.
+ABSOLUTE_ZERO_C = -273.15
+
+
+def minutes(value: float) -> float:
+    """Convert *value* minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert *value* hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def joules_to_kwh(energy_j: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return energy_j / JOULES_PER_KWH
+
+
+def kwh_to_joules(energy_kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return energy_kwh * JOULES_PER_KWH
+
+
+def cfm_to_m3_s(cfm: float) -> float:
+    """Convert airflow from CFM to m^3/s."""
+    return cfm * CFM_TO_M3_S
+
+
+def m3_s_to_cfm(m3_s: float) -> float:
+    """Convert airflow from m^3/s to CFM."""
+    return m3_s / CFM_TO_M3_S
+
+
+def airflow_heat_capacity_w_per_k(cfm: float) -> float:
+    """Heat capacity rate of an air stream, in W/K.
+
+    This is ``m_dot * c_p``: the power needed to raise the stream
+    temperature by one kelvin.  It converts a DIMM-bank power draw into
+    the preheat seen by the downstream CPUs.
+    """
+    if cfm < 0.0:
+        raise ValueError(f"airflow must be non-negative, got {cfm}")
+    mass_flow_kg_s = cfm_to_m3_s(cfm) * AIR_DENSITY_KG_M3
+    return mass_flow_kg_s * AIR_SPECIFIC_HEAT_J_KG_K
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp *value* to the inclusive interval [low, high]."""
+    if low > high:
+        raise ValueError(f"empty interval: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def validate_temperature_c(value: float, name: str = "temperature") -> float:
+    """Raise ``ValueError`` if *value* is not a physical Celsius value."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if value < ABSOLUTE_ZERO_C:
+        raise ValueError(f"{name} below absolute zero: {value} degC")
+    return value
+
+
+def validate_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` if *value* is negative or non-finite."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def validate_fraction(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def validate_utilization_pct(value: float, name: str = "utilization") -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 100``."""
+    if not math.isfinite(value) or not 0.0 <= value <= 100.0:
+        raise ValueError(f"{name} must be in [0, 100] percent, got {value!r}")
+    return value

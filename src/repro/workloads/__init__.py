@@ -1,0 +1,67 @@
+"""Workload generation substrate.
+
+Replaces the paper's Oracle-internal LoadGen tool and the stochastic
+shell-workload model of Meisner & Wenisch (paper ref. [8]):
+
+* :mod:`repro.workloads.profile` — target-utilization profiles over
+  time (ramps, square waves, random steps, traces, composites),
+* :mod:`repro.workloads.loadgen` — PWM duty-cycle load synthesis and
+  the ``sar``-style rolling utilization monitor,
+* :mod:`repro.workloads.tests` — the paper's four 80-minute test
+  workloads (§V),
+* :mod:`repro.workloads.queuing` — event-driven M/M/c queueing
+  simulator producing the Test-4 utilization trace.
+"""
+
+from repro.workloads.datacenter import (
+    build_batch_window_profile,
+    build_diurnal_profile,
+    build_flash_crowd_profile,
+    combine_profiles,
+)
+from repro.workloads.loadgen import LoadGen, UtilizationMonitor
+from repro.workloads.profile import (
+    CompositeProfile,
+    ConstantProfile,
+    RampProfile,
+    RandomStepProfile,
+    SquareWaveProfile,
+    StaircaseProfile,
+    TraceProfile,
+    UtilizationProfile,
+)
+from repro.workloads.queuing import MMcQueueSimulator, QueueStats, queue_utilization_trace
+from repro.workloads.tests import (
+    PAPER_TEST_DURATION_S,
+    build_test1_ramp,
+    build_test2_periods,
+    build_test3_random_steps,
+    build_test4_stochastic,
+    paper_test_profiles,
+)
+
+__all__ = [
+    "build_batch_window_profile",
+    "build_diurnal_profile",
+    "build_flash_crowd_profile",
+    "combine_profiles",
+    "LoadGen",
+    "UtilizationMonitor",
+    "CompositeProfile",
+    "ConstantProfile",
+    "RampProfile",
+    "RandomStepProfile",
+    "SquareWaveProfile",
+    "StaircaseProfile",
+    "TraceProfile",
+    "UtilizationProfile",
+    "MMcQueueSimulator",
+    "QueueStats",
+    "queue_utilization_trace",
+    "PAPER_TEST_DURATION_S",
+    "build_test1_ramp",
+    "build_test2_periods",
+    "build_test3_random_steps",
+    "build_test4_stochastic",
+    "paper_test_profiles",
+]

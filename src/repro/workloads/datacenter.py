@@ -1,0 +1,142 @@
+"""Data-center-scale workload generators beyond the paper's four tests.
+
+The paper's conclusion proposes extending the controller to "real-life
+workloads".  These builders produce the utilization patterns production
+fleets actually see, for long-horizon controller studies:
+
+* :func:`build_diurnal_profile` — the day/night interactive-traffic
+  cycle (sinusoid with configurable peak hours) plus stochastic jitter,
+* :func:`build_batch_window_profile` — nightly batch processing layered
+  on a quiet interactive base,
+* :func:`build_flash_crowd_profile` — a baseline with sudden sustained
+  traffic surges,
+* :func:`combine_profiles` — pointwise mixing of any profiles (e.g.
+  diurnal interactive + nightly batch), saturating at 100%.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.units import hours, validate_utilization_pct
+from repro.workloads.profile import TraceProfile, UtilizationProfile
+
+
+class _CallableProfile(UtilizationProfile):
+    """Adapter: a sampled (times, values) trace as a profile."""
+
+    def __init__(self, times_s: np.ndarray, values_pct: np.ndarray):
+        self._trace = TraceProfile(times_s.tolist(), values_pct.tolist())
+
+    def utilization_pct(self, time_s: float) -> float:
+        return self._trace.utilization_pct(time_s)
+
+    @property
+    def duration_s(self) -> float:
+        return self._trace.duration_s
+
+
+def build_diurnal_profile(
+    duration_s: float = hours(24.0),
+    base_pct: float = 15.0,
+    peak_pct: float = 80.0,
+    peak_hour: float = 15.0,
+    jitter_pct: float = 4.0,
+    sample_dt_s: float = 60.0,
+    seed: int = 0,
+) -> UtilizationProfile:
+    """Interactive-traffic day/night cycle.
+
+    Utilization follows ``base + (peak-base) * (1 + cos(...)) / 2``
+    centred on *peak_hour*, with Gaussian jitter, clamped to [0, 100].
+    """
+    validate_utilization_pct(base_pct, "base_pct")
+    validate_utilization_pct(peak_pct, "peak_pct")
+    if peak_pct < base_pct:
+        raise ValueError("peak_pct must be >= base_pct")
+    if not 0.0 <= peak_hour < 24.0:
+        raise ValueError("peak_hour must be in [0, 24)")
+    rng = np.random.default_rng(seed)
+    times = np.arange(0.0, duration_s + sample_dt_s / 2, sample_dt_s)
+    hour_of_day = (times / 3600.0) % 24.0
+    phase = 2.0 * math.pi * (hour_of_day - peak_hour) / 24.0
+    envelope = base_pct + (peak_pct - base_pct) * (1.0 + np.cos(phase)) / 2.0
+    noisy = envelope + rng.normal(0.0, jitter_pct, size=times.shape)
+    return _CallableProfile(times, np.clip(noisy, 0.0, 100.0))
+
+
+def build_batch_window_profile(
+    duration_s: float = hours(24.0),
+    window_start_hour: float = 1.0,
+    window_hours: float = 5.0,
+    batch_pct: float = 95.0,
+    idle_pct: float = 5.0,
+    sample_dt_s: float = 60.0,
+) -> UtilizationProfile:
+    """Nightly batch window: near-idle except a fixed nightly window."""
+    validate_utilization_pct(batch_pct, "batch_pct")
+    validate_utilization_pct(idle_pct, "idle_pct")
+    if not 0.0 <= window_start_hour < 24.0:
+        raise ValueError("window_start_hour must be in [0, 24)")
+    if not 0.0 < window_hours <= 24.0:
+        raise ValueError("window_hours must be in (0, 24]")
+    times = np.arange(0.0, duration_s + sample_dt_s / 2, sample_dt_s)
+    hour_of_day = (times / 3600.0) % 24.0
+    offset = (hour_of_day - window_start_hour) % 24.0
+    in_window = offset < window_hours
+    values = np.where(in_window, batch_pct, idle_pct)
+    return _CallableProfile(times, values.astype(float))
+
+
+def build_flash_crowd_profile(
+    duration_s: float = hours(4.0),
+    base_pct: float = 20.0,
+    surge_pct: float = 95.0,
+    surge_count: int = 3,
+    surge_duration_s: float = 600.0,
+    sample_dt_s: float = 30.0,
+    seed: int = 0,
+) -> UtilizationProfile:
+    """A calm baseline interrupted by sudden sustained surges."""
+    validate_utilization_pct(base_pct, "base_pct")
+    validate_utilization_pct(surge_pct, "surge_pct")
+    if surge_count < 0:
+        raise ValueError("surge_count must be non-negative")
+    if surge_duration_s <= 0:
+        raise ValueError("surge_duration_s must be positive")
+    if surge_count * surge_duration_s > duration_s:
+        raise ValueError("surges do not fit in the duration")
+    rng = np.random.default_rng(seed)
+    times = np.arange(0.0, duration_s + sample_dt_s / 2, sample_dt_s)
+    values = np.full(times.shape, base_pct, dtype=float)
+    # Place surges without overlap by partitioning the timeline.
+    if surge_count > 0:
+        slot = duration_s / surge_count
+        for k in range(surge_count):
+            latest = slot - surge_duration_s
+            start = k * slot + float(rng.uniform(0.0, max(latest, 0.0)))
+            mask = (times >= start) & (times < start + surge_duration_s)
+            values[mask] = surge_pct
+    return _CallableProfile(times, values)
+
+
+def combine_profiles(
+    profiles: Sequence[UtilizationProfile],
+    sample_dt_s: float = 30.0,
+) -> UtilizationProfile:
+    """Pointwise sum of profiles, saturating at 100%.
+
+    Models co-located workloads sharing the machine (e.g. interactive
+    traffic plus a nightly batch layer).
+    """
+    if not profiles:
+        raise ValueError("need at least one profile")
+    duration = max(p.duration_s for p in profiles)
+    times = np.arange(0.0, duration + sample_dt_s / 2, sample_dt_s)
+    total = np.zeros(times.shape)
+    for profile in profiles:
+        total += np.array([profile.utilization_pct(t) for t in times])
+    return _CallableProfile(times, np.clip(total, 0.0, 100.0))

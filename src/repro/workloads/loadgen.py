@@ -1,0 +1,116 @@
+"""LoadGen: PWM duty-cycle load synthesis + utilization monitoring.
+
+The paper's LoadGen (i) maximally stuffs the instruction pipes so peak
+switching occurs, and (ii) reaches any *average* utilization by
+duty-cycling between 100% and idle at fine granularity, evenly spread
+across cores.  The thermal consequence visible in Fig. 1(b) is a
+sawtooth ripple of a few °C riding on the slow heatsink trend.
+
+This module provides:
+
+* :class:`LoadGen` — converts a target-utilization profile into the
+  instantaneous load executed by the server (0% or 100% within each
+  PWM period, or the raw target in ``direct`` mode);
+* :class:`UtilizationMonitor` — the ``sar``/``mpstat`` emulation: a
+  trailing-window average of instantaneous load, which is what the
+  LUT controller polls every second.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.units import validate_non_negative, validate_utilization_pct
+from repro.workloads.profile import UtilizationProfile
+
+#: PWM period of the synthetic load, seconds.  Short enough that the
+#: utilization monitor (60 s window) reads the duty level, long enough
+#: relative to the ~15 s junction time constant that the Fig. 1(b)
+#: thermal ripple is visible.
+DEFAULT_PWM_PERIOD_S = 30.0
+
+
+class LoadGen:
+    """Synthesizes instantaneous CPU load from a target profile."""
+
+    def __init__(
+        self,
+        profile: UtilizationProfile,
+        pwm_period_s: float = DEFAULT_PWM_PERIOD_S,
+        mode: str = "pwm",
+    ):
+        if pwm_period_s <= 0:
+            raise ValueError("pwm_period_s must be positive")
+        if mode not in ("pwm", "direct"):
+            raise ValueError(f"mode must be 'pwm' or 'direct', got {mode!r}")
+        self.profile = profile
+        self.pwm_period_s = pwm_period_s
+        self.mode = mode
+
+    def target_pct(self, time_s: float) -> float:
+        """The profile's target utilization at *time_s*."""
+        return self.profile.utilization_pct(time_s)
+
+    def instantaneous_pct(self, time_s: float) -> float:
+        """The load the CPUs actually execute at *time_s*.
+
+        In ``pwm`` mode this is 100% for the first ``duty * period``
+        seconds of each PWM period and 0% for the rest, so the mean
+        over a period equals the target.  In ``direct`` mode the target
+        passes through unchanged.
+        """
+        target = self.target_pct(time_s)
+        validate_utilization_pct(target, "profile output")
+        if self.mode == "direct":
+            return target
+        duty = target / 100.0
+        phase = (max(0.0, time_s) % self.pwm_period_s) / self.pwm_period_s
+        return 100.0 if phase < duty else 0.0
+
+
+class UtilizationMonitor:
+    """Trailing-window mean of instantaneous utilization.
+
+    Emulates polling ``sar``/``mpstat``: the OS accumulates busy time,
+    so a 1 s poll of a PWM-synthesized load reads the duty level, not
+    the raw 0/100 square wave.  The window length trades responsiveness
+    against PWM ripple rejection; 60 s (two PWM periods) keeps the
+    reported value within ~1% of the true duty for a steady target.
+    """
+
+    def __init__(self, window_s: float = 60.0):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self._samples: Deque[Tuple[float, float, float]] = deque()
+        self._integral = 0.0
+
+    def observe(self, time_s: float, utilization_pct: float, dt_s: float) -> None:
+        """Record that the load was *utilization_pct* for the last *dt_s*."""
+        validate_utilization_pct(utilization_pct)
+        validate_non_negative(dt_s, "dt_s")
+        if self._samples and time_s < self._samples[-1][0]:
+            raise ValueError("non-monotonic observation time")
+        self._samples.append((time_s, utilization_pct, dt_s))
+        self._integral += utilization_pct * dt_s
+        self._evict(time_s)
+
+    def _evict(self, now_s: float) -> None:
+        while self._samples and now_s - self._samples[0][0] >= self.window_s:
+            _, util, dt = self._samples.popleft()
+            self._integral -= util * dt
+
+    def utilization_pct(self) -> float:
+        """Current windowed utilization estimate (0 before any sample)."""
+        total_dt = sum(dt for _, _, dt in self._samples)
+        if total_dt <= 0.0:
+            return 0.0
+        value = self._integral / total_dt
+        # Guard against floating-point drift of the running integral.
+        return min(100.0, max(0.0, value))
+
+    def reset(self) -> None:
+        """Clear all history."""
+        self._samples.clear()
+        self._integral = 0.0

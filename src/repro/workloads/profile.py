@@ -1,0 +1,228 @@
+"""Target-utilization profiles: CPU load demanded over time.
+
+A profile maps simulation time to a *target* utilization percentage.
+:class:`repro.workloads.loadgen.LoadGen` turns that target into the
+instantaneous load the server actually executes (duty-cycled between
+idle and 100%, as the real tool does).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.units import validate_non_negative, validate_utilization_pct
+
+
+class UtilizationProfile(ABC):
+    """Target CPU utilization (percent) as a function of time."""
+
+    @abstractmethod
+    def utilization_pct(self, time_s: float) -> float:
+        """Target utilization at *time_s*, in [0, 100]."""
+
+    @property
+    @abstractmethod
+    def duration_s(self) -> float:
+        """Nominal profile length; queries past it hold the last value."""
+
+    def sample(self, dt_s: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample the profile on a regular grid; returns (times, values)."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        times = np.arange(0.0, self.duration_s + dt_s / 2, dt_s)
+        values = np.array([self.utilization_pct(t) for t in times])
+        return times, values
+
+    def mean_utilization_pct(self, dt_s: float = 1.0) -> float:
+        """Time-averaged target utilization."""
+        _, values = self.sample(dt_s)
+        return float(np.mean(values))
+
+
+class ConstantProfile(UtilizationProfile):
+    """A fixed utilization level for a fixed duration."""
+
+    def __init__(self, level_pct: float, duration_s: float):
+        validate_utilization_pct(level_pct)
+        validate_non_negative(duration_s, "duration_s")
+        self.level_pct = level_pct
+        self._duration_s = duration_s
+
+    def utilization_pct(self, time_s: float) -> float:
+        return self.level_pct
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration_s
+
+
+class RampProfile(UtilizationProfile):
+    """Piecewise-linear interpolation through (time, utilization) points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("a ramp needs at least two points")
+        times = [p[0] for p in points]
+        if any(b <= a for a, b in zip(times[:-1], times[1:])):
+            raise ValueError("ramp point times must be strictly increasing")
+        for _, u in points:
+            validate_utilization_pct(u)
+        self._times = np.array(times, dtype=float)
+        self._values = np.array([p[1] for p in points], dtype=float)
+
+    def utilization_pct(self, time_s: float) -> float:
+        return float(np.interp(time_s, self._times, self._values))
+
+    @property
+    def duration_s(self) -> float:
+        return float(self._times[-1] - self._times[0])
+
+
+class StaircaseProfile(UtilizationProfile):
+    """A sequence of equal-duration constant utilization steps."""
+
+    def __init__(self, levels_pct: Sequence[float], step_duration_s: float):
+        if not levels_pct:
+            raise ValueError("staircase needs at least one level")
+        if step_duration_s <= 0:
+            raise ValueError("step_duration_s must be positive")
+        for level in levels_pct:
+            validate_utilization_pct(level)
+        self.levels_pct = tuple(float(v) for v in levels_pct)
+        self.step_duration_s = float(step_duration_s)
+
+    def utilization_pct(self, time_s: float) -> float:
+        index = int(max(0.0, time_s) // self.step_duration_s)
+        index = min(index, len(self.levels_pct) - 1)
+        return self.levels_pct[index]
+
+    @property
+    def duration_s(self) -> float:
+        return self.step_duration_s * len(self.levels_pct)
+
+
+class SquareWaveProfile(UtilizationProfile):
+    """Alternating high/low utilization with a fixed period and duty."""
+
+    def __init__(
+        self,
+        high_pct: float,
+        low_pct: float,
+        period_s: float,
+        duty: float = 0.5,
+        duration_s: float | None = None,
+    ):
+        validate_utilization_pct(high_pct, "high_pct")
+        validate_utilization_pct(low_pct, "low_pct")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+        self.high_pct = high_pct
+        self.low_pct = low_pct
+        self.period_s = period_s
+        self.duty = duty
+        self._duration_s = duration_s if duration_s is not None else period_s
+
+    def utilization_pct(self, time_s: float) -> float:
+        phase = (max(0.0, time_s) % self.period_s) / self.period_s
+        return self.high_pct if phase < self.duty else self.low_pct
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration_s
+
+
+class RandomStepProfile(UtilizationProfile):
+    """Utilization redrawn from a level set every *step* seconds.
+
+    Deterministic for a given seed — the paper's Test-3 uses "sudden
+    and frequent" 5-minute changes; a seeded generator keeps every
+    reproduction run comparable.
+    """
+
+    def __init__(
+        self,
+        step_duration_s: float,
+        duration_s: float,
+        levels_pct: Sequence[float] = (0, 10, 25, 40, 50, 60, 75, 90, 100),
+        seed: int = 1234,
+    ):
+        if step_duration_s <= 0:
+            raise ValueError("step_duration_s must be positive")
+        validate_non_negative(duration_s, "duration_s")
+        if not levels_pct:
+            raise ValueError("levels_pct must be non-empty")
+        for level in levels_pct:
+            validate_utilization_pct(level)
+        rng = np.random.default_rng(seed)
+        steps = max(1, int(np.ceil(duration_s / step_duration_s)))
+        drawn = rng.choice(np.asarray(levels_pct, dtype=float), size=steps)
+        self._staircase = StaircaseProfile(drawn.tolist(), step_duration_s)
+        self._duration_s = float(duration_s)
+
+    def utilization_pct(self, time_s: float) -> float:
+        return self._staircase.utilization_pct(time_s)
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration_s
+
+    @property
+    def levels(self) -> Tuple[float, ...]:
+        """The drawn per-step levels (useful in tests)."""
+        return self._staircase.levels_pct
+
+
+class TraceProfile(UtilizationProfile):
+    """Zero-order hold over an explicit (times, values) trace."""
+
+    def __init__(self, times_s: Sequence[float], values_pct: Sequence[float]):
+        if len(times_s) != len(values_pct) or len(times_s) == 0:
+            raise ValueError("times and values must be equal-length, non-empty")
+        times = np.asarray(times_s, dtype=float)
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("trace times must be strictly increasing")
+        for value in values_pct:
+            validate_utilization_pct(float(value))
+        self._times = times
+        self._values = np.asarray(values_pct, dtype=float)
+
+    def utilization_pct(self, time_s: float) -> float:
+        index = bisect.bisect_right(self._times.tolist(), time_s) - 1
+        index = max(0, min(index, len(self._values) - 1))
+        return float(self._values[index])
+
+    @property
+    def duration_s(self) -> float:
+        return float(self._times[-1] - self._times[0])
+
+
+class CompositeProfile(UtilizationProfile):
+    """Back-to-back concatenation of sub-profiles."""
+
+    def __init__(self, segments: Sequence[UtilizationProfile]):
+        if not segments:
+            raise ValueError("composite needs at least one segment")
+        self.segments: List[UtilizationProfile] = list(segments)
+        boundaries = [0.0]
+        for segment in self.segments:
+            boundaries.append(boundaries[-1] + segment.duration_s)
+        self._boundaries = boundaries
+
+    def utilization_pct(self, time_s: float) -> float:
+        t = max(0.0, time_s)
+        for segment, start, end in zip(
+            self.segments, self._boundaries[:-1], self._boundaries[1:]
+        ):
+            if t < end or segment is self.segments[-1]:
+                return segment.utilization_pct(t - start)
+        return self.segments[-1].utilization_pct(t - self._boundaries[-2])
+
+    @property
+    def duration_s(self) -> float:
+        return self._boundaries[-1]

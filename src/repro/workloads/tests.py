@@ -1,0 +1,115 @@
+"""The paper's four 80-minute test workloads (§V).
+
+* **Test-1** ramps up and down from 0% to 100% utilization to test how
+  the controller reacts to gradual changes.
+* **Test-2** alternates high and low utilization with 5-, 10- and
+  15-minute periods to test reaction to sudden changes.
+* **Test-3** changes utilization every 5 minutes to test reaction to
+  sudden *and frequent* changes.
+* **Test-4** draws utilization from a Poisson-arrival /
+  exponential-service queueing process that emulates a shell workload
+  (paper ref. [8]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.units import minutes
+from repro.workloads.profile import (
+    CompositeProfile,
+    ConstantProfile,
+    RampProfile,
+    RandomStepProfile,
+    TraceProfile,
+    UtilizationProfile,
+)
+from repro.workloads.queuing import queue_utilization_trace
+
+#: All four tests last 80 minutes (paper §V).
+PAPER_TEST_DURATION_S = minutes(80.0)
+
+
+def build_test1_ramp(duration_s: float = PAPER_TEST_DURATION_S) -> UtilizationProfile:
+    """Test-1: a symmetric 0 → 100 → 0 % utilization triangle."""
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    half = duration_s / 2.0
+    return RampProfile([(0.0, 0.0), (half, 100.0), (duration_s, 0.0)])
+
+
+def build_test2_periods(
+    high_pct: float = 90.0, low_pct: float = 10.0
+) -> UtilizationProfile:
+    """Test-2: high/low alternation with 5-, 10- and 15-minute periods.
+
+    Layout (80 minutes total): 5 high / 5 low / 10 high / 10 low /
+    15 high / 15 low / 5 high / 5 low / 10 high.
+    """
+    segments = []
+    for length_min, level in (
+        (5, high_pct),
+        (5, low_pct),
+        (10, high_pct),
+        (10, low_pct),
+        (15, high_pct),
+        (15, low_pct),
+        (5, high_pct),
+        (5, low_pct),
+        (10, high_pct),
+    ):
+        segments.append(ConstantProfile(level, minutes(length_min)))
+    profile = CompositeProfile(segments)
+    if abs(profile.duration_s - PAPER_TEST_DURATION_S) > 1e-6:
+        raise AssertionError("Test-2 layout must total 80 minutes")
+    return profile
+
+
+def build_test3_random_steps(
+    duration_s: float = PAPER_TEST_DURATION_S, seed: int = 1234
+) -> UtilizationProfile:
+    """Test-3: utilization redrawn every 5 minutes (sudden + frequent)."""
+    return RandomStepProfile(
+        step_duration_s=minutes(5.0),
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def build_test4_stochastic(
+    duration_s: float = PAPER_TEST_DURATION_S,
+    target_utilization_pct: float = 40.0,
+    job_slots: int = 16,
+    mean_service_s: float = 45.0,
+    seed: int = 42,
+) -> UtilizationProfile:
+    """Test-4: utilization from the M/M/c shell-workload emulation.
+
+    Shell jobs are modeled as multi-threaded batch tasks: each occupies
+    one of ``job_slots`` slots (16 threads per job on the 256-thread
+    T3 box) for an exponential service time of ~45 s.  Coarse slots and
+    minute-scale services give the bursty, minute-scale utilization
+    swings of a real shell workload — a fine-grained M/M/256 with
+    second-scale jobs would average out to a nearly flat trace.
+    """
+    times, utilization = queue_utilization_trace(
+        duration_s=duration_s,
+        target_utilization_pct=target_utilization_pct,
+        servers=job_slots,
+        mean_service_s=mean_service_s,
+        seed=seed,
+        sample_dt_s=1.0,
+    )
+    # TraceProfile requires strictly increasing times; the sampled grid
+    # starts at 0 and is regular, so it qualifies directly.
+    return TraceProfile(times.tolist(), utilization.tolist())
+
+
+def paper_test_profiles(seed: int = 1234) -> Dict[str, UtilizationProfile]:
+    """All four test workloads, keyed ``test1`` .. ``test4``."""
+    return {
+        "test1": build_test1_ramp(),
+        "test2": build_test2_periods(),
+        "test3": build_test3_random_steps(seed=seed),
+        "test4": build_test4_stochastic(seed=seed),
+    }

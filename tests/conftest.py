@@ -1,0 +1,49 @@
+"""Shared fixtures: expensive pipeline artifacts built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    build_lut_from_characterization,
+    default_server_spec,
+    fit_fan_power_model,
+    fit_power_model,
+    run_characterization_steady,
+)
+
+
+@pytest.fixture(scope="session")
+def spec():
+    """The calibrated SPARC-T3-class server spec."""
+    return default_server_spec()
+
+
+@pytest.fixture(scope="session")
+def characterization_samples(spec):
+    """Aggregated steady-state characterization over the paper grid."""
+    return run_characterization_steady(spec=spec, seed=7)
+
+
+@pytest.fixture(scope="session")
+def fitted_model(characterization_samples):
+    """The fitted C + k1*U + k2*exp(k3*T) power decomposition."""
+    return fit_power_model(characterization_samples)
+
+
+@pytest.fixture(scope="session")
+def fan_model(characterization_samples):
+    """The fitted cubic fan power model."""
+    return fit_fan_power_model(
+        [s.fan_rpm for s in characterization_samples],
+        [s.fan_power_w for s in characterization_samples],
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_lut(characterization_samples, fitted_model, fan_model):
+    """The LUT produced by the paper's offline pipeline."""
+    lut, _ = build_lut_from_characterization(
+        characterization_samples, fitted_model, fan_model
+    )
+    return lut

@@ -1,0 +1,42 @@
+"""Unit tests for ambient temperature models."""
+
+import pytest
+
+from repro.server.ambient import ConstantAmbient, SinusoidalAmbient
+
+
+class TestConstantAmbient:
+    def test_paper_default(self):
+        assert ConstantAmbient().temperature_c(0.0) == 24.0
+
+    def test_time_invariant(self):
+        ambient = ConstantAmbient(22.0)
+        assert ambient.temperature_c(0.0) == ambient.temperature_c(1e6)
+
+    def test_unphysical_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantAmbient(-300.0)
+
+
+class TestSinusoidalAmbient:
+    def test_mean_at_zero_phase(self):
+        ambient = SinusoidalAmbient(mean_c=24.0, amplitude_c=2.0, period_s=3600.0)
+        assert ambient.temperature_c(0.0) == pytest.approx(24.0)
+
+    def test_peak_at_quarter_period(self):
+        ambient = SinusoidalAmbient(mean_c=24.0, amplitude_c=2.0, period_s=3600.0)
+        assert ambient.temperature_c(900.0) == pytest.approx(26.0)
+
+    def test_periodicity(self):
+        ambient = SinusoidalAmbient(period_s=600.0)
+        assert ambient.temperature_c(123.0) == pytest.approx(
+            ambient.temperature_c(123.0 + 600.0)
+        )
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError):
+            SinusoidalAmbient(period_s=0.0)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            SinusoidalAmbient(amplitude_c=-1.0)

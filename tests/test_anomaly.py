@@ -1,0 +1,164 @@
+"""Unit tests for the MSET-style similarity model and SPRT detector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry.anomaly import (
+    SimilarityModel,
+    SprtDetector,
+    TelemetryWatchdog,
+)
+
+
+def healthy_telemetry(n=600, seed=0):
+    """Correlated 4-channel telemetry: two CPU temps, power, fan RPM."""
+    rng = np.random.default_rng(seed)
+    util = rng.uniform(0.0, 100.0, size=n)
+    t0 = 40.0 + 0.4 * util + rng.normal(0, 0.4, n)
+    t1 = 41.0 + 0.39 * util + rng.normal(0, 0.4, n)
+    power = 300.0 + 4.0 * util + rng.normal(0, 2.0, n)
+    return np.column_stack([t0, t1, power, util])
+
+
+class TestSimilarityModel:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            SimilarityModel().estimate([1.0, 2.0])
+
+    def test_reconstructs_training_points(self):
+        data = healthy_telemetry()
+        model = SimilarityModel(memory_size=60, bandwidth=1.0).fit(data)
+        residuals = np.array([model.residuals(row) for row in data[:100]])
+        # Healthy residuals are small relative to signal swing.
+        assert np.percentile(np.abs(residuals[:, 0]), 95) < 2.5
+
+    def test_detects_inconsistent_observation(self):
+        data = healthy_telemetry()
+        model = SimilarityModel(memory_size=60).fit(data)
+        healthy_row = data[10].copy()
+        corrupted = healthy_row.copy()
+        corrupted[0] += 15.0  # one channel breaks correlation
+        healthy_res = abs(model.residuals(healthy_row)[0])
+        faulty_res = abs(model.residuals(corrupted)[0])
+        assert faulty_res > 4.0 * max(healthy_res, 0.3)
+
+    def test_memory_respects_limit(self):
+        data = healthy_telemetry(n=500)
+        model = SimilarityModel(memory_size=30).fit(data)
+        assert model._memory.shape[0] <= 34  # limit + envelope vectors
+
+    def test_far_outside_envelope_does_not_crash(self):
+        data = healthy_telemetry()
+        model = SimilarityModel().fit(data)
+        estimate = model.estimate([1e4, 1e4, 1e6, 100.0])
+        assert np.all(np.isfinite(estimate))
+
+    def test_wrong_width_rejected(self):
+        model = SimilarityModel().fit(healthy_telemetry())
+        with pytest.raises(ValueError):
+            model.estimate([1.0, 2.0])
+
+    def test_non_finite_training_rejected(self):
+        data = healthy_telemetry()
+        data[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            SimilarityModel().fit(data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityModel(memory_size=1)
+        with pytest.raises(ValueError):
+            SimilarityModel(bandwidth=0.0)
+
+
+class TestSprtDetector:
+    def test_no_alarm_on_healthy_stream(self):
+        rng = np.random.default_rng(1)
+        sprt = SprtDetector(sigma=1.0, shift=4.0)
+        for _ in range(5000):
+            sprt.update(float(rng.normal(0.0, 1.0)))
+        assert not sprt.alarmed
+
+    def test_alarms_on_positive_shift(self):
+        rng = np.random.default_rng(2)
+        sprt = SprtDetector(sigma=1.0, shift=4.0)
+        steps = 0
+        for _ in range(1000):
+            steps += 1
+            if sprt.update(float(rng.normal(4.0, 1.0))).alarmed:
+                break
+        assert sprt.alarmed
+        assert steps < 20  # sequential detection is fast
+
+    def test_alarms_on_negative_shift(self):
+        rng = np.random.default_rng(3)
+        sprt = SprtDetector(sigma=1.0, shift=4.0)
+        for _ in range(50):
+            sprt.update(float(rng.normal(-4.0, 1.0)))
+        assert sprt.alarmed
+
+    def test_nan_alarms_immediately(self):
+        sprt = SprtDetector(sigma=1.0, shift=4.0)
+        assert sprt.update(math.nan).alarmed
+
+    def test_reset(self):
+        sprt = SprtDetector(sigma=1.0, shift=4.0)
+        for _ in range(50):
+            sprt.update(10.0)
+        sprt.reset()
+        assert not sprt.alarmed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprtDetector(sigma=0.0, shift=1.0)
+        with pytest.raises(ValueError):
+            SprtDetector(sigma=1.0, shift=1.0, false_alarm=0.0)
+
+
+class TestTelemetryWatchdog:
+    @pytest.fixture
+    def watchdog(self):
+        names = ("cpu0.t0", "cpu0.t1", "power", "util")
+        return TelemetryWatchdog(names, memory_size=60).fit(healthy_telemetry())
+
+    def test_healthy_stream_stays_quiet(self, watchdog):
+        fresh = healthy_telemetry(n=300, seed=9)
+        for row in fresh:
+            watchdog.observe(row)
+        assert watchdog.alarmed_channels == []
+
+    def test_names_drifting_channel_first(self, watchdog):
+        """The drifting channel must raise the *first* alarm.
+
+        Once a fault grows large it drags the similarity estimate away
+        from the healthy manifold and residuals spill into correlated
+        channels (a known property of MSET-family estimators), so the
+        diagnosis is read from the earliest alarm, not the final set.
+        """
+        fresh = healthy_telemetry(n=300, seed=10)
+        drift = np.zeros(4)
+        first_alarm = None
+        for i, row in enumerate(fresh):
+            drift[0] = 0.05 * i  # cpu0.t0 drifts up to +15 degC
+            alarmed = watchdog.observe(row + drift)
+            if alarmed and first_alarm is None:
+                first_alarm = list(alarmed)
+        assert first_alarm == ["cpu0.t0"]
+
+    def test_detects_dropout(self, watchdog):
+        row = healthy_telemetry(n=1, seed=11)[0]
+        row[2] = np.nan
+        alarmed = watchdog.observe(row)
+        assert "power" in alarmed
+
+    def test_observe_requires_fit(self):
+        watchdog = TelemetryWatchdog(("a", "b"))
+        with pytest.raises(RuntimeError):
+            watchdog.observe([1.0, 2.0])
+
+    def test_width_mismatch_rejected(self):
+        watchdog = TelemetryWatchdog(("a", "b"))
+        with pytest.raises(ValueError):
+            watchdog.fit(healthy_telemetry())

@@ -1,0 +1,102 @@
+"""Unit tests for characterization sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.characterization import (
+    run_characterization_steady,
+    run_characterization_transient,
+    run_constant_load_experiment,
+    steady_sample_from_transient,
+)
+
+
+class TestSteadyCharacterization:
+    def test_grid_coverage(self):
+        samples = run_characterization_steady(
+            utilizations_pct=(25.0, 100.0), fan_rpms=(1800.0, 4200.0)
+        )
+        keys = {(s.utilization_pct, s.fan_rpm) for s in samples}
+        assert keys == {
+            (25.0, 1800.0),
+            (25.0, 4200.0),
+            (100.0, 1800.0),
+            (100.0, 4200.0),
+        }
+
+    def test_raw_mode_multiplies_samples(self):
+        aggregated = run_characterization_steady(
+            utilizations_pct=(50.0,), fan_rpms=(3000.0,), telemetry_samples=10
+        )
+        raw = run_characterization_steady(
+            utilizations_pct=(50.0,),
+            fan_rpms=(3000.0,),
+            telemetry_samples=10,
+            aggregate=False,
+        )
+        assert len(aggregated) == 1
+        assert len(raw) == 10
+
+    def test_temperatures_ordered_by_fan_speed(self):
+        samples = run_characterization_steady(
+            utilizations_pct=(100.0,), fan_rpms=(1800.0, 3000.0, 4200.0)
+        )
+        by_rpm = {s.fan_rpm: s.avg_cpu_temperature_c for s in samples}
+        assert by_rpm[1800.0] > by_rpm[3000.0] > by_rpm[4200.0]
+
+    def test_compute_power_excludes_fan(self):
+        samples = run_characterization_steady(
+            utilizations_pct=(100.0,), fan_rpms=(4200.0,)
+        )
+        s = samples[0]
+        # Fan power at max speed is ~55 W and must not be in compute power.
+        assert s.fan_power_w == pytest.approx(55.0, abs=3.0)
+        assert s.compute_power_w < 720.0
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            run_characterization_steady(telemetry_samples=0)
+
+
+class TestTransientCharacterization:
+    def test_constant_load_run_has_protocol_phases(self):
+        result = run_constant_load_experiment(
+            100.0, 2400.0, load_duration_s=300.0
+        )
+        times = result.column("time_s")
+        assert times[-1] == pytest.approx(300.0 + 300.0 + 600.0)
+        target = result.column("target_util_pct")
+        assert target[0] == 0.0  # idle head
+        assert target[-1] == 0.0  # idle tail
+
+    def test_sample_extraction_from_transient(self):
+        result = run_constant_load_experiment(
+            100.0, 2400.0, load_duration_s=1200.0
+        )
+        sample = steady_sample_from_transient(
+            result, 100.0, 2400.0, averaging_window_s=300.0
+        )
+        # The last minutes of the load phase sit near equilibrium.
+        assert sample.avg_cpu_temperature_c == pytest.approx(72.9, abs=2.5)
+        assert sample.fan_power_w == pytest.approx(10.3, abs=2.0)
+
+    def test_transient_sweep_small_grid(self):
+        runs = run_characterization_transient(
+            utilizations_pct=(100.0,),
+            fan_rpms=(2400.0,),
+            load_duration_s=900.0,
+        )
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.sample.utilization_pct == 100.0
+        temps = run.result.column("cpu0_junction_c")
+        # Temperature rises during load, falls during the idle tail.
+        assert np.max(temps) > temps[0] + 20.0
+        assert temps[-1] < np.max(temps) - 10.0
+
+    def test_bad_averaging_window_rejected(self):
+        result = run_constant_load_experiment(50.0, 3000.0, load_duration_s=300.0)
+        with pytest.raises(ValueError):
+            steady_sample_from_transient(
+                result, 50.0, 3000.0, averaging_window_s=0.0
+            )

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCharacterize:
+    def test_prints_table_and_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "samples.csv"
+        assert main(["characterize", "--output", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "P_compute(W)" in captured
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("utilization_pct,fan_rpm")
+
+    def test_raw_mode_multiplies_rows(self, tmp_path):
+        agg = tmp_path / "agg.csv"
+        raw = tmp_path / "raw.csv"
+        main(["characterize", "--output", str(agg)])
+        main(["characterize", "--output", str(raw), "--raw"])
+        assert len(raw.read_text().splitlines()) > len(
+            agg.read_text().splitlines()
+        )
+
+
+class TestFitAndLut:
+    @pytest.fixture(scope="class")
+    def samples_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "samples.csv"
+        main(["characterize", "--output", str(path)])
+        return path
+
+    def test_fit_from_csv(self, samples_csv, capsys):
+        assert main(["fit", "--samples", str(samples_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "k3 =" in out
+        assert "RMSE" in out
+
+    def test_lut_build_and_save(self, samples_csv, tmp_path, capsys):
+        lut_path = tmp_path / "lut.json"
+        assert (
+            main(
+                [
+                    "lut",
+                    "--samples",
+                    str(samples_csv),
+                    "--output",
+                    str(lut_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "leak+fan(W)" in out
+        assert lut_path.exists()
+
+    def test_missing_columns_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit):
+            main(["fit", "--samples", str(bad)])
+
+
+class TestRun:
+    def test_run_lut_controller(self, tmp_path, capsys):
+        samples = tmp_path / "s.csv"
+        lut = tmp_path / "lut.json"
+        main(["characterize", "--output", str(samples)])
+        main(["lut", "--samples", str(samples), "--output", str(lut)])
+        trace = tmp_path / "trace.csv"
+        assert (
+            main(
+                [
+                    "run",
+                    "--controller",
+                    "lut",
+                    "--test",
+                    "test3",
+                    "--lut",
+                    str(lut),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "energy" in out
+        assert trace.exists()
+        assert len(trace.read_text().splitlines()) > 4000
+
+    def test_run_default_controller(self, capsys):
+        assert main(["run", "--controller", "default", "--test", "test1"]) == 0
+        out = capsys.readouterr().out
+        assert "fan changes: 0" in out
+
+    def test_unknown_test_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--test", "nope"])
+
+
+class TestFig:
+    @pytest.mark.parametrize("figure", ["1a", "1b", "2a", "2b"])
+    def test_figure_charts(self, figure, capsys):
+        assert main(["fig", "--figure", figure]) == 0
+        out = capsys.readouterr().out
+        assert "degC" in out or "temp" in out
+        assert "|" in out  # chart frame
+
+    def test_fig2a_reports_minimum(self, capsys):
+        main(["fig", "--figure", "2a"])
+        out = capsys.readouterr().out
+        assert "minimum" in out
+        assert "RPM" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["fig", "--figure", "9z"])

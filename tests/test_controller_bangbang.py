@@ -1,0 +1,94 @@
+"""Unit tests for the bang-bang controller's five-way action table."""
+
+import pytest
+
+from repro.core.controllers.bangbang import BangBangController, BangBangThresholds
+from repro.core.controllers.base import ControllerObservation
+
+
+def obs(t_max, rpm=3000.0, time_s=0.0):
+    return ControllerObservation(
+        time_s=time_s,
+        max_cpu_temperature_c=t_max,
+        avg_cpu_temperature_c=t_max - 1.0,
+        utilization_pct=50.0,
+        current_rpm_command=rpm,
+    )
+
+
+@pytest.fixture
+def controller():
+    return BangBangController()
+
+
+class TestActionTable:
+    def test_cold_sets_minimum(self, controller):
+        """(i) T < 60: lowest speed."""
+        assert controller.decide(obs(55.0, rpm=3000.0)) == 1800.0
+
+    def test_cool_band_steps_down(self, controller):
+        """(ii) 60 <= T < 65: lower by 600 RPM."""
+        assert controller.decide(obs(62.0, rpm=3000.0)) == 2400.0
+
+    def test_desirable_band_holds(self, controller):
+        """(iii) 65 <= T <= 75: no action."""
+        assert controller.decide(obs(70.0, rpm=3000.0)) is None
+        assert controller.decide(obs(65.0, rpm=3000.0)) is None
+        assert controller.decide(obs(75.0, rpm=3000.0)) is None
+
+    def test_hot_band_steps_up(self, controller):
+        """(iv) 75 < T <= 80: raise by 600 RPM."""
+        assert controller.decide(obs(77.0, rpm=3000.0)) == 3600.0
+
+    def test_emergency_jumps_to_max(self, controller):
+        """(v) T > 80: straight to 4200 RPM."""
+        assert controller.decide(obs(81.0, rpm=1800.0)) == 4200.0
+
+    def test_step_down_clamps_at_minimum(self, controller):
+        assert controller.decide(obs(62.0, rpm=1800.0)) is None
+
+    def test_step_up_clamps_at_maximum(self, controller):
+        assert controller.decide(obs(77.0, rpm=4200.0)) is None
+
+    def test_cold_at_minimum_already(self, controller):
+        assert controller.decide(obs(50.0, rpm=1800.0)) is None
+
+
+class TestThresholds:
+    def test_default_paper_values(self):
+        th = BangBangThresholds()
+        assert (th.release_c, th.lower_band_c, th.upper_band_c, th.emergency_c) == (
+            60.0,
+            65.0,
+            75.0,
+            80.0,
+        )
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            BangBangThresholds(release_c=70.0, lower_band_c=65.0)
+
+    def test_custom_band(self):
+        controller = BangBangController(
+            thresholds=BangBangThresholds(
+                release_c=55.0, lower_band_c=70.0, upper_band_c=75.0, emergency_c=80.0
+            )
+        )
+        # 65 degC is now inside the step-down band.
+        assert controller.decide(obs(65.0, rpm=3000.0)) == 2400.0
+
+
+class TestValidation:
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            BangBangController(step_rpm=0.0)
+
+    def test_inverted_speed_range_rejected(self):
+        with pytest.raises(ValueError):
+            BangBangController(min_rpm=4200.0, max_rpm=1800.0)
+
+    def test_poll_interval_is_csth_rate(self):
+        assert BangBangController().poll_interval_s == 10.0
+
+    def test_name(self):
+        assert BangBangController().name == "Bang-bang"

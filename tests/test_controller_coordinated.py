@@ -1,0 +1,153 @@
+"""Unit and closed-loop tests for the coordinated fan+DVFS controller."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    CoordinatedController,
+    ExperimentConfig,
+    FixedSpeedController,
+    default_server_spec,
+    net_savings_pct,
+    run_experiment,
+)
+from repro.core.controllers.base import ControllerObservation
+from repro.core.lut import LookupTable
+from repro.server.dvfs import default_dvfs_ladder
+from repro.workloads.profile import StaircaseProfile
+
+
+@pytest.fixture
+def lut():
+    return LookupTable(
+        levels_pct=(0.0, 50.0, 100.0), rpms=(1800.0, 1800.0, 2400.0)
+    )
+
+
+@pytest.fixture
+def ladder():
+    return default_dvfs_ladder()
+
+
+def obs(time_s, util, rpm=1800.0):
+    return ControllerObservation(
+        time_s=time_s,
+        max_cpu_temperature_c=60.0,
+        avg_cpu_temperature_c=59.0,
+        utilization_pct=util,
+        current_rpm_command=rpm,
+    )
+
+
+class TestPStatePolicy:
+    def test_light_load_goes_deep(self, lut, ladder):
+        controller = CoordinatedController(lut, ladder)
+        assert controller.decide_pstate(obs(0.0, 20.0)) == 3
+
+    def test_heavy_load_stays_nominal(self, lut, ladder):
+        controller = CoordinatedController(lut, ladder)
+        assert controller.decide_pstate(obs(0.0, 95.0)) in (None, 0)
+
+    def test_no_repeat_commands(self, lut, ladder):
+        controller = CoordinatedController(lut, ladder)
+        assert controller.decide_pstate(obs(0.0, 20.0)) == 3
+        assert controller.decide_pstate(obs(1.0, 20.0)) is None
+
+    def test_recovers_to_nominal_on_spike(self, lut, ladder):
+        controller = CoordinatedController(lut, ladder)
+        controller.decide_pstate(obs(0.0, 20.0))
+        # Busy fraction reads 33% at the deep state for 20% demand; a
+        # spike to 100% busy at 1.0 GHz is ~61% nominal demand -> needs
+        # a faster state.
+        assert controller.decide_pstate(obs(1.0, 100.0)) in (0, 1)
+
+    def test_demand_reconstruction(self, lut, ladder):
+        """Observed busy% at a deep state converts back to demand."""
+        controller = CoordinatedController(lut, ladder)
+        controller.decide_pstate(obs(0.0, 50.0))  # -> p3
+        # At p3, 66% busy == 40% nominal demand: still sustainable at p3.
+        assert controller.decide_pstate(obs(1.0, 66.0)) is None
+
+    def test_reset(self, lut, ladder):
+        controller = CoordinatedController(lut, ladder)
+        controller.decide_pstate(obs(0.0, 20.0))
+        controller.reset()
+        assert controller.decide_pstate(obs(0.0, 20.0)) == 3
+
+    def test_validation(self, lut, ladder):
+        with pytest.raises(ValueError):
+            CoordinatedController(lut, ladder, headroom_pct=0.0)
+        with pytest.raises(ValueError):
+            CoordinatedController(lut, ladder, poll_interval_s=0.0)
+        with pytest.raises(ValueError):
+            CoordinatedController(lut, ladder, lockout_s=-1.0)
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def dvfs_spec(self):
+        return dataclasses.replace(
+            default_server_spec(), dvfs=default_dvfs_ladder()
+        )
+
+    @pytest.fixture(scope="class")
+    def runs(self, dvfs_spec):
+        lut = LookupTable(
+            levels_pct=(0.0, 50.0, 100.0), rpms=(1800.0, 1800.0, 2400.0)
+        )
+        profile = StaircaseProfile([20.0, 80.0, 20.0], step_duration_s=600.0)
+        # Direct mode: PWM's binary instantaneous demand would hide
+        # p-state saturation from the busy-average (see controller docs).
+        config = ExperimentConfig(seed=4, loadgen_mode="direct")
+        coordinated = run_experiment(
+            CoordinatedController(lut, dvfs_spec.dvfs),
+            profile,
+            spec=dvfs_spec,
+            config=config,
+        )
+        baseline = run_experiment(
+            FixedSpeedController(3300.0), profile, spec=dvfs_spec, config=config
+        )
+        return coordinated, baseline
+
+    def test_saves_much_more_than_fan_only(self, runs):
+        coordinated, baseline = runs
+        savings = net_savings_pct(baseline.metrics, coordinated.metrics)
+        assert savings > 15.0
+
+    def test_uses_deep_pstates_during_light_load(self, runs):
+        coordinated, _ = runs
+        pstates = coordinated.column("pstate_index")
+        assert pstates.max() >= 2
+
+    def test_returns_toward_nominal_during_heavy_load(self, runs):
+        coordinated, _ = runs
+        pstates = coordinated.column("pstate_index")
+        times = coordinated.column("time_s")
+        heavy = (times > 700.0) & (times < 1200.0)
+        assert pstates[heavy].min() <= 1
+
+    def test_respects_thermal_ceiling(self, runs):
+        coordinated, _ = runs
+        assert coordinated.metrics.max_temperature_c <= 75.5
+
+    def test_no_work_lost(self, dvfs_spec):
+        """The headroom policy must never saturate the sockets."""
+        from repro.server.server import ServerSimulator  # local import
+
+        lut = LookupTable(levels_pct=(0.0, 100.0), rpms=(1800.0, 2400.0))
+        profile = StaircaseProfile([30.0, 90.0], step_duration_s=300.0)
+        result = run_experiment(
+            CoordinatedController(lut, dvfs_spec.dvfs),
+            profile,
+            spec=dvfs_spec,
+            config=ExperimentConfig(seed=4, loadgen_mode="direct"),
+        )
+        # Executed utilization never pins at 100% for long stretches:
+        # brief pinning during p-state transitions is acceptable.
+        util = result.column("instantaneous_util_pct")
+        # instantaneous is the PWM demand; check the executed trace via
+        # saturation of the busy fraction instead:
+        busy = result.column("monitored_util_pct")
+        assert (busy >= 99.5).sum() < 120  # < 2 minutes of saturation

@@ -1,0 +1,45 @@
+"""Unit tests for the default fixed-speed controller."""
+
+import pytest
+
+from repro.core.controllers.base import ControllerObservation
+from repro.core.controllers.default import FixedSpeedController
+
+
+def obs(time_s=0.0, t_max=60.0, util=50.0, rpm=3300.0):
+    return ControllerObservation(
+        time_s=time_s,
+        max_cpu_temperature_c=t_max,
+        avg_cpu_temperature_c=t_max - 1.0,
+        utilization_pct=util,
+        current_rpm_command=rpm,
+    )
+
+
+class TestFixedSpeedController:
+    def test_name(self):
+        assert FixedSpeedController().name == "Default"
+
+    def test_initial_rpm(self):
+        assert FixedSpeedController(rpm=3300.0).initial_rpm() == 3300.0
+
+    def test_holds_when_already_at_speed(self):
+        controller = FixedSpeedController(rpm=3300.0)
+        assert controller.decide(obs(rpm=3300.0)) is None
+
+    def test_corrects_when_off_speed(self):
+        controller = FixedSpeedController(rpm=3300.0)
+        assert controller.decide(obs(rpm=1800.0)) == 3300.0
+
+    def test_ignores_temperature_and_utilization(self):
+        controller = FixedSpeedController(rpm=3300.0)
+        assert controller.decide(obs(t_max=95.0, util=100.0, rpm=3300.0)) is None
+        assert controller.decide(obs(t_max=20.0, util=0.0, rpm=3300.0)) is None
+
+    def test_invalid_rpm_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSpeedController(rpm=0.0)
+
+    def test_invalid_poll_interval_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSpeedController(poll_interval_s=0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the LUT controller: polling, lockout, proactivity."""
+
+import pytest
+
+from repro.core.controllers.base import ControllerObservation
+from repro.core.controllers.lut import LUTController
+from repro.core.lut import LookupTable
+
+
+@pytest.fixture
+def lut():
+    return LookupTable(
+        levels_pct=(0.0, 50.0, 100.0), rpms=(1800.0, 1800.0, 2400.0)
+    )
+
+
+def obs(time_s, util, rpm, t_max=60.0):
+    return ControllerObservation(
+        time_s=time_s,
+        max_cpu_temperature_c=t_max,
+        avg_cpu_temperature_c=t_max - 1.0,
+        utilization_pct=util,
+        current_rpm_command=rpm,
+    )
+
+
+class TestDecisions:
+    def test_polls_every_second(self, lut):
+        assert LUTController(lut).poll_interval_s == 1.0
+
+    def test_initial_rpm_is_idle_entry(self, lut):
+        assert LUTController(lut).initial_rpm() == 1800.0
+
+    def test_commands_lut_speed_on_change(self, lut):
+        controller = LUTController(lut)
+        assert controller.decide(obs(0.0, 90.0, 1800.0)) == 2400.0
+
+    def test_holds_when_lut_agrees(self, lut):
+        controller = LUTController(lut)
+        assert controller.decide(obs(0.0, 30.0, 1800.0)) is None
+
+    def test_ignores_temperature(self, lut):
+        """The LUT controller is driven by utilization only (paper §V:
+        decisions are based on load changes, not temperature)."""
+        controller = LUTController(lut)
+        assert controller.decide(obs(0.0, 30.0, 1800.0, t_max=85.0)) is None
+
+
+class TestLockout:
+    def test_blocks_changes_within_lockout(self, lut):
+        controller = LUTController(lut, lockout_s=60.0)
+        assert controller.decide(obs(0.0, 90.0, 1800.0)) == 2400.0
+        # 30 s later the load drops; the change must be suppressed.
+        assert controller.decide(obs(30.0, 10.0, 2400.0)) is None
+
+    def test_allows_change_after_lockout(self, lut):
+        controller = LUTController(lut, lockout_s=60.0)
+        assert controller.decide(obs(0.0, 90.0, 1800.0)) == 2400.0
+        assert controller.decide(obs(60.0, 10.0, 2400.0)) == 1800.0
+
+    def test_first_change_is_immediate(self, lut):
+        """The controller reacts to the first spike without delay."""
+        controller = LUTController(lut, lockout_s=60.0)
+        assert controller.decide(obs(0.5, 90.0, 1800.0)) == 2400.0
+
+    def test_holding_does_not_refresh_lockout(self, lut):
+        controller = LUTController(lut, lockout_s=60.0)
+        controller.decide(obs(0.0, 90.0, 1800.0))
+        # Same LUT output at t=30: no change, lockout unaffected.
+        assert controller.decide(obs(30.0, 95.0, 2400.0)) is None
+        assert controller.decide(obs(61.0, 10.0, 2400.0)) == 1800.0
+
+    def test_zero_lockout_always_free(self, lut):
+        controller = LUTController(lut, lockout_s=0.0)
+        assert controller.decide(obs(0.0, 90.0, 1800.0)) == 2400.0
+        assert controller.decide(obs(1.0, 10.0, 2400.0)) == 1800.0
+
+    def test_reset_clears_lockout(self, lut):
+        controller = LUTController(lut, lockout_s=60.0)
+        controller.decide(obs(0.0, 90.0, 1800.0))
+        controller.reset()
+        assert controller.decide(obs(1.0, 10.0, 2400.0)) == 1800.0
+
+
+class TestValidation:
+    def test_negative_lockout_rejected(self, lut):
+        with pytest.raises(ValueError):
+            LUTController(lut, lockout_s=-1.0)
+
+    def test_zero_poll_rejected(self, lut):
+        with pytest.raises(ValueError):
+            LUTController(lut, poll_interval_s=0.0)
+
+    def test_name(self, lut):
+        assert LUTController(lut).name == "LUT"

@@ -1,0 +1,67 @@
+"""Unit tests for the oracle controller extension."""
+
+import pytest
+
+from repro.core.controllers.base import ControllerObservation
+from repro.core.controllers.oracle import OracleController
+
+
+def obs(time_s, util, rpm):
+    return ControllerObservation(
+        time_s=time_s,
+        max_cpu_temperature_c=60.0,
+        avg_cpu_temperature_c=59.0,
+        utilization_pct=util,
+        current_rpm_command=rpm,
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return OracleController(lockout_s=0.0)
+
+
+class TestOracleController:
+    def test_full_load_optimum_near_2400(self, oracle):
+        command = oracle.decide(obs(0.0, 100.0, 1800.0))
+        assert command in (2400.0, 2700.0)
+
+    def test_idle_optimum_is_minimum(self, oracle):
+        command = oracle.decide(obs(0.0, 0.0, 3300.0))
+        assert command == 1800.0
+
+    def test_holds_at_optimum(self, oracle):
+        target = oracle.decide(obs(0.0, 100.0, 1800.0))
+        assert oracle.decide(obs(1.0, 100.0, target)) is None
+
+    def test_quantization_caches(self):
+        oracle = OracleController(lockout_s=0.0, utilization_quantum_pct=10.0)
+        a = oracle.decide(obs(0.0, 51.0, 3300.0))
+        b = oracle.decide(obs(1.0, 49.0, 3300.0))
+        assert a == b  # both round to the 50% cache level
+
+    def test_lockout(self):
+        oracle = OracleController(lockout_s=60.0)
+        first = oracle.decide(obs(0.0, 100.0, 1800.0))
+        assert first is not None
+        assert oracle.decide(obs(10.0, 0.0, first)) is None
+        assert oracle.decide(obs(61.0, 0.0, first)) == 1800.0
+
+    def test_respects_temperature_cap(self):
+        oracle = OracleController(lockout_s=0.0, max_temperature_c=65.0)
+        command = oracle.decide(obs(0.0, 100.0, 1800.0))
+        # Equilibrium at 100% must stay under 65 degC -> needs > 3000 RPM.
+        assert command >= 3300.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OracleController(candidates_rpm=())
+        with pytest.raises(ValueError):
+            OracleController(poll_interval_s=0.0)
+        with pytest.raises(ValueError):
+            OracleController(lockout_s=-1.0)
+        with pytest.raises(ValueError):
+            OracleController(utilization_quantum_pct=0.0)
+
+    def test_name(self, oracle):
+        assert oracle.name == "Oracle"

@@ -1,0 +1,82 @@
+"""Unit tests for the PI temperature-tracking extension."""
+
+import pytest
+
+from repro.core.controllers.base import ControllerObservation
+from repro.core.controllers.pid import PIController
+
+
+def obs(time_s, t_max, rpm=1800.0):
+    return ControllerObservation(
+        time_s=time_s,
+        max_cpu_temperature_c=t_max,
+        avg_cpu_temperature_c=t_max - 1.0,
+        utilization_pct=50.0,
+        current_rpm_command=rpm,
+    )
+
+
+class TestPIController:
+    def test_hot_raises_speed(self):
+        controller = PIController(target_c=70.0)
+        command = controller.decide(obs(0.0, 80.0, rpm=1800.0))
+        assert command is not None and command > 1800.0
+
+    def test_cold_stays_at_minimum(self):
+        controller = PIController(target_c=70.0)
+        assert controller.decide(obs(0.0, 40.0, rpm=1800.0)) is None
+
+    def test_command_clamped_to_range(self):
+        controller = PIController(target_c=70.0, kp_rpm_per_c=1000.0)
+        command = controller.decide(obs(0.0, 85.0, rpm=1800.0))
+        assert command == 4200.0
+
+    def test_deadband_suppresses_small_moves(self):
+        controller = PIController(target_c=70.0, kp_rpm_per_c=10.0, ki_rpm_per_c_s=0.0)
+        # Error of 1 degC -> 10 RPM demand, inside the 60 RPM deadband.
+        assert controller.decide(obs(0.0, 71.0, rpm=1810.0)) is None
+
+    def test_integral_accumulates(self):
+        controller = PIController(
+            target_c=70.0, kp_rpm_per_c=0.0, ki_rpm_per_c_s=5.0, deadband_rpm=0.0
+        )
+        first = controller.decide(obs(10.0, 75.0, rpm=1800.0))
+        second = controller.decide(obs(20.0, 75.0, rpm=first))
+        assert second is not None and second > first
+
+    def test_anti_windup_bounds_integral(self):
+        controller = PIController(
+            target_c=70.0, kp_rpm_per_c=0.0, ki_rpm_per_c_s=100.0, deadband_rpm=0.0
+        )
+        for k in range(100):
+            controller.decide(obs(10.0 * k, 85.0, rpm=4200.0))
+        # After sustained saturation, one cool observation must be able
+        # to bring the command back down within a bounded time.
+        commands = []
+        for k in range(100, 160):
+            command = controller.decide(obs(10.0 * k, 40.0, rpm=4200.0))
+            if command is not None:
+                commands.append(command)
+        assert commands and min(commands) == 1800.0
+
+    def test_reset_clears_state(self):
+        controller = PIController(
+            target_c=70.0, kp_rpm_per_c=0.0, ki_rpm_per_c_s=5.0, deadband_rpm=0.0
+        )
+        a = controller.decide(obs(10.0, 75.0, rpm=1800.0))
+        controller.reset()
+        b = controller.decide(obs(10.0, 75.0, rpm=1800.0))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIController(min_rpm=4200.0, max_rpm=1800.0)
+        with pytest.raises(ValueError):
+            PIController(kp_rpm_per_c=-1.0)
+        with pytest.raises(ValueError):
+            PIController(poll_interval_s=0.0)
+        with pytest.raises(ValueError):
+            PIController(deadband_rpm=-1.0)
+
+    def test_name(self):
+        assert PIController().name == "PI"

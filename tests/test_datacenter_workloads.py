@@ -1,0 +1,119 @@
+"""Unit tests for the data-center workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.units import hours
+from repro.workloads.datacenter import (
+    build_batch_window_profile,
+    build_diurnal_profile,
+    build_flash_crowd_profile,
+    combine_profiles,
+)
+from repro.workloads.profile import ConstantProfile
+
+
+class TestDiurnal:
+    def test_peak_at_configured_hour(self):
+        profile = build_diurnal_profile(jitter_pct=0.0, peak_hour=15.0)
+        peak = profile.utilization_pct(hours(15.0))
+        trough = profile.utilization_pct(hours(3.0))
+        assert peak == pytest.approx(80.0, abs=1.0)
+        assert trough == pytest.approx(15.0, abs=1.0)
+
+    def test_periodicity_across_days(self):
+        profile = build_diurnal_profile(
+            duration_s=hours(48.0), jitter_pct=0.0
+        )
+        assert profile.utilization_pct(hours(10.0)) == pytest.approx(
+            profile.utilization_pct(hours(34.0)), abs=0.5
+        )
+
+    def test_bounded_with_jitter(self):
+        profile = build_diurnal_profile(jitter_pct=10.0, seed=3)
+        _, values = profile.sample(dt_s=300.0)
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 100.0)
+
+    def test_seeded(self):
+        a = build_diurnal_profile(seed=5)
+        b = build_diurnal_profile(seed=5)
+        assert a.utilization_pct(1234.0) == b.utilization_pct(1234.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_diurnal_profile(base_pct=50.0, peak_pct=20.0)
+        with pytest.raises(ValueError):
+            build_diurnal_profile(peak_hour=25.0)
+
+
+class TestBatchWindow:
+    def test_window_levels(self):
+        profile = build_batch_window_profile(
+            window_start_hour=1.0, window_hours=5.0
+        )
+        assert profile.utilization_pct(hours(3.0)) == 95.0
+        assert profile.utilization_pct(hours(12.0)) == 5.0
+
+    def test_window_wraps_midnight(self):
+        profile = build_batch_window_profile(
+            window_start_hour=23.0, window_hours=2.0, duration_s=hours(24.0)
+        )
+        assert profile.utilization_pct(hours(23.5)) == 95.0
+        assert profile.utilization_pct(hours(0.5)) == 95.0
+        assert profile.utilization_pct(hours(2.0)) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_batch_window_profile(window_hours=0.0)
+        with pytest.raises(ValueError):
+            build_batch_window_profile(window_start_hour=24.0)
+
+
+class TestFlashCrowd:
+    def test_surge_budget(self):
+        profile = build_flash_crowd_profile(
+            duration_s=hours(4.0),
+            surge_count=3,
+            surge_duration_s=600.0,
+            seed=2,
+        )
+        _, values = profile.sample(dt_s=30.0)
+        surge_fraction = np.mean(values > 90.0)
+        expected = 3 * 600.0 / hours(4.0)
+        assert surge_fraction == pytest.approx(expected, abs=0.05)
+
+    def test_no_surges(self):
+        profile = build_flash_crowd_profile(surge_count=0)
+        _, values = profile.sample(dt_s=60.0)
+        assert np.all(values == 20.0)
+
+    def test_surges_must_fit(self):
+        with pytest.raises(ValueError):
+            build_flash_crowd_profile(
+                duration_s=100.0, surge_count=3, surge_duration_s=60.0
+            )
+
+
+class TestCombine:
+    def test_sum_saturates(self):
+        combined = combine_profiles(
+            [ConstantProfile(70.0, 100.0), ConstantProfile(50.0, 100.0)]
+        )
+        assert combined.utilization_pct(50.0) == 100.0
+
+    def test_sum_below_cap(self):
+        combined = combine_profiles(
+            [ConstantProfile(30.0, 100.0), ConstantProfile(20.0, 100.0)]
+        )
+        assert combined.utilization_pct(50.0) == pytest.approx(50.0)
+
+    def test_duration_is_longest(self):
+        combined = combine_profiles(
+            [ConstantProfile(30.0, 100.0), ConstantProfile(20.0, 500.0)]
+        )
+        assert combined.duration_s == pytest.approx(500.0, abs=30.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_profiles([])

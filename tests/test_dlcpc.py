@@ -1,0 +1,112 @@
+"""Tests for the DLC-PC deployment composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.controllers.bangbang import BangBangController
+from repro.core.controllers.default import FixedSpeedController
+from repro.core.controllers.lut import LUTController
+from repro.experiments.dlcpc import DLCPC_TRACE_COLUMNS, DlcPc
+from repro.experiments.protocol import ExperimentProtocol
+from repro.server.server import ServerSimulator
+from repro.workloads.profile import ConstantProfile, StaircaseProfile
+
+
+def make_session(controller, seed=0):
+    sim = ServerSimulator(seed=seed, initial_fan_rpm=3600.0)
+    ExperimentProtocol().force_cold_state(sim)
+    return DlcPc(sim, controller)
+
+
+class TestChannelRegistration:
+    def test_all_csth_channels_present(self):
+        session = make_session(FixedSpeedController(3300.0))
+        names = set(session.harness.channel_names)
+        assert {"cpu.temp.0", "cpu.temp.3"} <= names
+        assert {"dimm.temp.0", "dimm.temp.31"} <= names
+        assert {"system.power", "fan.power"} <= names
+        assert {"core.voltage.mean", "core.current.mean"} <= names
+
+    def test_channel_count_matches_paper(self):
+        """4 CPU temps + 32 DIMM temps + power + fan + V/I aggregates."""
+        session = make_session(FixedSpeedController(3300.0))
+        assert len(tuple(session.harness.channel_names)) == 4 + 32 + 4
+
+    def test_latest_requires_a_poll(self):
+        session = make_session(FixedSpeedController(3300.0))
+        with pytest.raises(RuntimeError):
+            session.latest_cpu_temperatures_c()
+
+
+class TestSession:
+    def test_trace_schema_and_length(self):
+        session = make_session(FixedSpeedController(3300.0))
+        result = session.run(ConstantProfile(50.0, 120.0))
+        assert result.recorder.columns == DLCPC_TRACE_COLUMNS
+        assert len(result.recorder) == 120
+
+    def test_telemetry_polled_every_ten_seconds(self):
+        session = make_session(FixedSpeedController(3300.0))
+        session.run(ConstantProfile(50.0, 300.0))
+        channel = session.harness.channel("system.power")
+        times = channel.times()
+        assert len(times) == pytest.approx(31, abs=1)
+        assert np.all(np.diff(times) >= 10.0 - 1e-9)
+
+    def test_csth_readings_track_truth(self):
+        session = make_session(FixedSpeedController(3300.0))
+        result = session.run(ConstantProfile(100.0, 900.0))
+        csth = result.column("csth_max_cpu_c")
+        truth = result.column("true_max_junction_c")
+        # Stale-by-up-to-10s noisy readings still track the slow truth.
+        assert np.mean(np.abs(csth - truth)) < 2.5
+
+    def test_bang_bang_controls_through_csth(self):
+        """The reactive controller works end-to-end through the
+        harness: temperatures rise out of the cold start and the fans
+        leave the initial speed."""
+        session = make_session(BangBangController())
+        result = session.run(ConstantProfile(100.0, 1800.0))
+        commands = np.unique(result.column("rpm_command"))
+        assert len(commands) > 1
+        assert result.column("true_max_junction_c").max() < 80.0
+
+    def test_lut_controls_through_monitor(self, paper_lut):
+        session = make_session(LUTController(paper_lut))
+        profile = StaircaseProfile([10.0, 100.0], step_duration_s=600.0)
+        result = session.run(profile)
+        commands = result.column("rpm_command")
+        assert commands[100] == 1800.0
+        assert commands[-1] == paper_lut.query(100.0)
+
+    def test_too_short_profile_rejected(self):
+        session = make_session(FixedSpeedController(3300.0))
+        with pytest.raises(ValueError):
+            session.run(ConstantProfile(50.0, 0.1))
+
+
+class TestRunnerAgreement:
+    def test_energy_matches_fast_runner(self, paper_lut):
+        """The deployment-faithful path and the fast runner agree on
+        the headline metric within a fraction of a percent."""
+        from repro.experiments.metrics import energy_kwh
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+
+        profile = StaircaseProfile([25.0, 90.0], step_duration_s=600.0)
+
+        session = make_session(LUTController(paper_lut), seed=3)
+        dlc_result = session.run(profile)
+        dlc_energy = energy_kwh(
+            dlc_result.column("time_s"),
+            dlc_result.column("system_power_w"),
+        )
+
+        runner_result = run_experiment(
+            LUTController(paper_lut), profile, config=ExperimentConfig(seed=3)
+        )
+        runner_energy = energy_kwh(
+            runner_result.column("time_s"),
+            runner_result.column("power_total_w")
+            - runner_result.column("power_fan_w"),
+        )
+        assert dlc_energy == pytest.approx(runner_energy, rel=0.01)

@@ -1,0 +1,148 @@
+"""Integration tests pinning the paper's headline claims.
+
+Each test corresponds to a specific statement in the paper; together
+they are the acceptance suite for the reproduction (see EXPERIMENTS.md
+for the full paper-vs-measured record).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    fig2a_series,
+    run_constant_load_experiment,
+    steady_state_point,
+)
+from repro.telemetry.analysis import settle_time_s
+
+
+def _load_phase(result):
+    """Times/temps restricted to the 30-minute load phase."""
+    times = result.column("time_s")
+    temps = result.column("cpu0_junction_c")
+    mask = (times >= 300.0) & (times < 2100.0)
+    return times[mask], temps[mask]
+
+
+class TestFig1aClaims:
+    """'For 1800 RPM the steady state is reached after 15 minutes of
+    execution, whereas for the 4200 RPM case, steady state is achieved
+    after only 5 minutes.'"""
+
+    @pytest.fixture(scope="class")
+    def transients(self):
+        return {
+            rpm: run_constant_load_experiment(100.0, rpm, seed=1)
+            for rpm in (1800.0, 4200.0)
+        }
+
+    def test_slow_settle_at_1800(self, transients):
+        times, temps = _load_phase(transients[1800.0])
+        settle = settle_time_s(times, temps, tolerance=1.5)
+        assert 10.0 * 60.0 <= settle <= 18.0 * 60.0
+
+    def test_fast_settle_at_4200(self, transients):
+        times, temps = _load_phase(transients[4200.0])
+        settle = settle_time_s(times, temps, tolerance=1.5)
+        assert settle <= 7.0 * 60.0
+
+    def test_steady_temperature_ordering(self, transients):
+        _, hot = _load_phase(transients[1800.0])
+        _, cool = _load_phase(transients[4200.0])
+        assert hot[-1] > cool[-1] + 20.0
+
+    def test_temperature_band(self, transients):
+        """Fig. 1(a)'s y-axis spans ~40-90 degC."""
+        for rpm, result in transients.items():
+            temps = result.column("cpu0_junction_c")
+            assert np.all(temps > 30.0), rpm
+            assert np.all(temps < 90.0), rpm
+
+
+class TestFig1bClaims:
+    """'...a fast trend that raises the CPU temperature by 5 to 8 degC
+    in less than 30 seconds due to workload changes, and the slow
+    temperature increase taking up to 15 minutes.'"""
+
+    def test_fast_transient_on_load_step(self):
+        result = run_constant_load_experiment(100.0, 1800.0, seed=1)
+        times = result.column("time_s")
+        temps = result.column("cpu0_junction_c")
+        # The load starts at t=300 (after the idle head).
+        t0 = np.searchsorted(times, 300.0)
+        t30 = np.searchsorted(times, 330.0)
+        fast_rise = temps[t30] - temps[t0]
+        assert 4.0 <= fast_rise <= 10.0
+
+    def test_pwm_thermal_ripple_visible(self):
+        """Thermal oscillations occur because LoadGen uses PWM."""
+        result = run_constant_load_experiment(50.0, 1800.0, seed=1)
+        times = result.column("time_s")
+        temps = result.column("cpu0_junction_c")
+        mask = (times >= 1500.0) & (times < 2100.0)
+        ripple = np.max(temps[mask]) - np.min(temps[mask])
+        assert 1.5 <= ripple <= 10.0
+
+    def test_steady_temperature_monotone_in_utilization(self):
+        finals = {}
+        for u in (25.0, 50.0, 75.0, 100.0):
+            result = run_constant_load_experiment(u, 1800.0, seed=1)
+            _, temps = _load_phase(result)
+            finals[u] = np.mean(temps[-300:])
+        values = [finals[u] for u in (25.0, 50.0, 75.0, 100.0)]
+        assert values == sorted(values)
+
+
+class TestFig2Claims:
+    """'The sum of leakage and fan power is a convex-like curve that
+    reaches a minimum around 70 degC, which corresponds to a fan speed
+    of 2400 RPM.'"""
+
+    def test_minimum_near_70c_2400rpm(self, spec):
+        data = fig2a_series(spec=spec)
+        best = int(np.argmin(data["leak_plus_fan_w"]))
+        assert data["fan_rpm"][best] == pytest.approx(2400.0, abs=300.0)
+        assert data["temperature_c"][best] == pytest.approx(71.0, abs=4.0)
+
+    def test_savings_can_reach_30w(self, spec):
+        """'Power savings achieved only by setting the appropriate fan
+        speed can reach 30 W for our server.'"""
+        data = fig2a_series(spec=spec)
+        spread = np.max(data["leak_plus_fan_w"]) - np.min(data["leak_plus_fan_w"])
+        assert spread >= 30.0
+
+    def test_curve_is_convex_like(self, spec):
+        """Decreasing then increasing when walked from hot to cold."""
+        data = fig2a_series(spec=spec)
+        sums = data["leak_plus_fan_w"]
+        best = int(np.argmin(sums))
+        assert np.all(np.diff(sums[: best + 1]) <= 1e-9) or best == 0
+        assert np.all(np.diff(sums[best:]) >= -1e-9)
+
+    def test_leakage_exponential_shape(self, spec):
+        """Leakage vs temperature curves upward (positive second
+        difference) over the measured band."""
+        data = fig2a_series(spec=spec)
+        temps, leaks = data["temperature_c"], data["leakage_w"]
+        # Interpolate on a regular temperature grid, then check growth.
+        grid = np.linspace(temps[0], temps[-1], 12)
+        on_grid = np.interp(grid, temps, leaks)
+        slopes = np.diff(on_grid)
+        assert np.all(slopes > 0)
+        assert slopes[-1] > 1.5 * slopes[0]
+
+
+class TestSteadyStateEconomy:
+    def test_optimum_beats_default_by_tens_of_watts(self):
+        """At full load, running at the optimum (2400 RPM) rather than
+        overcooled defaults saves whole-server power."""
+        optimal = steady_state_point(100.0, 2400.0)
+        overcooled = steady_state_point(100.0, 4200.0)
+        assert overcooled.total_power_w - optimal.total_power_w >= 25.0
+
+    def test_undercooling_also_loses(self):
+        """Dropping below the optimum loses power to leakage — the
+        central leakage-awareness claim: slowest is not best."""
+        optimal = steady_state_point(100.0, 2400.0)
+        undercooled = steady_state_point(100.0, 1800.0)
+        assert undercooled.leak_plus_fan_w > optimal.leak_plus_fan_w

@@ -1,0 +1,124 @@
+"""Integration tests: the full offline pipeline, end to end.
+
+characterize -> fit power model -> fit fan model -> build LUT ->
+run closed-loop experiments -> compute Table I metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExperimentConfig,
+    LUTController,
+    build_lut_from_characterization,
+    fit_fan_power_model,
+    fit_power_model,
+    net_savings_pct,
+    paper_controllers,
+    run_characterization_steady,
+    run_experiment,
+)
+from repro.workloads.profile import StaircaseProfile
+from repro.workloads.tests import build_test3_random_steps
+
+
+class TestOfflinePipeline:
+    def test_pipeline_from_scratch(self, spec):
+        samples = run_characterization_steady(spec=spec, seed=99)
+        fitted = fit_power_model(samples)
+        fan_model = fit_fan_power_model(
+            [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+        )
+        lut, results = build_lut_from_characterization(samples, fitted, fan_model)
+
+        # The pipeline reproduces the paper's qualitative conclusions.
+        assert lut.query(10.0) == 1800.0
+        assert lut.query(100.0) == 2400.0
+        assert all(r.predicted_temperature_c <= 75.0 for r in results)
+        assert fitted.quality.accuracy_pct > 98.0
+
+    def test_lut_is_seed_stable(self, spec):
+        """Different telemetry noise realizations give the same LUT."""
+        luts = []
+        for seed in (1, 2, 3):
+            samples = run_characterization_steady(spec=spec, seed=seed)
+            fitted = fit_power_model(samples)
+            fan_model = fit_fan_power_model(
+                [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+            )
+            lut, _ = build_lut_from_characterization(samples, fitted, fan_model)
+            luts.append(lut)
+        assert luts[0] == luts[1] == luts[2]
+
+
+class TestClosedLoopEnergyOrdering:
+    @pytest.fixture(scope="class")
+    def test3_results(self, paper_lut, spec):
+        profile = build_test3_random_steps(seed=1234)
+        config = ExperimentConfig(seed=0)
+        return {
+            c.name: run_experiment(c, profile, spec=spec, config=config)
+            for c in paper_controllers(lut=paper_lut, spec=spec)
+        }
+
+    def test_both_controllers_beat_default(self, test3_results):
+        base = test3_results["Default"].metrics
+        for scheme in ("Bang-bang", "LUT"):
+            assert net_savings_pct(base, test3_results[scheme].metrics) > 0.0
+
+    def test_lut_is_best(self, test3_results):
+        base = test3_results["Default"].metrics
+        lut_saving = net_savings_pct(base, test3_results["LUT"].metrics)
+        bang_saving = net_savings_pct(base, test3_results["Bang-bang"].metrics)
+        assert lut_saving >= bang_saving
+
+    def test_savings_in_paper_band(self, test3_results):
+        """Table I net savings fall in the 0-10% band."""
+        base = test3_results["Default"].metrics
+        for scheme in ("Bang-bang", "LUT"):
+            saving = net_savings_pct(base, test3_results[scheme].metrics)
+            assert 0.0 < saving < 12.0
+
+    def test_lut_has_lowest_peak_power(self, test3_results):
+        peaks = {k: v.metrics.peak_power_w for k, v in test3_results.items()}
+        assert peaks["LUT"] == min(peaks.values())
+
+    def test_lut_respects_reliability_ceiling(self, test3_results):
+        assert test3_results["LUT"].metrics.max_temperature_c <= 75.5
+
+    def test_default_never_changes_fans(self, test3_results):
+        assert test3_results["Default"].metrics.fan_speed_changes == 0
+        assert test3_results["Default"].metrics.avg_rpm == pytest.approx(
+            3300.0, abs=5.0
+        )
+
+    def test_adaptive_schemes_run_slower_fans(self, test3_results):
+        for scheme in ("Bang-bang", "LUT"):
+            assert test3_results[scheme].metrics.avg_rpm < 2600.0
+
+    def test_fan_changes_bounded(self, test3_results):
+        """Both adaptive controllers keep fan changes modest (Table I
+        reports at most 14 over 80 minutes)."""
+        for scheme in ("Bang-bang", "LUT"):
+            assert test3_results[scheme].metrics.fan_speed_changes <= 20
+
+
+class TestProactivity:
+    def test_lut_reacts_before_temperature_rises(self, paper_lut, spec):
+        """On a 10 -> 100% load step the LUT controller must change fan
+        speed while the junction is still far below the bang-bang
+        trigger band — the proactive property the paper highlights."""
+        profile = StaircaseProfile([10.0, 100.0], step_duration_s=900.0)
+        result = run_experiment(
+            LUTController(paper_lut), profile, spec=spec, config=ExperimentConfig(seed=3)
+        )
+        commands = result.column("rpm_command")
+        temps = result.column("max_junction_c")
+        times = result.column("time_s")
+        change_indices = np.nonzero(np.diff(commands))[0]
+        assert len(change_indices) >= 1
+        first_change = change_indices[0]
+        # Change happens within ~90 s of the step at t=900...
+        assert 900.0 <= times[first_change] <= 990.0
+        # ...while the CPU is still below the 75 degC trigger.
+        assert temps[first_change] < 75.0

@@ -1,0 +1,89 @@
+"""Unit tests for the analytical model forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models.leakage import (
+    ActivePowerModel,
+    FanPowerModel,
+    LeakageModel,
+    PAPER_K2_W,
+    PAPER_K3_PER_C,
+)
+
+
+class TestLeakageModel:
+    def test_paper_constants(self):
+        model = LeakageModel.paper_fit()
+        assert model.k2_w == PAPER_K2_W
+        assert model.k3_per_c == PAPER_K3_PER_C
+
+    def test_exponential_doubling(self):
+        model = LeakageModel(c_w=0.0, k2_w=1.0, k3_per_c=math.log(2.0) / 10.0)
+        assert model.power_w(10.0) == pytest.approx(2.0 * model.power_w(0.0))
+
+    def test_constant_included_in_power(self):
+        model = LeakageModel(c_w=5.0, k2_w=1.0, k3_per_c=0.05)
+        assert model.power_w(40.0) - model.variable_power_w(40.0) == pytest.approx(
+            5.0
+        )
+
+    def test_vectorized_evaluation(self):
+        model = LeakageModel.paper_fit()
+        temps = np.array([50.0, 60.0, 70.0])
+        values = model.power_w(temps)
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+    def test_slope_matches_numeric_derivative(self):
+        model = LeakageModel.paper_fit()
+        h = 1e-5
+        numeric = (model.power_w(70.0 + h) - model.power_w(70.0 - h)) / (2 * h)
+        assert model.slope_w_per_c(70.0) == pytest.approx(numeric, rel=1e-6)
+
+    def test_negative_k2_rejected(self):
+        with pytest.raises(ValueError):
+            LeakageModel(c_w=0.0, k2_w=-1.0, k3_per_c=0.05)
+
+
+class TestActivePowerModel:
+    def test_linear(self):
+        model = ActivePowerModel(k1_w_per_pct=0.5)
+        assert model.power_w(50.0) == 25.0
+
+    def test_zero_at_idle(self):
+        assert ActivePowerModel(0.4452).power_w(0.0) == 0.0
+
+    def test_paper_fit(self):
+        assert ActivePowerModel.paper_fit().k1_w_per_pct == pytest.approx(0.4452)
+
+    def test_vectorized(self):
+        model = ActivePowerModel(1.0)
+        np.testing.assert_allclose(
+            model.power_w(np.array([10.0, 20.0])), [10.0, 20.0]
+        )
+
+
+class TestFanPowerModel:
+    def test_cubic_scaling(self):
+        model = FanPowerModel(coeff_w=55.0, exponent=3.0, rpm_ref=4200.0)
+        assert model.power_w(2100.0) == pytest.approx(55.0 / 8.0)
+
+    def test_reference_value(self):
+        model = FanPowerModel(coeff_w=55.0, exponent=3.0, rpm_ref=4200.0)
+        assert model.power_w(4200.0) == pytest.approx(55.0)
+
+    def test_vectorized_monotone(self):
+        model = FanPowerModel(coeff_w=55.0, exponent=3.0, rpm_ref=4200.0)
+        values = model.power_w(np.array([1800.0, 3000.0, 4200.0]))
+        assert np.all(np.diff(values) > 0)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            FanPowerModel(coeff_w=55.0, exponent=0.5, rpm_ref=4200.0)
+
+    def test_invalid_ref_rejected(self):
+        with pytest.raises(ValueError):
+            FanPowerModel(coeff_w=55.0, exponent=3.0, rpm_ref=0.0)

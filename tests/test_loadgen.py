@@ -1,0 +1,104 @@
+"""Unit tests for LoadGen PWM synthesis and the utilization monitor."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.loadgen import LoadGen, UtilizationMonitor
+from repro.workloads.profile import ConstantProfile
+
+
+class TestLoadGenPwm:
+    def test_output_is_binary(self):
+        gen = LoadGen(ConstantProfile(40.0, 1000.0), pwm_period_s=30.0)
+        values = {gen.instantaneous_pct(t) for t in np.arange(0.0, 300.0, 1.0)}
+        assert values <= {0.0, 100.0}
+
+    def test_duty_matches_target(self):
+        gen = LoadGen(ConstantProfile(40.0, 10000.0), pwm_period_s=30.0)
+        values = [gen.instantaneous_pct(t) for t in np.arange(0.0, 9000.0, 1.0)]
+        assert np.mean(values) == pytest.approx(40.0, abs=1.0)
+
+    def test_full_load_always_on(self):
+        gen = LoadGen(ConstantProfile(100.0, 1000.0), pwm_period_s=30.0)
+        assert all(
+            gen.instantaneous_pct(t) == 100.0 for t in np.arange(0.0, 100.0, 0.5)
+        )
+
+    def test_idle_always_off(self):
+        gen = LoadGen(ConstantProfile(0.0, 1000.0), pwm_period_s=30.0)
+        assert all(
+            gen.instantaneous_pct(t) == 0.0 for t in np.arange(0.0, 100.0, 0.5)
+        )
+
+    def test_on_phase_leads_period(self):
+        gen = LoadGen(ConstantProfile(50.0, 1000.0), pwm_period_s=30.0)
+        assert gen.instantaneous_pct(1.0) == 100.0
+        assert gen.instantaneous_pct(16.0) == 0.0
+
+    def test_direct_mode_passthrough(self):
+        gen = LoadGen(ConstantProfile(37.5, 1000.0), mode="direct")
+        assert gen.instantaneous_pct(123.0) == 37.5
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGen(ConstantProfile(50.0, 10.0), mode="bogus")
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGen(ConstantProfile(50.0, 10.0), pwm_period_s=0.0)
+
+
+class TestUtilizationMonitor:
+    def test_empty_monitor_reads_zero(self):
+        assert UtilizationMonitor().utilization_pct() == 0.0
+
+    def test_constant_input(self):
+        monitor = UtilizationMonitor(window_s=10.0)
+        for t in range(20):
+            monitor.observe(float(t), 55.0, 1.0)
+        assert monitor.utilization_pct() == pytest.approx(55.0)
+
+    def test_pwm_input_reads_duty(self):
+        monitor = UtilizationMonitor(window_s=60.0)
+        gen = LoadGen(ConstantProfile(40.0, 10000.0), pwm_period_s=30.0)
+        for t in range(300):
+            monitor.observe(float(t), gen.instantaneous_pct(float(t)), 1.0)
+        assert monitor.utilization_pct() == pytest.approx(40.0, abs=2.0)
+
+    def test_window_eviction(self):
+        monitor = UtilizationMonitor(window_s=10.0)
+        for t in range(10):
+            monitor.observe(float(t), 100.0, 1.0)
+        for t in range(10, 30):
+            monitor.observe(float(t), 0.0, 1.0)
+        assert monitor.utilization_pct() == pytest.approx(0.0)
+
+    def test_responds_to_spike_within_window(self):
+        monitor = UtilizationMonitor(window_s=60.0)
+        for t in range(60):
+            monitor.observe(float(t), 0.0, 1.0)
+        for t in range(60, 70):
+            monitor.observe(float(t), 100.0, 1.0)
+        assert monitor.utilization_pct() > 10.0
+
+    def test_reset(self):
+        monitor = UtilizationMonitor()
+        monitor.observe(0.0, 80.0, 1.0)
+        monitor.reset()
+        assert monitor.utilization_pct() == 0.0
+
+    def test_rejects_backwards_time(self):
+        monitor = UtilizationMonitor()
+        monitor.observe(10.0, 50.0, 1.0)
+        with pytest.raises(ValueError):
+            monitor.observe(5.0, 50.0, 1.0)
+
+    def test_bounded_output(self):
+        monitor = UtilizationMonitor(window_s=5.0)
+        for t in range(100):
+            monitor.observe(float(t), 100.0, 1.0)
+        assert monitor.utilization_pct() <= 100.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationMonitor(window_s=0.0)

@@ -1,0 +1,150 @@
+"""Unit tests for LUT construction, querying, and serialization."""
+
+import pytest
+
+from repro.core.lut import (
+    LookupTable,
+    PAPER_FAN_SPEEDS_RPM,
+    build_lut_from_characterization,
+    build_lut_from_spec,
+)
+
+
+class TestLookupTableQuery:
+    def test_rounds_up_to_next_level(self):
+        lut = LookupTable(levels_pct=(0.0, 50.0, 100.0), rpms=(1800.0, 2400.0, 3000.0))
+        assert lut.query(0.0) == 1800.0
+        assert lut.query(10.0) == 2400.0
+        assert lut.query(50.0) == 2400.0
+        assert lut.query(51.0) == 3000.0
+
+    def test_exact_levels(self):
+        lut = LookupTable(levels_pct=(25.0, 75.0), rpms=(1800.0, 2400.0))
+        assert lut.query(25.0) == 1800.0
+        assert lut.query(75.0) == 2400.0
+
+    def test_above_top_level_uses_last(self):
+        lut = LookupTable(levels_pct=(25.0, 75.0), rpms=(1800.0, 2400.0))
+        assert lut.query(99.0) == 2400.0
+
+    def test_invalid_utilization_rejected(self):
+        lut = LookupTable(levels_pct=(50.0,), rpms=(1800.0,))
+        with pytest.raises(ValueError):
+            lut.query(101.0)
+
+
+class TestLookupTableValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable(levels_pct=(0.0, 50.0), rpms=(1800.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable(levels_pct=(), rpms=())
+
+    def test_non_increasing_levels_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable(levels_pct=(50.0, 50.0), rpms=(1800.0, 2400.0))
+
+    def test_non_positive_rpm_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable(levels_pct=(50.0,), rpms=(0.0,))
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        lut = LookupTable(levels_pct=(0.0, 50.0, 100.0), rpms=(1800.0, 1800.0, 2400.0))
+        assert LookupTable.from_json(lut.to_json()) == lut
+
+    def test_file_roundtrip(self, tmp_path):
+        lut = LookupTable(levels_pct=(0.0, 100.0), rpms=(1800.0, 2400.0))
+        path = lut.save(tmp_path / "lut.json")
+        assert LookupTable.load(path) == lut
+
+    def test_from_mapping_sorts(self):
+        lut = LookupTable.from_mapping({100.0: 2400.0, 0.0: 1800.0})
+        assert lut.levels_pct == (0.0, 100.0)
+
+    def test_as_dict(self):
+        lut = LookupTable(levels_pct=(0.0, 100.0), rpms=(1800.0, 2400.0))
+        assert lut.as_dict() == {0.0: 1800.0, 100.0: 2400.0}
+
+
+class TestBuildFromCharacterization:
+    def test_pipeline_lut_shape(
+        self, characterization_samples, fitted_model, fan_model
+    ):
+        lut, results = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model
+        )
+        # One entry per characterized level plus the idle entry.
+        assert len(lut) == 9
+        assert lut.levels_pct[0] == 0.0
+        assert len(results) == 9
+
+    def test_low_utilization_gets_lowest_speed(
+        self, characterization_samples, fitted_model, fan_model
+    ):
+        lut, _ = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model
+        )
+        assert lut.query(10.0) == 1800.0
+
+    def test_full_load_gets_2400(
+        self, characterization_samples, fitted_model, fan_model
+    ):
+        lut, _ = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model
+        )
+        assert lut.query(100.0) == 2400.0
+
+    def test_monotone_rpm_in_utilization(
+        self, characterization_samples, fitted_model, fan_model
+    ):
+        lut, _ = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model
+        )
+        assert list(lut.rpms) == sorted(lut.rpms)
+
+    def test_predicted_temperatures_under_cap(
+        self, characterization_samples, fitted_model, fan_model
+    ):
+        _, results = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model
+        )
+        for result in results:
+            assert result.predicted_temperature_c <= 75.0
+            assert not result.constraint_fallback
+
+    def test_tighter_cap_raises_speeds(
+        self, characterization_samples, fitted_model, fan_model
+    ):
+        loose, _ = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model, max_temperature_c=75.0
+        )
+        tight, _ = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model, max_temperature_c=65.0
+        )
+        assert all(t >= l for t, l in zip(tight.rpms, loose.rpms))
+
+
+class TestBuildFromSpec:
+    def test_oracle_lut_agrees_with_data_driven(
+        self, spec, characterization_samples, fitted_model, fan_model
+    ):
+        """With clean characterization, the data-driven LUT must match
+        the ground-truth (oracle) LUT on the shared levels."""
+        oracle = build_lut_from_spec(spec)
+        data_driven, _ = build_lut_from_characterization(
+            characterization_samples, fitted_model, fan_model
+        )
+        for level in data_driven.levels_pct:
+            assert data_driven.query(level) == oracle.query(level), level
+
+    def test_candidates_respected(self, spec):
+        lut = build_lut_from_spec(spec, candidates_rpm=(3000.0, 3600.0))
+        assert set(lut.rpms) <= {3000.0, 3600.0}
+
+    def test_paper_speed_set(self, spec):
+        lut = build_lut_from_spec(spec)
+        assert set(lut.rpms) <= set(PAPER_FAN_SPEEDS_RPM)

@@ -1,0 +1,111 @@
+"""Unit tests for Table I metrics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import (
+    ExperimentMetrics,
+    compute_metrics,
+    count_command_changes,
+    energy_kwh,
+    net_savings_pct,
+)
+
+
+class TestEnergy:
+    def test_constant_power(self):
+        times = np.arange(0.0, 3601.0, 1.0)
+        power = np.full_like(times, 1000.0)
+        assert energy_kwh(times, power) == pytest.approx(1.0)
+
+    def test_triangular_power(self):
+        times = np.array([0.0, 3600.0])
+        power = np.array([0.0, 2000.0])
+        assert energy_kwh(times, power) == pytest.approx(1.0)
+
+    def test_paper_magnitude(self):
+        """An 80-minute run at ~500 W is ~0.67 kWh (Table I scale)."""
+        times = np.arange(0.0, 4801.0, 1.0)
+        power = np.full_like(times, 502.0)
+        assert energy_kwh(times, power) == pytest.approx(0.6693, abs=0.001)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            energy_kwh([0.0, 1.0], [1.0])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            energy_kwh([1.0, 0.0], [1.0, 1.0])
+
+
+class TestCommandChanges:
+    def test_constant_command(self):
+        assert count_command_changes([3300.0] * 100) == 0
+
+    def test_counts_distinct_transitions(self):
+        commands = [1800.0] * 10 + [2400.0] * 10 + [1800.0] * 10
+        assert count_command_changes(commands) == 2
+
+    def test_short_series(self):
+        assert count_command_changes([3300.0]) == 0
+
+
+class TestComputeMetrics:
+    def _metrics(self, static_idle_w=256.0):
+        times = np.arange(0.0, 101.0, 1.0)
+        power = np.full_like(times, 500.0)
+        temps = np.concatenate([np.full(50, 60.0), np.full(51, 72.5)])
+        commands = np.concatenate([np.full(60, 1800.0), np.full(41, 2400.0)])
+        rpms = commands.copy()
+        util = np.full_like(times, 40.0)
+        return compute_metrics(times, power, temps, commands, rpms, util, static_idle_w)
+
+    def test_all_fields(self):
+        m = self._metrics()
+        assert m.peak_power_w == 500.0
+        assert m.max_temperature_c == 72.5
+        assert m.fan_speed_changes == 1
+        assert m.avg_utilization_pct == 40.0
+        assert m.duration_s == 100.0
+
+    def test_net_energy_subtracts_idle(self):
+        m = self._metrics(static_idle_w=256.0)
+        expected_net = (500.0 - 256.0) * 100.0 / 3.6e6
+        assert m.net_energy_kwh == pytest.approx(expected_net)
+
+    def test_avg_power(self):
+        m = self._metrics()
+        assert m.avg_power_w == pytest.approx(500.0)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ValueError):
+            self._metrics(static_idle_w=-1.0)
+
+
+class TestNetSavings:
+    def _m(self, net):
+        return ExperimentMetrics(
+            energy_kwh=net + 0.3,
+            net_energy_kwh=net,
+            peak_power_w=700.0,
+            max_temperature_c=70.0,
+            fan_speed_changes=0,
+            avg_rpm=3300.0,
+            avg_utilization_pct=50.0,
+            duration_s=4800.0,
+        )
+
+    def test_positive_saving(self):
+        assert net_savings_pct(self._m(0.34), self._m(0.31)) == pytest.approx(
+            100.0 * 0.03 / 0.34
+        )
+
+    def test_zero_saving(self):
+        assert net_savings_pct(self._m(0.34), self._m(0.34)) == 0.0
+
+    def test_negative_saving_possible(self):
+        assert net_savings_pct(self._m(0.34), self._m(0.40)) < 0.0
+
+    def test_non_positive_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            net_savings_pct(self._m(0.0), self._m(0.1))

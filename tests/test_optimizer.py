@@ -1,0 +1,117 @@
+"""Unit tests for the optimum-fan-speed search."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import optimal_fan_speed
+from repro.core.thermal_map import ThermalMap
+from repro.models.leakage import FanPowerModel, LeakageModel
+
+
+@pytest.fixture
+def thermal_map():
+    utils = [0.0, 50.0, 100.0]
+    rpms = [1800.0, 2400.0, 3000.0, 3600.0, 4200.0]
+    temps = np.array(
+        [
+            [42.0, 38.0, 35.0, 33.0, 31.0],
+            [62.0, 55.0, 50.0, 46.0, 44.0],
+            [85.0, 73.0, 66.0, 62.0, 58.0],
+        ]
+    )
+    return ThermalMap(utils, rpms, temps)
+
+
+@pytest.fixture
+def leakage():
+    # Two-socket equivalent of the paper's coefficients.
+    return LeakageModel(c_w=20.0, k2_w=0.65, k3_per_c=0.0475)
+
+
+@pytest.fixture
+def fan_model():
+    return FanPowerModel(coeff_w=55.0, exponent=3.0, rpm_ref=4200.0)
+
+
+CANDIDATES = (1800.0, 2400.0, 3000.0, 3600.0, 4200.0)
+
+
+class TestOptimalFanSpeed:
+    def test_full_load_picks_2400(self, thermal_map, leakage, fan_model):
+        result = optimal_fan_speed(
+            100.0, CANDIDATES, thermal_map, leakage, fan_model
+        )
+        assert result.fan_rpm == 2400.0
+        assert not result.constraint_fallback
+
+    def test_idle_picks_lowest(self, thermal_map, leakage, fan_model):
+        result = optimal_fan_speed(0.0, CANDIDATES, thermal_map, leakage, fan_model)
+        assert result.fan_rpm == 1800.0
+
+    def test_objective_is_leak_plus_fan(self, thermal_map, leakage, fan_model):
+        result = optimal_fan_speed(
+            100.0, CANDIDATES, thermal_map, leakage, fan_model
+        )
+        assert result.predicted_leak_plus_fan_w == pytest.approx(
+            result.predicted_leakage_w + result.predicted_fan_power_w
+        )
+
+    def test_temperature_cap_respected(self, thermal_map, leakage, fan_model):
+        result = optimal_fan_speed(
+            100.0,
+            CANDIDATES,
+            thermal_map,
+            leakage,
+            fan_model,
+            max_temperature_c=65.0,
+        )
+        assert result.predicted_temperature_c <= 65.0
+        assert result.fan_rpm >= 3600.0
+
+    def test_impossible_cap_falls_back_to_coolest(
+        self, thermal_map, leakage, fan_model
+    ):
+        result = optimal_fan_speed(
+            100.0,
+            CANDIDATES,
+            thermal_map,
+            leakage,
+            fan_model,
+            max_temperature_c=30.0,
+        )
+        assert result.constraint_fallback
+        assert result.fan_rpm == 4200.0
+
+    def test_single_candidate(self, thermal_map, leakage, fan_model):
+        result = optimal_fan_speed(
+            50.0, (3000.0,), thermal_map, leakage, fan_model
+        )
+        assert result.fan_rpm == 3000.0
+
+    def test_no_candidates_rejected(self, thermal_map, leakage, fan_model):
+        with pytest.raises(ValueError):
+            optimal_fan_speed(50.0, (), thermal_map, leakage, fan_model)
+
+    def test_stronger_leakage_prefers_faster_fans(self, thermal_map, fan_model):
+        """If leakage grows steeper, the optimizer trades more fan power
+        for lower temperature."""
+        weak = LeakageModel(c_w=0.0, k2_w=0.2, k3_per_c=0.0475)
+        strong = LeakageModel(c_w=0.0, k2_w=3.0, k3_per_c=0.0475)
+        rpm_weak = optimal_fan_speed(
+            100.0, CANDIDATES, thermal_map, weak, fan_model
+        ).fan_rpm
+        rpm_strong = optimal_fan_speed(
+            100.0, CANDIDATES, thermal_map, strong, fan_model
+        ).fan_rpm
+        assert rpm_strong > rpm_weak
+
+    def test_cheaper_fans_prefer_faster_speeds(self, thermal_map, leakage):
+        expensive = FanPowerModel(coeff_w=100.0, exponent=3.0, rpm_ref=4200.0)
+        cheap = FanPowerModel(coeff_w=5.0, exponent=3.0, rpm_ref=4200.0)
+        rpm_expensive = optimal_fan_speed(
+            100.0, CANDIDATES, thermal_map, leakage, expensive
+        ).fan_rpm
+        rpm_cheap = optimal_fan_speed(
+            100.0, CANDIDATES, thermal_map, leakage, cheap
+        ).fan_rpm
+        assert rpm_cheap > rpm_expensive

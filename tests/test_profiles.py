@@ -1,0 +1,172 @@
+"""Unit tests for utilization profiles."""
+
+import pytest
+
+from repro.workloads.profile import (
+    CompositeProfile,
+    ConstantProfile,
+    RampProfile,
+    RandomStepProfile,
+    SquareWaveProfile,
+    StaircaseProfile,
+    TraceProfile,
+)
+
+
+class TestConstantProfile:
+    def test_value_everywhere(self):
+        profile = ConstantProfile(42.0, 100.0)
+        assert profile.utilization_pct(0.0) == 42.0
+        assert profile.utilization_pct(99.0) == 42.0
+        assert profile.duration_s == 100.0
+
+    def test_rejects_invalid_level(self):
+        with pytest.raises(ValueError):
+            ConstantProfile(120.0, 100.0)
+
+
+class TestRampProfile:
+    def test_linear_interpolation(self):
+        profile = RampProfile([(0.0, 0.0), (100.0, 100.0)])
+        assert profile.utilization_pct(50.0) == pytest.approx(50.0)
+
+    def test_triangle(self):
+        profile = RampProfile([(0.0, 0.0), (50.0, 100.0), (100.0, 0.0)])
+        assert profile.utilization_pct(25.0) == pytest.approx(50.0)
+        assert profile.utilization_pct(75.0) == pytest.approx(50.0)
+
+    def test_holds_past_end(self):
+        profile = RampProfile([(0.0, 0.0), (10.0, 80.0)])
+        assert profile.utilization_pct(100.0) == 80.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            RampProfile([(0.0, 0.0)])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            RampProfile([(0.0, 0.0), (0.0, 50.0)])
+
+
+class TestStaircaseProfile:
+    def test_step_lookup(self):
+        profile = StaircaseProfile([10.0, 20.0, 30.0], step_duration_s=60.0)
+        assert profile.utilization_pct(0.0) == 10.0
+        assert profile.utilization_pct(61.0) == 20.0
+        assert profile.utilization_pct(179.0) == 30.0
+
+    def test_holds_last_level(self):
+        profile = StaircaseProfile([10.0, 20.0], step_duration_s=60.0)
+        assert profile.utilization_pct(1e5) == 20.0
+
+    def test_duration(self):
+        profile = StaircaseProfile([1.0, 2.0, 3.0], step_duration_s=10.0)
+        assert profile.duration_s == 30.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StaircaseProfile([], 10.0)
+
+
+class TestSquareWaveProfile:
+    def test_alternation(self):
+        profile = SquareWaveProfile(90.0, 10.0, period_s=100.0, duty=0.5)
+        assert profile.utilization_pct(10.0) == 90.0
+        assert profile.utilization_pct(60.0) == 10.0
+
+    def test_duty_fraction(self):
+        profile = SquareWaveProfile(
+            100.0, 0.0, period_s=100.0, duty=0.25, duration_s=100.0
+        )
+        assert profile.utilization_pct(24.0) == 100.0
+        assert profile.utilization_pct(26.0) == 0.0
+
+    def test_mean_matches_duty(self):
+        profile = SquareWaveProfile(
+            100.0, 0.0, period_s=100.0, duty=0.3, duration_s=1000.0
+        )
+        assert profile.mean_utilization_pct(dt_s=0.5) == pytest.approx(30.0, abs=1.0)
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValueError):
+            SquareWaveProfile(90.0, 10.0, period_s=100.0, duty=1.5)
+
+
+class TestRandomStepProfile:
+    def test_deterministic_for_seed(self):
+        a = RandomStepProfile(300.0, 4800.0, seed=5)
+        b = RandomStepProfile(300.0, 4800.0, seed=5)
+        assert a.levels == b.levels
+
+    def test_different_seeds_differ(self):
+        a = RandomStepProfile(300.0, 4800.0, seed=5)
+        b = RandomStepProfile(300.0, 4800.0, seed=6)
+        assert a.levels != b.levels
+
+    def test_levels_from_allowed_set(self):
+        profile = RandomStepProfile(300.0, 4800.0, levels_pct=(10.0, 90.0), seed=1)
+        assert set(profile.levels) <= {10.0, 90.0}
+
+    def test_step_count(self):
+        profile = RandomStepProfile(300.0, 4800.0, seed=1)
+        assert len(profile.levels) == 16
+
+
+class TestTraceProfile:
+    def test_zero_order_hold(self):
+        profile = TraceProfile([0.0, 10.0, 20.0], [5.0, 50.0, 95.0])
+        assert profile.utilization_pct(0.0) == 5.0
+        assert profile.utilization_pct(9.9) == 5.0
+        assert profile.utilization_pct(10.0) == 50.0
+        assert profile.utilization_pct(25.0) == 95.0
+
+    def test_before_start_clamps(self):
+        profile = TraceProfile([10.0, 20.0], [5.0, 50.0])
+        assert profile.utilization_pct(0.0) == 5.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TraceProfile([0.0, 1.0], [5.0])
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            TraceProfile([0.0, 0.0], [5.0, 6.0])
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TraceProfile([0.0, 1.0], [5.0, 150.0])
+
+
+class TestCompositeProfile:
+    def test_segment_boundaries(self):
+        profile = CompositeProfile(
+            [ConstantProfile(10.0, 100.0), ConstantProfile(90.0, 100.0)]
+        )
+        assert profile.utilization_pct(50.0) == 10.0
+        assert profile.utilization_pct(150.0) == 90.0
+        assert profile.duration_s == 200.0
+
+    def test_holds_last_segment_past_end(self):
+        profile = CompositeProfile(
+            [ConstantProfile(10.0, 100.0), ConstantProfile(90.0, 100.0)]
+        )
+        assert profile.utilization_pct(1e4) == 90.0
+
+    def test_nested_composites(self):
+        inner = CompositeProfile(
+            [ConstantProfile(25.0, 10.0), ConstantProfile(75.0, 10.0)]
+        )
+        outer = CompositeProfile([ConstantProfile(0.0, 10.0), inner])
+        assert outer.utilization_pct(5.0) == 0.0
+        assert outer.utilization_pct(15.0) == 25.0
+        assert outer.utilization_pct(25.0) == 75.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeProfile([])
+
+    def test_sampling(self):
+        profile = ConstantProfile(40.0, 10.0)
+        times, values = profile.sample(dt_s=1.0)
+        assert len(times) == len(values) == 11
+        assert values[5] == 40.0

@@ -1,0 +1,115 @@
+"""Property-based tests: the fit pipeline over randomized ground truths.
+
+The unit tests fit one synthetic dataset; these generate *families* of
+plausible servers (random k1/C/k2/k3 within physical ranges) and check
+that the identification pipeline recovers each one — the core
+methodological claim of the paper's §IV.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.models.fitting import (
+    CharacterizationSample,
+    fit_fan_power_model,
+    fit_power_model,
+)
+
+ground_truths = st.fixed_dictionaries(
+    {
+        "c": st.floats(100.0, 500.0),
+        "k1": st.floats(0.3, 8.0),
+        "k2": st.floats(0.05, 2.0),
+        "k3": st.floats(0.02, 0.08),
+    }
+)
+
+
+def make_samples(truth, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for u in (10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0):
+        # Temperature grows with utilization and spans a fan-speed band,
+        # mimicking the real characterization grid.
+        for t_base in (45.0, 55.0, 65.0, 75.0, 85.0):
+            t = t_base + 0.05 * u
+            power = truth["c"] + truth["k1"] * u + truth["k2"] * np.exp(
+                truth["k3"] * t
+            )
+            if noise > 0:
+                power += rng.normal(0.0, noise)
+            samples.append(
+                CharacterizationSample(
+                    utilization_pct=u,
+                    fan_rpm=3000.0,
+                    avg_cpu_temperature_c=float(t),
+                    compute_power_w=float(power),
+                    fan_power_w=20.0,
+                )
+            )
+    return samples
+
+
+class TestFitRoundTrip:
+    @given(truth=ground_truths)
+    @settings(max_examples=30, deadline=None)
+    def test_clean_data_recovers_leakage_curve(self, truth):
+        fitted = fit_power_model(make_samples(truth))
+        # Compare the physically meaningful quantities, not raw
+        # coefficients (k2/k3 are correlated).
+        for temp in (50.0, 65.0, 80.0):
+            expected = truth["k2"] * np.exp(truth["k3"] * temp)
+            assert fitted.leakage_variable_w(temp) == pytest.approx(
+                expected, rel=0.05, abs=0.3
+            )
+
+    @given(truth=ground_truths)
+    @settings(max_examples=30, deadline=None)
+    def test_clean_data_recovers_k1(self, truth):
+        fitted = fit_power_model(make_samples(truth))
+        assert fitted.k1_w_per_pct == pytest.approx(truth["k1"], rel=0.03, abs=0.05)
+
+    @given(truth=ground_truths, seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_noisy_fit_rmse_at_noise_floor(self, truth, seed):
+        fitted = fit_power_model(make_samples(truth, noise=2.0, seed=seed))
+        assert fitted.quality.rmse_w < 4.0
+
+    @given(truth=ground_truths)
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_interpolates(self, truth):
+        """Predictions at unseen (U, T) points match the generator."""
+        fitted = fit_power_model(make_samples(truth))
+        for u, t in ((33.0, 58.0), (66.0, 72.0), (82.0, 63.0)):
+            expected = truth["c"] + truth["k1"] * u + truth["k2"] * np.exp(
+                truth["k3"] * t
+            )
+            assert fitted.predict_compute_power_w(u, t) == pytest.approx(
+                expected, rel=0.02
+            )
+
+
+class TestFanFitRoundTrip:
+    @given(
+        coeff=st.floats(10.0, 150.0),
+        exponent=st.floats(2.0, 3.5),
+        noise=st.floats(0.0, 0.05),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_power_law(self, coeff, exponent, noise, seed):
+        rng = np.random.default_rng(seed)
+        rpms = np.array([1800.0, 2400.0, 3000.0, 3600.0, 4200.0])
+        powers = coeff * (rpms / 4200.0) ** exponent
+        powers = powers * (1.0 + rng.normal(0.0, noise, size=rpms.shape))
+        powers = np.maximum(powers, 0.1)
+        model = fit_fan_power_model(rpms, powers)
+        if noise == 0.0:
+            assert model.exponent == pytest.approx(exponent, abs=0.01)
+            assert model.coeff_w == pytest.approx(coeff, rel=0.01)
+        else:
+            # Five points with a few percent multiplicative noise pin
+            # the exponent to within roughly half a unit.
+            assert model.exponent == pytest.approx(exponent, abs=0.8)

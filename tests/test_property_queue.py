@@ -1,0 +1,57 @@
+"""Property-based tests on the M/M/c queueing simulator."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.workloads.queuing import MMcQueueSimulator
+
+
+class TestQueueInvariants:
+    @given(
+        servers=st.integers(1, 64),
+        rho=st.floats(0.05, 0.9),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_utilization_bounded(self, servers, rho, seed):
+        sim = MMcQueueSimulator(
+            servers=servers,
+            arrival_rate_per_s=rho * servers / 2.0,
+            mean_service_s=2.0,
+            seed=seed,
+        )
+        _, util, stats = sim.run(duration_s=300.0)
+        assert np.all(util >= 0.0)
+        assert np.all(util <= 100.0)
+        assert 0.0 <= stats.mean_utilization_pct <= 100.0
+
+    @given(
+        servers=st.integers(1, 32),
+        rho=st.floats(0.05, 0.9),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_job_conservation(self, servers, rho, seed):
+        sim = MMcQueueSimulator(
+            servers=servers,
+            arrival_rate_per_s=rho * servers / 2.0,
+            mean_service_s=2.0,
+            seed=seed,
+        )
+        _, _, stats = sim.run(duration_s=300.0)
+        assert stats.jobs_completed <= stats.jobs_arrived
+        assert stats.mean_busy_threads <= servers
+        assert stats.mean_queue_length >= 0.0
+        assert stats.mean_wait_s >= 0.0
+
+    @given(target=st.floats(5.0, 90.0), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_long_run_utilization_tracks_target(self, target, seed):
+        sim = MMcQueueSimulator.for_target_utilization(
+            target, servers=128, seed=seed
+        )
+        _, _, stats = sim.run(duration_s=1800.0)
+        # Within 6 points absolute or 25% relative of the target.
+        tolerance = max(6.0, 0.25 * target)
+        assert abs(stats.mean_utilization_pct - target) < tolerance

@@ -1,0 +1,74 @@
+"""Property-based closed-loop safety invariants.
+
+Whatever workload is thrown at them, the shipped controllers must keep
+the default-spec server out of the critical region and inside their
+design envelopes.  Hypothesis generates arbitrary staircase workloads;
+each runs a shortened closed loop.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.controllers.bangbang import BangBangController
+from repro.core.controllers.lut import LUTController
+from repro.core.lut import build_lut_from_spec
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.server.specs import default_server_spec
+from repro.workloads.profile import StaircaseProfile
+
+SPEC = default_server_spec()
+LUT = build_lut_from_spec(SPEC)
+
+workloads = st.lists(
+    st.sampled_from([0.0, 10.0, 25.0, 40.0, 50.0, 60.0, 75.0, 90.0, 100.0]),
+    min_size=2,
+    max_size=6,
+)
+
+
+def run_short(controller, levels, seed):
+    profile = StaircaseProfile(levels, step_duration_s=240.0)
+    return run_experiment(
+        controller,
+        profile,
+        spec=SPEC,
+        config=ExperimentConfig(seed=seed),
+    )
+
+
+class TestLutSafety:
+    @given(levels=workloads, seed=st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_never_critical_and_mostly_in_envelope(self, levels, seed):
+        result = run_short(LUTController(LUT), levels, seed)
+        # Critical threshold (90 degC) is never approached.
+        assert result.metrics.max_temperature_c < 85.0
+        # The steady-state envelope (75 degC) may be transiently
+        # exceeded only marginally during lockout windows.
+        assert result.metrics.max_temperature_c <= 77.0
+
+    @given(levels=workloads, seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_commands_stay_on_ladder(self, levels, seed):
+        result = run_short(LUTController(LUT), levels, seed)
+        commands = set(result.column("rpm_command"))
+        assert commands <= set(LUT.rpms)
+
+
+class TestBangBangSafety:
+    @given(levels=workloads, seed=st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_never_past_emergency_envelope(self, levels, seed):
+        result = run_short(BangBangController(), levels, seed)
+        # The emergency action (4200 RPM above 80 degC) bounds every
+        # workload's excursion well below critical.
+        assert result.metrics.max_temperature_c < 85.0
+
+    @given(levels=workloads, seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_commands_within_actuator_range(self, levels, seed):
+        result = run_short(BangBangController(), levels, seed)
+        commands = result.column("rpm_command")
+        assert commands.min() >= 1800.0
+        assert commands.max() <= 4200.0

@@ -1,0 +1,95 @@
+"""Property-based tests on the thermal network (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.server.power import PowerModel
+from repro.server.specs import default_server_spec
+from repro.server.thermal import ThermalNetwork
+
+SPEC = default_server_spec()
+POWER = PowerModel(SPEC)
+
+utilizations = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+rpms = st.floats(min_value=1800.0, max_value=4200.0, allow_nan=False)
+ambients = st.floats(min_value=15.0, max_value=35.0, allow_nan=False)
+
+
+def _airflow(rpm):
+    return SPEC.fan_count * SPEC.fan.cfm_at_ref * rpm / SPEC.fan.rpm_ref
+
+
+class TestSteadyStateProperties:
+    @given(u=utilizations, rpm=rpms, ambient=ambients)
+    @settings(max_examples=60, deadline=None)
+    def test_junctions_above_ambient(self, u, rpm, ambient):
+        net = ThermalNetwork(SPEC, initial_temperature_c=ambient)
+        steady = net.steady_state(u, rpm, _airflow(rpm), ambient, POWER)
+        assert all(t > ambient for t in steady.junction_c)
+        assert steady.dimm_bank_c > ambient
+
+    @given(u=utilizations, rpm=rpms)
+    @settings(max_examples=60, deadline=None)
+    def test_junction_above_heatsink(self, u, rpm):
+        net = ThermalNetwork(SPEC)
+        steady = net.steady_state(u, rpm, _airflow(rpm), 24.0, POWER)
+        for t_j, t_h in zip(steady.junction_c, steady.heatsink_c):
+            assert t_j > t_h
+
+    @given(u1=utilizations, u2=utilizations, rpm=rpms)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_utilization(self, u1, u2, rpm):
+        if u1 > u2:
+            u1, u2 = u2, u1
+        net = ThermalNetwork(SPEC)
+        cold = net.steady_state(u1, rpm, _airflow(rpm), 24.0, POWER)
+        hot = net.steady_state(u2, rpm, _airflow(rpm), 24.0, POWER)
+        assert hot.junction_c[0] >= cold.junction_c[0] - 1e-9
+
+    @given(u=utilizations, r1=rpms, r2=rpms)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_fan_speed(self, u, r1, r2):
+        if r1 > r2:
+            r1, r2 = r2, r1
+        net = ThermalNetwork(SPEC)
+        slow = net.steady_state(u, r1, _airflow(r1), 24.0, POWER)
+        fast = net.steady_state(u, r2, _airflow(r2), 24.0, POWER)
+        assert fast.junction_c[0] <= slow.junction_c[0] + 1e-9
+
+    @given(u=utilizations, rpm=rpms)
+    @settings(max_examples=30, deadline=None)
+    def test_steady_state_is_fixed_point_of_step(self, u, rpm):
+        """Integrating from the steady state must not move it."""
+        net = ThermalNetwork(SPEC)
+        steady = net.steady_state(u, rpm, _airflow(rpm), 24.0, POWER)
+        net.settle_to(steady)
+        net.step(60.0, u, rpm, _airflow(rpm), 24.0, POWER)
+        assert abs(net.state.junction_c[0] - steady.junction_c[0]) < 0.05
+        assert abs(net.state.dimm_bank_c - steady.dimm_bank_c) < 0.05
+
+
+class TestTransientProperties:
+    @given(u=utilizations, rpm=rpms, minutes=st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_transient_bounded_by_endpoints(self, u, rpm, minutes):
+        """Monotone relaxation: temperatures stay between the cold start
+        and the equilibrium (no overshoot in a passive RC ladder driven
+        by constant input)."""
+        net = ThermalNetwork(SPEC, initial_temperature_c=24.0)
+        steady = net.steady_state(u, rpm, _airflow(rpm), 24.0, POWER)
+        upper = steady.max_junction_c + 0.1
+        for _ in range(minutes * 60):
+            net.step(1.0, u, rpm, _airflow(rpm), 24.0, POWER)
+            assert 23.9 <= net.state.max_junction_c <= upper
+
+    @given(u=utilizations, rpm=rpms)
+    @settings(max_examples=25, deadline=None)
+    def test_integration_step_size_invariance(self, u, rpm):
+        """Coarse steps (sub-stepped internally) agree with fine steps."""
+        coarse = ThermalNetwork(SPEC)
+        fine = ThermalNetwork(SPEC)
+        for _ in range(30):
+            coarse.step(10.0, u, rpm, _airflow(rpm), 24.0, POWER)
+        for _ in range(600):
+            fine.step(0.5, u, rpm, _airflow(rpm), 24.0, POWER)
+        assert abs(coarse.state.junction_c[0] - fine.state.junction_c[0]) < 0.3

@@ -1,0 +1,107 @@
+"""Property-based tests on profiles, LoadGen, and the monitor."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.workloads.loadgen import LoadGen, UtilizationMonitor
+from repro.workloads.profile import (
+    CompositeProfile,
+    ConstantProfile,
+    RampProfile,
+    SquareWaveProfile,
+    StaircaseProfile,
+)
+
+levels = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+class TestProfileRangeInvariant:
+    @given(level=levels, t=times)
+    def test_constant_in_range(self, level, t):
+        assert 0.0 <= ConstantProfile(level, 100.0).utilization_pct(t) <= 100.0
+
+    @given(
+        points=st.lists(levels, min_size=2, max_size=8),
+        t=times,
+    )
+    def test_ramp_in_range(self, points, t):
+        profile = RampProfile(
+            [(60.0 * i, u) for i, u in enumerate(points)]
+        )
+        assert 0.0 <= profile.utilization_pct(t) <= 100.0
+
+    @given(
+        step_levels=st.lists(levels, min_size=1, max_size=20),
+        t=times,
+    )
+    def test_staircase_values_from_input_set(self, step_levels, t):
+        profile = StaircaseProfile(step_levels, step_duration_s=60.0)
+        assert profile.utilization_pct(t) in step_levels
+
+    @given(high=levels, low=levels, duty=st.floats(0.0, 1.0), t=times)
+    def test_square_wave_two_valued(self, high, low, duty, t):
+        profile = SquareWaveProfile(high, low, period_s=120.0, duty=duty)
+        assert profile.utilization_pct(t) in (high, low)
+
+    @given(segments=st.lists(levels, min_size=1, max_size=5), t=times)
+    def test_composite_in_range(self, segments, t):
+        profile = CompositeProfile(
+            [ConstantProfile(u, 60.0) for u in segments]
+        )
+        assert profile.utilization_pct(t) in segments
+
+
+class TestLoadGenProperties:
+    @given(level=levels)
+    @settings(max_examples=40, deadline=None)
+    def test_pwm_mean_equals_target(self, level):
+        gen = LoadGen(ConstantProfile(level, 1e6), pwm_period_s=30.0)
+        grid = np.arange(0.0, 3000.0, 0.25)
+        mean = np.mean([gen.instantaneous_pct(t) for t in grid])
+        assert abs(mean - level) < 1.0
+
+    @given(level=levels, t=times)
+    def test_pwm_output_binary(self, level, t):
+        gen = LoadGen(ConstantProfile(level, 1e6), pwm_period_s=30.0)
+        assert gen.instantaneous_pct(t) in (0.0, 100.0)
+
+    @given(level=levels, t=times)
+    def test_direct_mode_identity(self, level, t):
+        gen = LoadGen(ConstantProfile(level, 1e6), mode="direct")
+        assert gen.instantaneous_pct(t) == level
+
+
+class TestMonitorProperties:
+    @given(
+        samples=st.lists(levels, min_size=1, max_size=200),
+        window=st.floats(1.0, 120.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_within_observed_range(self, samples, window):
+        monitor = UtilizationMonitor(window_s=window)
+        for i, u in enumerate(samples):
+            monitor.observe(float(i), u, 1.0)
+        estimate = monitor.utilization_pct()
+        assert 0.0 <= estimate <= 100.0
+        recent = samples[-int(np.ceil(window)) :]
+        assert min(recent) - 1e-6 <= estimate <= max(recent) + 1e-6
+
+    @given(level=levels, n=st.integers(2, 100))
+    def test_constant_stream_is_identity(self, level, n):
+        monitor = UtilizationMonitor(window_s=30.0)
+        for i in range(n):
+            monitor.observe(float(i), level, 1.0)
+        assert abs(monitor.utilization_pct() - level) < 1e-6
+
+    @given(samples=st.lists(levels, min_size=1, max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_no_drift_from_running_integral(self, samples):
+        """The incremental integral matches a from-scratch average."""
+        window = 10.0
+        monitor = UtilizationMonitor(window_s=window)
+        for i, u in enumerate(samples):
+            monitor.observe(float(i), u, 1.0)
+        expected = np.mean(samples[-10:]) if len(samples) >= 10 else np.mean(samples)
+        assert abs(monitor.utilization_pct() - expected) < 1e-6

@@ -1,0 +1,47 @@
+"""Unit tests for the experimental protocol (paper §IV)."""
+
+import pytest
+
+from repro.experiments.protocol import ExperimentProtocol
+from repro.server.server import ServerSimulator
+from repro.workloads.profile import ConstantProfile
+
+
+class TestColdStart:
+    def test_forces_idle_equilibrium_at_3600(self):
+        protocol = ExperimentProtocol()
+        sim = ServerSimulator(seed=0, initial_fan_rpm=1800.0)
+        protocol.force_cold_state(sim)
+        assert sim.fans.mean_rpm == pytest.approx(3600.0)
+        # Idle at 3600 RPM settles in the mid-30s degC.
+        assert sim.state.max_junction_c == pytest.approx(35.0, abs=2.0)
+        assert sim.state.utilization_pct == 0.0
+
+    def test_cold_state_is_reproducible(self):
+        protocol = ExperimentProtocol()
+        a = ServerSimulator(seed=0, initial_fan_rpm=4200.0)
+        b = ServerSimulator(seed=0, initial_fan_rpm=2400.0)
+        protocol.force_cold_state(a)
+        protocol.force_cold_state(b)
+        assert a.state.max_junction_c == pytest.approx(b.state.max_junction_c)
+
+
+class TestWrapProfile:
+    def test_adds_head_and_tail(self):
+        protocol = ExperimentProtocol()
+        wrapped = protocol.wrap_profile(ConstantProfile(80.0, 600.0))
+        assert wrapped.duration_s == 300.0 + 600.0 + 600.0
+        assert wrapped.utilization_pct(100.0) == 0.0  # idle head
+        assert wrapped.utilization_pct(400.0) == 80.0  # load
+        assert wrapped.utilization_pct(1000.0) == 0.0  # idle tail
+
+    def test_zero_phases_passthrough(self):
+        protocol = ExperimentProtocol(idle_head_s=0.0, idle_tail_s=0.0)
+        profile = ConstantProfile(80.0, 600.0)
+        assert protocol.wrap_profile(profile) is profile
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentProtocol(idle_head_s=-1.0)
+        with pytest.raises(ValueError):
+            ExperimentProtocol(cold_start_rpm=0.0)

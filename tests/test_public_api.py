@@ -1,0 +1,98 @@
+"""Public API surface consistency checks.
+
+A downstream user's first contact is ``import repro``; these tests pin
+that the advertised surface actually resolves, that ``__all__`` lists
+are accurate, and that the version metadata is coherent.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.core",
+    "repro.core.controllers",
+    "repro.experiments",
+    "repro.models",
+    "repro.reporting",
+    "repro.server",
+    "repro.telemetry",
+    "repro.workloads",
+)
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), package
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_has_no_duplicates(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__)), package
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_entry_points_importable(self):
+        from repro import (  # noqa: F401
+            BangBangController,
+            CoordinatedController,
+            LUTController,
+            ModelPredictiveController,
+            OracleController,
+            PIController,
+            ServerSimulator,
+            build_paper_lut,
+            build_table1,
+            run_experiment,
+        )
+
+    def test_controllers_share_base(self):
+        from repro import (
+            BangBangController,
+            CoordinatedController,
+            FanController,
+            FixedSpeedController,
+            LUTController,
+            LookupTable,
+            ModelPredictiveController,
+            OracleController,
+            PIController,
+        )
+
+        lut = LookupTable(levels_pct=(0.0,), rpms=(1800.0,))
+        from repro.core.thermal_map import ThermalMap
+        from repro.models.leakage import FanPowerModel, LeakageModel
+        from repro.server.dvfs import DvfsSpec
+        import numpy as np
+
+        instances = [
+            FixedSpeedController(3300.0),
+            BangBangController(),
+            LUTController(lut),
+            PIController(),
+            OracleController(),
+            CoordinatedController(lut, DvfsSpec()),
+            ModelPredictiveController(
+                thermal_map=ThermalMap([0.0, 100.0], [1800.0, 4200.0],
+                                       np.array([[40.0, 32.0], [85.0, 58.0]])),
+                leakage_model=LeakageModel(0.0, 0.65, 0.0475),
+                fan_power_model=FanPowerModel(55.0, 3.0, 4200.0),
+            ),
+        ]
+        for controller in instances:
+            assert isinstance(controller, FanController)
+            assert controller.poll_interval_s > 0
+            assert isinstance(controller.name, str) and controller.name
+
+    def test_cli_module_has_main(self):
+        from repro.cli import main
+
+        assert callable(main)

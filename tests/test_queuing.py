@@ -1,0 +1,108 @@
+"""Unit tests for the M/M/c queueing simulator (Test-4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.queuing import (
+    MMcQueueSimulator,
+    queue_utilization_trace,
+)
+
+
+class TestConstruction:
+    def test_offered_load(self):
+        sim = MMcQueueSimulator(
+            servers=256, arrival_rate_per_s=51.2, mean_service_s=2.0
+        )
+        assert sim.offered_load == pytest.approx(0.4)
+
+    def test_for_target_utilization(self):
+        sim = MMcQueueSimulator.for_target_utilization(40.0, servers=256)
+        assert sim.offered_load == pytest.approx(0.4)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            MMcQueueSimulator.for_target_utilization(0.0)
+        with pytest.raises(ValueError):
+            MMcQueueSimulator.for_target_utilization(100.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MMcQueueSimulator(servers=0)
+        with pytest.raises(ValueError):
+            MMcQueueSimulator(arrival_rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            MMcQueueSimulator(mean_service_s=0.0)
+
+
+class TestSimulation:
+    def test_mean_utilization_near_offered_load(self):
+        sim = MMcQueueSimulator.for_target_utilization(40.0, seed=3)
+        _, utilization, stats = sim.run(duration_s=2400.0)
+        assert stats.mean_utilization_pct == pytest.approx(40.0, abs=4.0)
+        assert np.mean(utilization) == pytest.approx(40.0, abs=4.0)
+
+    def test_utilization_bounds(self):
+        sim = MMcQueueSimulator.for_target_utilization(60.0, seed=1)
+        _, utilization, _ = sim.run(duration_s=600.0)
+        assert np.all(utilization >= 0.0)
+        assert np.all(utilization <= 100.0)
+
+    def test_sample_grid(self):
+        sim = MMcQueueSimulator.for_target_utilization(30.0, seed=1)
+        times, utilization, _ = sim.run(duration_s=100.0, sample_dt_s=1.0)
+        assert len(times) == len(utilization) == 101
+        assert times[0] == 0.0 and times[-1] == 100.0
+
+    def test_conservation(self):
+        """Arrived jobs = completed + in service + queued at the end."""
+        sim = MMcQueueSimulator(
+            servers=4, arrival_rate_per_s=1.5, mean_service_s=2.0, seed=9
+        )
+        _, _, stats = sim.run(duration_s=1000.0)
+        assert stats.jobs_completed <= stats.jobs_arrived
+        # In a 1000 s run with ~1500 arrivals, nearly all complete.
+        assert stats.jobs_completed > 0.9 * stats.jobs_arrived
+
+    def test_deterministic_for_seed(self):
+        a = MMcQueueSimulator.for_target_utilization(40.0, seed=5)
+        b = MMcQueueSimulator.for_target_utilization(40.0, seed=5)
+        _, util_a, _ = a.run(300.0)
+        _, util_b, _ = b.run(300.0)
+        np.testing.assert_array_equal(util_a, util_b)
+
+    def test_heavy_load_queues(self):
+        """Near saturation, jobs actually wait."""
+        sim = MMcQueueSimulator(
+            servers=2, arrival_rate_per_s=0.95, mean_service_s=2.0, seed=2
+        )
+        _, _, stats = sim.run(duration_s=2000.0)
+        assert stats.mean_wait_s > 0.0
+        assert stats.mean_queue_length > 0.0
+
+    def test_light_load_rarely_queues(self):
+        sim = MMcQueueSimulator(
+            servers=64, arrival_rate_per_s=2.0, mean_service_s=1.0, seed=2
+        )
+        _, _, stats = sim.run(duration_s=1000.0)
+        assert stats.mean_wait_s == pytest.approx(0.0, abs=0.01)
+
+    def test_busy_never_exceeds_servers(self):
+        sim = MMcQueueSimulator(
+            servers=8, arrival_rate_per_s=10.0, mean_service_s=2.0, seed=4
+        )
+        _, utilization, _ = sim.run(duration_s=500.0)
+        assert np.max(utilization) <= 100.0
+
+
+class TestConvenienceTrace:
+    def test_trace_shape(self):
+        times, util = queue_utilization_trace(600.0, target_utilization_pct=50.0)
+        assert len(times) == len(util)
+        assert times[-1] == 600.0
+
+    def test_trace_mean(self):
+        _, util = queue_utilization_trace(
+            2400.0, target_utilization_pct=50.0, seed=8
+        )
+        assert np.mean(util) == pytest.approx(50.0, abs=5.0)

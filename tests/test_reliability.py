@@ -1,0 +1,113 @@
+"""Unit tests for the reliability accounting models."""
+
+import numpy as np
+import pytest
+
+from repro.core.controllers.default import FixedSpeedController
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.models.reliability import (
+    ReliabilityReport,
+    arrhenius_acceleration,
+    coffin_manson_damage,
+    fan_bearing_wear,
+    integrated_thermal_aging,
+    reliability_report,
+)
+from repro.workloads.profile import ConstantProfile
+
+
+class TestArrhenius:
+    def test_unity_at_reference(self):
+        assert arrhenius_acceleration(55.0, reference_c=55.0) == pytest.approx(1.0)
+
+    def test_roughly_doubles_per_ten_degrees(self):
+        ratio = arrhenius_acceleration(65.0) / arrhenius_acceleration(55.0)
+        assert 1.8 < ratio < 2.4
+
+    def test_monotone(self):
+        values = [arrhenius_acceleration(t) for t in (40.0, 55.0, 70.0, 85.0)]
+        assert values == sorted(values)
+
+    def test_below_reference_slows_aging(self):
+        assert arrhenius_acceleration(40.0) < 1.0
+
+    def test_negative_activation_energy_rejected(self):
+        with pytest.raises(ValueError):
+            arrhenius_acceleration(55.0, activation_energy_ev=-0.1)
+
+
+class TestIntegratedAging:
+    def test_reference_trace_ages_at_wall_pace(self):
+        times = np.arange(0.0, 3601.0, 10.0)
+        temps = np.full_like(times, 55.0)
+        assert integrated_thermal_aging(times, temps) == pytest.approx(1.0, rel=0.01)
+
+    def test_hot_trace_ages_faster(self):
+        times = np.arange(0.0, 3601.0, 10.0)
+        hot = integrated_thermal_aging(times, np.full_like(times, 75.0))
+        assert hot > 2.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            integrated_thermal_aging([0.0, 1.0], [55.0])
+
+
+class TestCoffinManson:
+    def test_flat_trace_has_no_damage(self):
+        assert coffin_manson_damage(np.full(100, 60.0)) == 0.0
+
+    def test_cycling_trace_accumulates(self):
+        swing = np.tile([50.0, 70.0], 50)
+        assert coffin_manson_damage(swing) > 0.0
+
+    def test_larger_swings_do_superlinear_damage(self):
+        small = np.tile([55.0, 65.0], 50)  # 10 degC swings
+        large = np.tile([45.0, 75.0], 50)  # 30 degC swings
+        assert coffin_manson_damage(large) > 3.0 * coffin_manson_damage(small)
+
+    def test_short_trace(self):
+        assert coffin_manson_damage([60.0, 61.0]) == 0.0
+
+    def test_invalid_reference(self):
+        with pytest.raises(ValueError):
+            coffin_manson_damage(np.tile([50.0, 70.0], 10), reference_swing_c=0.0)
+
+
+class TestFanWear:
+    def test_reference_speed_wears_at_wall_pace(self):
+        times = np.arange(0.0, 3601.0, 10.0)
+        rpms = np.full_like(times, 3300.0)
+        assert fan_bearing_wear(times, rpms, speed_changes=0) == pytest.approx(
+            1.0, rel=0.01
+        )
+
+    def test_slow_fans_wear_less(self):
+        times = np.arange(0.0, 3601.0, 10.0)
+        slow = fan_bearing_wear(times, np.full_like(times, 1800.0), 0)
+        assert slow < 0.25
+
+    def test_speed_changes_add_penalty(self):
+        times = np.arange(0.0, 3601.0, 10.0)
+        rpms = np.full_like(times, 3300.0)
+        base = fan_bearing_wear(times, rpms, speed_changes=0)
+        with_changes = fan_bearing_wear(times, rpms, speed_changes=10)
+        assert with_changes == pytest.approx(base + 10.0 * 0.05)
+
+    def test_invalid_reference(self):
+        with pytest.raises(ValueError):
+            fan_bearing_wear([0.0, 1.0], [1.0, 1.0], 0, reference_rpm=0.0)
+
+
+class TestReport:
+    def test_report_from_experiment(self):
+        result = run_experiment(
+            FixedSpeedController(3300.0),
+            ConstantProfile(75.0, 1200.0),
+            config=ExperimentConfig(seed=1),
+        )
+        report = reliability_report(result)
+        assert isinstance(report, ReliabilityReport)
+        assert report.thermal_aging_ref_hours > 0.0
+        assert report.fan_wear_ref_hours > 0.0
+        assert report.duration_hours == pytest.approx(1199.0 / 3600.0)
+        assert report.aging_rate > 0.0

@@ -1,0 +1,105 @@
+"""Unit tests for Table I assembly and figure series extraction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    build_paper_lut,
+    build_table1,
+    fig2a_series,
+    fig2b_series,
+    paper_controllers,
+    render_table1,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.profile import ConstantProfile
+
+
+class TestPaperControllers:
+    def test_three_schemes_in_order(self, paper_lut):
+        controllers = paper_controllers(lut=paper_lut)
+        assert [c.name for c in controllers] == ["Default", "Bang-bang", "LUT"]
+
+    def test_default_uses_spec_speed(self, paper_lut, spec):
+        controllers = paper_controllers(lut=paper_lut, spec=spec)
+        assert controllers[0].rpm == spec.default_fan_rpm
+
+
+class TestBuildPaperLut:
+    def test_end_to_end_lut(self, spec):
+        lut = build_paper_lut(spec=spec, seed=11)
+        assert lut.query(0.0) == 1800.0
+        assert lut.query(100.0) == 2400.0
+
+
+class TestBuildTable1:
+    @pytest.fixture(scope="class")
+    def small_table(self, paper_lut, spec):
+        """A miniature Table I: one short synthetic test, 3 schemes."""
+        tests = {"mini": ConstantProfile(75.0, 900.0)}
+
+        def factory():
+            return paper_controllers(lut=paper_lut, spec=spec)
+
+        return build_table1(
+            spec=spec,
+            tests=tests,
+            controllers_factory=factory,
+            config=ExperimentConfig(seed=2),
+        )
+
+    def test_structure(self, small_table):
+        assert set(small_table) == {"mini"}
+        assert set(small_table["mini"]) == {"Default", "Bang-bang", "LUT"}
+
+    def test_baseline_has_no_savings_entry(self, small_table):
+        assert small_table["mini"]["Default"].net_savings_pct is None
+        assert small_table["mini"]["LUT"].net_savings_pct is not None
+
+    def test_lut_saves_energy(self, small_table):
+        assert small_table["mini"]["LUT"].net_savings_pct > 0.0
+
+    def test_render_contains_all_rows(self, small_table):
+        text = render_table1(small_table)
+        for scheme in ("Default", "Bang-bang", "LUT"):
+            assert scheme in text
+        assert "Energy(kWh)" in text
+
+    def test_render_savings_formatting(self, small_table):
+        text = render_table1(small_table)
+        assert "--" in text  # the baseline row
+        assert "%" in text
+
+
+class TestFigure2Series:
+    def test_fig2a_shapes(self, spec):
+        data = fig2a_series(spec=spec, fan_rpms=(1800.0, 2400.0, 3000.0))
+        assert len(data["temperature_c"]) == 3
+        assert set(data) == {
+            "temperature_c",
+            "fan_rpm",
+            "leakage_w",
+            "fan_power_w",
+            "leak_plus_fan_w",
+        }
+
+    def test_fig2a_sorted_by_temperature(self, spec):
+        data = fig2a_series(spec=spec)
+        assert np.all(np.diff(data["temperature_c"]) > 0)
+
+    def test_fig2a_convexity(self, spec):
+        """The leak+fan curve dips to an interior minimum."""
+        data = fig2a_series(spec=spec)
+        sums = data["leak_plus_fan_w"]
+        interior_min = np.argmin(sums)
+        assert 0 < interior_min < len(sums) - 1
+
+    def test_fig2b_per_utilization(self, spec):
+        series = fig2b_series(
+            utilizations_pct=(50.0, 100.0),
+            spec=spec,
+            fan_rpms=(1800.0, 3000.0, 4200.0),
+        )
+        assert set(series) == {50.0, 100.0}
+        # Higher utilization runs hotter at the same fan speed.
+        assert series[100.0]["temperature_c"][0] > series[50.0]["temperature_c"][0]

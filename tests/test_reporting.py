@@ -1,0 +1,117 @@
+"""Unit tests for ASCII reporting primitives."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import ascii_chart, format_table, sparkline
+
+
+class TestAsciiChart:
+    def _series(self):
+        x = np.linspace(0.0, 10.0, 50)
+        return {"up": (x, x), "down": (x, 10.0 - x)}
+
+    def test_contains_legend_and_labels(self):
+        chart = ascii_chart(self._series(), xlabel="time", ylabel="degC")
+        assert "o=up" in chart
+        assert "x=down" in chart
+        assert "[degC]" in chart
+        assert "time" in chart
+
+    def test_axis_bounds_printed(self):
+        chart = ascii_chart(self._series())
+        assert "10.0" in chart
+        assert "0.0" in chart
+
+    def test_line_count_matches_height(self):
+        chart = ascii_chart(self._series(), height=12, ylabel="y")
+        # height rows + ylabel + axis + footer + legend.
+        assert len(chart.splitlines()) == 12 + 4
+
+    def test_markers_placed(self):
+        chart = ascii_chart({"only": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))})
+        assert chart.count("o") >= 2
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"flat": (np.array([0.0, 1.0]), np.array([5.0, 5.0]))})
+        assert "o" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"e": (np.array([]), np.array([]))})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"bad": (np.array([1.0]), np.array([1.0, 2.0]))})
+
+    def test_too_many_series_rejected(self):
+        x = np.array([0.0, 1.0])
+        series = {f"s{i}": (x, x) for i in range(9)}
+        with pytest.raises(ValueError):
+            ascii_chart(series)
+
+    def test_tiny_chart_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart(self._series(), width=5)
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline(np.arange(100.0), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=40)) == 3
+
+    def test_monotone_ramp_ends_high(self):
+        line = sparkline(np.arange(50.0))
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_constant_is_flat(self):
+        assert set(sparkline([5.0] * 10)) == {" "}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(
+            ["scheme", "energy"],
+            [["Default", 0.6889], ["LUT", 0.6675]],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("scheme")
+        assert set(lines[1]) == {"-"}
+        assert "Default" in lines[2]
+
+    def test_numeric_right_alignment(self):
+        table = format_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        # Numbers align on the right edge.
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_custom_alignment(self):
+        table = format_table(["aaa", "b"], [["x", "y"]], align="><")
+        # First column right-aligned: the short cell gets leading pad.
+        assert table.splitlines()[2].startswith("  x")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_bad_align_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x"]], align="^")
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])

@@ -1,0 +1,102 @@
+"""Tests for the sensitivity sweep utilities."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    scale_leakage,
+    scale_sensor_noise,
+    sweep_ambient,
+    sweep_sensor_noise,
+)
+from repro.models.steady_state import steady_state_point
+from repro.server.specs import default_server_spec
+from repro.workloads.profile import StaircaseProfile
+
+
+@pytest.fixture(scope="module")
+def short_profile():
+    """A compact workload so sweeps stay fast in unit tests."""
+    return StaircaseProfile([25.0, 90.0, 50.0], step_duration_s=300.0)
+
+
+class TestScaleLeakage:
+    def test_scales_prefactor_only(self):
+        spec = default_server_spec()
+        scaled = scale_leakage(spec, 2.0)
+        assert scaled.sockets[0].leak_k2_w == pytest.approx(
+            2.0 * spec.sockets[0].leak_k2_w
+        )
+        assert scaled.sockets[0].leak_k3_per_c == spec.sockets[0].leak_k3_per_c
+
+    def test_leakier_silicon_runs_hotter(self):
+        spec = default_server_spec()
+        leaky = scale_leakage(spec, 4.0)
+        base = steady_state_point(100.0, 2400.0, spec=spec)
+        hot = steady_state_point(100.0, 2400.0, spec=leaky)
+        assert hot.avg_junction_c > base.avg_junction_c
+        assert hot.cpu_leakage_w > base.cpu_leakage_w
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_leakage(default_server_spec(), 0.0)
+
+
+class TestScaleSensorNoise:
+    def test_zero_factor_silences_noise(self):
+        scaled = scale_sensor_noise(default_server_spec(), 0.0)
+        assert scaled.sensor_noise.temperature_sigma_c == 0.0
+        assert scaled.sensor_noise.power_sigma_w == 0.0
+
+    def test_quantization_preserved(self):
+        spec = default_server_spec()
+        scaled = scale_sensor_noise(spec, 3.0)
+        assert scaled.sensor_noise.temperature_quantum_c == (
+            spec.sensor_noise.temperature_quantum_c
+        )
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scale_sensor_noise(default_server_spec(), -1.0)
+
+
+class TestSweepAmbient:
+    @pytest.fixture(scope="class")
+    def sweep(self, paper_lut, short_profile):
+        return sweep_ambient(
+            paper_lut,
+            ambients_c=(18.0, 24.0, 30.0),
+            profile=short_profile,
+            seed=1,
+        )
+
+    def test_point_per_ambient(self, sweep):
+        assert set(sweep) == {18.0, 24.0, 30.0}
+
+    def test_warmer_rooms_run_hotter(self, sweep):
+        temps = [sweep[a].lut_max_temperature_c for a in (18.0, 24.0, 30.0)]
+        assert temps == sorted(temps)
+
+    def test_savings_positive_everywhere(self, sweep):
+        for point in sweep.values():
+            assert point.net_savings_pct > 0.0
+
+    def test_thermal_envelope_degrades_gracefully(self, sweep):
+        """Six degrees above the characterization ambient costs at most
+        a commensurate rise in the envelope (no runaway)."""
+        gap = sweep[30.0].lut_max_temperature_c - sweep[24.0].lut_max_temperature_c
+        assert 2.0 <= gap <= 9.0
+
+
+class TestSweepSensorNoise:
+    def test_lut_is_noise_robust(self, paper_lut, short_profile):
+        """The LUT controller never reads temperature, so tripling the
+        sensor noise must not change its savings materially."""
+        sweep = sweep_sensor_noise(
+            paper_lut,
+            factors=(0.0, 3.0),
+            profile=short_profile,
+            seed=1,
+        )
+        clean = sweep[0.0].net_savings_pct
+        noisy = sweep[3.0].net_savings_pct
+        assert noisy == pytest.approx(clean, abs=1.0)

@@ -1,0 +1,49 @@
+"""Unit tests for sensor noise and quantization."""
+
+import numpy as np
+import pytest
+
+from repro.server.sensors import Sensor, SensorSpec
+
+
+class TestSensorSpec:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SensorSpec(sigma=-1.0)
+
+    def test_negative_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            SensorSpec(quantum=-1.0)
+
+
+class TestSensor:
+    def test_noiseless_sensor_is_identity(self):
+        sensor = Sensor(SensorSpec(), np.random.default_rng(0))
+        assert sensor.read(42.125) == 42.125
+
+    def test_quantization_rounds_to_grid(self):
+        sensor = Sensor(SensorSpec(sigma=0.0, quantum=0.25), np.random.default_rng(0))
+        assert sensor.read(42.1) == pytest.approx(42.0)
+        assert sensor.read(42.2) == pytest.approx(42.25)
+
+    def test_noise_statistics(self):
+        sensor = Sensor(SensorSpec(sigma=2.0), np.random.default_rng(1))
+        readings = np.array([sensor.read(100.0) for _ in range(5000)])
+        assert np.mean(readings) == pytest.approx(100.0, abs=0.15)
+        assert np.std(readings) == pytest.approx(2.0, abs=0.15)
+
+    def test_deterministic_for_seed(self):
+        a = Sensor(SensorSpec(sigma=1.0), np.random.default_rng(7))
+        b = Sensor(SensorSpec(sigma=1.0), np.random.default_rng(7))
+        assert [a.read(5.0) for _ in range(10)] == [b.read(5.0) for _ in range(10)]
+
+    def test_read_many_length(self):
+        sensor = Sensor(SensorSpec(sigma=0.5), np.random.default_rng(3))
+        values = sensor.read_many([1.0, 2.0, 3.0])
+        assert len(values) == 3
+
+    def test_quantized_noise_lands_on_grid(self):
+        sensor = Sensor(SensorSpec(sigma=1.0, quantum=0.5), np.random.default_rng(9))
+        for _ in range(100):
+            value = sensor.read(50.0)
+            assert value % 0.5 == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,115 @@
+"""Unit tests for steady-state maps and the Fig. 2 tradeoff."""
+
+import pytest
+
+from repro.models.steady_state import (
+    optimal_rpm_per_utilization,
+    steady_state_map,
+    steady_state_point,
+)
+
+
+class TestSteadyStatePoint:
+    def test_full_load_band(self):
+        hot = steady_state_point(100.0, 1800.0)
+        cool = steady_state_point(100.0, 4200.0)
+        assert hot.avg_junction_c == pytest.approx(85.0, abs=3.0)
+        assert cool.avg_junction_c == pytest.approx(57.0, abs=3.0)
+
+    def test_leakage_decreases_with_fan_speed(self):
+        leaks = [
+            steady_state_point(100.0, rpm).cpu_leakage_w
+            for rpm in (1800.0, 2400.0, 3000.0, 3600.0, 4200.0)
+        ]
+        assert leaks == sorted(leaks, reverse=True)
+
+    def test_fan_power_increases_with_speed(self):
+        fans = [
+            steady_state_point(100.0, rpm).fan_power_w
+            for rpm in (1800.0, 2400.0, 3000.0, 3600.0, 4200.0)
+        ]
+        assert fans == sorted(fans)
+
+    def test_leak_plus_fan_property(self):
+        p = steady_state_point(75.0, 2400.0)
+        assert p.leak_plus_fan_w == pytest.approx(p.cpu_leakage_w + p.fan_power_w)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_point(150.0, 2400.0)
+
+
+class TestFig2Convexity:
+    def test_minimum_at_interior_speed_full_load(self):
+        """Fig. 2(a): the sum has its minimum at 2400 RPM (~70-73 degC),
+        not at either end of the speed range."""
+        speeds = (1800.0, 2400.0, 3000.0, 3600.0, 4200.0)
+        sums = {
+            rpm: steady_state_point(100.0, rpm).leak_plus_fan_w for rpm in speeds
+        }
+        best = min(sums, key=sums.get)
+        assert best == 2400.0
+        best_temp = steady_state_point(100.0, best).avg_junction_c
+        assert 68.0 < best_temp < 75.0
+
+    def test_optimum_never_hotter_than_75(self):
+        """Paper SIV: 'for all the optimum points, average temperature
+        is never higher than 70-75 degC'."""
+        speeds = (1800.0, 2400.0, 3000.0, 3600.0, 4200.0)
+        for u in (25.0, 50.0, 75.0, 90.0, 100.0):
+            sums = {
+                rpm: steady_state_point(u, rpm).leak_plus_fan_w for rpm in speeds
+            }
+            best = min(sums, key=sums.get)
+            assert steady_state_point(u, best).avg_junction_c <= 75.0
+
+    def test_fan_only_savings_reach_30w(self):
+        """Paper SIV: 'power savings achieved only by setting the
+        appropriate fan speed can reach 30 W'."""
+        speeds = (1800.0, 2400.0, 3000.0, 3600.0, 4200.0)
+        sums = [steady_state_point(100.0, rpm).leak_plus_fan_w for rpm in speeds]
+        assert max(sums) - min(sums) >= 30.0
+
+
+class TestSteadyStateMap:
+    def test_grid_size(self):
+        grid = steady_state_map([25.0, 100.0], [1800.0, 4200.0])
+        assert len(grid) == 4
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_map([], [1800.0])
+
+    def test_lookup_by_key(self):
+        grid = steady_state_map([50.0], [2400.0])
+        point = grid[(50.0, 2400.0)]
+        assert point.utilization_pct == 50.0
+        assert point.fan_rpm == 2400.0
+
+
+class TestOptimalRpmSelection:
+    def test_low_util_picks_low_speed(self):
+        grid = steady_state_map(
+            [10.0, 100.0], [1800.0, 2400.0, 3000.0, 3600.0, 4200.0]
+        )
+        best = optimal_rpm_per_utilization(grid)
+        assert best[10.0].fan_rpm == 1800.0
+
+    def test_high_util_picks_2400(self):
+        grid = steady_state_map(
+            [100.0], [1800.0, 2400.0, 3000.0, 3600.0, 4200.0]
+        )
+        best = optimal_rpm_per_utilization(grid)
+        assert best[100.0].fan_rpm == 2400.0
+
+    def test_temperature_cap_excludes_hot_points(self):
+        grid = steady_state_map(
+            [100.0], [1800.0, 2400.0, 3000.0, 3600.0, 4200.0]
+        )
+        best = optimal_rpm_per_utilization(grid, max_temperature_c=75.0)
+        assert best[100.0].max_junction_c <= 75.0
+
+    def test_impossible_cap_falls_back_to_fastest(self):
+        grid = steady_state_map([100.0], [1800.0, 2400.0])
+        best = optimal_rpm_per_utilization(grid, max_temperature_c=30.0)
+        assert best[100.0].fan_rpm == 2400.0

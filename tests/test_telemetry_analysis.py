@@ -1,0 +1,119 @@
+"""Unit tests for trace analysis statistics."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.analysis import (
+    count_thermal_cycles,
+    count_threshold_crossings,
+    max_overshoot,
+    rolling_mean,
+    settle_time_s,
+    summarize,
+)
+
+
+class TestRollingMean:
+    def test_constant_series(self):
+        times = np.arange(10.0)
+        out = rolling_mean(times, np.full(10, 5.0), window_s=3.0)
+        np.testing.assert_allclose(out, 5.0)
+
+    def test_window_of_regular_series(self):
+        times = np.arange(6.0)
+        values = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        out = rolling_mean(times, values, window_s=2.0)
+        # At t=5 the window holds samples at t=4,5 -> mean 4.5.
+        assert out[-1] == pytest.approx(4.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean([0.0], [1.0], window_s=0.0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            rolling_mean([0.0, 1.0], [1.0], window_s=1.0)
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            rolling_mean([1.0, 0.0], [1.0, 2.0], window_s=1.0)
+
+
+class TestSettleTime:
+    def test_exponential_approach(self):
+        times = np.arange(0.0, 1000.0)
+        values = 80.0 - 40.0 * np.exp(-times / 100.0)
+        settle = settle_time_s(times, values, tolerance=1.0)
+        # 40*exp(-t/100) < 1  =>  t > 100*ln(40) ~ 369 s.
+        assert settle == pytest.approx(370.0, abs=5.0)
+
+    def test_already_settled(self):
+        times = np.arange(0.0, 300.0)
+        values = np.full_like(times, 60.0)
+        assert settle_time_s(times, values) == 0.0
+
+    def test_faster_dynamics_settle_sooner(self):
+        times = np.arange(0.0, 2000.0)
+        slow = 80.0 - 40.0 * np.exp(-times / 300.0)
+        fast = 80.0 - 40.0 * np.exp(-times / 60.0)
+        assert settle_time_s(times, fast) < settle_time_s(times, slow)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            settle_time_s([0.0, 1.0], [1.0, 1.0], tolerance=0.0)
+
+
+class TestOvershoot:
+    def test_no_overshoot(self):
+        assert max_overshoot([70.0, 74.0, 73.0], threshold=75.0) == 0.0
+
+    def test_overshoot_magnitude(self):
+        assert max_overshoot([70.0, 78.5, 73.0], threshold=75.0) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_overshoot([], threshold=75.0)
+
+
+class TestThresholdCrossings:
+    def test_counts_upward_crossings_only(self):
+        series = [70.0, 76.0, 74.0, 77.0, 78.0, 70.0]
+        assert count_threshold_crossings(series, 75.0) == 2
+
+    def test_no_crossings(self):
+        assert count_threshold_crossings([70.0, 71.0], 75.0) == 0
+
+    def test_short_series(self):
+        assert count_threshold_crossings([80.0], 75.0) == 0
+
+
+class TestThermalCycles:
+    def test_square_wave_cycles(self):
+        series = [50.0, 70.0, 50.0, 70.0, 50.0]
+        # Four half-cycles of 20 degC amplitude -> two full cycles.
+        assert count_thermal_cycles(series, amplitude_c=10.0) == 2
+
+    def test_small_ripple_ignored(self):
+        series = [50.0, 52.0, 50.0, 52.0, 50.0]
+        assert count_thermal_cycles(series, amplitude_c=10.0) == 0
+
+    def test_monotone_series_has_no_cycles(self):
+        assert count_thermal_cycles(list(range(50, 90)), amplitude_c=5.0) == 0
+
+    def test_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            count_thermal_cycles([1.0, 2.0, 1.0], amplitude_c=0.0)
+
+
+class TestSummarize:
+    def test_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.peak_to_peak == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,75 @@
+"""Unit tests for telemetry channels."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.channel import TelemetryChannel, TelemetrySample
+
+
+class TestTelemetryChannel:
+    def test_empty_channel(self):
+        channel = TelemetryChannel("cpu0.temp0", "degC")
+        assert len(channel) == 0
+        assert channel.latest is None
+
+    def test_append_and_latest(self):
+        channel = TelemetryChannel("cpu0.temp0", "degC")
+        channel.append(0.0, 50.0)
+        channel.append(10.0, 51.0)
+        assert len(channel) == 2
+        assert channel.latest == TelemetrySample(10.0, 51.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            TelemetryChannel("", "degC")
+
+    def test_rejects_time_going_backwards(self):
+        channel = TelemetryChannel("p", "W")
+        channel.append(10.0, 1.0)
+        with pytest.raises(ValueError):
+            channel.append(5.0, 2.0)
+
+    def test_ring_buffer_bounds_history(self):
+        channel = TelemetryChannel("p", "W", maxlen=10)
+        for i in range(100):
+            channel.append(float(i), float(i))
+        assert len(channel) == 10
+        assert channel.values()[0] == 90.0
+
+    def test_series_arrays(self):
+        channel = TelemetryChannel("p", "W")
+        for i in range(5):
+            channel.append(float(i), float(i * 2))
+        times, values = channel.as_series()
+        np.testing.assert_allclose(times, [0, 1, 2, 3, 4])
+        np.testing.assert_allclose(values, [0, 2, 4, 6, 8])
+
+    def test_window_selects_half_open_interval(self):
+        channel = TelemetryChannel("p", "W")
+        for i in range(10):
+            channel.append(float(i), float(i))
+        window = channel.window(2.0, 5.0)
+        assert [s.time_s for s in window] == [2.0, 3.0, 4.0]
+
+    def test_mean_over_window(self):
+        channel = TelemetryChannel("p", "W")
+        for i in range(10):
+            channel.append(float(i), float(i))
+        assert channel.mean_over(0.0, 4.0) == pytest.approx(1.5)
+
+    def test_mean_over_empty_window_raises(self):
+        channel = TelemetryChannel("p", "W")
+        channel.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            channel.mean_over(100.0, 200.0)
+
+    def test_backwards_window_rejected(self):
+        channel = TelemetryChannel("p", "W")
+        with pytest.raises(ValueError):
+            channel.window(5.0, 2.0)
+
+    def test_iteration(self):
+        channel = TelemetryChannel("p", "W")
+        channel.append(0.0, 1.0)
+        channel.append(1.0, 2.0)
+        assert [s.value for s in channel] == [1.0, 2.0]

@@ -1,0 +1,101 @@
+"""Unit tests for the CSTH-style polling harness."""
+
+import pytest
+
+from repro.telemetry.harness import TelemetryHarness
+
+
+class TestRegistration:
+    def test_register_returns_channel(self):
+        harness = TelemetryHarness()
+        channel = harness.register("power", "W", lambda: 42.0)
+        assert channel.name == "power"
+        assert "power" in harness.channel_names
+
+    def test_duplicate_name_rejected(self):
+        harness = TelemetryHarness()
+        harness.register("power", "W", lambda: 42.0)
+        with pytest.raises(ValueError):
+            harness.register("power", "W", lambda: 43.0)
+
+    def test_unknown_channel_lookup(self):
+        harness = TelemetryHarness()
+        with pytest.raises(KeyError):
+            harness.channel("missing")
+
+    def test_invalid_poll_interval(self):
+        with pytest.raises(ValueError):
+            TelemetryHarness(poll_interval_s=0.0)
+
+
+class TestVectorRegistration:
+    def test_fanout_channel_names(self):
+        harness = TelemetryHarness()
+        harness.register_vector("dimm.temp", "degC", lambda: [40.0] * 4, count=4)
+        assert set(harness.channel_names) == {
+            "dimm.temp.0",
+            "dimm.temp.1",
+            "dimm.temp.2",
+            "dimm.temp.3",
+        }
+
+    def test_fanout_values(self):
+        harness = TelemetryHarness()
+        harness.register_vector(
+            "dimm.temp", "degC", lambda: [40.0, 41.0, 42.0], count=3
+        )
+        readings = harness.poll(0.0)
+        assert readings["dimm.temp.0"] == 40.0
+        assert readings["dimm.temp.2"] == 42.0
+
+    def test_single_underlying_read_per_poll(self):
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return [1.0, 2.0]
+
+        harness = TelemetryHarness()
+        harness.register_vector("v", "x", provider, count=2)
+        harness.poll(0.0)
+        assert len(calls) == 1
+
+    def test_wrong_length_provider_rejected(self):
+        harness = TelemetryHarness()
+        harness.register_vector("v", "x", lambda: [1.0], count=2)
+        with pytest.raises(ValueError):
+            harness.poll(0.0)
+
+    def test_zero_count_rejected(self):
+        harness = TelemetryHarness()
+        with pytest.raises(ValueError):
+            harness.register_vector("v", "x", lambda: [], count=0)
+
+
+class TestPolling:
+    def test_first_poll_always_due(self):
+        harness = TelemetryHarness(poll_interval_s=10.0)
+        assert harness.due(0.0)
+
+    def test_respects_poll_interval(self):
+        harness = TelemetryHarness(poll_interval_s=10.0)
+        harness.register("p", "W", lambda: 1.0)
+        assert harness.maybe_poll(0.0) is not None
+        assert harness.maybe_poll(5.0) is None
+        assert harness.maybe_poll(10.0) is not None
+
+    def test_poll_appends_samples(self):
+        harness = TelemetryHarness(poll_interval_s=10.0)
+        harness.register("p", "W", lambda: 1.0)
+        harness.poll(0.0)
+        harness.poll(10.0)
+        assert len(harness.channel("p")) == 2
+
+    def test_poll_reads_live_values(self):
+        state = {"value": 1.0}
+        harness = TelemetryHarness()
+        harness.register("p", "W", lambda: state["value"])
+        harness.poll(0.0)
+        state["value"] = 2.0
+        harness.poll(10.0)
+        assert list(harness.channel("p").values()) == [1.0, 2.0]

@@ -1,0 +1,71 @@
+"""Unit tests for the trace recorder and CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.recorder import TraceRecorder
+
+
+class TestSchema:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            TraceRecorder([])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(["a", "a"])
+
+    def test_missing_column_rejected(self):
+        recorder = TraceRecorder(["a", "b"])
+        with pytest.raises(ValueError):
+            recorder.record({"a": 1.0})
+
+    def test_extra_keys_ignored(self):
+        recorder = TraceRecorder(["a"])
+        recorder.record({"a": 1.0, "b": 2.0})
+        assert recorder.column("a")[0] == 1.0
+
+
+class TestAccess:
+    def test_length(self):
+        recorder = TraceRecorder(["a"])
+        for i in range(5):
+            recorder.record({"a": float(i)})
+        assert len(recorder) == 5
+
+    def test_column_array(self):
+        recorder = TraceRecorder(["a", "b"])
+        recorder.record({"a": 1.0, "b": 2.0})
+        recorder.record({"a": 3.0, "b": 4.0})
+        np.testing.assert_allclose(recorder.column("b"), [2.0, 4.0])
+
+    def test_unknown_column(self):
+        recorder = TraceRecorder(["a"])
+        with pytest.raises(KeyError):
+            recorder.column("zzz")
+
+    def test_as_arrays_keys(self):
+        recorder = TraceRecorder(["a", "b"])
+        recorder.record({"a": 1.0, "b": 2.0})
+        arrays = recorder.as_arrays()
+        assert set(arrays) == {"a", "b"}
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        recorder = TraceRecorder(["time_s", "power_w"])
+        for i in range(10):
+            recorder.record({"time_s": float(i), "power_w": 500.0 + i})
+        path = recorder.to_csv(tmp_path / "trace.csv")
+        loaded = TraceRecorder.from_csv(path)
+        assert loaded.columns == recorder.columns
+        np.testing.assert_allclose(
+            loaded.column("power_w"), recorder.column("power_w")
+        )
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        recorder = TraceRecorder(["x"])
+        path = recorder.to_csv(tmp_path / "empty.csv")
+        loaded = TraceRecorder.from_csv(path)
+        assert len(loaded) == 0
+        assert loaded.columns == ("x",)

@@ -1,0 +1,120 @@
+"""Unit tests for the interpolated thermal map."""
+
+import numpy as np
+import pytest
+
+from repro.core.thermal_map import ThermalMap
+from repro.models.fitting import CharacterizationSample
+
+
+def grid_map():
+    utils = [0.0, 50.0, 100.0]
+    rpms = [1800.0, 3000.0, 4200.0]
+    temps = np.array(
+        [
+            [40.0, 35.0, 32.0],
+            [60.0, 50.0, 45.0],
+            [85.0, 66.0, 58.0],
+        ]
+    )
+    return ThermalMap(utils, rpms, temps)
+
+
+class TestConstruction:
+    def test_axes_roundtrip(self):
+        tmap = grid_map()
+        np.testing.assert_allclose(tmap.utilizations_pct, [0.0, 50.0, 100.0])
+        np.testing.assert_allclose(tmap.fan_rpms, [1800.0, 3000.0, 4200.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalMap([0.0, 100.0], [1800.0], np.zeros((3, 3)))
+
+    def test_non_increasing_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalMap([0.0, 0.0], [1800.0], np.zeros((2, 1)))
+
+    def test_non_finite_grid_rejected(self):
+        temps = np.array([[np.nan]])
+        with pytest.raises(ValueError):
+            ThermalMap([50.0], [3000.0], temps)
+
+
+class TestInterpolation:
+    def test_exact_at_grid_points(self):
+        tmap = grid_map()
+        assert tmap.temperature_c(100.0, 1800.0) == 85.0
+        assert tmap.temperature_c(0.0, 4200.0) == 32.0
+
+    def test_bilinear_midpoint(self):
+        tmap = grid_map()
+        # Midpoint of the four corner cells (50..100, 1800..3000).
+        expected = (60.0 + 50.0 + 85.0 + 66.0) / 4.0
+        assert tmap.temperature_c(75.0, 2400.0) == pytest.approx(expected)
+
+    def test_clamps_outside_rpm_range(self):
+        tmap = grid_map()
+        assert tmap.temperature_c(100.0, 1000.0) == 85.0
+        assert tmap.temperature_c(100.0, 9000.0) == 58.0
+
+    def test_monotone_along_axes(self):
+        tmap = grid_map()
+        temps_u = [tmap.temperature_c(u, 3000.0) for u in np.linspace(0, 100, 20)]
+        assert all(b >= a for a, b in zip(temps_u[:-1], temps_u[1:]))
+        temps_r = [
+            tmap.temperature_c(100.0, r) for r in np.linspace(1800, 4200, 20)
+        ]
+        assert all(b <= a for a, b in zip(temps_r[:-1], temps_r[1:]))
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            grid_map().temperature_c(120.0, 3000.0)
+
+
+class TestFromSamples:
+    def _sample(self, u, rpm, t):
+        return CharacterizationSample(
+            utilization_pct=u,
+            fan_rpm=rpm,
+            avg_cpu_temperature_c=t,
+            compute_power_w=500.0,
+            fan_power_w=20.0,
+        )
+
+    def test_full_grid(self):
+        samples = [
+            self._sample(u, r, u / 2.0 + (4200.0 - r) / 100.0)
+            for u in (0.0, 100.0)
+            for r in (1800.0, 4200.0)
+        ]
+        tmap = ThermalMap.from_samples(samples)
+        assert tmap.temperature_c(100.0, 1800.0) == pytest.approx(74.0)
+
+    def test_duplicate_cells_averaged(self):
+        samples = [
+            self._sample(0.0, 1800.0, 40.0),
+            self._sample(0.0, 1800.0, 42.0),
+            self._sample(0.0, 4200.0, 30.0),
+            self._sample(100.0, 1800.0, 80.0),
+            self._sample(100.0, 4200.0, 60.0),
+        ]
+        tmap = ThermalMap.from_samples(samples)
+        assert tmap.temperature_c(0.0, 1800.0) == pytest.approx(41.0)
+
+    def test_missing_cell_rejected(self):
+        samples = [
+            self._sample(0.0, 1800.0, 40.0),
+            self._sample(100.0, 4200.0, 60.0),
+        ]
+        with pytest.raises(ValueError):
+            ThermalMap.from_samples(samples)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalMap.from_samples([])
+
+    def test_from_simulated_characterization(self, characterization_samples):
+        tmap = ThermalMap.from_samples(characterization_samples)
+        # The interpolated map matches the measured band at full load.
+        assert tmap.temperature_c(100.0, 1800.0) == pytest.approx(85.0, abs=3.0)
+        assert tmap.temperature_c(100.0, 4200.0) == pytest.approx(57.0, abs=3.0)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.units conversions and validators."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_minutes(self):
+        assert units.minutes(5.0) == 300.0
+
+    def test_hours(self):
+        assert units.hours(2.0) == 7200.0
+
+    def test_joules_to_kwh_roundtrip(self):
+        assert units.joules_to_kwh(units.kwh_to_joules(0.67)) == pytest.approx(0.67)
+
+    def test_one_kwh_is_3600000_joules(self):
+        assert units.kwh_to_joules(1.0) == 3.6e6
+
+    def test_cfm_roundtrip(self):
+        assert units.m3_s_to_cfm(units.cfm_to_m3_s(150.0)) == pytest.approx(150.0)
+
+    def test_cfm_to_m3s_magnitude(self):
+        # 1 CFM is about 0.000472 m^3/s.
+        assert units.cfm_to_m3_s(1.0) == pytest.approx(4.719474e-4)
+
+
+class TestAirflowHeatCapacity:
+    def test_scales_linearly_with_flow(self):
+        one = units.airflow_heat_capacity_w_per_k(100.0)
+        two = units.airflow_heat_capacity_w_per_k(200.0)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_magnitude(self):
+        # 100 CFM of air carries roughly 56 W/K.
+        value = units.airflow_heat_capacity_w_per_k(100.0)
+        assert 50.0 < value < 62.0
+
+    def test_zero_flow_is_zero(self):
+        assert units.airflow_heat_capacity_w_per_k(0.0) == 0.0
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValueError):
+            units.airflow_heat_capacity_w_per_k(-1.0)
+
+
+class TestClamp:
+    def test_inside_unchanged(self):
+        assert units.clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below_clamps_to_low(self):
+        assert units.clamp(-5.0, 0.0, 10.0) == 0.0
+
+    def test_above_clamps_to_high(self):
+        assert units.clamp(15.0, 0.0, 10.0) == 10.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            units.clamp(1.0, 10.0, 0.0)
+
+
+class TestValidators:
+    def test_temperature_accepts_room_temp(self):
+        assert units.validate_temperature_c(24.0) == 24.0
+
+    def test_temperature_rejects_below_absolute_zero(self):
+        with pytest.raises(ValueError):
+            units.validate_temperature_c(-300.0)
+
+    def test_temperature_rejects_nan(self):
+        with pytest.raises(ValueError):
+            units.validate_temperature_c(math.nan)
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.validate_non_negative(-0.1, "x")
+
+    def test_non_negative_rejects_inf(self):
+        with pytest.raises(ValueError):
+            units.validate_non_negative(math.inf, "x")
+
+    def test_fraction_bounds(self):
+        assert units.validate_fraction(0.0, "f") == 0.0
+        assert units.validate_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValueError):
+            units.validate_fraction(1.01, "f")
+
+    def test_utilization_bounds(self):
+        assert units.validate_utilization_pct(0.0) == 0.0
+        assert units.validate_utilization_pct(100.0) == 100.0
+        with pytest.raises(ValueError):
+            units.validate_utilization_pct(100.5)
+        with pytest.raises(ValueError):
+            units.validate_utilization_pct(-1.0)

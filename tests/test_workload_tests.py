@@ -1,0 +1,105 @@
+"""Unit tests for the paper's four test workloads."""
+
+import numpy as np
+import pytest
+
+from repro.units import minutes
+from repro.workloads.tests import (
+    PAPER_TEST_DURATION_S,
+    build_test1_ramp,
+    build_test2_periods,
+    build_test3_random_steps,
+    build_test4_stochastic,
+    paper_test_profiles,
+)
+
+
+class TestDurations:
+    def test_all_tests_last_80_minutes(self):
+        for name, profile in paper_test_profiles().items():
+            assert profile.duration_s == pytest.approx(
+                PAPER_TEST_DURATION_S, rel=0.01
+            ), name
+
+
+class TestTest1:
+    def test_triangle_shape(self):
+        profile = build_test1_ramp()
+        assert profile.utilization_pct(0.0) == 0.0
+        assert profile.utilization_pct(minutes(40.0)) == pytest.approx(100.0)
+        assert profile.utilization_pct(minutes(80.0)) == pytest.approx(0.0)
+
+    def test_gradual_change(self):
+        """Test-1 changes by < 0.1% per second (gradual, not sudden)."""
+        profile = build_test1_ramp()
+        _, values = profile.sample(dt_s=1.0)
+        assert np.max(np.abs(np.diff(values))) < 0.1
+
+
+class TestTest2:
+    def test_alternates_between_two_levels(self):
+        profile = build_test2_periods()
+        _, values = profile.sample(dt_s=10.0)
+        assert set(np.unique(values)) == {10.0, 90.0}
+
+    def test_first_period_is_five_minutes_high(self):
+        profile = build_test2_periods()
+        assert profile.utilization_pct(minutes(2.0)) == 90.0
+        assert profile.utilization_pct(minutes(7.0)) == 10.0
+
+    def test_fifteen_minute_period_present(self):
+        profile = build_test2_periods()
+        # Minutes 30-45 are the 15-minute high block.
+        for m in (31.0, 38.0, 44.0):
+            assert profile.utilization_pct(minutes(m)) == 90.0
+
+    def test_custom_levels(self):
+        profile = build_test2_periods(high_pct=80.0, low_pct=20.0)
+        _, values = profile.sample(dt_s=10.0)
+        assert set(np.unique(values)) == {20.0, 80.0}
+
+
+class TestTest3:
+    def test_changes_every_five_minutes(self):
+        profile = build_test3_random_steps(seed=3)
+        for t in np.arange(0.0, profile.duration_s, minutes(5.0)):
+            start = profile.utilization_pct(t + 1.0)
+            end = profile.utilization_pct(t + minutes(5.0) - 1.0)
+            assert start == end
+
+    def test_has_multiple_distinct_levels(self):
+        profile = build_test3_random_steps(seed=3)
+        _, values = profile.sample(dt_s=30.0)
+        assert len(np.unique(values)) >= 4
+
+    def test_seeded(self):
+        a = build_test3_random_steps(seed=3)
+        b = build_test3_random_steps(seed=3)
+        _, va = a.sample(dt_s=60.0)
+        _, vb = b.sample(dt_s=60.0)
+        np.testing.assert_array_equal(va, vb)
+
+
+class TestTest4:
+    def test_mean_near_target(self):
+        profile = build_test4_stochastic(target_utilization_pct=40.0, seed=2)
+        assert profile.mean_utilization_pct(dt_s=5.0) == pytest.approx(
+            40.0, abs=5.0
+        )
+
+    def test_values_in_range(self):
+        profile = build_test4_stochastic(seed=2)
+        _, values = profile.sample(dt_s=5.0)
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 100.0)
+
+    def test_stochastic_variation_present(self):
+        profile = build_test4_stochastic(seed=2)
+        _, values = profile.sample(dt_s=5.0)
+        assert np.std(values) > 1.0
+
+
+class TestProfilesFactory:
+    def test_contains_all_four(self):
+        profiles = paper_test_profiles()
+        assert set(profiles) == {"test1", "test2", "test3", "test4"}
