@@ -1,0 +1,115 @@
+"""Fleet engine scaling benchmarks.
+
+Two claims are pinned here:
+
+* **sublinear scaling** — the vectorized engine steps 64 servers at a
+  small multiple of the 1-server wall-clock cost (far below the naive
+  64x of looping independent simulators), because the per-tick thermal
+  and power math is numpy-batched across the whole fleet;
+* **vector vs naive** — at a fixed fleet size the vector backend beats
+  the reference backend (one real :class:`ServerSimulator` per server)
+  outright.
+
+The scaling table is persisted to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_helpers import write_artifact
+
+from repro.core.controllers.default import FixedSpeedController
+from repro.fleet import FleetEngine, build_uniform_fleet
+from repro.reporting import format_table
+from repro.workloads.profile import ConstantProfile
+
+#: Simulated horizon per timing run, seconds.
+HORIZON_S = 600.0
+TICK_S = 5.0
+
+#: Sublinearity target: 64 servers must cost less than 64/10 of one
+#: server (i.e. the engine is >= 10x better than naive linear scaling).
+SPEEDUP_FLOOR = 10.0
+
+
+def _run_fleet(server_count: int, backend: str = "vector") -> float:
+    """Wall-clock seconds to simulate HORIZON_S for *server_count* servers."""
+    racks = 2 if server_count >= 2 else 1
+    fleet = build_uniform_fleet(
+        rack_count=racks, servers_per_rack=server_count // racks
+    )
+    engine = FleetEngine(
+        fleet,
+        ConstantProfile(70.0, HORIZON_S),
+        controller_factory=lambda i: FixedSpeedController(rpm=3000.0),
+        backend=backend,
+    )
+    start = time.perf_counter()
+    engine.run(dt_s=TICK_S)
+    return time.perf_counter() - start
+
+
+def _best_of(runs: int, fn, *args) -> float:
+    return min(fn(*args) for _ in range(runs))
+
+
+def test_vector_engine_scales_sublinearly(results_dir):
+    """64 servers in far less than 64x the 1-server wall-clock."""
+    _run_fleet(1)  # warm caches before timing
+    t1 = _best_of(3, _run_fleet, 1)
+    t8 = _best_of(2, _run_fleet, 8)
+    t64 = _best_of(2, _run_fleet, 64)
+
+    rows = []
+    for n, t in ((1, t1), (8, t8), (64, t64)):
+        ticks = HORIZON_S / TICK_S
+        rows.append(
+            [
+                f"{n}",
+                f"{t * 1e3:.1f}",
+                f"{t / t1:.2f}",
+                f"{n * t1 / t:.1f}",
+                f"{n * ticks / t:.0f}",
+            ]
+        )
+    table = format_table(
+        ["servers", "wall(ms)", "vs N=1", "vs naive Nx", "server-ticks/s"],
+        rows,
+    )
+    write_artifact(results_dir, "fleet_scaling.txt", table)
+
+    # >= SPEEDUP_FLOOR better than naive linear scaling at N=64.
+    assert t64 < (64.0 / SPEEDUP_FLOOR) * t1, (
+        f"64-server step cost {t64:.3f}s vs 1-server {t1:.3f}s — "
+        f"worse than {64 / SPEEDUP_FLOOR:.1f}x"
+    )
+
+
+def test_vector_beats_reference_backend(results_dir):
+    """The batched math must outrun the naive per-simulator loop."""
+    _run_fleet(16, "vector")  # warmup
+    t_vec = _best_of(2, _run_fleet, 16, "vector")
+    t_ref = _best_of(2, _run_fleet, 16, "reference")
+    write_artifact(
+        results_dir,
+        "fleet_backend_speedup.txt",
+        f"16 servers, {HORIZON_S:.0f}s horizon: vector {t_vec * 1e3:.1f} ms, "
+        f"reference {t_ref * 1e3:.1f} ms, speedup {t_ref / t_vec:.1f}x",
+    )
+    assert t_vec < t_ref
+
+
+def test_engine_throughput(benchmark):
+    """pytest-benchmark timing: one simulated minute of a 16-server fleet."""
+    fleet = build_uniform_fleet(rack_count=2, servers_per_rack=8)
+    profile = ConstantProfile(70.0, 60.0)
+
+    def one_minute():
+        FleetEngine(
+            fleet,
+            profile,
+            controller_factory=lambda i: FixedSpeedController(rpm=3000.0),
+        ).run(dt_s=5.0)
+
+    benchmark(one_minute)

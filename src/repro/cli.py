@@ -8,6 +8,7 @@
     python -m repro run --controller lut --test test3 --lut lut.json
     python -m repro table1
     python -m repro fig --figure 2a
+    python -m repro fleet --racks 2 --servers-per-rack 4 --policy coolest-first
 
 Every subcommand prints plain text and writes optional artifacts, so
 the full reproduction can be driven from a shell with no Python.
@@ -47,7 +48,20 @@ from repro.models.fitting import (
     fit_fan_power_model,
     fit_power_model,
 )
-from repro.reporting import ascii_chart, format_table
+from repro.fleet import (
+    PLACEMENT_POLICIES,
+    FleetEngine,
+    FleetScheduler,
+    build_uniform_fleet,
+)
+from repro.reporting import ascii_chart, format_table, sparkline
+from repro.units import hours
+from repro.workloads.datacenter import (
+    build_batch_window_profile,
+    build_diurnal_profile,
+    build_flash_crowd_profile,
+    combine_profiles,
+)
 from repro.workloads.tests import paper_test_profiles
 
 SAMPLE_COLUMNS = (
@@ -271,6 +285,127 @@ def cmd_fig(args) -> int:
     return 0
 
 
+def _build_fleet_workload(name: str, duration_s: float, seed: int):
+    if name == "diurnal":
+        return build_diurnal_profile(duration_s=duration_s, seed=seed)
+    if name == "batch":
+        return build_batch_window_profile(duration_s=duration_s)
+    if name == "flashcrowd":
+        return build_flash_crowd_profile(duration_s=duration_s, seed=seed)
+    if name == "mixed":
+        return combine_profiles(
+            [
+                build_diurnal_profile(duration_s=duration_s, seed=seed),
+                build_batch_window_profile(
+                    duration_s=duration_s, batch_pct=40.0
+                ),
+            ]
+        )
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+def cmd_fleet(args) -> int:
+    if args.racks <= 0 or args.servers_per_rack <= 0:
+        raise SystemExit("--racks and --servers-per-rack must be positive")
+    if args.dt <= 0:
+        raise SystemExit("--dt must be positive")
+    if args.hours <= 0:
+        raise SystemExit("--hours must be positive")
+    fleet = build_uniform_fleet(
+        rack_count=args.racks,
+        servers_per_rack=args.servers_per_rack,
+        crac_supply_c=args.crac_supply,
+    )
+    try:
+        profile = _build_fleet_workload(
+            args.workload, hours(args.hours), seed=args.seed
+        )
+    except ValueError as exc:
+        raise SystemExit(f"cannot build {args.workload!r} workload: {exc}")
+    if args.controller == "lut":
+        # build (or load) the LUT once and share it across all servers
+        # instead of re-running the characterization per controller.
+        if args.lut:
+            lut = LookupTable.load(Path(args.lut))
+        else:
+            lut = build_paper_lut(seed=args.seed)
+        factory = lambda index: LUTController(lut)  # noqa: E731
+    else:
+        factory = lambda index: _build_controller(  # noqa: E731
+            args.controller, args
+        )
+
+    engine = FleetEngine(
+        fleet,
+        profile,
+        scheduler=FleetScheduler(PLACEMENT_POLICIES[args.policy]()),
+        controller_factory=factory,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    result = engine.run(dt_s=args.dt)
+    m = result.metrics
+
+    print(
+        f"fleet      : {fleet.rack_count} racks x "
+        f"{fleet.racks[0].server_count} servers "
+        f"({fleet.server_count} total), CRAC {args.crac_supply:.1f} degC"
+    )
+    print(
+        f"scenario   : {args.workload} x {args.hours:g} h, dt {args.dt:g} s, "
+        f"policy {result.scheduler_name}, controller {result.controller_name}, "
+        f"backend {result.backend}"
+    )
+    print()
+    rows = [
+        [
+            rack.name,
+            f"{rack.server_count}",
+            f"{rack.energy_kwh:.3f}",
+            f"{rack.fan_energy_kwh:.3f}",
+            f"{rack.peak_power_w:.0f}",
+            f"{rack.hot_spot_c:.1f}",
+            f"{rack.mean_inlet_c:.2f}",
+            f"{rack.mean_utilization_pct:.1f}",
+        ]
+        for rack in m.racks
+    ]
+    rows.append(
+        [
+            "fleet",
+            f"{m.server_count}",
+            f"{m.energy_kwh:.3f}",
+            f"{m.fan_energy_kwh:.3f}",
+            f"{m.peak_power_w:.0f}",
+            f"{m.hot_spot_c:.1f}",
+            f"{m.mean_inlet_c:.2f}",
+            f"{m.mean_utilization_pct:.1f}",
+        ]
+    )
+    print(
+        format_table(
+            [
+                "rack",
+                "servers",
+                "E(kWh)",
+                "E_fan(kWh)",
+                "peak(W)",
+                "hotspot(C)",
+                "inlet(C)",
+                "util%",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        f"SLA        : {m.sla_unserved_pct_s:.1f} pct*s unserved demand over "
+        f"{m.sla_violation_ticks} violation ticks"
+    )
+    print(f"fleet power: {sparkline(result.fleet_power_w)}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -316,6 +451,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig", help="regenerate a figure as an ASCII chart")
     p.add_argument("--figure", required=True, choices=("1a", "1b", "2a", "2b", "3"))
     p.set_defaults(func=cmd_fig)
+
+    p = sub.add_parser("fleet", help="run a multi-server fleet scenario")
+    p.add_argument("--racks", type=int, default=2, help="number of racks")
+    p.add_argument(
+        "--servers-per-rack", type=int, default=4, dest="servers_per_rack"
+    )
+    p.add_argument(
+        "--policy",
+        default="coolest-first",
+        choices=sorted(PLACEMENT_POLICIES),
+        help="job placement policy",
+    )
+    p.add_argument(
+        "--workload",
+        default="diurnal",
+        choices=("diurnal", "batch", "flashcrowd", "mixed"),
+    )
+    p.add_argument(
+        "--controller",
+        default="lut",
+        choices=("default", "bangbang", "lut", "pi"),
+        help="per-server fan controller",
+    )
+    p.add_argument("--hours", type=float, default=24.0, help="scenario length")
+    p.add_argument("--dt", type=float, default=60.0, help="tick length, s")
+    p.add_argument(
+        "--crac-supply", type=float, default=24.0, dest="crac_supply",
+        help="CRAC supply temperature, degC",
+    )
+    p.add_argument("--rpm", type=float, default=3300.0, help="default-controller RPM")
+    p.add_argument("--lut", help="LUT JSON for the lut controller")
+    p.add_argument(
+        "--backend", default="vector", choices=("vector", "reference")
+    )
+    p.set_defaults(func=cmd_fleet)
 
     return parser
 

@@ -1,0 +1,67 @@
+"""Fleet simulation: rack-scale topology, scheduling, and batching.
+
+Turns the single-server reproduction into a data-center-scale
+experiment platform, the extension the paper's conclusion proposes:
+
+* :mod:`repro.fleet.topology` — racks, fleets, CRAC supplies, and the
+  heat-recirculation coupling between server exhausts and inlets,
+* :mod:`repro.fleet.scheduler` — pluggable job-placement policies
+  (round-robin, least-utilized, coolest-first, leakage-aware) splitting
+  an aggregate demand trace across the fleet,
+* :mod:`repro.fleet.engine` — the vectorized lock-step engine stepping
+  N servers per tick with numpy-batched thermal/power/leakage math,
+  each server under its own fan controller,
+* :mod:`repro.fleet.metrics` — fleet energy, coincident peak power,
+  hot-spot temperature, SLA violations, and per-rack breakdowns.
+"""
+
+from repro.fleet.engine import FleetEngine, FleetResult
+from repro.fleet.metrics import (
+    FleetMetrics,
+    RackMetrics,
+    compute_fleet_metrics,
+)
+from repro.fleet.scheduler import (
+    PLACEMENT_POLICIES,
+    CoolestFirstPolicy,
+    FleetScheduler,
+    FleetWorkload,
+    LeakageAwarePolicy,
+    LeastUtilizedPolicy,
+    PlacementPolicy,
+    RoundRobinPolicy,
+    SchedulingDecision,
+    ServerLoadView,
+)
+from repro.fleet.topology import (
+    Fleet,
+    Rack,
+    RecirculationAmbient,
+    build_recirculation_matrix,
+    build_uniform_fleet,
+    exhaust_temperature_rise_c,
+)
+
+__all__ = [
+    "FleetEngine",
+    "FleetResult",
+    "FleetMetrics",
+    "RackMetrics",
+    "compute_fleet_metrics",
+    "PLACEMENT_POLICIES",
+    "CoolestFirstPolicy",
+    "FleetScheduler",
+    "FleetWorkload",
+    "LeakageAwarePolicy",
+    "LeastUtilizedPolicy",
+    "PlacementPolicy",
+    "RoundRobinPolicy",
+    "SchedulingDecision",
+    "ServerLoadView",
+    "Fleet",
+    "Rack",
+    "RecirculationAmbient",
+    "build_recirculation_matrix",
+    "build_uniform_fleet",
+    "exhaust_temperature_rise_c",
+]

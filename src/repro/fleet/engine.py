@@ -1,0 +1,520 @@
+"""Lock-step multi-server simulation engine.
+
+Steps every server in the fleet through the same tick sequence the
+single-server :class:`~repro.server.server.ServerSimulator` uses, but
+with the hot per-step math — fan slew, airflow, the RC thermal
+substeps, and the power decomposition — evaluated as numpy arrays over
+all servers and sockets at once (the ``vector`` backend).  A
+``reference`` backend drives one real :class:`ServerSimulator` per
+server through :class:`RecirculationAmbient` wrappers; it is the
+ground truth the vectorized math is tested against and the naive
+baseline the scaling benchmark compares to.
+
+Each server keeps its *own* controller instance (any
+:class:`~repro.core.controllers.base.FanController`), polled on its own
+cadence exactly as the single-server runner does.  Controllers in the
+fleet observe ground-truth junction temperatures and the previous
+tick's executed utilization (the fleet engine trades the runner's
+noisy-sensor / ``sar``-window emulation for scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.controllers.base import ControllerObservation, FanController
+from repro.core.controllers.default import FixedSpeedController
+from repro.fleet.metrics import FleetMetrics, compute_fleet_metrics
+from repro.fleet.scheduler import (
+    FleetScheduler,
+    FleetWorkload,
+    RoundRobinPolicy,
+    ServerLoadView,
+)
+from repro.fleet.topology import (
+    Fleet,
+    RecirculationAmbient,
+    exhaust_temperature_rise_c,
+)
+from repro.server.power import leakage_power_w, leakage_slope_w_per_c
+from repro.server.server import CriticalTemperatureError, ServerSimulator
+from repro.server.thermal import MAX_SUBSTEP_S, convective_resistance_k_w
+from repro.units import airflow_heat_capacity_w_per_k
+from repro.workloads.profile import UtilizationProfile
+
+#: Poll-time comparison slack, seconds (matches the experiment runner).
+_POLL_EPS_S = 1e-9
+
+
+@dataclass
+class _TickState:
+    """Per-server outputs of one physics tick (flat index order)."""
+
+    total_power_w: np.ndarray
+    fan_power_w: np.ndarray
+    airflow_cfm: np.ndarray
+    mean_rpm: np.ndarray
+    max_junction_c: np.ndarray
+    avg_junction_c: np.ndarray
+    leakage_w: np.ndarray
+    leakage_slope_w_per_c: np.ndarray
+    dimm_bank_c: np.ndarray
+
+
+class _VectorBackend:
+    """Numpy-batched physics for a homogeneous-socket-count fleet."""
+
+    def __init__(self, fleet: Fleet):
+        servers = fleet.servers
+        socket_counts = {spec.socket_count for spec in servers}
+        if len(socket_counts) != 1:
+            raise ValueError(
+                "the vector backend needs every server to have the same "
+                f"socket count (got {sorted(socket_counts)}); use "
+                "backend='reference' for heterogeneous fleets"
+            )
+        n = len(servers)
+
+        def per_server(getter) -> np.ndarray:
+            return np.array([float(getter(s)) for s in servers])
+
+        def per_socket(getter) -> np.ndarray:
+            return np.array(
+                [[float(getter(sock)) for sock in s.sockets] for s in servers]
+            )
+
+        # fan bank (uniform command across the bank, as the paper runs)
+        self.fan_count = per_server(lambda s: s.fan_count)
+        self.rpm_min = per_server(lambda s: s.fan.rpm_min)
+        self.rpm_max = per_server(lambda s: s.fan.rpm_max)
+        self.fan_rpm_ref = per_server(lambda s: s.fan.rpm_ref)
+        self.fan_power_ref_w = per_server(lambda s: s.fan.power_at_ref_w)
+        self.fan_power_exp = per_server(lambda s: s.fan.power_exponent)
+        self.fan_cfm_ref = per_server(lambda s: s.fan.cfm_at_ref)
+        self.fan_slew = per_server(lambda s: s.fan.slew_rpm_per_s)
+        # board / memory
+        self.board_w = per_server(lambda s: s.board_power_w)
+        self.mem_idle_w = per_server(lambda s: s.memory.p_idle_w)
+        self.mem_k_w_pct = per_server(lambda s: s.memory.k_active_w_per_pct)
+        self.mem_r_ref = per_server(lambda s: s.memory.r_bank_air_ref_k_w)
+        self.mem_rpm_ref = per_server(lambda s: s.memory.rpm_ref_thermal)
+        self.mem_flow_exp = per_server(lambda s: s.memory.flow_exponent)
+        self.mem_c_bank = per_server(lambda s: s.memory.c_bank_j_k)
+        self.preheat_frac = per_server(lambda s: s.memory.preheat_fraction)
+        self.critical_c = per_server(lambda s: s.critical_temperature_c)
+        # sockets, (server, socket)
+        self.sock_idle_w = per_socket(lambda k: k.p_idle_w)
+        self.sock_k_w_pct = per_socket(lambda k: k.k_active_w_per_pct)
+        self.leak_const_w = per_socket(lambda k: k.leak_const_w)
+        self.leak_k2_w = per_socket(lambda k: k.leak_k2_w)
+        self.leak_k3_per_c = per_socket(lambda k: k.leak_k3_per_c)
+        self.r_jh = per_socket(lambda k: k.r_junction_heatsink_k_w)
+        self.c_j = per_socket(lambda k: k.c_junction_j_k)
+        self.r_ha_ref = per_socket(lambda k: k.r_heatsink_air_ref_k_w)
+        self.rpm_ref_thermal = per_socket(lambda k: k.rpm_ref_thermal)
+        self.flow_exp = per_socket(lambda k: k.flow_exponent)
+        self.c_h = per_socket(lambda k: k.c_heatsink_j_k)
+
+        initial = fleet.supply_temperatures_c(0.0)
+        self.t_j = np.repeat(initial[:, None], self.sock_idle_w.shape[1], 1)
+        self.t_h = self.t_j.copy()
+        self.t_m = initial.copy()
+        self.rpm = per_server(lambda s: s.default_fan_rpm)
+
+    def _leakage(self, t_j: np.ndarray) -> np.ndarray:
+        return leakage_power_w(
+            self.leak_const_w, self.leak_k2_w, self.leak_k3_per_c, t_j
+        )
+
+    def leakage_slope_w_per_c(self) -> np.ndarray:
+        """Per-server ``dP_leak/dT_j`` summed over sockets, W/°C."""
+        return leakage_slope_w_per_c(
+            self.leak_k2_w, self.leak_k3_per_c, self.t_j
+        ).sum(axis=1)
+
+    def step(
+        self,
+        dt_s: float,
+        utilization_pct: np.ndarray,
+        rpm_command: np.ndarray,
+        inlet_c: np.ndarray,
+        offsets_c: np.ndarray,
+    ) -> _TickState:
+        # fan slew, then airflow/power at the new speed (as the
+        # single-server simulator orders it)
+        max_delta = self.fan_slew * dt_s
+        self.rpm += np.clip(rpm_command - self.rpm, -max_delta, max_delta)
+        airflow = self.fan_count * self.fan_cfm_ref * self.rpm / self.fan_rpm_ref
+        fan_power = (
+            self.fan_count
+            * self.fan_power_ref_w
+            * (self.rpm / self.fan_rpm_ref) ** self.fan_power_exp
+        )
+
+        u = utilization_pct
+        mem_power = self.mem_idle_w + self.mem_k_w_pct * u
+        capacity = airflow_heat_capacity_w_per_k(airflow)
+        cpu_inlet = inlet_c + self.preheat_frac * mem_power / capacity
+        r_ma = convective_resistance_k_w(
+            self.mem_r_ref, self.rpm, self.mem_rpm_ref, self.mem_flow_exp
+        )
+        r_ha = convective_resistance_k_w(
+            self.r_ha_ref, self.rpm[:, None], self.rpm_ref_thermal, self.flow_exp
+        )
+
+        active = self.sock_idle_w + self.sock_k_w_pct * u[:, None]
+        substeps = max(1, int(np.ceil(dt_s / MAX_SUBSTEP_S)))
+        h = dt_s / substeps
+        cpu_inlet_col = cpu_inlet[:, None]
+        for _ in range(substeps):
+            heat_in = active + self._leakage(self.t_j)
+            q_jh = (self.t_j - self.t_h) / self.r_jh
+            q_ha = (self.t_h - cpu_inlet_col) / r_ha
+            self.t_j += h * (heat_in - q_jh) / self.c_j
+            self.t_h += h * (q_jh - q_ha) / self.c_h
+            q_ma = (self.t_m - inlet_c) / r_ma
+            self.t_m += h * (mem_power - q_ma) / self.mem_c_bank
+
+        leakage = self._leakage(self.t_j)
+        total = (
+            self.board_w
+            + mem_power
+            + active.sum(axis=1)
+            + leakage.sum(axis=1)
+            + fan_power
+        )
+        return _TickState(
+            total_power_w=total,
+            fan_power_w=fan_power,
+            airflow_cfm=airflow,
+            mean_rpm=self.rpm.copy(),
+            max_junction_c=self.t_j.max(axis=1),
+            avg_junction_c=self.t_j.mean(axis=1),
+            leakage_w=leakage.sum(axis=1),
+            leakage_slope_w_per_c=self.leakage_slope_w_per_c(),
+            dimm_bank_c=self.t_m.copy(),
+        )
+
+    def check_critical(self, trip: bool) -> None:
+        if not trip:
+            return
+        hottest = self.t_j.max(axis=1)
+        over = np.nonzero(hottest > self.critical_c)[0]
+        if over.size:
+            i = int(over[0])
+            raise CriticalTemperatureError(
+                f"server {i} junction reached {hottest[i]:.1f} degC "
+                f"(critical threshold {self.critical_c[i]:.1f} degC)"
+            )
+
+    def initial_views_data(self):
+        leak = self._leakage(self.t_j)
+        return (
+            self.t_j.max(axis=1),
+            self.t_j.mean(axis=1),
+            leak.sum(axis=1),
+            self.leakage_slope_w_per_c(),
+        )
+
+
+class _ReferenceBackend:
+    """One real :class:`ServerSimulator` per server (the naive loop)."""
+
+    def __init__(self, fleet: Fleet, seed: int, trip_on_critical: bool):
+        self.sims: List[ServerSimulator] = []
+        for i, (spec, supply) in enumerate(
+            zip(fleet.servers, fleet.supply_models())
+        ):
+            self.sims.append(
+                ServerSimulator(
+                    spec=spec,
+                    ambient=RecirculationAmbient(supply),
+                    seed=seed + i,
+                    trip_on_critical=trip_on_critical,
+                )
+            )
+        self.rpm = np.array([sim.fans.mean_rpm for sim in self.sims])
+
+    def _views_data(self):
+        max_j, avg_j, leak_w, slope = [], [], [], []
+        for sim in self.sims:
+            junctions = sim.thermal.state.junction_c
+            max_j.append(max(junctions))
+            avg_j.append(sum(junctions) / len(junctions))
+            leak_w.append(
+                sum(
+                    sim.power_model.socket_leakage_w(sock, t)
+                    for sock, t in zip(sim.spec.sockets, junctions)
+                )
+            )
+            slope.append(
+                sum(
+                    float(
+                        leakage_slope_w_per_c(
+                            sock.leak_k2_w, sock.leak_k3_per_c, t
+                        )
+                    )
+                    for sock, t in zip(sim.spec.sockets, junctions)
+                )
+            )
+        return (
+            np.array(max_j),
+            np.array(avg_j),
+            np.array(leak_w),
+            np.array(slope),
+        )
+
+    def step(
+        self,
+        dt_s: float,
+        utilization_pct: np.ndarray,
+        rpm_command: np.ndarray,
+        inlet_c: np.ndarray,
+        offsets_c: np.ndarray,
+    ) -> _TickState:
+        total, fan, airflow, rpm, dimm = [], [], [], [], []
+        for i, sim in enumerate(self.sims):
+            sim.ambient.set_offset(float(offsets_c[i]))
+            sim.set_fan_rpm(float(rpm_command[i]))
+            state = sim.step(dt_s, float(utilization_pct[i]))
+            total.append(state.power.total_w)
+            fan.append(state.power.fan_w)
+            airflow.append(sim.fans.total_airflow_cfm())
+            rpm.append(state.mean_fan_rpm)
+            dimm.append(state.thermal.dimm_bank_c)
+        max_j, avg_j, leak_w, slope = self._views_data()
+        self.rpm = np.array(rpm)
+        return _TickState(
+            total_power_w=np.array(total),
+            fan_power_w=np.array(fan),
+            airflow_cfm=np.array(airflow),
+            mean_rpm=self.rpm.copy(),
+            max_junction_c=max_j,
+            avg_junction_c=avg_j,
+            leakage_w=leak_w,
+            leakage_slope_w_per_c=slope,
+            dimm_bank_c=np.array(dimm),
+        )
+
+    def check_critical(self, trip: bool) -> None:
+        """The wrapped simulators trip during :meth:`step` themselves."""
+
+    def initial_views_data(self):
+        return self._views_data()
+
+
+@dataclass
+class FleetResult:
+    """Traces and aggregates of one fleet run (ticks × servers)."""
+
+    scheduler_name: str
+    controller_name: str
+    backend: str
+    dt_s: float
+    times_s: np.ndarray
+    total_power_w: np.ndarray
+    fan_power_w: np.ndarray
+    max_junction_c: np.ndarray
+    utilization_pct: np.ndarray
+    inlet_c: np.ndarray
+    mean_rpm: np.ndarray
+    unserved_pct: np.ndarray
+    metrics: FleetMetrics
+
+    @property
+    def fleet_power_w(self) -> np.ndarray:
+        """Summed fleet power per tick."""
+        return self.total_power_w.sum(axis=1)
+
+
+class FleetEngine:
+    """Schedules, controls and steps N servers in lock-step."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        workload: Union[FleetWorkload, UtilizationProfile],
+        scheduler: Optional[FleetScheduler] = None,
+        controller_factory: Optional[Callable[[int], FanController]] = None,
+        backend: str = "vector",
+        seed: int = 0,
+        trip_on_critical: bool = True,
+    ):
+        if backend not in ("vector", "reference"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.fleet = fleet
+        if not isinstance(workload, FleetWorkload):
+            workload = FleetWorkload(workload, fleet.server_count)
+        if workload.server_count != fleet.server_count:
+            raise ValueError(
+                f"workload is sized for {workload.server_count} servers, "
+                f"fleet has {fleet.server_count}"
+            )
+        self.workload = workload
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else FleetScheduler(RoundRobinPolicy())
+        )
+        if controller_factory is None:
+            controller_factory = lambda index: FixedSpeedController()
+        self.controllers: List[FanController] = [
+            controller_factory(i) for i in range(fleet.server_count)
+        ]
+        self.backend = backend
+        self.seed = seed
+        self.trip_on_critical = trip_on_critical
+
+    # ------------------------------------------------------------------
+    def _make_backend(self):
+        if self.backend == "vector":
+            return _VectorBackend(self.fleet)
+        return _ReferenceBackend(self.fleet, self.seed, self.trip_on_critical)
+
+    def _validated_command(self, index: int, rpm: float) -> float:
+        fan = self.fleet.servers[index].fan
+        if not fan.rpm_min <= rpm <= fan.rpm_max:
+            raise ValueError(
+                f"server {index}: rpm {rpm} outside supported range "
+                f"[{fan.rpm_min}, {fan.rpm_max}]"
+            )
+        return float(rpm)
+
+    def run(
+        self, dt_s: float = 1.0, duration_s: Optional[float] = None
+    ) -> FleetResult:
+        """Run the whole scenario and return traces plus metrics."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if duration_s is None:
+            duration_s = self.workload.duration_s
+        steps = int(round(duration_s / dt_s))
+        if steps <= 0:
+            raise ValueError("workload too short for the configured dt_s")
+
+        n = self.fleet.server_count
+        physics = self._make_backend()
+        rack_of = self.fleet.rack_index_of_server
+        coupling = self.fleet.recirculation_matrix()
+        supply_models = self.fleet.supply_models()
+        constant_supply = all(rack.crac is None for rack in self.fleet.racks)
+        supply_now = self.fleet.supply_temperatures_c(0.0)
+
+        self.scheduler.reset()
+        rpm_command = np.empty(n)
+        next_poll = np.zeros(n)
+        for i, controller in enumerate(self.controllers):
+            controller.reset()
+            initial = controller.initial_rpm()
+            rpm_command[i] = self._validated_command(
+                i, initial if initial is not None else float(physics.rpm[i])
+            )
+
+        utilization = np.zeros(n)
+        exhaust_rise = np.zeros(n)
+        max_j, avg_j, leak_w, leak_slope = physics.initial_views_data()
+
+        times = np.arange(1, steps + 1) * dt_s
+        trace_power = np.empty((steps, n))
+        trace_fan = np.empty((steps, n))
+        trace_junction = np.empty((steps, n))
+        trace_util = np.empty((steps, n))
+        trace_inlet = np.empty((steps, n))
+        trace_rpm = np.empty((steps, n))
+        trace_unserved = np.empty(steps)
+
+        time_s = 0.0
+        for tick in range(steps):
+            if not constant_supply:
+                supply_now = np.array(
+                    [m.temperature_c(time_s) for m in supply_models]
+                )
+            offsets = coupling @ exhaust_rise
+            inlet = supply_now + offsets
+
+            views = [
+                ServerLoadView(
+                    index=i,
+                    rack_index=rack_of[i],
+                    utilization_pct=float(utilization[i]),
+                    max_junction_c=float(max_j[i]),
+                    inlet_c=float(inlet[i]),
+                    leakage_w=float(leak_w[i]),
+                    leakage_slope_w_per_c=float(leak_slope[i]),
+                )
+                for i in range(n)
+            ]
+            decision = self.scheduler.assign(
+                views, self.workload.total_demand_pct(time_s)
+            )
+
+            for i in np.nonzero(time_s >= next_poll - _POLL_EPS_S)[0]:
+                controller = self.controllers[i]
+                observation = ControllerObservation(
+                    time_s=time_s,
+                    max_cpu_temperature_c=float(max_j[i]),
+                    avg_cpu_temperature_c=float(avg_j[i]),
+                    utilization_pct=float(utilization[i]),
+                    current_rpm_command=float(rpm_command[i]),
+                )
+                wanted = controller.decide(observation)
+                if wanted is not None and wanted != rpm_command[i]:
+                    rpm_command[i] = self._validated_command(i, wanted)
+                next_poll[i] += controller.poll_interval_s
+
+            utilization = decision.allocations_pct
+            state = physics.step(
+                dt_s, utilization, rpm_command, inlet, offsets
+            )
+            physics.check_critical(self.trip_on_critical)
+
+            max_j = state.max_junction_c
+            avg_j = state.avg_junction_c
+            leak_w = state.leakage_w
+            leak_slope = state.leakage_slope_w_per_c
+            exhaust_rise = exhaust_temperature_rise_c(
+                state.total_power_w, state.airflow_cfm
+            )
+
+            trace_power[tick] = state.total_power_w
+            trace_fan[tick] = state.fan_power_w
+            trace_junction[tick] = state.max_junction_c
+            trace_util[tick] = utilization
+            trace_inlet[tick] = inlet
+            trace_rpm[tick] = state.mean_rpm
+            trace_unserved[tick] = decision.unserved_pct
+            time_s += dt_s
+
+        metrics = compute_fleet_metrics(
+            self.fleet,
+            dt_s,
+            trace_power,
+            trace_fan,
+            trace_junction,
+            trace_util,
+            trace_inlet,
+            trace_unserved,
+        )
+        controller_names = {c.name for c in self.controllers}
+        return FleetResult(
+            scheduler_name=self.scheduler.name,
+            controller_name=(
+                controller_names.pop()
+                if len(controller_names) == 1
+                else "mixed"
+            ),
+            backend=self.backend,
+            dt_s=dt_s,
+            times_s=times,
+            total_power_w=trace_power,
+            fan_power_w=trace_fan,
+            max_junction_c=trace_junction,
+            utilization_pct=trace_util,
+            inlet_c=trace_inlet,
+            mean_rpm=trace_rpm,
+            unserved_pct=trace_unserved,
+            metrics=metrics,
+        )

@@ -1,0 +1,136 @@
+"""Fleet-level aggregation of the per-server simulation traces.
+
+The single-server reproduction reports Table-I style metrics per run;
+at fleet scale the interesting quantities are aggregates — total and
+fan energy, the coincident peak (what the feed breaker sees), the
+hot-spot temperature anywhere in the room, SLA violations from demand
+that found no capacity — plus the same breakdown per rack, which is
+what a data-center operator actually inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.fleet.topology import Fleet
+from repro.units import joules_to_kwh
+
+#: Unserved demand below this (single-server %) does not count as a
+#: violation tick — it is scheduler round-off, not lost work.
+SLA_TICK_TOLERANCE_PCT = 1e-9
+
+
+@dataclass(frozen=True)
+class RackMetrics:
+    """Aggregates for one rack over a fleet run."""
+
+    name: str
+    server_count: int
+    energy_kwh: float
+    fan_energy_kwh: float
+    peak_power_w: float
+    hot_spot_c: float
+    mean_utilization_pct: float
+    mean_inlet_c: float
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Whole-fleet aggregates plus the per-rack breakdown."""
+
+    server_count: int
+    duration_s: float
+    energy_kwh: float
+    fan_energy_kwh: float
+    #: Coincident fleet peak — max over time of the summed power, W.
+    peak_power_w: float
+    #: Hottest junction anywhere in the fleet over the run, °C.
+    hot_spot_c: float
+    mean_utilization_pct: float
+    #: Server-weighted mean inlet temperature over the run, °C.
+    mean_inlet_c: float
+    #: Integral of unserved demand, single-server %·s.
+    sla_unserved_pct_s: float
+    #: Number of ticks with any unserved demand.
+    sla_violation_ticks: int
+    racks: Tuple[RackMetrics, ...]
+
+    @property
+    def avg_power_w(self) -> float:
+        """Time-averaged whole-fleet power."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.energy_kwh * 3.6e6 / self.duration_s
+
+
+def compute_fleet_metrics(
+    fleet: Fleet,
+    dt_s: float,
+    total_power_w: np.ndarray,
+    fan_power_w: np.ndarray,
+    max_junction_c: np.ndarray,
+    utilization_pct: np.ndarray,
+    inlet_c: np.ndarray,
+    unserved_pct: np.ndarray,
+) -> FleetMetrics:
+    """Aggregate per-tick × per-server traces into :class:`FleetMetrics`.
+
+    All 2-D arrays are shaped ``(ticks, servers)`` with servers in the
+    fleet's flat (rack-major) index order; energies use the same
+    rectangular ``P·dt`` accumulation as the engine.
+    """
+    if dt_s <= 0:
+        raise ValueError("dt_s must be positive")
+    power = np.asarray(total_power_w, dtype=float)
+    if power.ndim != 2 or power.shape[1] != fleet.server_count:
+        raise ValueError(
+            f"expected (ticks, {fleet.server_count}) traces, "
+            f"got shape {power.shape}"
+        )
+    ticks = power.shape[0]
+    fan = np.asarray(fan_power_w, dtype=float)
+    junctions = np.asarray(max_junction_c, dtype=float)
+    util = np.asarray(utilization_pct, dtype=float)
+    inlet = np.asarray(inlet_c, dtype=float)
+    unserved = np.asarray(unserved_pct, dtype=float)
+    for name, arr in (
+        ("fan_power_w", fan),
+        ("max_junction_c", junctions),
+        ("utilization_pct", util),
+        ("inlet_c", inlet),
+    ):
+        if arr.shape != power.shape:
+            raise ValueError(f"{name} shape {arr.shape} != {power.shape}")
+    if unserved.shape != (ticks,):
+        raise ValueError(f"unserved_pct must be one value per tick")
+
+    racks = []
+    for rack, sl in zip(fleet.racks, fleet.rack_slices()):
+        racks.append(
+            RackMetrics(
+                name=rack.name,
+                server_count=rack.server_count,
+                energy_kwh=joules_to_kwh(float(power[:, sl].sum()) * dt_s),
+                fan_energy_kwh=joules_to_kwh(float(fan[:, sl].sum()) * dt_s),
+                peak_power_w=float(power[:, sl].sum(axis=1).max()),
+                hot_spot_c=float(junctions[:, sl].max()),
+                mean_utilization_pct=float(util[:, sl].mean()),
+                mean_inlet_c=float(inlet[:, sl].mean()),
+            )
+        )
+    return FleetMetrics(
+        server_count=fleet.server_count,
+        duration_s=ticks * dt_s,
+        energy_kwh=joules_to_kwh(float(power.sum()) * dt_s),
+        fan_energy_kwh=joules_to_kwh(float(fan.sum()) * dt_s),
+        peak_power_w=float(power.sum(axis=1).max()),
+        hot_spot_c=float(junctions.max()),
+        mean_utilization_pct=float(util.mean()),
+        mean_inlet_c=float(inlet.mean()),
+        sla_unserved_pct_s=float(unserved.sum()) * dt_s,
+        sla_violation_ticks=int(np.sum(unserved > SLA_TICK_TOLERANCE_PCT)),
+        racks=tuple(racks),
+    )

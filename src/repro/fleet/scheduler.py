@@ -1,0 +1,242 @@
+"""Job placement across the fleet: pluggable scheduling policies.
+
+Every tick the engine converts the aggregate demand (a
+``workloads.datacenter`` utilization profile scaled to the whole
+fleet) into per-server utilization targets.  A
+:class:`PlacementPolicy` ranks the servers; the scheduler then fills
+them greedily in that order, capping each server at 100% and
+reporting any unserved remainder as an SLA violation.
+
+Policies:
+
+* :class:`RoundRobinPolicy` — rotate the fill order every tick
+  (classic load spreading, thermally blind),
+* :class:`LeastUtilizedPolicy` — fill the currently least-busy
+  servers first,
+* :class:`CoolestFirstPolicy` — fill the servers with the coldest
+  hottest-junction first (thermal-aware placement),
+* :class:`LeakageAwarePolicy` — fill the servers with the smallest
+  marginal leakage cost ``dP_leak/dT = k2·k3·exp(k3·T)`` first, the
+  fleet-level analogue of the paper's leakage-aware control.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.units import validate_non_negative
+from repro.workloads.profile import UtilizationProfile
+
+#: Per-server utilization ceiling, percent.
+SERVER_CAP_PCT = 100.0
+
+
+@dataclass(frozen=True)
+class ServerLoadView:
+    """What a placement policy may observe about one server."""
+
+    index: int
+    rack_index: int
+    #: Executed utilization over the previous tick, percent.
+    utilization_pct: float
+    #: Hottest junction temperature, °C.
+    max_junction_c: float
+    #: Inlet (post-recirculation) air temperature, °C.
+    inlet_c: float
+    #: Instantaneous whole-CPU leakage power, watts.
+    leakage_w: float
+    #: Marginal leakage cost ``dP_leak/dT_j`` summed over sockets, W/°C.
+    leakage_slope_w_per_c: float
+
+
+class PlacementPolicy(ABC):
+    """Ranks servers; earlier in the order means filled first."""
+
+    name = "policy"
+
+    def reset(self) -> None:
+        """Clear internal state between runs."""
+
+    @abstractmethod
+    def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
+        """Return all server indices, highest placement priority first."""
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Rotate the fill order by one server every scheduling tick."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._start = 0
+
+    def reset(self) -> None:
+        self._start = 0
+
+    def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
+        n = len(views)
+        start = self._start % n
+        self._start += 1
+        return [views[(start + k) % n].index for k in range(n)]
+
+
+class LeastUtilizedPolicy(PlacementPolicy):
+    """Fill the currently least-busy servers first."""
+
+    name = "least-utilized"
+
+    def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
+        utils = np.array([v.utilization_pct for v in views])
+        return [views[i].index for i in np.argsort(utils, kind="stable")]
+
+
+class CoolestFirstPolicy(PlacementPolicy):
+    """Fill the thermally coldest servers first."""
+
+    name = "coolest-first"
+
+    def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
+        temps = np.array([v.max_junction_c for v in views])
+        return [views[i].index for i in np.argsort(temps, kind="stable")]
+
+
+class LeakageAwarePolicy(PlacementPolicy):
+    """Fill the servers with the smallest marginal leakage cost first.
+
+    The exponential leakage model makes ``dP_leak/dT`` grow with
+    temperature, so a watt of extra load is cheapest on the server
+    whose junctions sit lowest on the exponential; inlet temperature
+    breaks ties (a cooler inlet means the added heat settles lower).
+    """
+
+    name = "leakage-aware"
+
+    def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
+        slopes = np.array([v.leakage_slope_w_per_c for v in views])
+        inlets = np.array([v.inlet_c for v in views])
+        return [views[i].index for i in np.lexsort((inlets, slopes))]
+
+
+#: Registry used by the CLI and examples.
+PLACEMENT_POLICIES = {
+    policy.name: policy
+    for policy in (
+        RoundRobinPolicy,
+        LeastUtilizedPolicy,
+        CoolestFirstPolicy,
+        LeakageAwarePolicy,
+    )
+}
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """Per-server utilization targets for one tick."""
+
+    allocations_pct: np.ndarray
+    #: Demand that did not fit anywhere, in single-server percent units.
+    unserved_pct: float
+
+
+class FleetScheduler:
+    """Greedy capacity filler driven by a placement policy.
+
+    *server_cap_pct* models the per-server admission ceiling real
+    clusters run with (thermal / tail-latency headroom); demand that
+    does not fit under the caps anywhere is reported unserved.
+    """
+
+    def __init__(
+        self,
+        policy: PlacementPolicy,
+        server_cap_pct: float = SERVER_CAP_PCT,
+    ):
+        if not 0.0 < server_cap_pct <= SERVER_CAP_PCT:
+            raise ValueError(
+                f"server_cap_pct must be in (0, {SERVER_CAP_PCT}], "
+                f"got {server_cap_pct}"
+            )
+        self.policy = policy
+        self.server_cap_pct = float(server_cap_pct)
+
+    @property
+    def name(self) -> str:
+        """The underlying policy name (used in reports)."""
+        return self.policy.name
+
+    def reset(self) -> None:
+        """Clear policy state between runs."""
+        self.policy.reset()
+
+    def assign(
+        self, views: Sequence[ServerLoadView], total_demand_pct: float
+    ) -> SchedulingDecision:
+        """Split *total_demand_pct* (single-server % units) across servers."""
+        validate_non_negative(total_demand_pct, "total_demand_pct")
+        if not views:
+            raise ValueError("need at least one server view")
+        order = list(self.policy.order(views))
+        if sorted(order) != list(range(len(views))):
+            raise ValueError(
+                f"policy {self.policy.name!r} returned an invalid order"
+            )
+        allocations = np.zeros(len(views))
+        remaining = float(total_demand_pct)
+        for index in order:
+            if remaining <= 0.0:
+                break
+            share = min(self.server_cap_pct, remaining)
+            allocations[index] = share
+            remaining -= share
+        return SchedulingDecision(
+            allocations_pct=allocations, unserved_pct=max(0.0, remaining)
+        )
+
+
+class FleetWorkload:
+    """An aggregate demand trace split across *server_count* machines.
+
+    Wraps a :class:`UtilizationProfile` whose value is interpreted as
+    the **fleet-average** utilization percentage, so the same diurnal /
+    batch-window / flash-crowd builders that drive one server scale to
+    any fleet size.
+    """
+
+    def __init__(self, profile: UtilizationProfile, server_count: int):
+        if server_count <= 0:
+            raise ValueError("server_count must be positive")
+        self.profile = profile
+        self.server_count = server_count
+
+    @property
+    def duration_s(self) -> float:
+        """Nominal workload length, seconds."""
+        return self.profile.duration_s
+
+    def fleet_average_pct(self, time_s: float) -> float:
+        """The underlying profile value at *time_s*."""
+        return self.profile.utilization_pct(time_s)
+
+    def total_demand_pct(self, time_s: float) -> float:
+        """Aggregate demand in single-server percent units.
+
+        100% × *server_count* is the whole fleet flat out.
+        """
+        return self.profile.utilization_pct(time_s) * self.server_count
+
+    def split(
+        self,
+        scheduler: FleetScheduler,
+        views: Sequence[ServerLoadView],
+        time_s: float,
+    ) -> SchedulingDecision:
+        """Convenience: demand at *time_s* pushed through *scheduler*."""
+        if len(views) != self.server_count:
+            raise ValueError(
+                f"expected {self.server_count} views, got {len(views)}"
+            )
+        return scheduler.assign(views, self.total_demand_pct(time_s))

@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.server.specs import CpuSocketSpec, ServerSpec
 from repro.units import validate_temperature_c, validate_utilization_pct
 
@@ -25,6 +27,62 @@ from repro.units import validate_temperature_c, validate_utilization_pct
 #: diverges; silicon would long have shut down, so the clamp only
 #: affects simulations run with the critical trip disabled).
 LEAKAGE_EVAL_MAX_C = 150.0
+
+
+def leakage_power_w(
+    leak_const_w,
+    leak_k2_w,
+    leak_k3_per_c,
+    t_junction_c,
+):
+    """Eqn. (2) leakage, array-friendly.
+
+    Every argument may be a scalar or a broadcastable ndarray, so the
+    fleet engine can evaluate whole racks of sockets in one call.  The
+    scalar branch avoids numpy's per-call scalar overhead — this sits
+    inside the thermal substep loop.
+    """
+    if all(
+        isinstance(arg, (int, float))
+        for arg in (leak_const_w, leak_k2_w, leak_k3_per_c, t_junction_c)
+    ):
+        t_eval = min(float(t_junction_c), LEAKAGE_EVAL_MAX_C)
+        return leak_const_w + leak_k2_w * math.exp(leak_k3_per_c * t_eval)
+    t_eval = np.minimum(t_junction_c, LEAKAGE_EVAL_MAX_C)
+    return leak_const_w + leak_k2_w * np.exp(leak_k3_per_c * t_eval)
+
+
+def leakage_slope_w_per_c(
+    leak_k2_w,
+    leak_k3_per_c,
+    t_junction_c,
+):
+    """Marginal leakage cost ``dP_leak/dT_j`` of Eqn. (2), W/°C.
+
+    Array-friendly like :func:`leakage_power_w`; evaluated at the
+    clamped temperature so both stay consistent.  The fleet's
+    leakage-aware placement ranks servers by this slope.
+    """
+    t_eval = np.minimum(t_junction_c, LEAKAGE_EVAL_MAX_C)
+    return leak_k2_w * leak_k3_per_c * np.exp(leak_k3_per_c * t_eval)
+
+
+def active_power_w(
+    p_idle_w,
+    k_active_w_per_pct,
+    utilization_pct,
+    static_scale=1.0,
+    dynamic_scale=1.0,
+):
+    """Active (idle floor + dynamic) power, array-friendly.
+
+    The scales are the p-state ``V^2`` / ``f·V^2`` factors; at the
+    nominal state both are 1.
+    """
+    return (
+        p_idle_w * static_scale
+        + k_active_w_per_pct * utilization_pct * dynamic_scale
+    )
 
 
 @dataclass(frozen=True)
@@ -93,20 +151,26 @@ class PowerModel:
         """
         validate_utilization_pct(utilization_pct)
         dvfs = self.spec.dvfs
-        static = socket.p_idle_w * dvfs.static_power_scale(self._pstate_index)
-        dynamic = (
-            socket.k_active_w_per_pct
-            * utilization_pct
-            * dvfs.dynamic_power_scale(self._pstate_index)
+        return float(
+            active_power_w(
+                socket.p_idle_w,
+                socket.k_active_w_per_pct,
+                utilization_pct,
+                static_scale=dvfs.static_power_scale(self._pstate_index),
+                dynamic_scale=dvfs.dynamic_power_scale(self._pstate_index),
+            )
         )
-        return static + dynamic
 
     def socket_leakage_w(self, socket: CpuSocketSpec, t_junction_c: float) -> float:
         """Leakage power of one socket at junction temperature ``T_j``."""
         validate_temperature_c(t_junction_c, "t_junction_c")
-        t_eval = min(t_junction_c, LEAKAGE_EVAL_MAX_C)
-        return socket.leak_const_w + socket.leak_k2_w * math.exp(
-            socket.leak_k3_per_c * t_eval
+        return float(
+            leakage_power_w(
+                socket.leak_const_w,
+                socket.leak_k2_w,
+                socket.leak_k3_per_c,
+                t_junction_c,
+            )
         )
 
     def memory_w(self, utilization_pct: float) -> float:

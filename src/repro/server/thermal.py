@@ -42,18 +42,27 @@ _STEADY_TOL_C = 1e-9
 _STEADY_MAX_ITERATIONS = 200
 
 
-def convective_resistance_k_w(
-    r_ref_k_w: float, rpm: float, rpm_ref: float, flow_exponent: float
-) -> float:
+def convective_resistance_k_w(r_ref_k_w, rpm, rpm_ref, flow_exponent):
     """Heat-transfer resistance to a forced air stream at *rpm*.
 
     ``R(rpm) = R_ref * (rpm_ref / rpm) ** flow_exponent`` — the standard
-    turbulent forced-convection scaling.
+    turbulent forced-convection scaling.  *rpm* (and the reference
+    parameters) may be scalars or broadcastable ndarrays; the fleet
+    engine evaluates whole racks of sockets in one call.
     """
-    validate_non_negative(rpm, "rpm")
-    if rpm == 0.0:
+    if isinstance(rpm, (int, float)):  # scalar fast path (hot loop)
+        validate_non_negative(rpm, "rpm")
+        if rpm == 0.0:
+            raise ValueError("rpm must be positive for forced convection")
+        return r_ref_k_w * (rpm_ref / rpm) ** flow_exponent
+    rpm_arr = np.asarray(rpm, dtype=float)
+    if not np.all(np.isfinite(rpm_arr)):
+        raise ValueError(f"rpm must be finite, got {rpm!r}")
+    if np.any(rpm_arr < 0.0):
+        raise ValueError(f"rpm must be non-negative, got {rpm!r}")
+    if np.any(rpm_arr == 0.0):
         raise ValueError("rpm must be positive for forced convection")
-    return r_ref_k_w * (rpm_ref / rpm) ** flow_exponent
+    return r_ref_k_w * (rpm_ref / rpm_arr) ** flow_exponent
 
 
 @dataclass

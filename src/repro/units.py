@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Seconds in one minute / one hour, for readable conversions.
 SECONDS_PER_MINUTE = 60.0
 SECONDS_PER_HOUR = 3600.0
@@ -69,17 +71,23 @@ def m3_s_to_cfm(m3_s: float) -> float:
     return m3_s / CFM_TO_M3_S
 
 
-def airflow_heat_capacity_w_per_k(cfm: float) -> float:
+def airflow_heat_capacity_w_per_k(cfm):
     """Heat capacity rate of an air stream, in W/K.
 
     This is ``m_dot * c_p``: the power needed to raise the stream
     temperature by one kelvin.  It converts a DIMM-bank power draw into
-    the preheat seen by the downstream CPUs.
+    the preheat seen by the downstream CPUs.  *cfm* may be a scalar or
+    an ndarray (the fleet engine evaluates whole fleets at once).
     """
-    if cfm < 0.0:
-        raise ValueError(f"airflow must be non-negative, got {cfm}")
-    mass_flow_kg_s = cfm_to_m3_s(cfm) * AIR_DENSITY_KG_M3
-    return mass_flow_kg_s * AIR_SPECIFIC_HEAT_J_KG_K
+    if isinstance(cfm, (int, float)):  # scalar fast path (hot loop)
+        if cfm < 0.0:
+            raise ValueError(f"airflow must be non-negative, got {cfm}")
+        mass_flow_kg_s = cfm_to_m3_s(cfm) * AIR_DENSITY_KG_M3
+        return mass_flow_kg_s * AIR_SPECIFIC_HEAT_J_KG_K
+    cfm_arr = np.asarray(cfm, dtype=float)
+    if np.any(cfm_arr < 0.0):
+        raise ValueError(f"airflow must be non-negative, got {cfm!r}")
+    return cfm_arr * CFM_TO_M3_S * AIR_DENSITY_KG_M3 * AIR_SPECIFIC_HEAT_J_KG_K
 
 
 def clamp(value: float, low: float, high: float) -> float:

@@ -29,7 +29,7 @@ class _CallableProfile(UtilizationProfile):
     """Adapter: a sampled (times, values) trace as a profile."""
 
     def __init__(self, times_s: np.ndarray, values_pct: np.ndarray):
-        self._trace = TraceProfile(times_s.tolist(), values_pct.tolist())
+        self._trace = TraceProfile(times_s, values_pct)
 
     def utilization_pct(self, time_s: float) -> float:
         return self._trace.utilization_pct(time_s)

@@ -8,7 +8,6 @@ idle and 100%, as the real tool does).
 
 from __future__ import annotations
 
-import bisect
 from abc import ABC, abstractmethod
 from typing import List, Sequence, Tuple
 
@@ -179,7 +178,11 @@ class RandomStepProfile(UtilizationProfile):
 
 
 class TraceProfile(UtilizationProfile):
-    """Zero-order hold over an explicit (times, values) trace."""
+    """Zero-order hold over an explicit (times, values) trace.
+
+    Accepts any sequence, ndarrays included, without copying through
+    python lists.
+    """
 
     def __init__(self, times_s: Sequence[float], values_pct: Sequence[float]):
         if len(times_s) != len(values_pct) or len(times_s) == 0:
@@ -187,13 +190,14 @@ class TraceProfile(UtilizationProfile):
         times = np.asarray(times_s, dtype=float)
         if np.any(np.diff(times) <= 0):
             raise ValueError("trace times must be strictly increasing")
-        for value in values_pct:
-            validate_utilization_pct(float(value))
+        values = np.asarray(values_pct, dtype=float)
+        if np.any(~np.isfinite(values)) or np.any((values < 0) | (values > 100)):
+            raise ValueError("trace values must be in [0, 100] percent")
         self._times = times
-        self._values = np.asarray(values_pct, dtype=float)
+        self._values = values
 
     def utilization_pct(self, time_s: float) -> float:
-        index = bisect.bisect_right(self._times.tolist(), time_s) - 1
+        index = int(np.searchsorted(self._times, time_s, side="right")) - 1
         index = max(0, min(index, len(self._values) - 1))
         return float(self._values[index])
 

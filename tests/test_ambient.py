@@ -1,5 +1,7 @@
 """Unit tests for ambient temperature models."""
 
+import math
+
 import pytest
 
 from repro.server.ambient import ConstantAmbient, SinusoidalAmbient
@@ -40,3 +42,47 @@ class TestSinusoidalAmbient:
     def test_negative_amplitude_rejected(self):
         with pytest.raises(ValueError):
             SinusoidalAmbient(amplitude_c=-1.0)
+
+
+class TestSinusoidalEdgeCases:
+    """Boundary behaviour the fleet's CRAC supply models rely on."""
+
+    def test_phase_shift_moves_the_peak_to_t_zero(self):
+        ambient = SinusoidalAmbient(
+            mean_c=24.0, amplitude_c=2.0, period_s=3600.0,
+            phase_rad=math.pi / 2.0,
+        )
+        assert ambient.temperature_c(0.0) == pytest.approx(26.0)
+
+    def test_full_phase_wrap_is_identity(self):
+        base = SinusoidalAmbient(mean_c=24.0, amplitude_c=2.0, period_s=600.0)
+        wrapped = SinusoidalAmbient(
+            mean_c=24.0, amplitude_c=2.0, period_s=600.0,
+            phase_rad=2.0 * math.pi,
+        )
+        for t in (0.0, 37.0, 599.0):
+            assert wrapped.temperature_c(t) == pytest.approx(
+                base.temperature_c(t)
+            )
+
+    def test_period_boundary_continuity(self):
+        ambient = SinusoidalAmbient(period_s=600.0, amplitude_c=3.0)
+        eps = 1e-6
+        assert ambient.temperature_c(600.0 - eps) == pytest.approx(
+            ambient.temperature_c(600.0 + eps), abs=1e-3
+        )
+
+    def test_negative_time_extrapolates_the_sinusoid(self):
+        ambient = SinusoidalAmbient(mean_c=24.0, amplitude_c=2.0, period_s=600.0)
+        assert ambient.temperature_c(-150.0) == pytest.approx(22.0)
+
+    def test_zero_amplitude_is_constant(self):
+        ambient = SinusoidalAmbient(mean_c=25.0, amplitude_c=0.0)
+        constant = ConstantAmbient(25.0)
+        for t in (0.0, 123.0, 1e5):
+            assert ambient.temperature_c(t) == constant.temperature_c(t)
+
+    def test_values_bounded_by_amplitude(self):
+        ambient = SinusoidalAmbient(mean_c=24.0, amplitude_c=2.0, period_s=60.0)
+        for t in range(0, 180, 7):
+            assert 22.0 <= ambient.temperature_c(float(t)) <= 26.0

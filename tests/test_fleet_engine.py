@@ -1,0 +1,270 @@
+"""Engine tests: vector/reference equivalence, recirculation, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.controllers.default import FixedSpeedController
+from repro.core.controllers.pid import PIController
+from repro.fleet import (
+    CoolestFirstPolicy,
+    Fleet,
+    FleetEngine,
+    FleetScheduler,
+    FleetWorkload,
+    LeakageAwarePolicy,
+    Rack,
+    build_uniform_fleet,
+    compute_fleet_metrics,
+)
+from repro.server.server import CriticalTemperatureError, ServerSimulator
+from repro.server.specs import CpuSocketSpec, ServerSpec, default_server_spec
+from repro.workloads.profile import ConstantProfile, StaircaseProfile
+
+
+def single_server_fleet(spec=None):
+    spec = spec if spec is not None else default_server_spec()
+    return Fleet(racks=(Rack(name="r0", servers=(spec,)),))
+
+
+class TestSingleServerEquivalence:
+    def test_vector_engine_matches_server_simulator(self):
+        """N=1, no coupling: the batched math must reproduce the
+        single-server simulator's trajectory."""
+        profile = StaircaseProfile([30.0, 90.0, 10.0], 200.0)
+        engine = FleetEngine(
+            single_server_fleet(),
+            profile,
+            controller_factory=lambda i: FixedSpeedController(rpm=3000.0),
+        )
+        result = engine.run(dt_s=1.0)
+
+        sim = ServerSimulator(spec=default_server_spec())
+        sim.set_fan_rpm(3000.0)
+        junctions, powers, rpms = [], [], []
+        for tick in range(600):
+            state = sim.step(1.0, profile.utilization_pct(tick * 1.0))
+            junctions.append(state.max_junction_c)
+            powers.append(state.power.total_w)
+            rpms.append(state.mean_fan_rpm)
+
+        np.testing.assert_allclose(
+            result.max_junction_c[:, 0], junctions, rtol=0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            result.total_power_w[:, 0], powers, rtol=0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            result.mean_rpm[:, 0], rpms, rtol=0, atol=1e-9
+        )
+
+    def test_energy_matches_server_simulator_accumulator(self):
+        engine = FleetEngine(
+            single_server_fleet(),
+            ConstantProfile(70.0, 300.0),
+            controller_factory=lambda i: FixedSpeedController(rpm=3300.0),
+        )
+        result = engine.run(dt_s=1.0)
+
+        sim = ServerSimulator(spec=default_server_spec())
+        sim.set_fan_rpm(3300.0)
+        for _ in range(300):
+            sim.step(1.0, 70.0)
+        assert result.metrics.energy_kwh * 3.6e6 == pytest.approx(
+            sim.energy_joules, rel=1e-12
+        )
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("policy_cls", [CoolestFirstPolicy, LeakageAwarePolicy])
+    def test_vector_matches_reference_with_recirculation(self, policy_cls):
+        """4 coupled servers under a closed-loop controller: the numpy
+        batch and the naive per-simulator loop must agree."""
+        fleet = build_uniform_fleet(rack_count=2, servers_per_rack=2)
+        profile = StaircaseProfile([20.0, 80.0, 50.0], 120.0)
+
+        def build(backend):
+            return FleetEngine(
+                fleet,
+                profile,
+                scheduler=FleetScheduler(policy_cls()),
+                controller_factory=lambda i: PIController(),
+                backend=backend,
+            ).run(dt_s=2.0)
+
+        vec, ref = build("vector"), build("reference")
+        np.testing.assert_allclose(
+            vec.max_junction_c, ref.max_junction_c, rtol=0, atol=1e-7
+        )
+        np.testing.assert_allclose(
+            vec.total_power_w, ref.total_power_w, rtol=0, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            vec.utilization_pct, ref.utilization_pct, rtol=0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            vec.inlet_c, ref.inlet_c, rtol=0, atol=1e-9
+        )
+        assert vec.metrics.energy_kwh == pytest.approx(
+            ref.metrics.energy_kwh, rel=1e-9
+        )
+
+
+class TestRecirculation:
+    def test_coupling_warms_inlets_and_costs_energy(self):
+        profile = ConstantProfile(80.0, 900.0)
+
+        def run(intra, cross):
+            fleet = build_uniform_fleet(
+                rack_count=2,
+                servers_per_rack=2,
+                intra_rack_coupling=intra,
+                cross_rack_coupling=cross,
+            )
+            engine = FleetEngine(
+                fleet,
+                profile,
+                controller_factory=lambda i: FixedSpeedController(rpm=2400.0),
+            )
+            return engine.run(dt_s=5.0)
+
+        isolated = run(0.0, 0.0)
+        coupled = run(0.08, 0.01)
+        assert np.all(isolated.inlet_c == pytest.approx(24.0))
+        assert coupled.inlet_c[-1].mean() > 24.5
+        assert coupled.metrics.hot_spot_c > isolated.metrics.hot_spot_c
+        # warmer junctions leak more at identical fan speeds
+        assert coupled.metrics.energy_kwh > isolated.metrics.energy_kwh
+
+    def test_zero_coupling_equals_constant_ambient_room(self):
+        """A zero recirculation matrix must reproduce the isolated-room
+        simulator exactly (ConstantAmbient semantics)."""
+        fleet = Fleet(
+            racks=(Rack(name="r", servers=(default_server_spec(),) * 2),),
+            recirculation=np.zeros((2, 2)),
+        )
+        result = FleetEngine(
+            fleet,
+            ConstantProfile(100.0, 300.0),
+            controller_factory=lambda i: FixedSpeedController(rpm=3300.0),
+        ).run(dt_s=1.0)
+
+        sim = ServerSimulator(spec=default_server_spec())
+        sim.set_fan_rpm(3300.0)
+        for _ in range(300):
+            sim.step(1.0, 100.0)
+        # a saturating demand pins every server at 100%
+        assert result.utilization_pct[-1] == pytest.approx([100.0, 100.0])
+        np.testing.assert_allclose(
+            result.max_junction_c[-1],
+            [sim.state.max_junction_c] * 2,
+            rtol=0,
+            atol=1e-9,
+        )
+
+
+class TestEngineBehaviour:
+    def test_critical_trip_raises(self):
+        spec = ServerSpec(
+            critical_temperature_c=76.0, target_max_temperature_c=70.0
+        )
+        engine = FleetEngine(
+            single_server_fleet(spec),
+            ConstantProfile(100.0, 3600.0),
+            controller_factory=lambda i: FixedSpeedController(rpm=1800.0),
+        )
+        with pytest.raises(CriticalTemperatureError):
+            engine.run(dt_s=5.0)
+
+    def test_heterogeneous_sockets_need_reference_backend(self):
+        mixed = Fleet(
+            racks=(
+                Rack(
+                    name="r0",
+                    servers=(
+                        default_server_spec(),
+                        ServerSpec(sockets=(CpuSocketSpec(name="CPU0"),)),
+                    ),
+                ),
+            )
+        )
+        profile = ConstantProfile(40.0, 60.0)
+        with pytest.raises(ValueError, match="socket count"):
+            FleetEngine(mixed, profile).run(dt_s=1.0)
+        result = FleetEngine(mixed, profile, backend="reference").run(dt_s=1.0)
+        assert result.total_power_w.shape == (60, 2)
+
+    def test_sla_violations_recorded_under_capped_capacity(self):
+        fleet = build_uniform_fleet(rack_count=1, servers_per_rack=2)
+        engine = FleetEngine(
+            fleet,
+            ConstantProfile(90.0, 120.0),
+            scheduler=FleetScheduler(CoolestFirstPolicy(), server_cap_pct=60.0),
+        )
+        result = engine.run(dt_s=2.0)
+        # demand 180 (%·servers) vs capped capacity 120 -> 60 unserved/tick
+        assert np.all(result.unserved_pct == pytest.approx(60.0))
+        m = result.metrics
+        assert m.sla_violation_ticks == 60
+        assert m.sla_unserved_pct_s == pytest.approx(60.0 * 120.0)
+
+    def test_out_of_range_controller_command_rejected(self):
+        engine = FleetEngine(
+            single_server_fleet(),
+            ConstantProfile(50.0, 60.0),
+            controller_factory=lambda i: FixedSpeedController(rpm=9000.0),
+        )
+        with pytest.raises(ValueError, match="outside supported range"):
+            engine.run(dt_s=1.0)
+
+    def test_workload_size_mismatch_rejected(self):
+        fleet = build_uniform_fleet(rack_count=1, servers_per_rack=2)
+        workload = FleetWorkload(ConstantProfile(50.0, 60.0), server_count=3)
+        with pytest.raises(ValueError, match="sized for"):
+            FleetEngine(fleet, workload)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            FleetEngine(
+                single_server_fleet(),
+                ConstantProfile(50.0, 60.0),
+                backend="gpu",
+            )
+
+
+class TestFleetMetrics:
+    def test_rack_breakdown_sums_to_fleet(self):
+        fleet = build_uniform_fleet(rack_count=2, servers_per_rack=2)
+        result = FleetEngine(
+            fleet,
+            ConstantProfile(55.0, 600.0),
+            scheduler=FleetScheduler(CoolestFirstPolicy()),
+        ).run(dt_s=5.0)
+        m = result.metrics
+        assert m.energy_kwh == pytest.approx(
+            sum(r.energy_kwh for r in m.racks)
+        )
+        assert m.fan_energy_kwh == pytest.approx(
+            sum(r.fan_energy_kwh for r in m.racks)
+        )
+        assert m.hot_spot_c == max(r.hot_spot_c for r in m.racks)
+        # coincident fleet peak can exceed no rack's peak sum mismatch
+        assert m.peak_power_w <= sum(r.peak_power_w for r in m.racks) + 1e-9
+        assert m.duration_s == pytest.approx(600.0)
+        assert m.avg_power_w == pytest.approx(
+            m.energy_kwh * 3.6e6 / 600.0
+        )
+        # fleet inlet mean is server-weighted, not a mean of rack means
+        assert m.mean_inlet_c == pytest.approx(float(result.inlet_c.mean()))
+
+    def test_shape_validation(self):
+        fleet = build_uniform_fleet(rack_count=1, servers_per_rack=2)
+        good = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="traces"):
+            compute_fleet_metrics(
+                fleet, 1.0, np.zeros((5, 3)), good, good, good, good,
+                np.zeros(5),
+            )
+        with pytest.raises(ValueError, match="dt_s"):
+            compute_fleet_metrics(
+                fleet, 0.0, good, good, good, good, good, np.zeros(5)
+            )

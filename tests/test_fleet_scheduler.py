@@ -1,0 +1,153 @@
+"""Unit tests for the fleet placement policies and workload splitter."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.scheduler import (
+    PLACEMENT_POLICIES,
+    CoolestFirstPolicy,
+    FleetScheduler,
+    FleetWorkload,
+    LeakageAwarePolicy,
+    LeastUtilizedPolicy,
+    RoundRobinPolicy,
+    ServerLoadView,
+)
+from repro.workloads.profile import ConstantProfile
+
+
+def make_views(**columns):
+    """Build N views from parallel per-field lists (defaults filled)."""
+    n = len(next(iter(columns.values())))
+    defaults = {
+        "utilization_pct": [0.0] * n,
+        "max_junction_c": [50.0] * n,
+        "inlet_c": [24.0] * n,
+        "leakage_w": [30.0] * n,
+        "leakage_slope_w_per_c": [0.3] * n,
+    }
+    defaults.update(columns)
+    return [
+        ServerLoadView(
+            index=i,
+            rack_index=0,
+            utilization_pct=defaults["utilization_pct"][i],
+            max_junction_c=defaults["max_junction_c"][i],
+            inlet_c=defaults["inlet_c"][i],
+            leakage_w=defaults["leakage_w"][i],
+            leakage_slope_w_per_c=defaults["leakage_slope_w_per_c"][i],
+        )
+        for i in range(n)
+    ]
+
+
+class TestPolicyOrders:
+    def test_round_robin_rotates(self):
+        policy = RoundRobinPolicy()
+        views = make_views(utilization_pct=[0.0, 0.0, 0.0])
+        assert list(policy.order(views)) == [0, 1, 2]
+        assert list(policy.order(views)) == [1, 2, 0]
+        assert list(policy.order(views)) == [2, 0, 1]
+        policy.reset()
+        assert list(policy.order(views)) == [0, 1, 2]
+
+    def test_least_utilized_prefers_idle(self):
+        views = make_views(utilization_pct=[80.0, 10.0, 40.0])
+        assert list(LeastUtilizedPolicy().order(views)) == [1, 2, 0]
+
+    def test_coolest_first_prefers_cold(self):
+        views = make_views(max_junction_c=[70.0, 45.0, 55.0])
+        assert list(CoolestFirstPolicy().order(views)) == [1, 2, 0]
+
+    def test_leakage_aware_prefers_flat_slope(self):
+        views = make_views(leakage_slope_w_per_c=[0.9, 0.2, 0.5])
+        assert list(LeakageAwarePolicy().order(views)) == [1, 2, 0]
+
+    def test_leakage_aware_ties_break_on_inlet(self):
+        views = make_views(
+            leakage_slope_w_per_c=[0.4, 0.4], inlet_c=[28.0, 22.0]
+        )
+        assert list(LeakageAwarePolicy().order(views)) == [1, 0]
+
+    def test_registry_names(self):
+        assert set(PLACEMENT_POLICIES) == {
+            "round-robin",
+            "least-utilized",
+            "coolest-first",
+            "leakage-aware",
+        }
+        for name, cls in PLACEMENT_POLICIES.items():
+            assert cls().name == name
+
+
+class TestGreedyFill:
+    def test_demand_conserved(self):
+        scheduler = FleetScheduler(CoolestFirstPolicy())
+        views = make_views(max_junction_c=[60.0, 40.0, 50.0])
+        decision = scheduler.assign(views, 180.0)
+        assert decision.allocations_pct.sum() == pytest.approx(180.0)
+        assert decision.unserved_pct == 0.0
+
+    def test_fills_priority_order_to_cap(self):
+        scheduler = FleetScheduler(CoolestFirstPolicy())
+        views = make_views(max_junction_c=[60.0, 40.0, 50.0])
+        decision = scheduler.assign(views, 150.0)
+        # coolest (index 1) gets 100, next coolest (index 2) the rest.
+        assert decision.allocations_pct == pytest.approx([0.0, 100.0, 50.0])
+
+    def test_overload_reports_unserved(self):
+        scheduler = FleetScheduler(RoundRobinPolicy())
+        views = make_views(utilization_pct=[0.0, 0.0])
+        decision = scheduler.assign(views, 250.0)
+        assert decision.allocations_pct == pytest.approx([100.0, 100.0])
+        assert decision.unserved_pct == pytest.approx(50.0)
+
+    def test_zero_demand_idles_everyone(self):
+        scheduler = FleetScheduler(LeastUtilizedPolicy())
+        decision = scheduler.assign(make_views(utilization_pct=[5.0, 7.0]), 0.0)
+        assert np.all(decision.allocations_pct == 0.0)
+
+    def test_negative_demand_rejected(self):
+        scheduler = FleetScheduler(RoundRobinPolicy())
+        with pytest.raises(ValueError):
+            scheduler.assign(make_views(utilization_pct=[0.0]), -1.0)
+
+    def test_empty_views_rejected(self):
+        scheduler = FleetScheduler(RoundRobinPolicy())
+        with pytest.raises(ValueError):
+            scheduler.assign([], 10.0)
+
+    def test_bad_policy_order_detected(self):
+        class BrokenPolicy(RoundRobinPolicy):
+            def order(self, views):
+                return [0, 0]
+
+        scheduler = FleetScheduler(BrokenPolicy())
+        with pytest.raises(ValueError, match="invalid order"):
+            scheduler.assign(make_views(utilization_pct=[0.0, 0.0]), 10.0)
+
+
+class TestFleetWorkload:
+    def test_total_demand_scales_with_fleet_size(self):
+        workload = FleetWorkload(ConstantProfile(40.0, 600.0), server_count=8)
+        assert workload.total_demand_pct(0.0) == pytest.approx(320.0)
+        assert workload.fleet_average_pct(0.0) == pytest.approx(40.0)
+        assert workload.duration_s == 600.0
+
+    def test_split_round_trips_through_scheduler(self):
+        workload = FleetWorkload(ConstantProfile(50.0, 600.0), server_count=2)
+        scheduler = FleetScheduler(RoundRobinPolicy())
+        decision = workload.split(
+            scheduler, make_views(utilization_pct=[0.0, 0.0]), 0.0
+        )
+        assert decision.allocations_pct.sum() == pytest.approx(100.0)
+
+    def test_view_count_must_match(self):
+        workload = FleetWorkload(ConstantProfile(50.0, 600.0), server_count=3)
+        scheduler = FleetScheduler(RoundRobinPolicy())
+        with pytest.raises(ValueError):
+            workload.split(scheduler, make_views(utilization_pct=[0.0]), 0.0)
+
+    def test_invalid_server_count_rejected(self):
+        with pytest.raises(ValueError):
+            FleetWorkload(ConstantProfile(50.0, 600.0), server_count=0)

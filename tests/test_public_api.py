@@ -14,6 +14,7 @@ PACKAGES = (
     "repro.core",
     "repro.core.controllers",
     "repro.experiments",
+    "repro.fleet",
     "repro.models",
     "repro.reporting",
     "repro.server",
