@@ -15,7 +15,6 @@ from __future__ import annotations
 from bench_helpers import write_artifact
 from repro import (
     ExperimentConfig,
-    LUTController,
     OracleController,
     PIController,
     build_mpc_from_characterization,

@@ -16,12 +16,17 @@ The scaling table is persisted to ``benchmarks/results/``.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 from bench_helpers import write_artifact
 
+from repro.core.controllers.coordinated import CoordinatedController
 from repro.core.controllers.default import FixedSpeedController
-from repro.fleet import FleetEngine, build_uniform_fleet
+from repro.core.controllers.lut import LUTController
+from repro.fleet import DvfsAwarePolicy, FleetEngine, FleetScheduler, build_uniform_fleet
 from repro.reporting import format_table
+from repro.server.dvfs import default_dvfs_ladder
+from repro.server.specs import default_server_spec
 from repro.workloads.profile import ConstantProfile
 
 #: Simulated horizon per timing run, seconds.
@@ -98,6 +103,48 @@ def test_vector_beats_reference_backend(results_dir):
         f"reference {t_ref * 1e3:.1f} ms, speedup {t_ref / t_vec:.1f}x",
     )
     assert t_vec < t_ref
+
+
+def test_coordinated_dvfs_within_3x_of_fan_only(results_dir, paper_lut):
+    """Per-server p-state actuation must not wreck the batched step.
+
+    The DVFS path adds per-poll python work (decide_pstate per server)
+    and the stretch/deficit math to every tick; at 64 servers the
+    coordinated step must stay within ~3x of the fan-only LUT run.
+    """
+    spec = replace(default_server_spec(), dvfs=default_dvfs_ladder())
+    fleet = build_uniform_fleet(rack_count=2, servers_per_rack=32, spec=spec)
+    profile = ConstantProfile(55.0, HORIZON_S)
+
+    def run(factory) -> float:
+        engine = FleetEngine(
+            fleet,
+            profile,
+            scheduler=FleetScheduler(DvfsAwarePolicy()),
+            controller_factory=factory,
+        )
+        start = time.perf_counter()
+        engine.run(dt_s=TICK_S)
+        return time.perf_counter() - start
+
+    fan_only = lambda i: LUTController(paper_lut)  # noqa: E731
+    coordinated = lambda i: CoordinatedController(  # noqa: E731
+        paper_lut, spec.dvfs
+    )
+    run(fan_only)  # warm caches before timing
+    t_fan = _best_of(2, run, fan_only)
+    t_coord = _best_of(2, run, coordinated)
+    write_artifact(
+        results_dir,
+        "fleet_coordinated_overhead.txt",
+        f"64 servers, {HORIZON_S:.0f}s horizon: fan-only {t_fan * 1e3:.1f} ms, "
+        f"coordinated {t_coord * 1e3:.1f} ms, "
+        f"overhead {t_coord / t_fan:.2f}x",
+    )
+    assert t_coord < 3.0 * t_fan, (
+        f"coordinated 64-server run cost {t_coord:.3f}s vs fan-only "
+        f"{t_fan:.3f}s — worse than 3x"
+    )
 
 
 def test_engine_throughput(benchmark):

@@ -99,7 +99,7 @@ def main() -> None:
     print("=" * 72)
     raw = run_characterization_steady(seed=5, aggregate=False)
     fitted = fit_power_model(raw)
-    print(f"  P_compute = C + k1*U + k2*exp(k3*T)")
+    print("  P_compute = C + k1*U + k2*exp(k3*T)")
     print(f"  C  = {fitted.c_w:.2f} W (absorbs board + idle power)")
     print(f"  k1 = {fitted.k1_w_per_pct:.4f} W/%")
     print(f"  k2 = {fitted.k2_w:.4f} W   (paper: 0.3231 per socket)")

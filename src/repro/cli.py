@@ -9,6 +9,7 @@
     python -m repro table1
     python -m repro fig --figure 2a
     python -m repro fleet --racks 2 --servers-per-rack 4 --policy coolest-first
+    python -m repro fleet --controller coordinated --policy dvfs-aware
 
 Every subcommand prints plain text and writes optional artifacts, so
 the full reproduction can be driven from a shell with no Python.
@@ -19,12 +20,14 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.controllers.bangbang import BangBangController
+from repro.core.controllers.coordinated import CoordinatedController
 from repro.core.controllers.default import FixedSpeedController
 from repro.core.controllers.lut import LUTController
 from repro.core.controllers.mpc import build_mpc_from_characterization
@@ -55,6 +58,8 @@ from repro.fleet import (
     build_uniform_fleet,
 )
 from repro.reporting import ascii_chart, format_table, sparkline
+from repro.server.dvfs import default_dvfs_ladder
+from repro.server.specs import default_server_spec
 from repro.units import hours
 from repro.workloads.datacenter import (
     build_batch_window_profile,
@@ -311,9 +316,15 @@ def cmd_fleet(args) -> int:
         raise SystemExit("--dt must be positive")
     if args.hours <= 0:
         raise SystemExit("--hours must be positive")
+    spec = default_server_spec()
+    if args.controller == "coordinated":
+        # The coordinated fan+DVFS policy needs sockets with an actual
+        # voltage/frequency ladder to actuate.
+        spec = replace(spec, dvfs=default_dvfs_ladder())
     fleet = build_uniform_fleet(
         rack_count=args.racks,
         servers_per_rack=args.servers_per_rack,
+        spec=spec,
         crac_supply_c=args.crac_supply,
     )
     try:
@@ -322,14 +333,19 @@ def cmd_fleet(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"cannot build {args.workload!r} workload: {exc}")
-    if args.controller == "lut":
+    if args.controller in ("lut", "coordinated"):
         # build (or load) the LUT once and share it across all servers
         # instead of re-running the characterization per controller.
         if args.lut:
             lut = LookupTable.load(Path(args.lut))
         else:
             lut = build_paper_lut(seed=args.seed)
-        factory = lambda index: LUTController(lut)  # noqa: E731
+        if args.controller == "lut":
+            factory = lambda index: LUTController(lut)  # noqa: E731
+        else:
+            factory = lambda index: CoordinatedController(  # noqa: E731
+                lut, spec.dvfs
+            )
     else:
         factory = lambda index: _build_controller(  # noqa: E731
             args.controller, args
@@ -367,6 +383,7 @@ def cmd_fleet(args) -> int:
             f"{rack.hot_spot_c:.1f}",
             f"{rack.mean_inlet_c:.2f}",
             f"{rack.mean_utilization_pct:.1f}",
+            f"{rack.dvfs_deficit_pct_s:.1f}",
         ]
         for rack in m.racks
     ]
@@ -380,6 +397,7 @@ def cmd_fleet(args) -> int:
             f"{m.hot_spot_c:.1f}",
             f"{m.mean_inlet_c:.2f}",
             f"{m.mean_utilization_pct:.1f}",
+            f"{m.dvfs_deficit_pct_s:.1f}",
         ]
     )
     print(
@@ -393,13 +411,16 @@ def cmd_fleet(args) -> int:
                 "hotspot(C)",
                 "inlet(C)",
                 "util%",
+                "deficit(%s)",
             ],
             rows,
         )
     )
     print()
     print(
-        f"SLA        : {m.sla_unserved_pct_s:.1f} pct*s unserved demand over "
+        f"SLA        : {m.sla_unserved_pct_s:.1f} pct*s unserved demand + "
+        f"{m.dvfs_deficit_pct_s:.1f} pct*s DVFS deficit = "
+        f"{m.sla_total_pct_s:.1f} pct*s lost work over "
         f"{m.sla_violation_ticks} violation ticks"
     )
     print(f"fleet power: {sparkline(result.fleet_power_w)}")
@@ -471,8 +492,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--controller",
         default="lut",
-        choices=("default", "bangbang", "lut", "pi"),
-        help="per-server fan controller",
+        choices=("default", "bangbang", "lut", "pi", "coordinated"),
+        help="per-server fan (or coordinated fan+DVFS) controller",
     )
     p.add_argument("--hours", type=float, default=24.0, help="scenario length")
     p.add_argument("--dt", type=float, default=60.0, help="tick length, s")

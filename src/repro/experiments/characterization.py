@@ -21,7 +21,6 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.controllers.default import FixedSpeedController
-from repro.experiments.protocol import ExperimentProtocol
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
 from repro.models.fitting import CharacterizationSample
 from repro.server.ambient import ConstantAmbient

@@ -22,7 +22,7 @@ bulk experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -173,7 +173,10 @@ class DlcPc:
                     pstate = decide_pstate(observation)
                     if pstate is not None:
                         self.sim.set_pstate(pstate)
-                self._next_controller_poll_s += self.controller.poll_interval_s
+                # Advance past the current time so a dt_s longer than
+                # the poll interval cannot leave the clock behind.
+                while time_s >= self._next_controller_poll_s - 1e-9:
+                    self._next_controller_poll_s += self.controller.poll_interval_s
 
             state = self.sim.step(dt_s, instantaneous)
             self.monitor.observe(time_s, state.utilization_pct, dt_s)

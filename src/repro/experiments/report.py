@@ -19,7 +19,6 @@ from repro.core.controllers.lut import LUTController
 from repro.core.lut import LookupTable, build_lut_from_characterization
 from repro.experiments.characterization import (
     PAPER_FAN_SPEEDS_RPM,
-    PAPER_UTILIZATION_LEVELS_PCT,
     run_characterization_steady,
     run_constant_load_experiment,
 )

@@ -33,6 +33,7 @@ TRACE_COLUMNS = (
     "time_s",
     "target_util_pct",
     "instantaneous_util_pct",
+    "executed_util_pct",
     "monitored_util_pct",
     "cpu0_junction_c",
     "cpu1_junction_c",
@@ -48,6 +49,7 @@ TRACE_COLUMNS = (
     "power_memory_w",
     "power_board_w",
     "pstate_index",
+    "work_deficit_pct_s",
 )
 
 
@@ -164,7 +166,11 @@ def run_experiment(
                 pstate = decide_pstate(observation)
                 if pstate is not None:
                     sim.set_pstate(pstate)
-            next_poll_s += controller.poll_interval_s
+            # Advance past the current time: with dt_s larger than the
+            # poll interval a single increment would let the poll clock
+            # fall unboundedly behind the simulation.
+            while time_s >= next_poll_s - 1e-9:
+                next_poll_s += controller.poll_interval_s
 
         state = sim.step(config.dt_s, instantaneous)
         # The monitor sees what sar reports: the *executed* busy
@@ -179,6 +185,7 @@ def run_experiment(
                 "time_s": time_s,
                 "target_util_pct": target,
                 "instantaneous_util_pct": instantaneous,
+                "executed_util_pct": state.utilization_pct,
                 "monitored_util_pct": monitor.utilization_pct(),
                 "cpu0_junction_c": state.thermal.junction_c[0],
                 "cpu1_junction_c": state.thermal.junction_c[
@@ -196,6 +203,7 @@ def run_experiment(
                 "power_memory_w": state.power.memory_w,
                 "power_board_w": state.power.board_w,
                 "pstate_index": state.pstate_index,
+                "work_deficit_pct_s": sim.work_deficit_pct_s,
             }
         )
 
@@ -205,7 +213,10 @@ def run_experiment(
         max_temperature_trace_c=recorder.column("max_junction_c"),
         rpm_commands=recorder.column("rpm_command"),
         actual_rpms=recorder.column("mean_rpm"),
-        utilization_pct=recorder.column("target_util_pct"),
+        # Executed, not demanded: a coordinated controller parked in a
+        # deep p-state stretches busy time, and Table-I utilization must
+        # report what the sockets actually ran.
+        utilization_pct=recorder.column("executed_util_pct"),
         static_idle_w=sim.power_model.static_idle_w(),
     )
     return ExperimentResult(

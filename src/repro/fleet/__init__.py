@@ -6,13 +6,15 @@ experiment platform, the extension the paper's conclusion proposes:
 * :mod:`repro.fleet.topology` — racks, fleets, CRAC supplies, and the
   heat-recirculation coupling between server exhausts and inlets,
 * :mod:`repro.fleet.scheduler` — pluggable job-placement policies
-  (round-robin, least-utilized, coolest-first, leakage-aware) splitting
-  an aggregate demand trace across the fleet,
+  (round-robin, least-utilized, coolest-first, leakage-aware,
+  dvfs-aware) splitting an aggregate demand trace across the fleet,
 * :mod:`repro.fleet.engine` — the vectorized lock-step engine stepping
   N servers per tick with numpy-batched thermal/power/leakage math,
-  each server under its own fan controller,
+  each server under its own fan (and, for coordinated controllers,
+  DVFS p-state) controller,
 * :mod:`repro.fleet.metrics` — fleet energy, coincident peak power,
-  hot-spot temperature, SLA violations, and per-rack breakdowns.
+  hot-spot temperature, SLA violations (scheduler-unserved demand plus
+  DVFS work deficit), and per-rack breakdowns.
 """
 
 from repro.fleet.engine import FleetEngine, FleetResult
@@ -24,6 +26,7 @@ from repro.fleet.metrics import (
 from repro.fleet.scheduler import (
     PLACEMENT_POLICIES,
     CoolestFirstPolicy,
+    DvfsAwarePolicy,
     FleetScheduler,
     FleetWorkload,
     LeakageAwarePolicy,
@@ -50,6 +53,7 @@ __all__ = [
     "compute_fleet_metrics",
     "PLACEMENT_POLICIES",
     "CoolestFirstPolicy",
+    "DvfsAwarePolicy",
     "FleetScheduler",
     "FleetWorkload",
     "LeakageAwarePolicy",

@@ -12,9 +12,15 @@ baseline the scaling benchmark compares to.
 
 Each server keeps its *own* controller instance (any
 :class:`~repro.core.controllers.base.FanController`), polled on its own
-cadence exactly as the single-server runner does.  Controllers in the
-fleet observe ground-truth junction temperatures and the previous
-tick's executed utilization (the fleet engine trades the runner's
+cadence exactly as the single-server runner does.  Controllers that
+additionally expose ``decide_pstate`` (the coordinated fan + DVFS
+policy) have their p-state commands actuated per server: the demanded
+allocation is stretched by ``f_nom / f`` into executed utilization
+(numpy-batched, saturating at 100%), and the saturated remainder is
+accumulated as a per-server work deficit that the fleet SLA metrics
+combine with scheduler-unserved demand.  Controllers in the fleet
+observe ground-truth junction temperatures and the previous tick's
+executed utilization (the fleet engine trades the runner's
 noisy-sensor / ``sar``-window emulation for scale).
 """
 
@@ -39,6 +45,7 @@ from repro.fleet.topology import (
     RecirculationAmbient,
     exhaust_temperature_rise_c,
 )
+from repro.server.ambient import ConstantAmbient
 from repro.server.power import leakage_power_w, leakage_slope_w_per_c
 from repro.server.server import CriticalTemperatureError, ServerSimulator
 from repro.server.thermal import MAX_SUBSTEP_S, convective_resistance_k_w
@@ -47,6 +54,12 @@ from repro.workloads.profile import UtilizationProfile
 
 #: Poll-time comparison slack, seconds (matches the experiment runner).
 _POLL_EPS_S = 1e-9
+
+
+#: Cold-start fan settle horizon, seconds (matches the paper protocol's
+#: ">= 10 minutes idle" phase; long enough that any rotor reaches the
+#: commanded speed exactly).
+_COLD_START_SETTLE_S = 600.0
 
 
 @dataclass
@@ -62,6 +75,12 @@ class _TickState:
     leakage_w: np.ndarray
     leakage_slope_w_per_c: np.ndarray
     dimm_bank_c: np.ndarray
+    #: Executed (busy-fraction) utilization after the p-state stretch.
+    executed_pct: np.ndarray
+    #: DVFS deficit rate this tick, nominal percent (0 when keeping up).
+    work_deficit_pct: np.ndarray
+    #: P-state each server ran this tick.
+    pstate_index: np.ndarray
 
 
 class _VectorBackend:
@@ -124,6 +143,50 @@ class _VectorBackend:
         self.t_m = initial.copy()
         self.rpm = per_server(lambda s: s.default_fan_rpm)
 
+        # DVFS: per-server p-state plus the three scaling factors the
+        # scalar power model derives from it, kept as flat arrays so
+        # the per-tick stretch/power math stays fully batched.
+        self._fleet = fleet
+        self._dvfs = [spec.dvfs for spec in servers]
+        self.pstate = np.zeros(n, dtype=int)
+        self.freq_ratio = np.ones(n)
+        self.static_scale = np.ones(n)
+        self.dynamic_scale = np.ones(n)
+
+    def set_pstate(self, server_index: int, pstate_index: int) -> None:
+        """Switch one server's sockets to *pstate_index* (validated)."""
+        dvfs = self._dvfs[server_index]
+        dvfs.state(pstate_index)  # raises IndexError if out of range
+        self.pstate[server_index] = pstate_index
+        self.freq_ratio[server_index] = dvfs.frequency_ratio(pstate_index)
+        self.static_scale[server_index] = dvfs.static_power_scale(pstate_index)
+        self.dynamic_scale[server_index] = dvfs.dynamic_power_scale(
+            pstate_index
+        )
+
+    def force_cold_state(self, cold_start_rpm: float) -> None:
+        """Settle every server at the idle equilibrium for *cold_start_rpm*.
+
+        Mirrors the experiment protocol's pre-``t = 0`` phase by
+        settling one real :class:`ServerSimulator` per server (init
+        only — the hot path stays batched), so a cold-started fleet
+        run is bit-compatible with ``run_experiment``.
+        """
+        supply = self._fleet.supply_temperatures_c(0.0)
+        for i, spec in enumerate(self._fleet.servers):
+            sim = ServerSimulator(
+                spec=spec,
+                ambient=ConstantAmbient(float(supply[i])),
+                trip_on_critical=False,
+            )
+            sim.set_fan_rpm(cold_start_rpm)
+            sim.fans.step(dt_s=_COLD_START_SETTLE_S)
+            sim.settle_to_steady_state(utilization_pct=0.0)
+            self.t_j[i] = sim.thermal.state.junction_c
+            self.t_h[i] = sim.thermal.state.heatsink_c
+            self.t_m[i] = sim.thermal.state.dimm_bank_c
+            self.rpm[i] = sim.fans.mean_rpm
+
     def _leakage(self, t_j: np.ndarray) -> np.ndarray:
         return leakage_power_w(
             self.leak_const_w, self.leak_k2_w, self.leak_k3_per_c, t_j
@@ -138,7 +201,7 @@ class _VectorBackend:
     def step(
         self,
         dt_s: float,
-        utilization_pct: np.ndarray,
+        demand_pct: np.ndarray,
         rpm_command: np.ndarray,
         inlet_c: np.ndarray,
         offsets_c: np.ndarray,
@@ -154,7 +217,18 @@ class _VectorBackend:
             * (self.rpm / self.fan_rpm_ref) ** self.fan_power_exp
         )
 
-        u = utilization_pct
+        # DVFS stretch: demanded nominal work runs slower at a deep
+        # p-state, so the busy fraction grows by f_nom/f and saturates
+        # at 100% — the saturated remainder is lost throughput,
+        # reported (in nominal percent) as the work deficit.  Ordering
+        # matches DvfsSpec.executed_utilization_pct / work_deficit_pct
+        # so the batch stays bit-compatible with the scalar simulator.
+        stretched = demand_pct / self.freq_ratio
+        u = np.minimum(100.0, stretched)
+        deficit = np.where(
+            stretched <= 100.0, 0.0, (stretched - 100.0) * self.freq_ratio
+        )
+
         mem_power = self.mem_idle_w + self.mem_k_w_pct * u
         capacity = airflow_heat_capacity_w_per_k(airflow)
         cpu_inlet = inlet_c + self.preheat_frac * mem_power / capacity
@@ -165,7 +239,10 @@ class _VectorBackend:
             self.r_ha_ref, self.rpm[:, None], self.rpm_ref_thermal, self.flow_exp
         )
 
-        active = self.sock_idle_w + self.sock_k_w_pct * u[:, None]
+        active = (
+            self.sock_idle_w * self.static_scale[:, None]
+            + self.sock_k_w_pct * u[:, None] * self.dynamic_scale[:, None]
+        )
         substeps = max(1, int(np.ceil(dt_s / MAX_SUBSTEP_S)))
         h = dt_s / substeps
         cpu_inlet_col = cpu_inlet[:, None]
@@ -196,6 +273,9 @@ class _VectorBackend:
             leakage_w=leakage.sum(axis=1),
             leakage_slope_w_per_c=self.leakage_slope_w_per_c(),
             dimm_bank_c=self.t_m.copy(),
+            executed_pct=u,
+            work_deficit_pct=deficit,
+            pstate_index=self.pstate.copy(),
         )
 
     def check_critical(self, trip: bool) -> None:
@@ -238,6 +318,18 @@ class _ReferenceBackend:
             )
         self.rpm = np.array([sim.fans.mean_rpm for sim in self.sims])
 
+    def set_pstate(self, server_index: int, pstate_index: int) -> None:
+        """Switch one wrapped simulator to *pstate_index*."""
+        self.sims[server_index].set_pstate(pstate_index)
+
+    def force_cold_state(self, cold_start_rpm: float) -> None:
+        """The experiment protocol's pre-``t = 0`` idle settle, per sim."""
+        for sim in self.sims:
+            sim.set_fan_rpm(cold_start_rpm)
+            sim.fans.step(dt_s=_COLD_START_SETTLE_S)
+            sim.settle_to_steady_state(utilization_pct=0.0)
+        self.rpm = np.array([sim.fans.mean_rpm for sim in self.sims])
+
     def _views_data(self):
         max_j, avg_j, leak_w, slope = [], [], [], []
         for sim in self.sims:
@@ -270,21 +362,30 @@ class _ReferenceBackend:
     def step(
         self,
         dt_s: float,
-        utilization_pct: np.ndarray,
+        demand_pct: np.ndarray,
         rpm_command: np.ndarray,
         inlet_c: np.ndarray,
         offsets_c: np.ndarray,
     ) -> _TickState:
         total, fan, airflow, rpm, dimm = [], [], [], [], []
+        executed, deficit, pstate = [], [], []
         for i, sim in enumerate(self.sims):
             sim.ambient.set_offset(float(offsets_c[i]))
             sim.set_fan_rpm(float(rpm_command[i]))
-            state = sim.step(dt_s, float(utilization_pct[i]))
+            index = sim.power_model.pstate_index
+            # The same per-step deficit term the simulator accumulates
+            # internally, surfaced per tick for the fleet traces.
+            deficit.append(
+                sim.spec.dvfs.work_deficit_pct(float(demand_pct[i]), index)
+            )
+            pstate.append(index)
+            state = sim.step(dt_s, float(demand_pct[i]))
             total.append(state.power.total_w)
             fan.append(state.power.fan_w)
             airflow.append(sim.fans.total_airflow_cfm())
             rpm.append(state.mean_fan_rpm)
             dimm.append(state.thermal.dimm_bank_c)
+            executed.append(state.utilization_pct)
         max_j, avg_j, leak_w, slope = self._views_data()
         self.rpm = np.array(rpm)
         return _TickState(
@@ -297,6 +398,9 @@ class _ReferenceBackend:
             leakage_w=leak_w,
             leakage_slope_w_per_c=slope,
             dimm_bank_c=np.array(dimm),
+            executed_pct=np.array(executed),
+            work_deficit_pct=np.array(deficit),
+            pstate_index=np.array(pstate, dtype=int),
         )
 
     def check_critical(self, trip: bool) -> None:
@@ -318,16 +422,31 @@ class FleetResult:
     total_power_w: np.ndarray
     fan_power_w: np.ndarray
     max_junction_c: np.ndarray
+    #: Executed (post-p-state-stretch) utilization per tick.
     utilization_pct: np.ndarray
     inlet_c: np.ndarray
     mean_rpm: np.ndarray
     unserved_pct: np.ndarray
+    #: P-state each server ran per tick (0 = nominal).
+    pstate_index: np.ndarray
+    #: DVFS deficit rate per tick and server, nominal percent.
+    work_deficit_pct: np.ndarray
     metrics: FleetMetrics
 
     @property
     def fleet_power_w(self) -> np.ndarray:
         """Summed fleet power per tick."""
         return self.total_power_w.sum(axis=1)
+
+    @property
+    def work_deficit_pct_s(self) -> np.ndarray:
+        """Cumulative per-server DVFS deficit, %·s (ticks × servers).
+
+        Accumulated with the same per-step additions as
+        :attr:`ServerSimulator.work_deficit_pct_s`, so the N=1 trace is
+        comparable bit-for-bit.
+        """
+        return np.cumsum(self.work_deficit_pct * self.dt_s, axis=0)
 
 
 class FleetEngine:
@@ -342,6 +461,8 @@ class FleetEngine:
         backend: str = "vector",
         seed: int = 0,
         trip_on_critical: bool = True,
+        cold_start: bool = False,
+        cold_start_rpm: float = 3600.0,
     ):
         if backend not in ("vector", "reference"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -367,6 +488,16 @@ class FleetEngine:
         self.backend = backend
         self.seed = seed
         self.trip_on_critical = trip_on_critical
+        if cold_start:
+            for index, spec in enumerate(fleet.servers):
+                if not spec.fan.rpm_min <= cold_start_rpm <= spec.fan.rpm_max:
+                    raise ValueError(
+                        f"server {index}: cold_start_rpm {cold_start_rpm} "
+                        f"outside supported range "
+                        f"[{spec.fan.rpm_min}, {spec.fan.rpm_max}]"
+                    )
+        self.cold_start = cold_start
+        self.cold_start_rpm = float(cold_start_rpm)
 
     # ------------------------------------------------------------------
     def _make_backend(self):
@@ -383,6 +514,15 @@ class FleetEngine:
             )
         return float(rpm)
 
+    def _validated_pstate(self, index: int, pstate: int) -> int:
+        ladder = self.fleet.servers[index].dvfs
+        if not 0 <= pstate < len(ladder):
+            raise ValueError(
+                f"server {index}: p-state {pstate} outside the "
+                f"{len(ladder)}-state ladder"
+            )
+        return int(pstate)
+
     def run(
         self, dt_s: float = 1.0, duration_s: Optional[float] = None
     ) -> FleetResult:
@@ -397,6 +537,8 @@ class FleetEngine:
 
         n = self.fleet.server_count
         physics = self._make_backend()
+        if self.cold_start:
+            physics.force_cold_state(self.cold_start_rpm)
         rack_of = self.fleet.rack_index_of_server
         coupling = self.fleet.recirculation_matrix()
         supply_models = self.fleet.supply_models()
@@ -413,7 +555,8 @@ class FleetEngine:
                 i, initial if initial is not None else float(physics.rpm[i])
             )
 
-        utilization = np.zeros(n)
+        executed = np.zeros(n)
+        pstate_now = np.zeros(n, dtype=int)
         exhaust_rise = np.zeros(n)
         max_j, avg_j, leak_w, leak_slope = physics.initial_views_data()
 
@@ -425,6 +568,8 @@ class FleetEngine:
         trace_inlet = np.empty((steps, n))
         trace_rpm = np.empty((steps, n))
         trace_unserved = np.empty(steps)
+        trace_pstate = np.empty((steps, n), dtype=int)
+        trace_deficit = np.empty((steps, n))
 
         time_s = 0.0
         for tick in range(steps):
@@ -439,11 +584,12 @@ class FleetEngine:
                 ServerLoadView(
                     index=i,
                     rack_index=rack_of[i],
-                    utilization_pct=float(utilization[i]),
+                    utilization_pct=float(executed[i]),
                     max_junction_c=float(max_j[i]),
                     inlet_c=float(inlet[i]),
                     leakage_w=float(leak_w[i]),
                     leakage_slope_w_per_c=float(leak_slope[i]),
+                    pstate_index=int(pstate_now[i]),
                 )
                 for i in range(n)
             ]
@@ -457,24 +603,39 @@ class FleetEngine:
                     time_s=time_s,
                     max_cpu_temperature_c=float(max_j[i]),
                     avg_cpu_temperature_c=float(avg_j[i]),
-                    utilization_pct=float(utilization[i]),
+                    utilization_pct=float(executed[i]),
                     current_rpm_command=float(rpm_command[i]),
                 )
                 wanted = controller.decide(observation)
                 if wanted is not None and wanted != rpm_command[i]:
                     rpm_command[i] = self._validated_command(i, wanted)
-                next_poll[i] += controller.poll_interval_s
+                # Coordinated controllers additionally command a
+                # p-state, polled on the same cadence and in the same
+                # order as the single-server runner.
+                decide_pstate = getattr(controller, "decide_pstate", None)
+                if decide_pstate is not None:
+                    wanted_pstate = decide_pstate(observation)
+                    if wanted_pstate is not None:
+                        physics.set_pstate(
+                            int(i),
+                            self._validated_pstate(int(i), int(wanted_pstate)),
+                        )
+                # Advance past the current time: with dt_s larger than
+                # the poll interval a single increment would let the
+                # poll clock fall unboundedly behind the simulation.
+                while time_s >= next_poll[i] - _POLL_EPS_S:
+                    next_poll[i] += controller.poll_interval_s
 
-            utilization = decision.allocations_pct
-            state = physics.step(
-                dt_s, utilization, rpm_command, inlet, offsets
-            )
+            demand = decision.allocations_pct
+            state = physics.step(dt_s, demand, rpm_command, inlet, offsets)
             physics.check_critical(self.trip_on_critical)
 
             max_j = state.max_junction_c
             avg_j = state.avg_junction_c
             leak_w = state.leakage_w
             leak_slope = state.leakage_slope_w_per_c
+            executed = state.executed_pct
+            pstate_now = state.pstate_index
             exhaust_rise = exhaust_temperature_rise_c(
                 state.total_power_w, state.airflow_cfm
             )
@@ -482,10 +643,12 @@ class FleetEngine:
             trace_power[tick] = state.total_power_w
             trace_fan[tick] = state.fan_power_w
             trace_junction[tick] = state.max_junction_c
-            trace_util[tick] = utilization
+            trace_util[tick] = executed
             trace_inlet[tick] = inlet
             trace_rpm[tick] = state.mean_rpm
             trace_unserved[tick] = decision.unserved_pct
+            trace_pstate[tick] = state.pstate_index
+            trace_deficit[tick] = state.work_deficit_pct
             time_s += dt_s
 
         metrics = compute_fleet_metrics(
@@ -497,6 +660,7 @@ class FleetEngine:
             trace_util,
             trace_inlet,
             trace_unserved,
+            work_deficit_pct=trace_deficit,
         )
         controller_names = {c.name for c in self.controllers}
         return FleetResult(
@@ -516,5 +680,7 @@ class FleetEngine:
             inlet_c=trace_inlet,
             mean_rpm=trace_rpm,
             unserved_pct=trace_unserved,
+            pstate_index=trace_pstate,
+            work_deficit_pct=trace_deficit,
             metrics=metrics,
         )

@@ -11,7 +11,7 @@ what a data-center operator actually inspects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +35,8 @@ class RackMetrics:
     hot_spot_c: float
     mean_utilization_pct: float
     mean_inlet_c: float
+    #: Demanded-but-unexecuted work from DVFS saturation, %·s.
+    dvfs_deficit_pct_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -54,9 +56,23 @@ class FleetMetrics:
     mean_inlet_c: float
     #: Integral of unserved demand, single-server %·s.
     sla_unserved_pct_s: float
-    #: Number of ticks with any unserved demand.
+    #: Number of ticks with any unserved demand or DVFS deficit.
     sla_violation_ticks: int
     racks: Tuple[RackMetrics, ...]
+    #: Demanded-but-unexecuted work from DVFS saturation, %·s (zero
+    #: unless per-server controllers parked too-deep p-states).
+    dvfs_deficit_pct_s: float = 0.0
+
+    @property
+    def sla_total_pct_s(self) -> float:
+        """All lost work: scheduler-unserved demand plus DVFS deficit.
+
+        This is the fleet-level SLA number a coordinated fan+DVFS
+        policy must keep at zero — demand can be lost both *before*
+        placement (no capacity anywhere) and *after* it (a server's
+        sockets too slow for its allocation).
+        """
+        return self.sla_unserved_pct_s + self.dvfs_deficit_pct_s
 
     @property
     def avg_power_w(self) -> float:
@@ -75,12 +91,16 @@ def compute_fleet_metrics(
     utilization_pct: np.ndarray,
     inlet_c: np.ndarray,
     unserved_pct: np.ndarray,
+    work_deficit_pct: Optional[np.ndarray] = None,
 ) -> FleetMetrics:
     """Aggregate per-tick × per-server traces into :class:`FleetMetrics`.
 
     All 2-D arrays are shaped ``(ticks, servers)`` with servers in the
     fleet's flat (rack-major) index order; energies use the same
     rectangular ``P·dt`` accumulation as the engine.
+    ``utilization_pct`` is *executed* utilization and
+    ``work_deficit_pct`` the per-tick DVFS deficit rate in nominal
+    percent (omitted / ``None`` means no DVFS actuation: zero deficit).
     """
     if dt_s <= 0:
         raise ValueError("dt_s must be positive")
@@ -96,16 +116,24 @@ def compute_fleet_metrics(
     util = np.asarray(utilization_pct, dtype=float)
     inlet = np.asarray(inlet_c, dtype=float)
     unserved = np.asarray(unserved_pct, dtype=float)
+    if work_deficit_pct is None:
+        deficit = np.zeros_like(power)
+    else:
+        deficit = np.asarray(work_deficit_pct, dtype=float)
     for name, arr in (
         ("fan_power_w", fan),
         ("max_junction_c", junctions),
         ("utilization_pct", util),
         ("inlet_c", inlet),
+        ("work_deficit_pct", deficit),
     ):
         if arr.shape != power.shape:
             raise ValueError(f"{name} shape {arr.shape} != {power.shape}")
     if unserved.shape != (ticks,):
-        raise ValueError(f"unserved_pct must be one value per tick")
+        raise ValueError(
+            f"unserved_pct must be one value per tick ({ticks},), "
+            f"got shape {unserved.shape}"
+        )
 
     racks = []
     for rack, sl in zip(fleet.racks, fleet.rack_slices()):
@@ -119,8 +147,13 @@ def compute_fleet_metrics(
                 hot_spot_c=float(junctions[:, sl].max()),
                 mean_utilization_pct=float(util[:, sl].mean()),
                 mean_inlet_c=float(inlet[:, sl].mean()),
+                dvfs_deficit_pct_s=float(deficit[:, sl].sum()) * dt_s,
             )
         )
+    deficit_per_tick = deficit.sum(axis=1)
+    violation_ticks = (unserved > SLA_TICK_TOLERANCE_PCT) | (
+        deficit_per_tick > SLA_TICK_TOLERANCE_PCT
+    )
     return FleetMetrics(
         server_count=fleet.server_count,
         duration_s=ticks * dt_s,
@@ -131,6 +164,7 @@ def compute_fleet_metrics(
         mean_utilization_pct=float(util.mean()),
         mean_inlet_c=float(inlet.mean()),
         sla_unserved_pct_s=float(unserved.sum()) * dt_s,
-        sla_violation_ticks=int(np.sum(unserved > SLA_TICK_TOLERANCE_PCT)),
+        sla_violation_ticks=int(np.sum(violation_ticks)),
         racks=tuple(racks),
+        dvfs_deficit_pct_s=float(deficit.sum()) * dt_s,
     )

@@ -17,7 +17,10 @@ Policies:
   hottest-junction first (thermal-aware placement),
 * :class:`LeakageAwarePolicy` — fill the servers with the smallest
   marginal leakage cost ``dP_leak/dT = k2·k3·exp(k3·T)`` first, the
-  fleet-level analogue of the paper's leakage-aware control.
+  fleet-level analogue of the paper's leakage-aware control,
+* :class:`DvfsAwarePolicy` — fill the servers running closest to
+  nominal frequency first, so demand lands where a coordinated
+  fan+DVFS controller has the headroom to execute it without deficit.
 """
 
 from __future__ import annotations
@@ -51,6 +54,8 @@ class ServerLoadView:
     leakage_w: float
     #: Marginal leakage cost ``dP_leak/dT_j`` summed over sockets, W/°C.
     leakage_slope_w_per_c: float
+    #: Active p-state during the previous tick (0 = nominal frequency).
+    pstate_index: int = 0
 
 
 class PlacementPolicy(ABC):
@@ -121,6 +126,29 @@ class LeakageAwarePolicy(PlacementPolicy):
         return [views[i].index for i in np.lexsort((inlets, slopes))]
 
 
+class DvfsAwarePolicy(PlacementPolicy):
+    """Fill the nominal-frequency, already-loaded servers first.
+
+    When per-server controllers also actuate DVFS (the coordinated
+    fan + p-state policy), demand placed on a server parked in a deep
+    p-state stretches its busy time and — once the stretch saturates —
+    becomes a work deficit.  Controllers observe the *previous* tick,
+    so every reallocation onto a freshly-idle server opens a one-tick
+    deficit window (its governor is parking it at the very moment the
+    scheduler loads it).  Filling the lowest p-state index first keeps
+    demand where the frequency headroom is, and breaking ties by
+    *descending* executed utilization keeps the busy set stable so
+    those windows never open in steady state.
+    """
+
+    name = "dvfs-aware"
+
+    def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
+        pstates = np.array([v.pstate_index for v in views])
+        utils = np.array([v.utilization_pct for v in views])
+        return [views[i].index for i in np.lexsort((-utils, pstates))]
+
+
 #: Registry used by the CLI and examples.
 PLACEMENT_POLICIES = {
     policy.name: policy
@@ -129,6 +157,7 @@ PLACEMENT_POLICIES = {
         LeastUtilizedPolicy,
         CoolestFirstPolicy,
         LeakageAwarePolicy,
+        DvfsAwarePolicy,
     )
 }
 

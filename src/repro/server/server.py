@@ -107,6 +107,7 @@ class ServerSimulator:
         self._time_s = 0.0
         self._utilization_pct = 0.0
         self._demand_pct = 0.0
+        self._inlet_c = self.ambient.temperature_c(0.0)
         self._energy_j = 0.0
         self._fan_energy_j = 0.0
         self._work_deficit_pct_s = 0.0
@@ -148,6 +149,10 @@ class ServerSimulator:
         )
 
         self.fans.step(dt_s)
+        # Sampled *before* the time advance: this is the inlet the
+        # thermal step integrates against, and the one the snapshot
+        # must report (a post-advance re-read disagrees with the
+        # physics under any time-varying ambient).
         inlet_c = self.ambient.temperature_c(self._time_s)
         self.thermal.step(
             dt_s=dt_s,
@@ -160,6 +165,7 @@ class ServerSimulator:
         self._time_s += dt_s
         self._utilization_pct = executed
         self._demand_pct = utilization_pct
+        self._inlet_c = inlet_c
 
         state = self._snapshot()
         self._energy_j += state.power.total_w * dt_s
@@ -178,7 +184,6 @@ class ServerSimulator:
         return state
 
     def _snapshot(self) -> ServerState:
-        inlet_c = self.ambient.temperature_c(self._time_s)
         breakdown = self.power_model.breakdown(
             self._utilization_pct,
             self.thermal.state.junction_c,
@@ -188,7 +193,7 @@ class ServerSimulator:
             time_s=self._time_s,
             utilization_pct=self._utilization_pct,
             fan_rpms=self.fans.rpms,
-            inlet_c=inlet_c,
+            inlet_c=self._inlet_c,
             power=breakdown,
             thermal=self.thermal.state.copy(),
             pstate_index=self.power_model.pstate_index,
@@ -201,18 +206,22 @@ class ServerSimulator:
         Emulates the paper's stabilization phases without integrating
         minutes of transient (used for steady-state characterization).
         """
+        demand_pct = utilization_pct
         utilization_pct = self.spec.dvfs.executed_utilization_pct(
             utilization_pct, self.power_model.pstate_index
         )
+        inlet_c = self.ambient.temperature_c(self._time_s)
         steady = self.thermal.steady_state(
             utilization_pct=utilization_pct,
             rpm=self.fans.mean_rpm,
             airflow_cfm=self.fans.total_airflow_cfm(),
-            inlet_c=self.ambient.temperature_c(self._time_s),
+            inlet_c=inlet_c,
             power_model=self.power_model,
         )
         self.thermal.settle_to(steady)
         self._utilization_pct = utilization_pct
+        self._demand_pct = demand_pct
+        self._inlet_c = inlet_c
         self._last_state = self._snapshot()
         return self._last_state
 

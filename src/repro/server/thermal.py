@@ -25,7 +25,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.server.power import PowerModel
-from repro.server.specs import CpuSocketSpec, MemorySpec, ServerSpec
+from repro.server.specs import CpuSocketSpec, ServerSpec
 from repro.units import (
     airflow_heat_capacity_w_per_k,
     validate_non_negative,

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -115,6 +114,58 @@ class TestFig:
         out = capsys.readouterr().out
         assert "minimum" in out
         assert "RPM" in out
+
+
+class TestFleet:
+    def test_coordinated_controller_reports_deficit_and_sla(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--controller",
+                    "coordinated",
+                    "--policy",
+                    "dvfs-aware",
+                    "--racks",
+                    "1",
+                    "--servers-per-rack",
+                    "2",
+                    "--hours",
+                    "0.5",
+                    "--dt",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "controller Coordinated" in out
+        assert "deficit(%s)" in out
+        assert "DVFS deficit" in out
+        assert "lost work" in out
+
+    def test_fan_only_fleet_still_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--controller",
+                    "default",
+                    "--racks",
+                    "1",
+                    "--servers-per-rack",
+                    "2",
+                    "--hours",
+                    "0.5",
+                    "--dt",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SLA" in out
+        assert "0.0 pct*s DVFS deficit" in out
 
 
 class TestParser:

@@ -1,0 +1,204 @@
+"""Regression tests for the closed-loop accounting fixes.
+
+Four bugs silently skewed the Table-I-style numbers:
+
+1. ``ServerSimulator._snapshot`` re-read the ambient *after* the time
+   advance, so with a time-varying ambient the logged inlet disagreed
+   with the inlet that drove the thermal step.
+2. ``settle_to_steady_state`` never updated ``_demand_pct``, so the
+   returned snapshot carried the previous step's demand.
+3. ``run_experiment`` fed the metrics the *demanded* utilization
+   column, so ``avg_utilization_pct`` hid the DVFS stretch.
+4. Poll scheduling advanced one interval per fire, letting the poll
+   clock fall unboundedly behind simulated time when ``dt_s`` exceeds
+   the poll interval.
+"""
+
+from dataclasses import replace
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.core.controllers.base import ControllerObservation, FanController
+from repro.core.controllers.coordinated import CoordinatedController
+from repro.core.lut import LookupTable
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.server.ambient import AmbientModel, ConstantAmbient
+from repro.server.dvfs import default_dvfs_ladder
+from repro.server.server import ServerSimulator
+from repro.server.specs import default_server_spec
+from repro.workloads.profile import ConstantProfile
+
+
+class RampAmbient(AmbientModel):
+    """Linear inlet ramp: ``T(t) = start + rate * t``."""
+
+    def __init__(self, start_c: float, rate_c_per_s: float):
+        self.start_c = start_c
+        self.rate_c_per_s = rate_c_per_s
+
+    def temperature_c(self, time_s: float) -> float:
+        return self.start_c + self.rate_c_per_s * time_s
+
+
+class PollRecorder(FanController):
+    """Holds speed; records every observation time it is polled at."""
+
+    def __init__(self, poll_interval_s: float):
+        self.poll_interval_s = poll_interval_s
+        self.poll_times_s: List[float] = []
+
+    def reset(self) -> None:
+        self.poll_times_s = []
+
+    def initial_rpm(self) -> Optional[float]:
+        return 3000.0
+
+    def decide(self, observation: ControllerObservation) -> Optional[float]:
+        self.poll_times_s.append(observation.time_s)
+        return None
+
+
+class TestSnapshotInletMatchesPhysics:
+    def test_ramp_ambient_snapshot_reports_step_inlet(self):
+        """ISSUE repro: a 60 s step on a 0.1 degC/s ramp from 20 degC
+        must report the 20.0 degC inlet the physics integrated against,
+        not the 26.0 degC post-advance re-read."""
+        sim = ServerSimulator(ambient=RampAmbient(20.0, 0.1))
+        state = sim.step(60.0, 50.0)
+        assert state.inlet_c == pytest.approx(20.0)
+
+    def test_successive_steps_report_pre_step_inlet(self):
+        sim = ServerSimulator(ambient=RampAmbient(20.0, 0.1))
+        sim.step(60.0, 50.0)
+        state = sim.step(60.0, 50.0)
+        # second step integrates against T(60 s) = 26.0
+        assert state.inlet_c == pytest.approx(26.0)
+
+    def test_constant_ambient_unchanged(self):
+        sim = ServerSimulator(ambient=ConstantAmbient(24.0))
+        state = sim.step(60.0, 50.0)
+        assert state.inlet_c == 24.0
+
+    def test_initial_snapshot_reports_t0_inlet(self):
+        sim = ServerSimulator(ambient=RampAmbient(18.0, 1.0))
+        assert sim.state.inlet_c == pytest.approx(18.0)
+
+
+class TestSettleDemand:
+    def test_settle_updates_demand(self):
+        """ISSUE repro: settle to 10% after a step at 80% must report
+        demand_pct == 10, not the stale 80."""
+        sim = ServerSimulator()
+        sim.step(1.0, 80.0)
+        state = sim.settle_to_steady_state(10.0)
+        assert state.demand_pct == 10.0
+        assert state.utilization_pct == 10.0
+
+    def test_settle_demand_is_pre_stretch_demand(self):
+        """At a deep p-state the snapshot keeps demanded vs executed
+        distinct: demand stays nominal, utilization is stretched."""
+        spec = replace(default_server_spec(), dvfs=default_dvfs_ladder())
+        sim = ServerSimulator(spec=spec)
+        sim.set_pstate(3)
+        state = sim.settle_to_steady_state(40.0)
+        assert state.demand_pct == 40.0
+        assert state.utilization_pct == pytest.approx(
+            spec.dvfs.executed_utilization_pct(40.0, 3)
+        )
+
+    def test_settle_inlet_recorded(self):
+        sim = ServerSimulator(ambient=RampAmbient(20.0, 0.1))
+        sim.step(60.0, 0.0)
+        state = sim.settle_to_steady_state(0.0)
+        # settle happens at t = 60 s, so the inlet is T(60) = 26.0
+        assert state.inlet_c == pytest.approx(26.0)
+
+
+class TestExecutedUtilizationMetrics:
+    def test_avg_utilization_reports_executed_not_demanded(self):
+        """A coordinated controller parked in a deep p-state stretches
+        busy time; the metric must follow the executed column."""
+        spec = replace(default_server_spec(), dvfs=default_dvfs_ladder())
+        table = LookupTable(levels_pct=(100.0,), rpms=(3000.0,))
+        controller = CoordinatedController(table, spec.dvfs)
+        config = ExperimentConfig(
+            dt_s=1.0, monitor_window_s=1.0, loadgen_mode="direct"
+        )
+        result = run_experiment(
+            controller, ConstantProfile(40.0, 300.0), spec=spec, config=config
+        )
+        executed = result.column("executed_util_pct")
+        demanded = result.column("instantaneous_util_pct")
+        # the governor parks a deeper state, stretching the busy time
+        assert result.column("pstate_index").max() > 0
+        assert executed.mean() > demanded.mean() + 5.0
+        assert result.metrics.avg_utilization_pct == pytest.approx(
+            float(executed.mean())
+        )
+
+    def test_trace_has_executed_and_deficit_columns(self):
+        result = run_experiment(
+            PollRecorder(10.0), ConstantProfile(30.0, 60.0)
+        )
+        # nominal-only ladder: executed follows demand, deficit is zero
+        np.testing.assert_array_equal(
+            result.column("executed_util_pct"),
+            result.column("instantaneous_util_pct"),
+        )
+        assert np.all(result.column("work_deficit_pct_s") == 0.0)
+
+
+class TestPollClockAdvancesPastSimTime:
+    def test_runner_polls_once_per_tick_when_dt_exceeds_interval(self):
+        controller = PollRecorder(poll_interval_s=1.0)
+        run_experiment(
+            controller,
+            ConstantProfile(20.0, 300.0),
+            config=ExperimentConfig(dt_s=30.0),
+        )
+        # exactly one poll per tick — the clock never lags behind, so
+        # no tick fires a backlog of stale polls
+        np.testing.assert_allclose(
+            controller.poll_times_s, np.arange(0.0, 300.0, 30.0)
+        )
+
+    def test_runner_poll_cadence_preserved_when_dt_below_interval(self):
+        controller = PollRecorder(poll_interval_s=10.0)
+        run_experiment(
+            controller,
+            ConstantProfile(20.0, 60.0),
+            config=ExperimentConfig(dt_s=1.0),
+        )
+        np.testing.assert_allclose(
+            controller.poll_times_s, [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+        )
+
+    def test_fleet_engine_polls_once_per_tick_when_dt_exceeds_interval(self):
+        from repro.fleet import Fleet, FleetEngine, Rack
+
+        controller = PollRecorder(poll_interval_s=1.0)
+        fleet = Fleet(racks=(Rack(name="r", servers=(default_server_spec(),)),))
+        FleetEngine(
+            fleet,
+            ConstantProfile(20.0, 300.0),
+            controller_factory=lambda i: controller,
+        ).run(dt_s=30.0)
+        np.testing.assert_allclose(
+            controller.poll_times_s, np.arange(0.0, 300.0, 30.0)
+        )
+
+    def test_fleet_engine_poll_cadence_preserved_when_dt_below_interval(self):
+        from repro.fleet import Fleet, FleetEngine, Rack
+
+        controller = PollRecorder(poll_interval_s=10.0)
+        fleet = Fleet(racks=(Rack(name="r", servers=(default_server_spec(),)),))
+        FleetEngine(
+            fleet,
+            ConstantProfile(20.0, 60.0),
+            controller_factory=lambda i: controller,
+        ).run(dt_s=1.0)
+        np.testing.assert_allclose(
+            controller.poll_times_s, [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+        )

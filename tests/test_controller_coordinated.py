@@ -134,8 +134,6 @@ class TestClosedLoop:
 
     def test_no_work_lost(self, dvfs_spec):
         """The headroom policy must never saturate the sockets."""
-        from repro.server.server import ServerSimulator  # local import
-
         lut = LookupTable(levels_pct=(0.0, 100.0), rpms=(1800.0, 2400.0))
         profile = StaircaseProfile([30.0, 90.0], step_duration_s=300.0)
         result = run_experiment(

@@ -7,7 +7,6 @@ loop between :mod:`repro.server.faults`, the controllers, and
 """
 
 import numpy as np
-import pytest
 
 from repro.core.controllers.bangbang import BangBangController
 from repro.core.controllers.base import ControllerObservation

@@ -1,24 +1,37 @@
-"""Engine tests: vector/reference equivalence, recirculation, metrics."""
+"""Engine tests: vector/reference equivalence, recirculation, DVFS."""
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
 
+from repro.core.controllers.coordinated import CoordinatedController
 from repro.core.controllers.default import FixedSpeedController
 from repro.core.controllers.pid import PIController
+from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.fleet import (
     CoolestFirstPolicy,
+    DvfsAwarePolicy,
     Fleet,
     FleetEngine,
     FleetScheduler,
     FleetWorkload,
     LeakageAwarePolicy,
     Rack,
+    build_recirculation_matrix,
     build_uniform_fleet,
     compute_fleet_metrics,
 )
+from repro.server.ambient import SinusoidalAmbient
+from repro.server.dvfs import default_dvfs_ladder
 from repro.server.server import CriticalTemperatureError, ServerSimulator
 from repro.server.specs import CpuSocketSpec, ServerSpec, default_server_spec
 from repro.workloads.profile import ConstantProfile, StaircaseProfile
+
+
+def dvfs_spec():
+    """The calibrated server with the four-step p-state ladder."""
+    return replace(default_server_spec(), dvfs=default_dvfs_ladder())
 
 
 def single_server_fleet(spec=None):
@@ -74,6 +87,100 @@ class TestSingleServerEquivalence:
         )
 
 
+class TestCoordinatedSingleServerAnchor:
+    """The correctness anchor for fleet-scale DVFS: a 1-server fleet
+    under a CoordinatedController must reproduce ``run_experiment`` on
+    a real ``ServerSimulator`` trace for trace — power, junction, rpm,
+    p-state, and accumulated work deficit.
+
+    The configurations are aligned so every observable matches: the
+    runner uses ``direct`` load synthesis (no PWM), a monitor window of
+    one tick (the fleet controllers observe the previous tick's
+    executed utilization), and the fleet engine cold-starts exactly
+    like the experiment protocol.  The coordinated policy reads only
+    utilization, so the runner's noisy temperature channels don't
+    enter the decisions.
+    """
+
+    @pytest.fixture(scope="class")
+    def anchor(self, paper_lut):
+        spec = dvfs_spec()
+        profile = StaircaseProfile([20.0, 70.0, 40.0, 95.0, 10.0], 180.0)
+        config = ExperimentConfig(
+            dt_s=1.0, monitor_window_s=1.0, loadgen_mode="direct"
+        )
+        runner = run_experiment(
+            CoordinatedController(paper_lut, spec.dvfs),
+            profile,
+            spec=spec,
+            config=config,
+        )
+        return spec, profile, paper_lut, runner
+
+    @pytest.mark.parametrize("backend", ["vector", "reference"])
+    def test_traces_match_run_experiment(self, anchor, backend):
+        spec, profile, lut, runner = anchor
+        fleet = Fleet(racks=(Rack(name="r0", servers=(spec,)),))
+        result = FleetEngine(
+            fleet,
+            profile,
+            controller_factory=lambda i: CoordinatedController(lut, spec.dvfs),
+            backend=backend,
+            cold_start=True,
+        ).run(dt_s=1.0)
+
+        # integer traces and everything untouched by numpy sum
+        # reordering must be *exactly* equal
+        np.testing.assert_array_equal(
+            result.pstate_index[:, 0], runner.column("pstate_index")
+        )
+        np.testing.assert_array_equal(
+            result.mean_rpm[:, 0], runner.column("mean_rpm")
+        )
+        np.testing.assert_array_equal(
+            result.utilization_pct[:, 0], runner.column("executed_util_pct")
+        )
+        np.testing.assert_array_equal(
+            result.work_deficit_pct_s[:, 0],
+            runner.column("work_deficit_pct_s"),
+        )
+        np.testing.assert_allclose(
+            result.total_power_w[:, 0],
+            runner.column("power_total_w"),
+            rtol=0,
+            atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            result.max_junction_c[:, 0],
+            runner.column("max_junction_c"),
+            rtol=0,
+            atol=1e-9,
+        )
+        # the run must actually exercise the ladder and pay a deficit
+        # during the 95% phase entered from a parked state
+        assert set(result.pstate_index[:, 0]) >= {0, 3}
+        assert result.work_deficit_pct_s[-1, 0] > 0.0
+
+    def test_reference_backend_is_bit_equal(self, anchor):
+        """The reference backend wraps real simulators, so even the
+        float traces match the runner bit for bit."""
+        spec, profile, lut, runner = anchor
+        fleet = Fleet(racks=(Rack(name="r0", servers=(spec,)),))
+        result = FleetEngine(
+            fleet,
+            profile,
+            controller_factory=lambda i: CoordinatedController(lut, spec.dvfs),
+            backend="reference",
+            cold_start=True,
+        ).run(dt_s=1.0)
+        np.testing.assert_array_equal(
+            result.total_power_w[:, 0], runner.column("power_total_w")
+        )
+        np.testing.assert_array_equal(
+            result.max_junction_c[:, 0], runner.column("max_junction_c")
+        )
+
+
 class TestBackendEquivalence:
     @pytest.mark.parametrize("policy_cls", [CoolestFirstPolicy, LeakageAwarePolicy])
     def test_vector_matches_reference_with_recirculation(self, policy_cls):
@@ -107,6 +214,95 @@ class TestBackendEquivalence:
         assert vec.metrics.energy_kwh == pytest.approx(
             ref.metrics.energy_kwh, rel=1e-9
         )
+
+    def test_vector_matches_reference_with_dvfs_at_16_servers(self, paper_lut):
+        """16 coupled servers with active p-state actuation: the
+        batched DVFS stretch/deficit/power math must agree with the
+        per-simulator loop on every trace."""
+        spec = dvfs_spec()
+        fleet = build_uniform_fleet(rack_count=2, servers_per_rack=8, spec=spec)
+        profile = StaircaseProfile([15.0, 60.0, 35.0], 120.0)
+
+        def build(backend):
+            return FleetEngine(
+                fleet,
+                profile,
+                scheduler=FleetScheduler(DvfsAwarePolicy()),
+                controller_factory=lambda i: CoordinatedController(
+                    paper_lut, spec.dvfs
+                ),
+                backend=backend,
+            ).run(dt_s=2.0)
+
+        vec, ref = build("vector"), build("reference")
+        np.testing.assert_array_equal(vec.pstate_index, ref.pstate_index)
+        np.testing.assert_array_equal(vec.utilization_pct, ref.utilization_pct)
+        np.testing.assert_array_equal(
+            vec.work_deficit_pct, ref.work_deficit_pct
+        )
+        np.testing.assert_array_equal(vec.mean_rpm, ref.mean_rpm)
+        np.testing.assert_allclose(
+            vec.max_junction_c, ref.max_junction_c, rtol=0, atol=1e-7
+        )
+        np.testing.assert_allclose(
+            vec.total_power_w, ref.total_power_w, rtol=0, atol=1e-6
+        )
+        # the ladder is exercised across the fleet
+        assert vec.pstate_index.max() > 0
+        assert vec.metrics.dvfs_deficit_pct_s == pytest.approx(
+            ref.metrics.dvfs_deficit_pct_s
+        )
+
+    def test_vector_matches_reference_with_time_varying_supply(self):
+        """A sinusoidal CRAC supply under recirculation coupling: the
+        supply evaluation and the RecirculationAmbient offset path must
+        agree between backends while the inlet actually varies."""
+        spec = default_server_spec()
+        racks = tuple(
+            Rack(
+                name=f"r{i}",
+                servers=(spec, spec),
+                crac=SinusoidalAmbient(
+                    mean_c=23.0, amplitude_c=2.0, period_s=300.0
+                ),
+            )
+            for i in range(2)
+        )
+        fleet = Fleet(
+            racks=racks,
+            recirculation=build_recirculation_matrix(
+                [2, 2], intra_rack_coupling=0.08, cross_rack_coupling=0.01
+            ),
+        )
+        profile = StaircaseProfile([30.0, 80.0], 300.0)
+
+        def build(backend):
+            return FleetEngine(
+                fleet,
+                profile,
+                scheduler=FleetScheduler(CoolestFirstPolicy()),
+                controller_factory=lambda i: PIController(),
+                backend=backend,
+            ).run(dt_s=2.0)
+
+        vec, ref = build("vector"), build("reference")
+        np.testing.assert_allclose(
+            vec.inlet_c, ref.inlet_c, rtol=0, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            vec.max_junction_c, ref.max_junction_c, rtol=0, atol=1e-7
+        )
+        np.testing.assert_allclose(
+            vec.total_power_w, ref.total_power_w, rtol=0, atol=1e-6
+        )
+        # the inlet trace follows the supply oscillation and sits above
+        # it (recirculation only adds heat)
+        supply = np.array(
+            [fleet.supply_temperatures_c(t) for t in vec.times_s - 2.0]
+        )
+        assert np.all(vec.inlet_c >= supply - 1e-12)
+        assert vec.inlet_c.min() < 23.0  # the cold half-period shows
+        assert np.ptp(vec.inlet_c) > 3.0
 
 
 class TestRecirculation:
@@ -229,6 +425,99 @@ class TestEngineBehaviour:
                 ConstantProfile(50.0, 60.0),
                 backend="gpu",
             )
+
+    def test_cold_start_rpm_outside_fan_range_rejected(self):
+        with pytest.raises(ValueError, match="cold_start_rpm"):
+            FleetEngine(
+                single_server_fleet(),
+                ConstantProfile(50.0, 60.0),
+                cold_start=True,
+                cold_start_rpm=9000.0,
+            )
+
+    @pytest.mark.parametrize("backend", ["vector", "reference"])
+    def test_cold_start_begins_at_idle_equilibrium(self, backend):
+        """A cold-started fleet begins warm (idle equilibrium at 3600
+        RPM), not at the ambient temperature."""
+        result = FleetEngine(
+            single_server_fleet(),
+            ConstantProfile(0.0, 30.0),
+            controller_factory=lambda i: FixedSpeedController(rpm=3600.0),
+            backend=backend,
+            cold_start=True,
+        ).run(dt_s=1.0)
+        assert result.max_junction_c[0, 0] == pytest.approx(35.0, abs=2.5)
+
+    def test_out_of_range_pstate_command_rejected(self):
+        class BadPstateController(FixedSpeedController):
+            def decide_pstate(self, observation):
+                return 7
+
+        engine = FleetEngine(
+            single_server_fleet(dvfs_spec()),
+            ConstantProfile(50.0, 60.0),
+            controller_factory=lambda i: BadPstateController(rpm=3000.0),
+        )
+        with pytest.raises(ValueError, match="p-state"):
+            engine.run(dt_s=1.0)
+
+
+class TestFleetDvfsAccounting:
+    def test_parked_pstate_stretches_and_accrues_deficit(self):
+        """Servers pinned in the deepest p-state execute stretched
+        utilization and accrue the exact ladder deficit when demand
+        saturates them."""
+        spec = dvfs_spec()
+
+        class DeepPark(FixedSpeedController):
+            def decide_pstate(self, observation):
+                return 3
+
+        fleet = Fleet(racks=(Rack(name="r", servers=(spec, spec)),))
+        result = FleetEngine(
+            fleet,
+            ConstantProfile(40.0, 120.0),  # 80 total: one server at 80%
+            # dvfs-aware placement keeps the whole 80% share pinned on
+            # server 0 (round-robin would rotate it every tick)
+            scheduler=FleetScheduler(DvfsAwarePolicy()),
+            controller_factory=lambda i: DeepPark(rpm=3000.0),
+        ).run(dt_s=1.0)
+
+        ratio = spec.dvfs.frequency_ratio(3)
+        assert np.all(result.pstate_index == 3)
+        # 80% demand at f/f_nom ~ 0.606 saturates: executed pins at 100
+        assert np.all(result.utilization_pct[:, 0] == 100.0)
+        expected_rate = spec.dvfs.work_deficit_pct(80.0, 3)
+        np.testing.assert_allclose(
+            result.work_deficit_pct[:, 0], expected_rate
+        )
+        # the idle server is stretched but never saturates
+        assert np.all(result.work_deficit_pct[:, 1] == 0.0)
+        m = result.metrics
+        assert m.dvfs_deficit_pct_s == pytest.approx(expected_rate * 120.0)
+        assert m.sla_total_pct_s == pytest.approx(
+            m.sla_unserved_pct_s + m.dvfs_deficit_pct_s
+        )
+        assert m.sla_violation_ticks == 120
+        assert sum(r.dvfs_deficit_pct_s for r in m.racks) == pytest.approx(
+            m.dvfs_deficit_pct_s
+        )
+        # sanity: the stretch itself matches the ladder on the idle
+        # server given the 0% allocation and ratio on the busy one
+        assert ratio < 1.0
+
+    def test_nominal_ladder_keeps_legacy_semantics(self):
+        """Without a DVFS ladder nothing changes: executed equals the
+        demanded allocation, no deficit, p-state 0 everywhere."""
+        result = FleetEngine(
+            single_server_fleet(),
+            ConstantProfile(55.0, 60.0),
+            controller_factory=lambda i: FixedSpeedController(rpm=3000.0),
+        ).run(dt_s=1.0)
+        assert np.all(result.pstate_index == 0)
+        assert np.all(result.work_deficit_pct == 0.0)
+        assert np.all(result.utilization_pct == 55.0)
+        assert result.metrics.dvfs_deficit_pct_s == 0.0
 
 
 class TestFleetMetrics:

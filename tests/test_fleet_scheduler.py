@@ -6,6 +6,7 @@ import pytest
 from repro.fleet.scheduler import (
     PLACEMENT_POLICIES,
     CoolestFirstPolicy,
+    DvfsAwarePolicy,
     FleetScheduler,
     FleetWorkload,
     LeakageAwarePolicy,
@@ -25,6 +26,7 @@ def make_views(**columns):
         "inlet_c": [24.0] * n,
         "leakage_w": [30.0] * n,
         "leakage_slope_w_per_c": [0.3] * n,
+        "pstate_index": [0] * n,
     }
     defaults.update(columns)
     return [
@@ -36,6 +38,7 @@ def make_views(**columns):
             inlet_c=defaults["inlet_c"][i],
             leakage_w=defaults["leakage_w"][i],
             leakage_slope_w_per_c=defaults["leakage_slope_w_per_c"][i],
+            pstate_index=defaults["pstate_index"][i],
         )
         for i in range(n)
     ]
@@ -69,12 +72,40 @@ class TestPolicyOrders:
         )
         assert list(LeakageAwarePolicy().order(views)) == [1, 0]
 
+    def test_dvfs_aware_prefers_nominal_frequency(self):
+        views = make_views(pstate_index=[3, 0, 2])
+        assert list(DvfsAwarePolicy().order(views)) == [1, 2, 0]
+
+    def test_dvfs_aware_ties_break_on_busier_server(self):
+        """Among equal p-states the *busier* server goes first: keeping
+        the busy set stable is what prevents the one-tick deficit
+        window every reallocation opens."""
+        views = make_views(
+            pstate_index=[0, 0, 3, 3],
+            utilization_pct=[20.0, 90.0, 0.0, 66.0],
+        )
+        assert list(DvfsAwarePolicy().order(views)) == [1, 0, 3, 2]
+
+    def test_pstate_index_defaults_to_nominal(self):
+        """Views built by DVFS-unaware callers stay valid."""
+        view = ServerLoadView(
+            index=0,
+            rack_index=0,
+            utilization_pct=10.0,
+            max_junction_c=50.0,
+            inlet_c=24.0,
+            leakage_w=30.0,
+            leakage_slope_w_per_c=0.3,
+        )
+        assert view.pstate_index == 0
+
     def test_registry_names(self):
         assert set(PLACEMENT_POLICIES) == {
             "round-robin",
             "least-utilized",
             "coolest-first",
             "leakage-aware",
+            "dvfs-aware",
         }
         for name, cls in PLACEMENT_POLICIES.items():
             assert cls().name == name

@@ -7,7 +7,6 @@ each runs a shortened closed loop.
 """
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.core.controllers.bangbang import BangBangController

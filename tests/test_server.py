@@ -5,7 +5,7 @@ import pytest
 
 from repro.server.ambient import ConstantAmbient
 from repro.server.server import CriticalTemperatureError, ServerSimulator
-from repro.server.specs import CpuSocketSpec, ServerSpec, default_server_spec
+from repro.server.specs import CpuSocketSpec, ServerSpec
 
 
 @pytest.fixture
