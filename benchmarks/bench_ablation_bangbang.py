@@ -4,15 +4,15 @@ The paper: "Smaller target temperature ranges (e.g., 70-75) increase
 fan speed change frequency whereas larger ranges (e.g., 60-75) create
 higher temperature overshoots and undershoots."  This bench compares
 the paper's 65-75 band against the narrower and wider alternatives on
-Test-3.
+Test-3, as one ``repro.sweep`` grid with the threshold dataclass as
+the axis.
 """
 
 from __future__ import annotations
 
 from bench_helpers import write_artifact
-from repro import BangBangController, ExperimentConfig, run_experiment
 from repro.core.controllers.bangbang import BangBangThresholds
-from repro.telemetry.analysis import summarize
+from repro.sweep import GridSpec, run_sweep
 from repro.workloads.tests import build_test3_random_steps
 
 BANDS = {
@@ -29,42 +29,44 @@ BANDS = {
 
 
 def test_threshold_band_sweep(benchmark, spec, results_dir):
-    profile = build_test3_random_steps(seed=1234)
+    grid = GridSpec(
+        kind="experiment",
+        base={
+            "spec": spec,
+            "profile": build_test3_random_steps(seed=1234),
+            "controller": "bangbang",
+            "seed": 0,
+        },
+        axes={"thresholds": list(BANDS.values())},
+    )
 
     def sweep():
-        rows = {}
-        for name, thresholds in BANDS.items():
-            controller = BangBangController(thresholds=thresholds)
-            result = run_experiment(
-                controller, profile, spec=spec, config=ExperimentConfig(seed=0)
-            )
-            temps = result.column("max_junction_c")
-            rows[name] = (result.metrics, summarize(temps))
-        return rows
+        return run_sweep(grid)
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = dict(zip(BANDS, table.rows()))
 
     lines = ["Ablation A2: bang-bang threshold band on Test-3"]
     lines.append(
         f"{'band':<15} {'energy(kWh)':>12} {'#fan':>5} {'maxT(C)':>8} {'Tstd(C)':>8}"
     )
-    for name, (metrics, temps) in rows.items():
+    for name, row in rows.items():
         lines.append(
-            f"{name:<15} {metrics.energy_kwh:>12.4f} "
-            f"{metrics.fan_speed_changes:>5d} {metrics.max_temperature_c:>8.1f} "
-            f"{temps.std:>8.2f}"
+            f"{name:<15} {row['energy_kwh']:>12.4f} "
+            f"{row['fan_speed_changes']:>5d} {row['max_temperature_c']:>8.1f} "
+            f"{row['temperature_std_c']:>8.2f}"
         )
     write_artifact(results_dir, "ablation_bangbang.txt", "\n".join(lines))
 
     # The narrow band works the fans at least as hard as the paper band.
     assert (
-        rows["narrow (70-75)"][0].fan_speed_changes
-        >= rows["paper (65-75)"][0].fan_speed_changes
+        rows["narrow (70-75)"]["fan_speed_changes"]
+        >= rows["paper (65-75)"]["fan_speed_changes"]
     )
     # Every band respects the emergency ceiling.
-    for name, (metrics, _) in rows.items():
-        assert metrics.max_temperature_c < 82.0, name
+    for name, row in rows.items():
+        assert row["max_temperature_c"] < 82.0, name
     # All bands reach comparable energy (the band mainly trades fan
     # wear against thermal excursion, not energy).
-    energies = [m.energy_kwh for m, _ in rows.values()]
+    energies = [row["energy_kwh"] for row in rows.values()]
     assert (max(energies) - min(energies)) / min(energies) < 0.02

@@ -2,21 +2,17 @@
 
 The paper characterizes five speeds (600 RPM apart).  This bench asks
 what a finer or coarser actuation ladder would buy: it rebuilds the
-LUT from ground truth on three candidate ladders and compares Test-3
-energy.  The expected answer — refining below 600 RPM buys almost
-nothing because the leak+fan curve is flat near its minimum — supports
-the paper's choice of a coarse ladder.
+LUT from ground truth on three candidate ladders (one ``repro.sweep``
+grid with the ladder tuple as the axis) and compares Test-3 energy.
+The expected answer — refining below 600 RPM buys almost nothing
+because the leak+fan curve is flat near its minimum — supports the
+paper's choice of a coarse ladder.
 """
 
 from __future__ import annotations
 
 from bench_helpers import write_artifact
-from repro import (
-    ExperimentConfig,
-    LUTController,
-    build_lut_from_spec,
-    run_experiment,
-)
+from repro.sweep import GridSpec, run_sweep
 from repro.workloads.tests import build_test3_random_steps
 
 LADDERS = {
@@ -27,40 +23,45 @@ LADDERS = {
 
 
 def test_ladder_sweep(benchmark, spec, results_dir):
-    profile = build_test3_random_steps(seed=1234)
+    grid = GridSpec(
+        kind="experiment",
+        base={
+            "spec": spec,
+            "profile": build_test3_random_steps(seed=1234),
+            "controller": "lut",
+            "seed": 0,
+        },
+        axes={"lut_candidates_rpm": list(LADDERS.values())},
+    )
 
     def sweep():
-        rows = {}
-        for name, ladder in LADDERS.items():
-            lut = build_lut_from_spec(spec, candidates_rpm=ladder)
-            controller = LUTController(lut)
-            result = run_experiment(
-                controller, profile, spec=spec, config=ExperimentConfig(seed=0)
-            )
-            rows[name] = (lut, result.metrics)
-        return rows
+        return run_sweep(grid)
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = dict(zip(LADDERS, table.rows()))
 
     lines = ["Ablation A3: LUT fan-speed ladder granularity on Test-3"]
     lines.append(
         f"{'ladder':<20} {'energy(kWh)':>12} {'maxT(C)':>8} {'avgRPM':>7}"
     )
-    for name, (lut, metrics) in rows.items():
+    for name, row in rows.items():
         lines.append(
-            f"{name:<20} {metrics.energy_kwh:>12.4f} "
-            f"{metrics.max_temperature_c:>8.1f} {metrics.avg_rpm:>7.0f}"
+            f"{name:<20} {row['energy_kwh']:>12.4f} "
+            f"{row['max_temperature_c']:>8.1f} {row['avg_rpm']:>7.0f}"
         )
     write_artifact(results_dir, "ablation_ladder.txt", "\n".join(lines))
 
-    paper = rows["paper (600 step)"][1]
-    fine = rows["fine (300 step)"][1]
-    coarse = rows["coarse (1200 step)"][1]
+    paper = rows["paper (600 step)"]
+    fine = rows["fine (300 step)"]
+    coarse = rows["coarse (1200 step)"]
     # Refining past the paper's 600 RPM ladder buys < 0.5% energy.
-    assert abs(fine.energy_kwh - paper.energy_kwh) / paper.energy_kwh < 0.005
+    assert (
+        abs(fine["energy_kwh"] - paper["energy_kwh"]) / paper["energy_kwh"]
+        < 0.005
+    )
     # The very coarse ladder costs measurably more than the paper's
     # (it must jump to 3000 RPM where 2400 would do) or ties.
-    assert coarse.energy_kwh >= paper.energy_kwh - 1e-4
+    assert coarse["energy_kwh"] >= paper["energy_kwh"] - 1e-4
     # All ladders respect the thermal ceiling.
-    for name, (_, metrics) in rows.items():
-        assert metrics.max_temperature_c <= 76.0, name
+    for name, row in rows.items():
+        assert row["max_temperature_c"] <= 76.0, name

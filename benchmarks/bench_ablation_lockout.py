@@ -5,16 +5,16 @@ number of fan changes allowed during the execution of a highly
 variable workload and the maximum temperature overshoot we want to
 tolerate."  The tradeoff only binds on a *highly variable* workload —
 Test-3's five-minute steps never collide with any of these lockouts —
-so this bench sweeps the lockout on both Test-4 (the bursty queueing
-workload) and a one-minute random-step stressor, and verifies:
-shorter lockouts change fans more often (fan wear) without meaningful
-energy gain; longer lockouts hold mismatched speeds for longer.
+so this bench sweeps the lockout on a one-minute random-step stressor
+via one ``repro.sweep`` grid, and verifies: shorter lockouts change
+fans more often (fan wear) without meaningful energy gain; longer
+lockouts hold mismatched speeds for longer.
 """
 
 from __future__ import annotations
 
 from bench_helpers import write_artifact
-from repro import ExperimentConfig, LUTController, run_experiment
+from repro.sweep import GridSpec, run_sweep
 from repro.workloads.profile import RandomStepProfile
 from repro.workloads.tests import PAPER_TEST_DURATION_S
 
@@ -22,45 +22,49 @@ LOCKOUTS_S = (10.0, 30.0, 60.0, 120.0, 300.0)
 
 
 def test_lockout_sweep(benchmark, spec, paper_lut, results_dir):
-    profile = RandomStepProfile(
-        step_duration_s=60.0, duration_s=PAPER_TEST_DURATION_S, seed=77
+    grid = GridSpec(
+        kind="experiment",
+        base={
+            "spec": spec,
+            "profile": RandomStepProfile(
+                step_duration_s=60.0, duration_s=PAPER_TEST_DURATION_S, seed=77
+            ),
+            "controller": "lut",
+            "lut": paper_lut,
+            "seed": 0,
+        },
+        axes={"lut_lockout_s": list(LOCKOUTS_S)},
     )
 
     def sweep():
-        rows = {}
-        for lockout in LOCKOUTS_S:
-            controller = LUTController(paper_lut, lockout_s=lockout)
-            result = run_experiment(
-                controller, profile, spec=spec, config=ExperimentConfig(seed=0)
-            )
-            rows[lockout] = result.metrics
-        return rows
+        return run_sweep(grid)
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = dict(zip(LOCKOUTS_S, table.rows()))
 
     lines = ["Ablation A1: LUT lockout period on a 1-minute random-step workload"]
     lines.append(
         f"{'lockout(s)':>10} {'energy(kWh)':>12} {'#fan':>5} {'maxT(C)':>8}"
     )
     for lockout in LOCKOUTS_S:
-        m = rows[lockout]
+        row = rows[lockout]
         lines.append(
-            f"{lockout:>10.0f} {m.energy_kwh:>12.4f} "
-            f"{m.fan_speed_changes:>5d} {m.max_temperature_c:>8.1f}"
+            f"{lockout:>10.0f} {row['energy_kwh']:>12.4f} "
+            f"{row['fan_speed_changes']:>5d} {row['max_temperature_c']:>8.1f}"
         )
     write_artifact(results_dir, "ablation_lockout.txt", "\n".join(lines))
 
     # Fan changes decrease monotonically as the lockout lengthens.
-    changes = [rows[l].fan_speed_changes for l in LOCKOUTS_S]
+    changes = [rows[l]["fan_speed_changes"] for l in LOCKOUTS_S]
     assert all(b <= a for a, b in zip(changes[:-1], changes[1:]))
     # Energy is insensitive (within ~1.5%) across the sweep — the
     # lockout is a fan-reliability knob, not an energy knob.
-    energies = [rows[l].energy_kwh for l in LOCKOUTS_S]
+    energies = [rows[l]["energy_kwh"] for l in LOCKOUTS_S]
     assert (max(energies) - min(energies)) / min(energies) < 0.015
     # Every setting keeps the machine inside the thermal envelope on
     # this workload; the longest lockout tolerates the most overshoot.
     for lockout in LOCKOUTS_S:
-        assert rows[lockout].max_temperature_c < 80.0
+        assert rows[lockout]["max_temperature_c"] < 80.0
     assert (
-        rows[300.0].max_temperature_c >= rows[10.0].max_temperature_c - 1.0
+        rows[300.0]["max_temperature_c"] >= rows[10.0]["max_temperature_c"] - 1.0
     )

@@ -1,70 +1,68 @@
-"""Extension A4 — PI and Oracle controllers vs the paper's three.
+"""Extension A4 — PI, MPC and Oracle controllers vs the paper's three.
 
 The paper's conclusion points to richer runtime control as future
-work.  This bench runs the PI temperature tracker and the
-perfect-model Oracle alongside Default / Bang-bang / LUT on Test-3:
+work.  This bench runs the PI temperature tracker, the MPC built from
+the same characterization artifacts, and the perfect-model Oracle
+alongside Default / Bang-bang / LUT on Test-3:
 
 * the Oracle bounds what any utilization-driven policy can achieve —
   the LUT should sit within a fraction of a percent of it;
 * the PI tracker shows what temperature regulation alone (without
   leakage awareness) gives up.
+
+The six runs are one ``repro.sweep`` grid with the controller as the
+only axis — the sweep-point construction the bench used to hand-roll.
 """
 
 from __future__ import annotations
 
 from bench_helpers import write_artifact
-from repro import (
-    ExperimentConfig,
-    OracleController,
-    PIController,
-    build_mpc_from_characterization,
-    fit_fan_power_model,
-    fit_power_model,
-    net_savings_pct,
-    run_characterization_steady,
-    run_experiment,
-)
-from repro.experiments.report import paper_controllers
+from repro.experiments.metrics import net_savings_pct
+from repro.sweep import GridSpec, metrics_from_row, run_sweep
 from repro.workloads.tests import build_test3_random_steps
+
+CONTROLLERS = ("default", "bangbang", "lut", "pi", "mpc", "oracle")
 
 
 def test_extension_controllers(benchmark, spec, paper_lut, results_dir):
-    profile = build_test3_random_steps(seed=1234)
-    config = ExperimentConfig(seed=0)
-    samples = run_characterization_steady(spec=spec, seed=0)
-    fitted = fit_power_model(samples)
-    fan_model = fit_fan_power_model(
-        [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+    grid = GridSpec(
+        kind="experiment",
+        base={
+            "spec": spec,
+            "profile": build_test3_random_steps(seed=1234),
+            "lut": paper_lut,
+            "rpm": spec.default_fan_rpm,
+            "pi_target_c": 70.0,
+            "characterization_seed": 0,
+            "seed": 0,
+        },
+        axes={"controller": list(CONTROLLERS)},
     )
 
     def run_all():
-        controllers = paper_controllers(lut=paper_lut, spec=spec) + [
-            PIController(target_c=70.0),
-            build_mpc_from_characterization(samples, fitted, fan_model),
-            OracleController(spec=spec),
-        ]
-        return {
-            c.name: run_experiment(c, profile, spec=spec, config=config)
-            for c in controllers
-        }
+        return run_sweep(grid)
 
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    base = results["Default"].metrics
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = {row["controller_name"]: row for row in table.rows()}
+    base = metrics_from_row(rows["Default"])
+    savings = {
+        name: 0.0
+        if name == "Default"
+        else net_savings_pct(base, metrics_from_row(row))
+        for name, row in rows.items()
+    }
 
     lines = ["Extension A4: controller family on Test-3"]
     lines.append(
         f"{'scheme':<10} {'energy(kWh)':>12} {'net save':>9} {'maxT(C)':>8} "
         f"{'#fan':>5} {'avgRPM':>7}"
     )
-    savings = {}
-    for name, result in results.items():
-        m = result.metrics
-        save = 0.0 if name == "Default" else net_savings_pct(base, m)
-        savings[name] = save
+    for name, row in rows.items():
         lines.append(
-            f"{name:<10} {m.energy_kwh:>12.4f} {save:>8.1f}% "
-            f"{m.max_temperature_c:>8.1f} {m.fan_speed_changes:>5d} "
-            f"{m.avg_rpm:>7.0f}"
+            f"{name:<10} {row['energy_kwh']:>12.4f} {savings[name]:>8.1f}% "
+            f"{row['max_temperature_c']:>8.1f} {row['fan_speed_changes']:>5d} "
+            f"{row['avg_rpm']:>7.0f}"
         )
     write_artifact(results_dir, "extension_controllers.txt", "\n".join(lines))
 
@@ -77,5 +75,5 @@ def test_extension_controllers(benchmark, spec, paper_lut, results_dir):
     assert savings["Oracle"] >= savings["LUT"] - 0.3
     assert savings["Oracle"] - savings["LUT"] < 1.5
     # All controllers keep the machine out of the emergency region.
-    for name, result in results.items():
-        assert result.metrics.max_temperature_c < 80.0, name
+    for name, row in rows.items():
+        assert row["max_temperature_c"] < 80.0, name

@@ -15,18 +15,19 @@ though leakage-awareness matters more for picking the right speed.
 The measurable signature of the pipeline working is the optimum-RPM
 column tracking the silicon, with every variant kept inside the 75 °C
 envelope.
+
+Both benches are declarative grids over ``repro.sweep`` — the A7 grid
+re-characterizes the LUT per point inside the runner (memoized per
+worker), so the optimum-RPM column comes straight off the sweep table
+instead of being rebuilt inline.
 """
 
 from __future__ import annotations
 
 from bench_helpers import write_artifact
-from repro.experiments.report import build_paper_lut
-from repro.experiments.sensitivity import (
-    scale_leakage,
-    sweep_ambient,
-    sweep_leakage_strength,
-)
+from repro.experiments.sensitivity import scale_leakage, sweep_ambient
 from repro.models.steady_state import steady_state_point
+from repro.sweep import GridSpec, run_sweep
 
 
 def test_ambient_sweep(benchmark, spec, paper_lut, results_dir):
@@ -58,41 +59,41 @@ def test_ambient_sweep(benchmark, spec, paper_lut, results_dir):
 
 def test_leakage_strength_sweep(benchmark, spec, results_dir):
     factors = (0.5, 1.0, 2.0, 4.0)
+    grid = GridSpec(
+        kind="lut_vs_default",
+        base={"spec": spec, "ambient_c": 24.0, "seed": 0},
+        axes={"leakage_factor": list(factors)},
+    )
 
     def sweep():
-        return sweep_leakage_strength(factors=factors, spec=spec, seed=0)
+        return run_sweep(grid)
 
-    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    savings = list(table.column("net_savings_pct"))
+    max_temps = list(table.column("lut_max_temperature_c"))
+    opt_rpms = list(table.column("lut_rpm_at_100"))
 
     lines = ["Sensitivity A7: leakage prefactor scaling (future nodes)"]
     lines.append(
         f"{'k2 factor':>9} {'net save':>9} {'LUT maxT(C)':>12} {'opt RPM@100%':>13}"
     )
-    for factor in factors:
-        p = points[factor]
-        scaled = scale_leakage(spec, factor)
-        lut = build_paper_lut(spec=scaled, seed=0)
+    for factor, save, max_t, rpm in zip(factors, savings, max_temps, opt_rpms):
         lines.append(
-            f"{factor:>9.1f} {p.net_savings_pct:>8.1f}% "
-            f"{p.lut_max_temperature_c:>12.1f} {lut.query(100.0):>13.0f}"
+            f"{factor:>9.1f} {save:>8.1f}% {max_t:>12.1f} {rpm:>13.0f}"
         )
     write_artifact(results_dir, "sensitivity_leakage.txt", "\n".join(lines))
 
     # Leakier silicon moves the optimum toward the firmware default,
     # shrinking the headroom fan control can harvest.
-    savings = [points[f].net_savings_pct for f in factors]
     assert savings == sorted(savings, reverse=True)
     assert all(s > 0.0 for s in savings)
     # The re-characterized LUT raises its full-load speed with leakage.
-    opt_rpms = [
-        build_paper_lut(spec=scale_leakage(spec, f), seed=0).query(100.0)
-        for f in factors
-    ]
     assert opt_rpms == sorted(opt_rpms)
     assert opt_rpms[-1] > opt_rpms[0]
     # The pipeline keeps every variant inside the thermal envelope.
-    for factor in factors:
-        assert points[factor].lut_max_temperature_c <= 76.0, factor
+    for factor, max_t in zip(factors, max_temps):
+        assert max_t <= 76.0, factor
     # Sanity: 4x leakage really is a different machine (hotter at the
     # paper's optimum speed).
     hot = steady_state_point(100.0, 2400.0, spec=scale_leakage(spec, 4.0))

@@ -1,0 +1,95 @@
+"""Sweep-orchestration benches — the acceptance contract of `repro.sweep`.
+
+A 3-axis, 24-point fleet sweep (servers × placement policy × CRAC
+supply) exercises the executor end to end and pins the subsystem's
+three guarantees:
+
+* **determinism** — the parallel table is bit-identical to the serial
+  one (rows land by grid index, physics is seeded),
+* **throughput** — with ≥ 4 cores available, 4 workers finish the
+  grid ≥ 2.5× faster than the serial path (skipped on smaller boxes:
+  there is nothing to parallelize onto),
+* **cache** — a warm re-run executes zero scenarios and still returns
+  a bit-identical table.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_helpers import write_artifact
+from repro.sweep import ResultCache, fleet_grid, run_sweep
+
+#: servers × policy × CRAC — 2 × 4 × 3 = 24 points.
+GRID = fleet_grid(
+    server_counts=(2, 4),
+    policies=(
+        "round-robin",
+        "least-utilized",
+        "coolest-first",
+        "leakage-aware",
+    ),
+    controllers=("default",),
+    crac_supplies_c=(22.0, 24.0, 27.0),
+    racks=1,
+    workload="diurnal",
+    hours=1.0,
+    dt_s=30.0,
+)
+
+
+def test_parallel_matches_serial_and_speedup(benchmark, results_dir):
+    assert len(GRID) == 24
+
+    t0 = time.perf_counter()
+    serial = run_sweep(GRID, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    def parallel_sweep():
+        return run_sweep(GRID, workers=4)
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_sweep, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - t0
+
+    assert serial.equals(parallel), "parallel table != serial table"
+    assert serial.executed_count == parallel.executed_count == 24
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    lines = [
+        "Sweep orchestration: 24-point fleet grid, serial vs 4 workers",
+        f"{'path':<10} {'wall(s)':>8}",
+        f"{'serial':<10} {serial_s:>8.2f}",
+        f"{'4 workers':<10} {parallel_s:>8.2f}",
+        f"speedup: {speedup:.2f}x on {cores} core(s)",
+    ]
+    write_artifact(results_dir, "sweep_scaling.txt", "\n".join(lines))
+
+    if cores >= 4:
+        assert speedup >= 2.5, (
+            f"4 workers only {speedup:.2f}x faster on {cores} cores"
+        )
+
+
+def test_warm_cache_executes_nothing(results_dir, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+
+    cold = run_sweep(GRID, workers=2, cache=cache)
+    assert cold.executed_count == 24
+    assert cold.cache_hit_count == 0
+    assert len(cache) == 24
+
+    warm = run_sweep(GRID, workers=2, cache=cache)
+    assert warm.executed_count == 0, "warm run invoked the engine"
+    assert warm.cache_hit_count == 24
+    assert cold.equals(warm), "cached table != computed table"
+
+    lines = [
+        "Sweep cache: 24-point fleet grid",
+        f"cold run : {cold.executed_count} executed",
+        f"warm run : {warm.executed_count} executed, "
+        f"{warm.cache_hit_count} served from cache, table bit-identical",
+    ]
+    write_artifact(results_dir, "sweep_cache.txt", "\n".join(lines))

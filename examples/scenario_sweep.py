@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Declarative scenario sweeps: grids, parallel workers, result cache.
+
+Two studies on the sweep subsystem (`repro.sweep`):
+
+1. a cross-product fleet sweep — servers × placement policy × CRAC
+   supply — the scenario-coverage question a hand-rolled loop makes
+   painful, here a single :func:`fleet_grid` declaration fanned out
+   over worker processes with every point cached by content hash;
+2. the paper's ambient sensitivity sweep (`sweep_ambient`), which now
+   rides the same executor: same API as before, but `workers=` and
+   `cache=` come for free.
+
+Run it twice: the second run answers entirely from
+``benchmarks/results/cache/`` with zero engine invocations.
+
+Usage::
+
+    python examples/scenario_sweep.py
+"""
+
+from repro import build_paper_lut, fleet_grid, run_sweep
+from repro.experiments.sensitivity import sweep_ambient
+from repro.reporting import format_table
+from repro.sweep import DEFAULT_CACHE_DIR
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. the cross-product fleet sweep
+    # ------------------------------------------------------------------
+    grid = fleet_grid(
+        server_counts=(2, 4),
+        policies=("round-robin", "coolest-first", "leakage-aware"),
+        controllers=("default",),
+        crac_supplies_c=(22.0, 24.0, 27.0),
+        racks=2,
+        workload="diurnal",
+        hours=2.0,
+        dt_s=60.0,
+    )
+    print(
+        f"fleet sweep: {len(grid)} points "
+        "(servers x policy x CRAC), cache at "
+        f"{DEFAULT_CACHE_DIR}\n"
+    )
+    table = run_sweep(
+        grid, workers=None, cache=DEFAULT_CACHE_DIR, progress=print
+    )
+    rows = [
+        [
+            f"{2 * r['servers_per_rack']}",
+            r["policy"],
+            f"{r['crac_supply_c']:.0f}",
+            f"{r['energy_kwh']:.3f}",
+            f"{r['peak_power_w']:.0f}",
+            f"{r['hot_spot_c']:.1f}",
+        ]
+        for r in table.rows()
+    ]
+    print()
+    print(
+        format_table(
+            ["servers", "policy", "crac(C)", "E(kWh)", "peak(W)", "hot(C)"],
+            rows,
+        )
+    )
+    print(
+        f"\n{table.executed_count} executed, "
+        f"{table.cache_hit_count} from cache\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. the paper's ambient sensitivity, parallel + cached
+    # ------------------------------------------------------------------
+    print("ambient sensitivity (LUT characterized at 24 C):")
+    lut = build_paper_lut(seed=0)
+    points = sweep_ambient(
+        lut,
+        ambients_c=(18.0, 24.0, 30.0),
+        workers=None,
+        cache=DEFAULT_CACHE_DIR,
+    )
+    for ambient, point in sorted(points.items()):
+        print(
+            f"  {ambient:4.0f} C: net saving {point.net_savings_pct:5.1f}%, "
+            f"LUT max T {point.lut_max_temperature_c:5.1f} C"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -60,13 +60,13 @@ from repro.fleet import (
 from repro.reporting import ascii_chart, format_table, sparkline
 from repro.server.dvfs import default_dvfs_ladder
 from repro.server.specs import default_server_spec
-from repro.units import hours
-from repro.workloads.datacenter import (
-    build_batch_window_profile,
-    build_diurnal_profile,
-    build_flash_crowd_profile,
-    combine_profiles,
+from repro.sweep import (
+    DEFAULT_CACHE_DIR,
+    build_fleet_workload,
+    fleet_grid,
+    run_sweep,
 )
+from repro.units import hours
 from repro.workloads.tests import paper_test_profiles
 
 SAMPLE_COLUMNS = (
@@ -290,25 +290,6 @@ def cmd_fig(args) -> int:
     return 0
 
 
-def _build_fleet_workload(name: str, duration_s: float, seed: int):
-    if name == "diurnal":
-        return build_diurnal_profile(duration_s=duration_s, seed=seed)
-    if name == "batch":
-        return build_batch_window_profile(duration_s=duration_s)
-    if name == "flashcrowd":
-        return build_flash_crowd_profile(duration_s=duration_s, seed=seed)
-    if name == "mixed":
-        return combine_profiles(
-            [
-                build_diurnal_profile(duration_s=duration_s, seed=seed),
-                build_batch_window_profile(
-                    duration_s=duration_s, batch_pct=40.0
-                ),
-            ]
-        )
-    raise SystemExit(f"unknown workload {name!r}")
-
-
 def cmd_fleet(args) -> int:
     if args.racks <= 0 or args.servers_per_rack <= 0:
         raise SystemExit("--racks and --servers-per-rack must be positive")
@@ -328,7 +309,7 @@ def cmd_fleet(args) -> int:
         crac_supply_c=args.crac_supply,
     )
     try:
-        profile = _build_fleet_workload(
+        profile = build_fleet_workload(
             args.workload, hours(args.hours), seed=args.seed
         )
     except ValueError as exc:
@@ -427,6 +408,99 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def _parse_list(text: str, cast, option: str) -> List:
+    """Split a comma-separated CLI value and cast each element."""
+    items = [item.strip() for item in str(text).split(",") if item.strip()]
+    if not items:
+        raise SystemExit(f"{option} needs at least one value")
+    try:
+        return [cast(item) for item in items]
+    except ValueError:
+        raise SystemExit(f"{option}: cannot parse {text!r}")
+
+
+def cmd_sweep(args) -> int:
+    if args.racks <= 0:
+        raise SystemExit("--racks must be positive")
+    if args.hours <= 0 or args.dt <= 0:
+        raise SystemExit("--hours and --dt must be positive")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0 (0 = one per core)")
+    servers = _parse_list(args.servers_per_rack, int, "--servers-per-rack")
+    if any(n <= 0 for n in servers):
+        raise SystemExit("--servers-per-rack values must be positive")
+    policies = _parse_list(args.policy, str, "--policy")
+    for policy in policies:
+        if policy not in PLACEMENT_POLICIES:
+            raise SystemExit(
+                f"unknown policy {policy!r} (have {sorted(PLACEMENT_POLICIES)})"
+            )
+    controllers = _parse_list(args.controller, str, "--controller")
+    for controller in controllers:
+        if controller not in ("default", "bangbang", "lut", "pi", "coordinated"):
+            raise SystemExit(f"unknown controller {controller!r}")
+    cracs = _parse_list(args.crac, float, "--crac")
+
+    grid = fleet_grid(
+        server_counts=servers,
+        policies=policies,
+        controllers=controllers,
+        crac_supplies_c=cracs,
+        racks=args.racks,
+        workload=args.workload,
+        hours=args.hours,
+        dt_s=args.dt,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    workers = args.workers if args.workers > 0 else None
+    cache = None if args.no_cache else args.cache_dir
+    progress = None if args.quiet else lambda line: print(line)  # noqa: E731
+    table = run_sweep(grid, workers=workers, cache=cache, progress=progress)
+
+    rows = []
+    for row in table.rows():
+        rows.append(
+            [
+                f"{args.racks * row['servers_per_rack']}",
+                row["policy"],
+                row["controller"],
+                f"{row['crac_supply_c']:.1f}",
+                f"{row['energy_kwh']:.3f}",
+                f"{row['fan_energy_kwh']:.3f}",
+                f"{row['peak_power_w']:.0f}",
+                f"{row['hot_spot_c']:.1f}",
+                f"{row['sla_total_pct_s']:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "servers",
+                "policy",
+                "controller",
+                "crac(C)",
+                "E(kWh)",
+                "E_fan(kWh)",
+                "peak(W)",
+                "hotspot(C)",
+                "SLA(%s)",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\npoints     : {len(table)} total, {table.executed_count} executed, "
+        f"{table.cache_hit_count} cached"
+    )
+    if cache is not None:
+        print(f"cache      : {cache}")
+    if args.csv:
+        path = table.to_csv(Path(args.csv))
+        print(f"table      : {path}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -507,6 +581,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="vector", choices=("vector", "reference")
     )
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a cross-product fleet scenario sweep in parallel",
+    )
+    p.add_argument("--racks", type=int, default=2, help="racks per point")
+    p.add_argument(
+        "--servers-per-rack",
+        default="2,4",
+        dest="servers_per_rack",
+        help="comma-separated axis, servers per rack",
+    )
+    p.add_argument(
+        "--policy",
+        default="round-robin,coolest-first",
+        help="comma-separated placement-policy axis",
+    )
+    p.add_argument(
+        "--controller",
+        default="lut",
+        help="comma-separated controller axis "
+        "(default,bangbang,lut,pi,coordinated)",
+    )
+    p.add_argument(
+        "--crac",
+        default="24",
+        help="comma-separated CRAC supply axis, degC",
+    )
+    p.add_argument(
+        "--workload",
+        default="diurnal",
+        choices=("diurnal", "batch", "flashcrowd", "mixed"),
+    )
+    p.add_argument("--hours", type=float, default=24.0, help="scenario length")
+    p.add_argument("--dt", type=float, default=60.0, help="tick length, s")
+    p.add_argument(
+        "--backend", default="vector", choices=("vector", "reference")
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = one per core)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        dest="cache_dir",
+        help="content-hash result cache directory",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="neither read nor write the result cache",
+    )
+    p.add_argument("--csv", help="write the tidy sweep table CSV here")
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress"
+    )
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -28,7 +28,9 @@ from repro.workloads.loadgen import (
 )
 from repro.workloads.profile import UtilizationProfile
 
-#: Trace schema produced by every experiment run.
+#: Trace schema produced by every experiment run: times in s,
+#: utilizations in %, temperatures in °C, fan speeds in RPM, powers in
+#: W, and the accumulated DVFS work deficit in %·s.
 TRACE_COLUMNS = (
     "time_s",
     "target_util_pct",
@@ -55,10 +57,13 @@ TRACE_COLUMNS = (
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Knobs of the closed-loop simulation."""
+    """Knobs of the closed-loop simulation (all durations in seconds)."""
 
+    #: Simulation tick length, s.
     dt_s: float = 1.0
+    #: LoadGen duty-cycle period, s.
     pwm_period_s: float = DEFAULT_PWM_PERIOD_S
+    #: ``sar``-style utilization averaging window, s.
     monitor_window_s: float = 60.0
     loadgen_mode: str = "pwm"
     protocol: ExperimentProtocol = field(default_factory=ExperimentProtocol)
@@ -81,11 +86,11 @@ class ExperimentResult:
     config: ExperimentConfig
 
     def column(self, name: str) -> np.ndarray:
-        """Shortcut into the trace recorder."""
+        """One trace column (units per :data:`TRACE_COLUMNS`)."""
         return self.recorder.column(name)
 
     def as_arrays(self) -> Dict[str, np.ndarray]:
-        """All trace columns."""
+        """All trace columns keyed by name (units per :data:`TRACE_COLUMNS`)."""
         return self.recorder.as_arrays()
 
 

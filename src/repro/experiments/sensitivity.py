@@ -13,23 +13,23 @@ envelope — moves when the environment or the silicon changes:
   important contributor"),
 * :func:`sweep_sensor_noise` — degrade telemetry quality and watch the
   controllers' robustness.
+
+All three ride :mod:`repro.sweep`: each sweep is a one-axis
+:class:`~repro.sweep.spec.GridSpec` over the ``lut_vs_default``
+scenario, so ``workers=N`` parallelizes the points and ``cache=<dir>``
+makes warm re-runs free.  The returned shape is unchanged — a dict of
+:class:`SensitivityPoint` keyed by the swept parameter.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from repro.core.controllers.default import FixedSpeedController
-from repro.core.controllers.lut import LUTController
-from repro.core.lut import LookupTable
 from repro.experiments.metrics import ExperimentMetrics, net_savings_pct
-from repro.experiments.runner import ExperimentConfig, run_experiment
-from repro.server.ambient import ConstantAmbient
-from repro.server.specs import SensorNoiseSpec, ServerSpec, default_server_spec
+from repro.server.specs import SensorNoiseSpec, ServerSpec
 from repro.workloads.profile import UtilizationProfile
-from repro.workloads.tests import build_test3_random_steps
 
 
 @dataclass(frozen=True)
@@ -42,58 +42,67 @@ class SensitivityPoint:
 
     @property
     def net_savings_pct(self) -> float:
-        """LUT net savings over the default at this point."""
+        """LUT net savings over the default at this point, %."""
         return net_savings_pct(self.default_metrics, self.lut_metrics)
 
     @property
     def lut_max_temperature_c(self) -> float:
-        """Thermal envelope of the LUT scheme at this point."""
+        """Thermal envelope of the LUT scheme at this point, °C."""
         return self.lut_metrics.max_temperature_c
 
 
-def _run_pair(
-    spec: ServerSpec,
-    lut: LookupTable,
-    profile: UtilizationProfile,
-    ambient_c: float,
-    seed: int,
-) -> SensitivityPoint:
-    config = ExperimentConfig(seed=seed)
-    ambient = ConstantAmbient(ambient_c)
-    default_run = run_experiment(
-        FixedSpeedController(rpm=spec.default_fan_rpm),
-        profile,
-        spec=spec,
-        config=config,
-        ambient=ambient,
+def _run_pair_sweep(
+    axis_name: str,
+    axis_values: Sequence[float],
+    base: Dict[str, Any],
+    workers: int,
+    cache,
+) -> Dict[float, SensitivityPoint]:
+    """One-axis ``lut_vs_default`` grid → {parameter: SensitivityPoint}."""
+    from repro.sweep import (  # local: avoid cycle
+        GridSpec,
+        metrics_from_row,
+        run_sweep,
     )
-    lut_run = run_experiment(
-        LUTController(lut), profile, spec=spec, config=config, ambient=ambient
+
+    grid = GridSpec(
+        kind="lut_vs_default",
+        base=base,
+        axes={axis_name: [float(v) for v in axis_values]},
     )
-    return SensitivityPoint(
-        parameter=ambient_c,
-        default_metrics=default_run.metrics,
-        lut_metrics=lut_run.metrics,
-    )
+    table = run_sweep(grid, workers=workers, cache=cache)
+    points: Dict[float, SensitivityPoint] = {}
+    for row in table.rows():
+        parameter = float(row[axis_name])
+        points[parameter] = SensitivityPoint(
+            parameter=parameter,
+            default_metrics=metrics_from_row(row, "default_"),
+            lut_metrics=metrics_from_row(row, "lut_"),
+        )
+    return points
 
 
 def sweep_ambient(
-    lut: LookupTable,
+    lut,
     ambients_c: Sequence[float] = (18.0, 21.0, 24.0, 27.0, 30.0),
     spec: Optional[ServerSpec] = None,
     profile: Optional[UtilizationProfile] = None,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> Dict[float, SensitivityPoint]:
-    """Run the LUT (characterized at 24 °C) across room temperatures."""
-    spec = spec if spec is not None else default_server_spec()
-    profile = profile if profile is not None else build_test3_random_steps()
-    return {
-        float(a): _run_pair(spec, lut, profile, a, seed) for a in ambients_c
-    }
+    """Run the LUT (characterized at 24 °C) across room temperatures (°C)."""
+    return _run_pair_sweep(
+        "ambient_c",
+        ambients_c,
+        {"lut": lut, "spec": spec, "profile": profile, "seed": seed},
+        workers,
+        cache,
+    )
 
 
 def scale_leakage(spec: ServerSpec, factor: float) -> ServerSpec:
-    """A spec whose exponential leakage prefactor is scaled by *factor*."""
+    """A spec whose exponential leakage prefactor (W) is scaled by *factor*."""
     if factor <= 0:
         raise ValueError("factor must be positive")
     sockets = tuple(
@@ -109,32 +118,32 @@ def sweep_leakage_strength(
     profile: Optional[UtilizationProfile] = None,
     ambient_c: float = 24.0,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> Dict[float, SensitivityPoint]:
     """Scale leakage (future nodes) and rebuild the LUT for each point.
 
     Unlike the ambient sweep, the LUT is *re-characterized per point* —
     leakier silicon shifts the optimum fan speeds, and the pipeline is
-    expected to track that.
+    expected to track that.  (No ``lut`` parameter in the grid means
+    the runner rebuilds it from the scaled spec, memoized per worker.)
     """
-    from repro.experiments.report import build_paper_lut  # avoid cycle
-
-    spec = spec if spec is not None else default_server_spec()
-    profile = profile if profile is not None else build_test3_random_steps()
-    results: Dict[float, SensitivityPoint] = {}
-    for factor in factors:
-        scaled = scale_leakage(spec, factor)
-        lut = build_paper_lut(spec=scaled, seed=seed)
-        point = _run_pair(scaled, lut, profile, ambient_c, seed)
-        results[float(factor)] = SensitivityPoint(
-            parameter=float(factor),
-            default_metrics=point.default_metrics,
-            lut_metrics=point.lut_metrics,
-        )
-    return results
+    return _run_pair_sweep(
+        "leakage_factor",
+        factors,
+        {
+            "spec": spec,
+            "profile": profile,
+            "ambient_c": float(ambient_c),
+            "seed": seed,
+        },
+        workers,
+        cache,
+    )
 
 
 def scale_sensor_noise(spec: ServerSpec, factor: float) -> ServerSpec:
-    """A spec whose sensor noise sigmas are scaled by *factor*."""
+    """A spec whose sensor noise sigmas (°C, W, V, A) are scaled by *factor*."""
     if factor < 0:
         raise ValueError("factor must be non-negative")
     noise = spec.sensor_noise
@@ -150,23 +159,26 @@ def scale_sensor_noise(spec: ServerSpec, factor: float) -> ServerSpec:
 
 
 def sweep_sensor_noise(
-    lut: LookupTable,
+    lut,
     factors: Sequence[float] = (0.0, 1.0, 3.0, 10.0),
     spec: Optional[ServerSpec] = None,
     profile: Optional[UtilizationProfile] = None,
     ambient_c: float = 24.0,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> Dict[float, SensitivityPoint]:
     """Degrade telemetry noise and re-run the controller comparison."""
-    spec = spec if spec is not None else default_server_spec()
-    profile = profile if profile is not None else build_test3_random_steps()
-    results: Dict[float, SensitivityPoint] = {}
-    for factor in factors:
-        scaled = scale_sensor_noise(spec, factor)
-        point = _run_pair(scaled, lut, profile, ambient_c, seed)
-        results[float(factor)] = SensitivityPoint(
-            parameter=float(factor),
-            default_metrics=point.default_metrics,
-            lut_metrics=point.lut_metrics,
-        )
-    return results
+    return _run_pair_sweep(
+        "noise_factor",
+        factors,
+        {
+            "lut": lut,
+            "spec": spec,
+            "profile": profile,
+            "ambient_c": float(ambient_c),
+            "seed": seed,
+        },
+        workers,
+        cache,
+    )

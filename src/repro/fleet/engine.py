@@ -417,15 +417,23 @@ class FleetResult:
     scheduler_name: str
     controller_name: str
     backend: str
+    #: Tick length, s.
     dt_s: float
+    #: Tick timestamps, s.
     times_s: np.ndarray
+    #: Per-server wall power per tick, W.
     total_power_w: np.ndarray
+    #: Per-server fan power per tick, W.
     fan_power_w: np.ndarray
+    #: Hottest junction per server and tick, °C.
     max_junction_c: np.ndarray
-    #: Executed (post-p-state-stretch) utilization per tick.
+    #: Executed (post-p-state-stretch) utilization per tick, %.
     utilization_pct: np.ndarray
+    #: Per-server inlet temperature per tick, °C.
     inlet_c: np.ndarray
+    #: Per-server mean fan speed per tick, RPM.
     mean_rpm: np.ndarray
+    #: Demand the scheduler found no capacity for, single-server %.
     unserved_pct: np.ndarray
     #: P-state each server ran per tick (0 = nominal).
     pstate_index: np.ndarray
@@ -435,7 +443,7 @@ class FleetResult:
 
     @property
     def fleet_power_w(self) -> np.ndarray:
-        """Summed fleet power per tick."""
+        """Summed fleet power per tick, W."""
         return self.total_power_w.sum(axis=1)
 
     @property

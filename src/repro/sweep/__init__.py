@@ -1,0 +1,125 @@
+"""Parallel scenario-sweep orchestration.
+
+The paper's argument is built on sweeps — workload tests, ambient /
+leakage / noise sensitivity, controller ablations — and the ROADMAP's
+north star is "as many scenarios as you can imagine".  This package
+makes a sweep a *declaration* instead of a hand-rolled loop:
+
+* :mod:`repro.sweep.spec` — :class:`ScenarioSpec` (one point) and
+  :class:`GridSpec` (a cross product of parameter axes), both reduced
+  to a canonical content hash,
+* :mod:`repro.sweep.scenarios` — the runner registry mapping spec
+  kinds (``experiment``, ``lut_vs_default``, ``fleet``) onto the
+  existing engines, with per-process memoization of expensive
+  artifacts (LUT characterizations, model fits),
+* :mod:`repro.sweep.executor` — :func:`run_sweep`: cache resolution,
+  a ``multiprocessing`` fan-out, deterministic row ordering, progress
+  logging,
+* :mod:`repro.sweep.cache` — the content-addressed JSON result cache
+  (``benchmarks/results/cache/`` by default): a warm re-run performs
+  zero engine invocations,
+* :mod:`repro.sweep.result` — :class:`SweepResult`, the tidy table
+  (named ndarray columns, lossless CSV export, bit-identical
+  comparison).
+
+Quickstart::
+
+    from repro.sweep import GridSpec, run_sweep
+
+    grid = GridSpec(
+        kind="fleet",
+        base={"racks": 1, "hours": 1.0, "controller": "default"},
+        axes={
+            "servers_per_rack": [2, 4],
+            "policy": ["round-robin", "coolest-first"],
+            "crac_supply_c": [22.0, 24.0, 27.0],
+        },
+    )
+    table = run_sweep(grid, workers=4, cache="benchmarks/results/cache")
+    print(table.column("energy_kwh"))
+"""
+
+from typing import Sequence
+
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.sweep.executor import default_worker_count, run_sweep
+from repro.sweep.result import SweepResult
+from repro.sweep.scenarios import (
+    SCENARIO_KINDS,
+    build_fleet_workload,
+    metrics_from_row,
+    register_scenario,
+    run_scenario,
+)
+from repro.sweep.spec import (
+    CACHE_SCHEMA_VERSION,
+    GridSpec,
+    ScenarioSpec,
+    canonical,
+    content_hash,
+)
+
+
+def fleet_grid(
+    server_counts: Sequence[int] = (2, 4),
+    policies: Sequence[str] = ("round-robin", "coolest-first"),
+    controllers: Sequence[str] = ("lut",),
+    crac_supplies_c: Sequence[float] = (24.0,),
+    racks: int = 2,
+    workload: str = "diurnal",
+    hours: float = 24.0,
+    dt_s: float = 60.0,
+    seed: int = 0,
+    backend: str = "vector",
+    spec=None,
+    lut=None,
+) -> GridSpec:
+    """The cross-product fleet sweep: servers × policy × controller × CRAC.
+
+    ``server_counts`` are servers *per rack* (total servers per point is
+    ``racks`` times that); ``crac_supplies_c`` are CRAC supply setpoints
+    in °C.  Single-valued axes are allowed — the grid simply has extent
+    1 along them.
+    """
+    base = {
+        "racks": int(racks),
+        "workload": workload,
+        "hours": float(hours),
+        "dt_s": float(dt_s),
+        "seed": int(seed),
+        "backend": backend,
+    }
+    if spec is not None:
+        base["spec"] = spec
+    if lut is not None:
+        base["lut"] = lut
+    return GridSpec(
+        kind="fleet",
+        base=base,
+        axes={
+            "servers_per_rack": [int(n) for n in server_counts],
+            "policy": list(policies),
+            "controller": list(controllers),
+            "crac_supply_c": [float(t) for t in crac_supplies_c],
+        },
+    )
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "GridSpec",
+    "ResultCache",
+    "SCENARIO_KINDS",
+    "ScenarioSpec",
+    "SweepResult",
+    "build_fleet_workload",
+    "canonical",
+    "content_hash",
+    "default_worker_count",
+    "fleet_grid",
+    "metrics_from_row",
+    "register_scenario",
+    "run_scenario",
+    "run_sweep",
+]

@@ -1,0 +1,128 @@
+"""Parallel sweep executor: cache-aware fan-out over worker processes.
+
+:func:`run_sweep` takes a :class:`~repro.sweep.spec.GridSpec` (or an
+explicit sequence of :class:`~repro.sweep.spec.ScenarioSpec` points),
+resolves cache hits first, fans the remaining points out over a
+``multiprocessing`` pool, and assembles every row — hit or miss — into
+one :class:`~repro.sweep.result.SweepResult` in the grid's own
+deterministic order.  The table is *bit-identical* whatever the worker
+count or cache state: the physics is seeded and rows are placed by
+grid index, never by completion order, and cached floats round-trip
+JSON exactly.
+
+Worker processes keep their scenario memo (LUT characterizations,
+model fits) alive across the points of a chunk, so grids that share
+expensive artifacts amortize them per process instead of per point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sweep.cache import ResultCache
+from repro.sweep.result import SweepResult
+from repro.sweep.scenarios import run_scenario
+from repro.sweep.spec import GridSpec, ScenarioSpec
+
+#: A sweep input: a grid, or explicit points.
+Sweepable = Union[GridSpec, Sequence[ScenarioSpec]]
+
+
+def default_worker_count() -> int:
+    """Workers used when ``workers`` is ``None``: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_point(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Module-level worker target (must be picklable)."""
+    return run_scenario(spec)
+
+
+def _resolve_points(sweep: Sweepable) -> Tuple[ScenarioSpec, ...]:
+    if isinstance(sweep, GridSpec):
+        return sweep.points()
+    points = tuple(sweep)
+    if not points:
+        raise ValueError("sweep has no points")
+    for point in points:
+        if not isinstance(point, ScenarioSpec):
+            raise TypeError(
+                f"expected ScenarioSpec points, got {type(point).__name__}"
+            )
+    return points
+
+
+def run_sweep(
+    sweep: Sweepable,
+    workers: Optional[int] = 1,
+    cache: Union[ResultCache, str, os.PathLike, None] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run every point of *sweep* and return the tidy result table.
+
+    ``workers=1`` runs in-process (serial); ``workers=N`` fans the
+    uncached points over ``N`` worker processes; ``workers=None`` uses
+    one worker per core.  ``cache`` (a directory path or
+    :class:`ResultCache`) short-circuits previously-computed points by
+    content hash and persists fresh rows.  ``progress`` receives one
+    human-readable line per completed point.
+    """
+    points = _resolve_points(sweep)
+    if workers is None:
+        workers = default_worker_count()
+    if workers < 1:
+        raise ValueError("workers must be >= 1 (or None for one per core)")
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    total = len(points)
+    rows: List[Optional[Dict[str, Any]]] = [None] * total
+    misses: List[int] = []
+    for i, spec in enumerate(points):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            rows[i] = hit
+        else:
+            misses.append(i)
+    cache_hits = total - len(misses)
+    if progress is not None and cache_hits:
+        progress(f"cache: {cache_hits}/{total} points already computed")
+
+    # Rows are cached as they complete (not after the whole sweep), so
+    # an interrupted or failing run keeps its partial progress durable.
+    def finish(i: int, row: Dict[str, Any], done: int) -> None:
+        """Record one completed point: table row, cache entry, progress."""
+        rows[i] = row
+        if cache is not None:
+            cache.put(points[i], row)
+        if progress is not None:
+            progress(f"[{done}/{total}] {points[i].describe()}")
+
+    done = cache_hits
+    if len(misses) <= 1 or workers == 1:
+        for i in misses:
+            done += 1
+            finish(i, _execute_point(points[i]), done)
+    else:
+        pool_size = min(workers, len(misses))
+        # Chunks keep each worker's per-process memo (LUTs, fits) warm
+        # across several points; results still land by grid index.
+        chunksize = max(1, len(misses) // (pool_size * 2))
+        with multiprocessing.Pool(processes=pool_size) as pool:
+            ordered = pool.imap(
+                _execute_point,
+                [points[i] for i in misses],
+                chunksize=chunksize,
+            )
+            for i, row in zip(misses, ordered):
+                done += 1
+                finish(i, row, done)
+
+    return SweepResult.from_points(
+        points,
+        rows,
+        executed_count=len(misses),
+        cache_hit_count=cache_hits,
+    )

@@ -1,0 +1,176 @@
+"""Tidy sweep-result tables: named ndarray columns + CSV export.
+
+A :class:`SweepResult` is one row per sweep point.  Its columns are
+the scalar grid parameters (the axes plus any scalar base parameters)
+followed by the metric columns the scenario runner produced, each
+stored as a named ndarray — numeric columns as ``float64``/``int64``,
+anything else as an object array.  Two results from the same grid are
+expected to be *bit-identical* regardless of worker count or cache
+state; :meth:`SweepResult.equals` checks exactly that.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sweep.spec import ScenarioSpec, _SCALAR_TYPES
+
+
+def _column_array(values: List[Any]) -> np.ndarray:
+    """Pack one column, preferring exact numeric dtypes."""
+    present = [v for v in values if v is not None]
+    if present and all(
+        isinstance(v, int) and not isinstance(v, bool) for v in present
+    ):
+        if len(present) == len(values):
+            return np.array(values, dtype=np.int64)
+        values = [np.nan if v is None else v for v in values]
+        return np.array(values, dtype=float)
+    if present and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in present
+    ):
+        values = [np.nan if v is None else v for v in values]
+        return np.array(values, dtype=float)
+    out = np.empty(len(values), dtype=object)
+    out[:] = values
+    return out
+
+
+class SweepResult:
+    """One row per sweep point: parameter columns, then metric columns."""
+
+    def __init__(
+        self,
+        param_columns: Dict[str, np.ndarray],
+        metric_columns: Dict[str, np.ndarray],
+        labels: Tuple[str, ...],
+        executed_count: int = 0,
+        cache_hit_count: int = 0,
+    ) -> None:
+        self.param_columns = dict(param_columns)
+        self.metric_columns = dict(metric_columns)
+        #: Per-point labels (the grid's ``axis=value`` rendering).
+        self.labels = tuple(labels)
+        #: Points actually simulated in this invocation.
+        self.executed_count = int(executed_count)
+        #: Points served from the on-disk result cache.
+        self.cache_hit_count = int(cache_hit_count)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: Sequence[ScenarioSpec],
+        rows: Sequence[Dict[str, Any]],
+        executed_count: int = 0,
+        cache_hit_count: int = 0,
+    ) -> "SweepResult":
+        """Assemble the table from specs and their runner rows (in order)."""
+        if len(points) != len(rows):
+            raise ValueError("points and rows must have matching lengths")
+        param_names: List[str] = []
+        for spec in points:
+            for name, value in spec.params.items():
+                if name in param_names:
+                    continue
+                if value is None or isinstance(value, _SCALAR_TYPES):
+                    param_names.append(name)
+        metric_names: List[str] = []
+        for row in rows:
+            for name in row:
+                if name not in metric_names:
+                    metric_names.append(name)
+        params = {
+            name: _column_array(
+                [spec.params.get(name) for spec in points]
+            )
+            for name in param_names
+        }
+        metrics = {
+            name: _column_array([row.get(name) for row in rows])
+            for name in metric_names
+        }
+        return cls(
+            params,
+            metrics,
+            labels=tuple(spec.describe() for spec in points),
+            executed_count=executed_count,
+            cache_hit_count=cache_hit_count,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """All column names, parameters first."""
+        return tuple(self.param_columns) + tuple(self.metric_columns)
+
+    def __len__(self) -> int:
+        for column in self.param_columns.values():
+            return len(column)
+        for column in self.metric_columns.values():
+            return len(column)
+        return 0
+
+    def column(self, name: str) -> np.ndarray:
+        """One named column (parameter or metric)."""
+        if name in self.param_columns:
+            return self.param_columns[name]
+        if name in self.metric_columns:
+            return self.metric_columns[name]
+        raise KeyError(f"no column {name!r} (have {self.names})")
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate points as flat dicts (parameters + metrics)."""
+        names = self.names
+        for i in range(len(self)):
+            yield {name: self.column(name)[i].item()
+                   if isinstance(self.column(name)[i], np.generic)
+                   else self.column(name)[i]
+                   for name in names}
+
+    def row(self, index: int) -> Dict[str, Any]:
+        """One point as a flat dict."""
+        for i, row in enumerate(self.rows()):
+            if i == index:
+                return row
+        raise IndexError(index)
+
+    # ------------------------------------------------------------------
+    def equals(self, other: "SweepResult") -> bool:
+        """Bit-identical table comparison (column names, order, values)."""
+        if not isinstance(other, SweepResult):
+            return False
+        if self.names != other.names:
+            return False
+        for name in self.names:
+            a, b = self.column(name), other.column(name)
+            if a.dtype.kind != b.dtype.kind or a.shape != b.shape:
+                return False
+            if a.dtype.kind == "f":
+                if not np.array_equal(a, b, equal_nan=True):
+                    return False
+            elif not all(x == y for x, y in zip(a, b)):
+                return False
+        return True
+
+    def to_csv(self, path) -> Path:
+        """Write the table as CSV (floats via ``repr``: lossless)."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.names)
+            for i in range(len(self)):
+                cells = []
+                for name in self.names:
+                    value = self.column(name)[i]
+                    if isinstance(value, np.generic):
+                        value = value.item()
+                    cells.append(repr(value) if isinstance(value, float)
+                                 else value)
+                writer.writerow(cells)
+        return path

@@ -1,0 +1,501 @@
+"""Scenario runners: one function per sweep-point *kind*.
+
+Each runner maps a flat parameter dict onto the existing simulation
+entry points (:func:`repro.experiments.runner.run_experiment`,
+:class:`repro.fleet.engine.FleetEngine`) and returns the point's
+*row* — a flat ``{column: float | int | str}`` mapping that the
+executor assembles into a :class:`~repro.sweep.result.SweepResult`
+table and the cache persists as JSON.
+
+Expensive shared artifacts — the characterization behind
+:func:`~repro.experiments.report.build_paper_lut`, the fitted power
+models the MPC needs — are memoized **per worker process** keyed by
+their content hash, so a grid that re-characterizes per silicon
+variant (e.g. the leakage sweep) builds each LUT once per worker, not
+once per point.
+
+Registered kinds:
+
+* ``"experiment"`` — one controller on one workload profile on one
+  (possibly scaled) server spec; row = Table-I metrics (kWh, W, °C,
+  RPM) plus the junction-temperature spread (°C).
+* ``"lut_vs_default"`` — the sensitivity pairing: the LUT scheme vs
+  the firmware default on the same spec/profile; row = both metric
+  sets plus the net saving (%) and the LUT's full-load speed (RPM).
+* ``"fleet"`` — a rack-scale :class:`FleetEngine` scenario; row =
+  fleet aggregates (kWh, W, °C, %·s of lost work).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+from typing import Any, Callable, Dict, Mapping
+
+import numpy as np
+
+from repro.sweep.spec import ScenarioSpec, content_hash
+
+#: Registered scenario runners, keyed by spec kind.
+SCENARIO_KINDS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {}
+
+#: Per-process memo for expensive derived artifacts (LUTs, model fits).
+_PROCESS_MEMO: Dict[str, Any] = {}
+
+
+def register_scenario(kind: str):
+    """Class-less plugin hook: register *func* as the runner for *kind*."""
+
+    def decorator(func):
+        """Install *func* in the registry under *kind* (must be new)."""
+        if kind in SCENARIO_KINDS:
+            raise ValueError(f"scenario kind {kind!r} already registered")
+        SCENARIO_KINDS[kind] = func
+        return func
+
+    return decorator
+
+
+def run_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Execute one sweep point and return its row of scalar results."""
+    try:
+        runner = SCENARIO_KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario kind {spec.kind!r} "
+            f"(registered: {sorted(SCENARIO_KINDS)})"
+        ) from None
+    return runner(spec.params)
+
+
+def _memoized(tag: str, key_value: Any, build: Callable[[], Any]) -> Any:
+    """Build-once-per-process cache for expensive derived artifacts."""
+    try:
+        key = f"{tag}:{content_hash(key_value)}"
+    except TypeError:
+        return build()  # unhashable inputs: just rebuild
+    if key not in _PROCESS_MEMO:
+        _PROCESS_MEMO[key] = build()
+    return _PROCESS_MEMO[key]
+
+
+# ----------------------------------------------------------------------
+# shared parameter resolution
+# ----------------------------------------------------------------------
+#: Controller-selection parameters shared by the built-in kinds.
+_CONTROLLER_PARAMS = frozenset(
+    {
+        "controller",
+        "rpm",
+        "thresholds",
+        "pi_target_c",
+        "lut",
+        "lut_lockout_s",
+        "lut_candidates_rpm",
+        "lut_max_temperature_c",
+        "characterization_seed",
+    }
+)
+#: Server-spec derivation parameters (scaling applied by _derived_spec).
+_SPEC_PARAMS = frozenset({"spec", "leakage_factor", "noise_factor"})
+#: Workload-profile resolution parameters.
+_PROFILE_PARAMS = frozenset({"profile", "profile_seed"})
+
+
+def _check_params(
+    params: Mapping[str, Any], allowed: frozenset, kind: str
+) -> None:
+    """Reject typo'd / unsupported parameters instead of ignoring them.
+
+    A silently-dropped axis (e.g. ``ambeint_c``) would yield N
+    identical rows presented as a real sweep.
+    """
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) for scenario kind {kind!r}: {unknown} "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+def _derived_spec(params: Mapping[str, Any]):
+    """The server spec after leakage / sensor-noise scaling."""
+    from repro.experiments.sensitivity import (  # runner-local: avoid cycle
+        scale_leakage,
+        scale_sensor_noise,
+    )
+    from repro.server.specs import default_server_spec
+
+    spec = params.get("spec")
+    spec = spec if spec is not None else default_server_spec()
+    leakage_factor = float(params.get("leakage_factor", 1.0))
+    if leakage_factor != 1.0:
+        spec = scale_leakage(spec, leakage_factor)
+    noise_factor = float(params.get("noise_factor", 1.0))
+    if noise_factor != 1.0:
+        spec = scale_sensor_noise(spec, noise_factor)
+    return spec
+
+
+def _resolve_profile(params: Mapping[str, Any]):
+    """The workload profile: an object, a paper-test name, or Test-3."""
+    from repro.workloads.tests import (
+        build_test3_random_steps,
+        paper_test_profiles,
+    )
+
+    profile = params.get("profile")
+    if profile is None:
+        return build_test3_random_steps(
+            seed=int(params.get("profile_seed", 1234))
+        )
+    if isinstance(profile, str):
+        seed = int(params.get("profile_seed", 1234))
+        named = _memoized(
+            "paper_tests", seed, lambda: paper_test_profiles(seed=seed)
+        )
+        if profile not in named:
+            raise ValueError(
+                f"unknown test profile {profile!r} (have {sorted(named)})"
+            )
+        return named[profile]
+    return profile
+
+
+def _resolve_lut(params: Mapping[str, Any], spec):
+    """The lookup table: given, ladder-rebuilt, or the paper pipeline's."""
+    from repro.core.lut import build_lut_from_spec
+    from repro.experiments.report import build_paper_lut
+
+    lut = params.get("lut")
+    if lut is not None:
+        return lut
+    max_temp = float(params.get("lut_max_temperature_c", 75.0))
+    ladder = params.get("lut_candidates_rpm")
+    if ladder is not None:
+        ladder = tuple(float(r) for r in ladder)
+        return _memoized(
+            "ladder_lut",
+            {"spec": spec, "ladder": ladder, "max_temp": max_temp},
+            lambda: build_lut_from_spec(
+                spec, candidates_rpm=ladder, max_temperature_c=max_temp
+            ),
+        )
+    seed = int(params.get("characterization_seed", params.get("seed", 0)))
+    return _memoized(
+        "paper_lut",
+        {"spec": spec, "seed": seed, "max_temp": max_temp},
+        lambda: build_paper_lut(
+            spec=spec, seed=seed, max_temperature_c=max_temp
+        ),
+    )
+
+
+def _build_controller(name: str, params: Mapping[str, Any], spec):
+    """Instantiate the named fan controller for *spec*."""
+    from repro.core.controllers.bangbang import BangBangController
+    from repro.core.controllers.coordinated import CoordinatedController
+    from repro.core.controllers.default import FixedSpeedController
+    from repro.core.controllers.lut import LUTController
+    from repro.core.controllers.oracle import OracleController
+    from repro.core.controllers.pid import PIController
+
+    if name == "default":
+        # Baseline consistency: without an explicit rpm the firmware
+        # default of *this* spec is used, matching the lut_vs_default
+        # kind's baseline (not a hardcoded 3300 RPM).
+        rpm = params.get("rpm")
+        rpm = float(rpm) if rpm is not None else spec.default_fan_rpm
+        return FixedSpeedController(rpm=rpm)
+    if name == "bangbang":
+        thresholds = params.get("thresholds")
+        if thresholds is None:
+            return BangBangController()
+        return BangBangController(thresholds=thresholds)
+    if name == "pi":
+        return PIController(target_c=float(params.get("pi_target_c", 70.0)))
+    if name == "oracle":
+        return OracleController(spec=spec)
+    if name == "lut":
+        return LUTController(
+            _resolve_lut(params, spec),
+            lockout_s=float(params.get("lut_lockout_s", 60.0)),
+        )
+    if name == "coordinated":
+        return CoordinatedController(
+            _resolve_lut(params, spec),
+            spec.dvfs,
+            lockout_s=float(params.get("lut_lockout_s", 60.0)),
+        )
+    if name == "mpc":
+        from repro.core.controllers.mpc import build_mpc_from_characterization
+
+        seed = int(params.get("characterization_seed", 0))
+        # Memoize the characterization *artifacts*, not the controller:
+        # MPC instances are stateful (lockout clock) and must be fresh
+        # per call — a fleet hands one controller to each server.
+        samples, fitted, fan = _memoized(
+            "mpc_models",
+            {"spec": spec, "seed": seed},
+            lambda: _mpc_models(spec, seed),
+        )
+        return build_mpc_from_characterization(samples, fitted, fan)
+    raise ValueError(f"unknown controller {name!r}")
+
+
+def _mpc_models(spec, seed: int):
+    """Characterize *spec* and fit the power/fan models the MPC needs."""
+    from repro.experiments.characterization import run_characterization_steady
+    from repro.models.fitting import fit_fan_power_model, fit_power_model
+
+    samples = run_characterization_steady(spec=spec, seed=seed)
+    fitted = fit_power_model(samples)
+    fan = fit_fan_power_model(
+        [s.fan_rpm for s in samples], [s.fan_power_w for s in samples]
+    )
+    return samples, fitted, fan
+
+
+def _metrics_row(metrics, prefix: str = "") -> Dict[str, Any]:
+    """Flatten :class:`ExperimentMetrics` into ``prefix``-ed columns.
+
+    Derived from the dataclass fields so the sweep tables track the
+    metrics schema automatically.
+    """
+    return {
+        f"{prefix}{field.name}": getattr(metrics, field.name)
+        for field in dataclasses.fields(metrics)
+    }
+
+
+def metrics_from_row(row: Mapping[str, Any], prefix: str = ""):
+    """Rebuild :class:`ExperimentMetrics` from ``prefix``-ed row columns.
+
+    The inverse of the flattening the ``experiment`` and
+    ``lut_vs_default`` runners apply; works on table rows and cached
+    JSON rows alike (units as in the dataclass: kWh, W, °C, RPM, %, s).
+    """
+    from repro.experiments.metrics import ExperimentMetrics
+
+    return ExperimentMetrics(
+        **{
+            field.name: row[f"{prefix}{field.name}"]
+            for field in dataclasses.fields(ExperimentMetrics)
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# kind: experiment — one controller, one profile, one (scaled) spec
+# ----------------------------------------------------------------------
+@register_scenario("experiment")
+def run_experiment_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Single-server closed-loop run; row = Table-I metrics + T spread."""
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.server.ambient import ConstantAmbient
+    from repro.server.dvfs import default_dvfs_ladder
+
+    _check_params(
+        params,
+        _CONTROLLER_PARAMS | _SPEC_PARAMS | _PROFILE_PARAMS
+        | {"ambient_c", "seed"},
+        "experiment",
+    )
+    spec = _derived_spec(params)
+    controller_name = str(params.get("controller", "lut"))
+    if controller_name == "coordinated" and len(spec.dvfs) == 1:
+        # The coordinated fan+DVFS policy needs a real p-state ladder.
+        spec = replace(spec, dvfs=default_dvfs_ladder())
+    profile = _resolve_profile(params)
+    controller = _build_controller(controller_name, params, spec)
+    ambient_c = params.get("ambient_c")
+    ambient = None if ambient_c is None else ConstantAmbient(float(ambient_c))
+    result = run_experiment(
+        controller,
+        profile,
+        spec=spec,
+        config=ExperimentConfig(seed=int(params.get("seed", 0))),
+        ambient=ambient,
+    )
+    row = _metrics_row(result.metrics)
+    row["controller_name"] = result.controller_name
+    row["temperature_std_c"] = float(
+        np.std(result.column("max_junction_c"))
+    )
+    return row
+
+
+# ----------------------------------------------------------------------
+# kind: lut_vs_default — the sensitivity pairing
+# ----------------------------------------------------------------------
+@register_scenario("lut_vs_default")
+def run_lut_vs_default_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """LUT scheme vs firmware default on one spec/profile/ambient.
+
+    With no explicit ``lut`` parameter the LUT is re-characterized on
+    the (scaled) spec — the behaviour the leakage-strength sweep needs
+    — memoized per worker process.
+    """
+    from repro.core.controllers.default import FixedSpeedController
+    from repro.core.controllers.lut import LUTController
+    from repro.experiments.metrics import net_savings_pct
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.server.ambient import ConstantAmbient
+
+    _check_params(
+        params,
+        _SPEC_PARAMS | _PROFILE_PARAMS
+        | {
+            "lut",
+            "lut_candidates_rpm",
+            "lut_max_temperature_c",
+            "characterization_seed",
+            "ambient_c",
+            "seed",
+        },
+        "lut_vs_default",
+    )
+    spec = _derived_spec(params)
+    profile = _resolve_profile(params)
+    lut = _resolve_lut(params, spec)
+    config = ExperimentConfig(seed=int(params.get("seed", 0)))
+    ambient = ConstantAmbient(float(params.get("ambient_c", 24.0)))
+    default_run = run_experiment(
+        FixedSpeedController(rpm=spec.default_fan_rpm),
+        profile,
+        spec=spec,
+        config=config,
+        ambient=ambient,
+    )
+    lut_run = run_experiment(
+        LUTController(lut), profile, spec=spec, config=config, ambient=ambient
+    )
+    row = _metrics_row(default_run.metrics, "default_")
+    row.update(_metrics_row(lut_run.metrics, "lut_"))
+    row["net_savings_pct"] = net_savings_pct(
+        default_run.metrics, lut_run.metrics
+    )
+    row["lut_rpm_at_100"] = float(lut.query(100.0))
+    return row
+
+
+# ----------------------------------------------------------------------
+# kind: fleet — a rack-scale FleetEngine scenario
+# ----------------------------------------------------------------------
+def build_fleet_workload(name: str, duration_s: float, seed: int = 0):
+    """Named aggregate-demand profile for fleet scenarios."""
+    from repro.workloads.datacenter import (
+        build_batch_window_profile,
+        build_diurnal_profile,
+        build_flash_crowd_profile,
+        combine_profiles,
+    )
+
+    if name == "diurnal":
+        return build_diurnal_profile(duration_s=duration_s, seed=seed)
+    if name == "batch":
+        return build_batch_window_profile(duration_s=duration_s)
+    if name == "flashcrowd":
+        return build_flash_crowd_profile(duration_s=duration_s, seed=seed)
+    if name == "mixed":
+        return combine_profiles(
+            [
+                build_diurnal_profile(duration_s=duration_s, seed=seed),
+                build_batch_window_profile(
+                    duration_s=duration_s, batch_pct=40.0
+                ),
+            ]
+        )
+    raise ValueError(f"unknown fleet workload {name!r}")
+
+
+@register_scenario("fleet")
+def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One FleetEngine scenario; row = fleet aggregates (kWh, W, °C, %·s)."""
+    from repro.core.controllers.coordinated import CoordinatedController
+    from repro.core.controllers.lut import LUTController
+    from repro.fleet.engine import FleetEngine
+    from repro.fleet.scheduler import PLACEMENT_POLICIES, FleetScheduler
+    from repro.server.dvfs import default_dvfs_ladder
+    from repro.units import hours
+
+    _check_params(
+        params,
+        _CONTROLLER_PARAMS | _SPEC_PARAMS
+        | {
+            "racks",
+            "servers_per_rack",
+            "policy",
+            "workload",
+            "hours",
+            "dt_s",
+            "crac_supply_c",
+            "seed",
+            "backend",
+        },
+        "fleet",
+    )
+    # Leakage / sensor-noise scaling applies at fleet scale too — a
+    # leakage_factor axis must change the silicon, not be ignored.
+    spec = _derived_spec(params)
+    controller_name = str(params.get("controller", "lut"))
+    if controller_name == "coordinated" and len(spec.dvfs) == 1:
+        spec = replace(spec, dvfs=default_dvfs_ladder())
+    policy_name = str(params.get("policy", "coolest-first"))
+    if policy_name not in PLACEMENT_POLICIES:
+        raise ValueError(
+            f"unknown placement policy {policy_name!r} "
+            f"(have {sorted(PLACEMENT_POLICIES)})"
+        )
+
+    from repro.fleet.topology import build_uniform_fleet
+
+    fleet = build_uniform_fleet(
+        rack_count=int(params.get("racks", 2)),
+        servers_per_rack=int(params.get("servers_per_rack", 4)),
+        spec=spec,
+        crac_supply_c=float(params.get("crac_supply_c", 24.0)),
+    )
+    seed = int(params.get("seed", 0))
+    duration_s = hours(float(params.get("hours", 24.0)))
+    profile = build_fleet_workload(
+        str(params.get("workload", "diurnal")), duration_s, seed=seed
+    )
+
+    if controller_name == "lut":
+        lut = _resolve_lut(params, spec)
+        factory = lambda index: LUTController(lut)  # noqa: E731
+    elif controller_name == "coordinated":
+        lut = _resolve_lut(params, spec)
+        factory = lambda index: CoordinatedController(  # noqa: E731
+            lut, spec.dvfs
+        )
+    else:
+        factory = lambda index: _build_controller(  # noqa: E731
+            controller_name, params, spec
+        )
+
+    engine = FleetEngine(
+        fleet,
+        profile,
+        scheduler=FleetScheduler(PLACEMENT_POLICIES[policy_name]()),
+        controller_factory=factory,
+        backend=str(params.get("backend", "vector")),
+        seed=seed,
+    )
+    m = engine.run(dt_s=float(params.get("dt_s", 60.0))).metrics
+    return {
+        "server_count": m.server_count,
+        "duration_s": m.duration_s,
+        "energy_kwh": m.energy_kwh,
+        "fan_energy_kwh": m.fan_energy_kwh,
+        "peak_power_w": m.peak_power_w,
+        "avg_power_w": m.avg_power_w,
+        "hot_spot_c": m.hot_spot_c,
+        "mean_utilization_pct": m.mean_utilization_pct,
+        "mean_inlet_c": m.mean_inlet_c,
+        "sla_unserved_pct_s": m.sla_unserved_pct_s,
+        "dvfs_deficit_pct_s": m.dvfs_deficit_pct_s,
+        "sla_total_pct_s": m.sla_total_pct_s,
+        "sla_violation_ticks": m.sla_violation_ticks,
+    }

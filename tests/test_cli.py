@@ -168,6 +168,53 @@ class TestFleet:
         assert "0.0 pct*s DVFS deficit" in out
 
 
+class TestSweep:
+    _ARGS = [
+        "sweep",
+        "--racks", "1",
+        "--servers-per-rack", "1,2",
+        "--policy", "round-robin",
+        "--controller", "default",
+        "--crac", "24",
+        "--workload", "batch",
+        "--hours", "0.25",
+        "--dt", "60",
+        "--workers", "2",
+        "--quiet",
+    ]
+
+    def test_cross_product_table_and_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        args = self._ARGS + [
+            "--cache-dir", str(tmp_path / "cache"), "--csv", str(csv_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "E(kWh)" in out and "hotspot(C)" in out
+        assert "2 total, 2 executed, 0 cached" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("racks,")
+        assert "energy_kwh" in header
+
+    def test_second_invocation_served_from_cache(self, tmp_path, capsys):
+        args = self._ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 total, 0 executed, 2 cached" in out
+
+    def test_no_cache_always_executes(self, capsys):
+        args = self._ARGS + ["--no-cache"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+        assert "cache      :" not in out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policy", "warp-drive", "--no-cache"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

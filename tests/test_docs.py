@@ -1,0 +1,58 @@
+"""Docs-tree link check: cross-references in Markdown cannot rot.
+
+Walks every Markdown file in the repo root and ``docs/``, extracts
+inline links, and asserts each *relative* target resolves to a real
+file (anchors and external URLs are out of scope).  Run standalone in
+CI as the docs job: ``python -m pytest tests/test_docs.py -q``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Inline Markdown links, skipping images; code spans are stripped first.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+EXPECTED_DOCS = ("architecture.md", "paper_mapping.md", "sweeps.md")
+
+
+def _markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(DOCS_DIR.glob("*.md"))
+    return [path for path in files if path.is_file()]
+
+
+def _relative_links(path: Path):
+    text = _CODE_SPAN_RE.sub("", path.read_text())
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+class TestDocsTree:
+    def test_docs_directory_complete(self):
+        for name in EXPECTED_DOCS:
+            assert (DOCS_DIR / name).is_file(), f"docs/{name} missing"
+
+    def test_readme_links_into_docs(self):
+        targets = set(_relative_links(REPO_ROOT / "README.md"))
+        assert any(t.startswith("docs/") for t in targets), (
+            "README no longer links into docs/"
+        )
+
+    @pytest.mark.parametrize(
+        "path", _markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+    )
+    def test_relative_links_resolve(self, path):
+        broken = []
+        for target in _relative_links(path):
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{path.name}: broken relative links {broken}"

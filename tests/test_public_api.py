@@ -18,6 +18,7 @@ PACKAGES = (
     "repro.models",
     "repro.reporting",
     "repro.server",
+    "repro.sweep",
     "repro.telemetry",
     "repro.workloads",
 )

@@ -1,0 +1,340 @@
+"""Tests for the scenario-sweep orchestration subsystem.
+
+The contracts pinned here are the ones the benches and CLI rely on:
+deterministic grid enumeration, stable content hashing, a parallel
+executor that is bit-identical to the serial path, and a result cache
+whose warm runs perform zero engine invocations.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.server.specs import default_server_spec
+from repro.sweep import (
+    GridSpec,
+    ResultCache,
+    ScenarioSpec,
+    SweepResult,
+    content_hash,
+    fleet_grid,
+    register_scenario,
+    run_scenario,
+    run_sweep,
+)
+from repro.workloads.profile import StaircaseProfile
+
+#: Module-level invocation counter for the "counting" scenario kind.
+COUNTER = {"calls": 0}
+
+
+@register_scenario("counting")
+def _run_counting(params):
+    """Deterministic toy runner that records every engine invocation."""
+    COUNTER["calls"] += 1
+    x = float(params.get("x", 0.0))
+    return {"doubled": 2.0 * x, "tag": f"x={x:g}"}
+
+
+@register_scenario("fragile")
+def _run_fragile(params):
+    """Toy runner that fails on request (for partial-progress tests)."""
+    if params.get("x") == params.get("fail_on"):
+        raise RuntimeError("boom")
+    return {"x_out": params["x"]}
+
+
+@pytest.fixture
+def short_profile():
+    return StaircaseProfile([20.0, 80.0], step_duration_s=120.0)
+
+
+@pytest.fixture
+def experiment_grid(short_profile):
+    """A cheap 2x2 single-server grid (no characterization needed)."""
+    return GridSpec(
+        kind="experiment",
+        base={"controller": "default", "profile": short_profile, "seed": 3},
+        axes={"rpm": [2400.0, 3600.0], "ambient_c": [20.0, 28.0]},
+    )
+
+
+class TestContentHash:
+    def test_stable_for_equal_values(self):
+        spec = default_server_spec()
+        assert content_hash(spec) == content_hash(default_server_spec())
+
+    def test_sensitive_to_dataclass_fields(self):
+        spec = default_server_spec()
+        warmer = dataclasses.replace(spec, critical_temperature_c=99.0)
+        assert content_hash(spec) != content_hash(warmer)
+
+    def test_handles_ndarrays_and_plain_objects(self, short_profile):
+        assert content_hash(np.arange(3.0)) == content_hash(np.arange(3.0))
+        assert content_hash(np.arange(3.0)) != content_hash(np.arange(4.0))
+        same = StaircaseProfile([20.0, 80.0], step_duration_s=120.0)
+        other = StaircaseProfile([20.0, 81.0], step_duration_s=120.0)
+        assert content_hash(short_profile) == content_hash(same)
+        assert content_hash(short_profile) != content_hash(other)
+
+    def test_rejects_callables(self):
+        with pytest.raises(TypeError):
+            content_hash(lambda: None)
+
+    def test_uncacheable_spec_still_runs(self):
+        spec = ScenarioSpec(
+            kind="counting", params={"x": 1.0, "hook": lambda: None}
+        )
+        assert not spec.cacheable
+        assert run_scenario(spec)["doubled"] == 2.0
+
+    def test_key_covers_kind_and_params(self):
+        a = ScenarioSpec(kind="counting", params={"x": 1.0})
+        b = ScenarioSpec(kind="counting", params={"x": 2.0})
+        c = ScenarioSpec(kind="experiment", params={"x": 1.0})
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() != c.cache_key()
+        assert a.cache_key() == ScenarioSpec("counting", {"x": 1.0}).cache_key()
+
+
+class TestGridSpec:
+    def test_product_order_first_axis_slowest(self):
+        grid = GridSpec(
+            kind="counting", axes={"a": [1, 2], "b": ["x", "y", "z"]}
+        )
+        assert len(grid) == 6
+        combos = [(p.params["a"], p.params["b"]) for p in grid.points()]
+        assert combos == [
+            (1, "x"), (1, "y"), (1, "z"), (2, "x"), (2, "y"), (2, "z"),
+        ]
+
+    def test_points_carry_base_and_labels(self):
+        grid = GridSpec(
+            kind="counting", base={"x": 5.0}, axes={"a": [1]}
+        )
+        point = grid.points()[0]
+        assert point.params == {"x": 5.0, "a": 1}
+        assert point.label == "a=1"
+
+    def test_axis_collision_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            GridSpec(kind="counting", base={"a": 1}, axes={"a": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            GridSpec(kind="counting", axes={"a": []})
+
+    def test_unknown_kind_fails_at_run(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            run_scenario(ScenarioSpec(kind="nope", params={}))
+
+
+class TestSweepResult:
+    def test_table_shape_and_dtypes(self):
+        grid = GridSpec(kind="counting", axes={"x": [1.0, 2.0, 3.0]})
+        table = run_sweep(grid)
+        assert len(table) == 3
+        assert table.names == ("x", "doubled", "tag")
+        assert table.column("doubled").dtype == np.float64
+        assert list(table.column("doubled")) == [2.0, 4.0, 6.0]
+        assert table.column("tag").dtype == object
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_rows_merge_params_and_metrics(self):
+        table = run_sweep(GridSpec(kind="counting", axes={"x": [4.0]}))
+        row = table.row(0)
+        assert row["x"] == 4.0 and row["doubled"] == 8.0
+
+    def test_csv_export(self, tmp_path):
+        table = run_sweep(GridSpec(kind="counting", axes={"x": [1.0, 2.0]}))
+        path = table.to_csv(tmp_path / "sweep.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "x,doubled,tag"
+        assert len(lines) == 3
+
+    def test_equals_rejects_different_tables(self):
+        a = run_sweep(GridSpec(kind="counting", axes={"x": [1.0]}))
+        b = run_sweep(GridSpec(kind="counting", axes={"x": [2.0]}))
+        assert a.equals(a)
+        assert not a.equals(b)
+        assert not a.equals("not a table")
+
+
+class TestExecutorDeterminism:
+    def test_parallel_table_bit_identical_to_serial(self, experiment_grid):
+        serial = run_sweep(experiment_grid, workers=1)
+        parallel = run_sweep(experiment_grid, workers=2)
+        assert serial.equals(parallel)
+        for name in serial.names:
+            a, b = serial.column(name), parallel.column(name)
+            if a.dtype.kind == "f":
+                assert np.array_equal(a, b)
+
+    def test_progress_reports_every_point(self, experiment_grid):
+        lines = []
+        run_sweep(experiment_grid, workers=1, progress=lines.append)
+        assert len(lines) == len(experiment_grid)
+        assert lines[-1].startswith("[4/4]")
+
+    def test_invalid_workers_rejected(self, experiment_grid):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep(experiment_grid, workers=0)
+
+    def test_empty_point_list_rejected(self):
+        with pytest.raises(ValueError, match="no points"):
+            run_sweep([])
+
+
+class TestResultCache:
+    def test_warm_run_invokes_zero_engines(self, tmp_path):
+        grid = GridSpec(kind="counting", axes={"x": [1.0, 2.0, 3.0, 4.0]})
+        cache = ResultCache(tmp_path / "cache")
+
+        COUNTER["calls"] = 0
+        cold = run_sweep(grid, workers=1, cache=cache)
+        assert COUNTER["calls"] == 4
+        assert cold.executed_count == 4 and cold.cache_hit_count == 0
+        assert len(cache) == 4
+
+        warm = run_sweep(grid, workers=1, cache=cache)
+        assert COUNTER["calls"] == 4, "warm run invoked the engine"
+        assert warm.executed_count == 0 and warm.cache_hit_count == 4
+        assert cold.equals(warm)
+
+    def test_cached_experiment_table_bit_identical(
+        self, experiment_grid, tmp_path
+    ):
+        cache = tmp_path / "cache"
+        cold = run_sweep(experiment_grid, workers=2, cache=cache)
+        warm = run_sweep(experiment_grid, workers=2, cache=cache)
+        assert warm.executed_count == 0
+        assert cold.equals(warm)
+
+    def test_partial_cache_runs_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(
+            GridSpec(kind="counting", axes={"x": [1.0, 2.0]}), cache=cache
+        )
+        COUNTER["calls"] = 0
+        mixed = run_sweep(
+            GridSpec(kind="counting", axes={"x": [1.0, 2.0, 9.0]}),
+            cache=cache,
+        )
+        assert COUNTER["calls"] == 1
+        assert mixed.executed_count == 1 and mixed.cache_hit_count == 2
+        assert list(mixed.column("doubled")) == [2.0, 4.0, 18.0]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = GridSpec(kind="counting", axes={"x": [7.0]}).points()[0]
+        run_sweep([spec], cache=cache)
+        for path in cache.root.glob("*.json"):
+            path.write_text("{ torn")
+        COUNTER["calls"] = 0
+        run_sweep([spec], cache=cache)
+        assert COUNTER["calls"] == 1
+
+    def test_failed_sweep_keeps_completed_rows(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        grid = GridSpec(
+            kind="fragile", base={"fail_on": 3}, axes={"x": [1, 2, 3]}
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(grid, workers=1, cache=cache)
+        # The two points completed before the failure are durable, so
+        # a retry only re-executes the failing tail.
+        assert len(cache) == 2
+
+    def test_uncacheable_points_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = ScenarioSpec(
+            kind="counting", params={"x": 1.0, "hook": lambda: None}
+        )
+        run_sweep([spec], cache=cache)
+        run_sweep([spec], cache=cache)
+        assert len(cache) == 0
+
+
+class TestScenarioKinds:
+    def test_fleet_kind_row_fields(self):
+        grid = GridSpec(
+            kind="fleet",
+            base={
+                "racks": 1,
+                "hours": 0.25,
+                "dt_s": 60.0,
+                "controller": "default",
+                "workload": "batch",
+            },
+            axes={"servers_per_rack": [1, 2]},
+        )
+        table = run_sweep(grid)
+        assert list(table.column("server_count")) == [1, 2]
+        assert (table.column("energy_kwh") > 0).all()
+        assert (table.column("hot_spot_c") > 20.0).all()
+        assert "sla_total_pct_s" in table.names
+
+    def test_fleet_grid_helper_axes(self):
+        grid = fleet_grid(
+            server_counts=(1, 2),
+            policies=("round-robin", "coolest-first"),
+            controllers=("default",),
+            crac_supplies_c=(22.0, 24.0, 27.0),
+            racks=1,
+            hours=0.5,
+        )
+        assert len(grid) == 12
+        first = grid.points()[0].params
+        assert first["racks"] == 1 and first["workload"] == "diurnal"
+
+    def test_sensitivity_sweep_parallel_matches_serial(
+        self, paper_lut, short_profile
+    ):
+        from repro.experiments.sensitivity import sweep_ambient
+
+        kwargs = dict(
+            ambients_c=(20.0, 28.0), profile=short_profile, seed=1
+        )
+        serial = sweep_ambient(paper_lut, workers=1, **kwargs)
+        parallel = sweep_ambient(paper_lut, workers=2, **kwargs)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert serial[key] == parallel[key]
+
+    def test_experiment_kind_unknown_controller(self):
+        with pytest.raises(ValueError, match="unknown controller"):
+            run_scenario(
+                ScenarioSpec("experiment", {"controller": "warp-drive"})
+            )
+
+    def test_typoed_parameter_rejected(self):
+        for kind in ("experiment", "lut_vs_default", "fleet"):
+            with pytest.raises(ValueError, match="unknown parameter"):
+                run_scenario(ScenarioSpec(kind, {"ambeint_c": 24.0}))
+
+    def test_fleet_kind_honors_leakage_scaling(self):
+        grid = GridSpec(
+            kind="fleet",
+            base={
+                "racks": 1,
+                "servers_per_rack": 1,
+                "hours": 0.25,
+                "dt_s": 60.0,
+                "controller": "default",
+                "workload": "batch",
+            },
+            axes={"leakage_factor": [1.0, 4.0]},
+        )
+        energy = run_sweep(grid).column("energy_kwh")
+        assert energy[1] > energy[0], "leakage axis did not change physics"
+
+    def test_register_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("counting")(lambda params: {})
+
+    def test_from_points_length_mismatch(self):
+        spec = ScenarioSpec("counting", {"x": 1.0})
+        with pytest.raises(ValueError, match="matching lengths"):
+            SweepResult.from_points([spec], [])
