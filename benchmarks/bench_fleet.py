@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import replace
 
-from bench_helpers import write_artifact
+from bench_helpers import write_artifact, write_bench_json
 
 from repro.core.controllers.coordinated import CoordinatedController
 from repro.core.controllers.default import FixedSpeedController
@@ -83,6 +83,24 @@ def test_vector_engine_scales_sublinearly(results_dir):
         rows,
     )
     write_artifact(results_dir, "fleet_scaling.txt", table)
+    ticks = HORIZON_S / TICK_S
+    write_bench_json(
+        results_dir,
+        "fleet",
+        {
+            "horizon_s": HORIZON_S,
+            "dt_s": TICK_S,
+            "scaling": {
+                str(n): {
+                    "wall_s": t,
+                    "vs_naive_nx": n * t1 / t,
+                    "server_ticks_per_s": n * ticks / t,
+                }
+                for n, t in ((1, t1), (8, t8), (64, t64))
+            },
+            "speedup_vs_naive_64": 64.0 * t1 / t64,
+        },
+    )
 
     # >= SPEEDUP_FLOOR better than naive linear scaling at N=64.
     assert t64 < (64.0 / SPEEDUP_FLOOR) * t1, (

@@ -578,7 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rpm", type=float, default=3300.0, help="default-controller RPM")
     p.add_argument("--lut", help="LUT JSON for the lut controller")
     p.add_argument(
-        "--backend", default="vector", choices=("vector", "reference")
+        "--backend",
+        default="vector",
+        choices=("vector", "vector-legacy", "reference"),
+        help="vector = kernelized batch, vector-legacy = pre-kernel "
+        "per-tick loop (equivalence oracle), reference = one "
+        "ServerSimulator per server",
     )
     p.set_defaults(func=cmd_fleet)
 
@@ -617,7 +622,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hours", type=float, default=24.0, help="scenario length")
     p.add_argument("--dt", type=float, default=60.0, help="tick length, s")
     p.add_argument(
-        "--backend", default="vector", choices=("vector", "reference")
+        "--backend",
+        default="vector",
+        choices=("vector", "vector-legacy", "reference"),
+        help="vector = kernelized batch, vector-legacy = pre-kernel "
+        "per-tick loop (equivalence oracle), reference = one "
+        "ServerSimulator per server",
     )
     p.add_argument(
         "--workers",

@@ -1,0 +1,21 @@
+"""Execution engine: chunked, allocation-free simulation kernels.
+
+The kernels in :mod:`repro.engine.kernel` advance the closed-loop
+physics between controller polls as whole chunks of ticks, with
+workload samples, ambient series and sensor-noise draws precomputed
+per chunk, and traces written into preallocated ndarray columns.  Both
+runtime consumers — :func:`repro.experiments.runner.run_experiment`
+and :class:`repro.fleet.engine.FleetEngine` — are built on them.
+"""
+
+from repro.engine.kernel import (
+    FleetVectorKernel,
+    SingleServerKernel,
+    plan_tick_times,
+)
+
+__all__ = [
+    "FleetVectorKernel",
+    "SingleServerKernel",
+    "plan_tick_times",
+]

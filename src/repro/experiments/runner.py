@@ -5,6 +5,21 @@ instantaneous load, the server simulator integrates power and thermal
 state, the utilization monitor emulates ``sar`` polling, and the
 controller (running on the DLC-PC) periodically observes the noisy
 CSTH channels plus the monitored utilization and commands fan speeds.
+
+Two execution engines produce bit-identical traces:
+
+* ``engine="kernel"`` (default) — the chunked
+  :class:`repro.engine.kernel.SingleServerKernel`: poll the controller,
+  integrate every tick until the next poll in one batch-planned chunk,
+  repeat.  Workload samples, ambient series, DVFS stretch and all
+  sensor-noise draws are precomputed per chunk from the same RNG
+  stream, and the trace goes straight into preallocated ndarray
+  columns.
+* ``engine="reference"`` — the original tick-by-tick loop over
+  :class:`~repro.server.server.ServerSimulator`, kept as the
+  equivalence oracle for the kernel (see
+  ``tests/test_kernel_equivalence.py``) and as the benchmark baseline
+  (``benchmarks/bench_kernel.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +30,11 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.controllers.base import ControllerObservation, FanController
+from repro.engine.kernel import (
+    POLL_EPS_S,
+    SINGLE_SERVER_TRACE_COLUMNS,
+    SingleServerKernel,
+)
 from repro.experiments.metrics import ExperimentMetrics, compute_metrics
 from repro.experiments.protocol import ExperimentProtocol
 from repro.server.ambient import AmbientModel, ConstantAmbient
@@ -25,34 +45,13 @@ from repro.workloads.loadgen import (
     DEFAULT_PWM_PERIOD_S,
     LoadGen,
     UtilizationMonitor,
+    monitor_warmup_times,
 )
 from repro.workloads.profile import UtilizationProfile
 
-#: Trace schema produced by every experiment run: times in s,
-#: utilizations in %, temperatures in °C, fan speeds in RPM, powers in
-#: W, and the accumulated DVFS work deficit in %·s.
-TRACE_COLUMNS = (
-    "time_s",
-    "target_util_pct",
-    "instantaneous_util_pct",
-    "executed_util_pct",
-    "monitored_util_pct",
-    "cpu0_junction_c",
-    "cpu1_junction_c",
-    "max_junction_c",
-    "measured_max_cpu_c",
-    "dimm_bank_c",
-    "rpm_command",
-    "mean_rpm",
-    "power_total_w",
-    "power_fan_w",
-    "power_leakage_w",
-    "power_active_w",
-    "power_memory_w",
-    "power_board_w",
-    "pstate_index",
-    "work_deficit_pct_s",
-)
+#: Trace schema produced by every experiment run (see
+#: :data:`repro.engine.kernel.SINGLE_SERVER_TRACE_COLUMNS` for units).
+TRACE_COLUMNS = SINGLE_SERVER_TRACE_COLUMNS
 
 
 @dataclass(frozen=True)
@@ -86,34 +85,23 @@ class ExperimentResult:
     config: ExperimentConfig
 
     def column(self, name: str) -> np.ndarray:
-        """One trace column (units per :data:`TRACE_COLUMNS`)."""
+        """One trace column, read-only (units per :data:`TRACE_COLUMNS`;
+        copy before mutating)."""
         return self.recorder.column(name)
 
     def as_arrays(self) -> Dict[str, np.ndarray]:
-        """All trace columns keyed by name (units per :data:`TRACE_COLUMNS`)."""
+        """All trace columns keyed by name, read-only (units per
+        :data:`TRACE_COLUMNS`)."""
         return self.recorder.as_arrays()
 
 
-def run_experiment(
-    controller: FanController,
-    profile: UtilizationProfile,
-    spec: Optional[ServerSpec] = None,
-    config: Optional[ExperimentConfig] = None,
-    ambient: Optional[AmbientModel] = None,
-) -> ExperimentResult:
-    """Run one controller against one workload profile.
-
-    The run follows the paper's protocol: the server starts from a
-    forced cold state (idle equilibrium at 3600 RPM), the controller's
-    initial command is applied at ``t = 0``, then the closed loop steps
-    at ``config.dt_s`` for the profile duration.
-    """
+def _prepare(controller, profile, spec, config, ambient):
+    """Shared setup: spec/config defaults, cold-started simulator."""
     spec = spec if spec is not None else default_server_spec()
     config = config if config is not None else ExperimentConfig()
     protocol = config.protocol
     if ambient is None:
         ambient = ConstantAmbient(protocol.ambient_c)
-
     if config.apply_protocol_phases:
         profile = protocol.wrap_profile(profile)
 
@@ -123,27 +111,127 @@ def run_experiment(
     controller.reset()
     initial = controller.initial_rpm()
     rpm_command = initial if initial is not None else sim.fans.mean_rpm
-    sim.set_fan_rpm(rpm_command)
 
     loadgen = LoadGen(
         profile, pwm_period_s=config.pwm_period_s, mode=config.loadgen_mode
     )
-    monitor = UtilizationMonitor(window_s=config.monitor_window_s)
-    # The cold-start protocol idles the machine for >= 10 minutes before
-    # t = 0, so the utilization monitor window starts filled with idle
-    # samples (otherwise the first PWM on-phase would read as a 100%
-    # spike and trigger a spurious fan change).
-    warmup_start = -config.monitor_window_s
-    t_warm = warmup_start
-    while t_warm < 0.0:
-        monitor.observe(t_warm, 0.0, config.dt_s)
-        t_warm += config.dt_s
-    recorder = TraceRecorder(TRACE_COLUMNS)
-
     duration_s = profile.duration_s
     steps = int(round(duration_s / config.dt_s))
     if steps <= 0:
         raise ValueError("profile too short for the configured dt_s")
+    return profile, config, sim, loadgen, rpm_command, steps
+
+
+def _finish(controller, config, sim, recorder) -> ExperimentResult:
+    """Shared teardown: metrics over the recorded trace."""
+    metrics = compute_metrics(
+        times_s=recorder.column("time_s"),
+        total_power_w=recorder.column("power_total_w"),
+        max_temperature_trace_c=recorder.column("max_junction_c"),
+        rpm_commands=recorder.column("rpm_command"),
+        actual_rpms=recorder.column("mean_rpm"),
+        # Executed, not demanded: a coordinated controller parked in a
+        # deep p-state stretches busy time, and Table-I utilization must
+        # report what the sockets actually ran.
+        utilization_pct=recorder.column("executed_util_pct"),
+        static_idle_w=sim.power_model.static_idle_w(),
+    )
+    return ExperimentResult(
+        controller_name=controller.name,
+        recorder=recorder,
+        metrics=metrics,
+        config=config,
+    )
+
+
+def run_experiment(
+    controller: FanController,
+    profile: UtilizationProfile,
+    spec: Optional[ServerSpec] = None,
+    config: Optional[ExperimentConfig] = None,
+    ambient: Optional[AmbientModel] = None,
+    engine: str = "kernel",
+) -> ExperimentResult:
+    """Run one controller against one workload profile.
+
+    The run follows the paper's protocol: the server starts from a
+    forced cold state (idle equilibrium at 3600 RPM), the controller's
+    initial command is applied at ``t = 0``, then the closed loop steps
+    at ``config.dt_s`` for the profile duration.  *engine* selects the
+    chunked kernel (default) or the tick-by-tick reference loop; both
+    produce bit-identical traces.
+    """
+    if engine not in ("kernel", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    profile, config, sim, loadgen, rpm_command, steps = _prepare(
+        controller, profile, spec, config, ambient
+    )
+    if engine == "reference":
+        return _run_reference(
+            controller, config, sim, loadgen, rpm_command, steps
+        )
+
+    kernel = SingleServerKernel(
+        sim,
+        loadgen,
+        dt_s=config.dt_s,
+        steps=steps,
+        monitor_window_s=config.monitor_window_s,
+    )
+    kernel.set_fan_command(rpm_command)
+
+    decide_pstate = getattr(controller, "decide_pstate", None)
+    next_poll_s = 0.0
+    tick = 0
+    while tick < steps:
+        time_s = kernel.tick_time(tick)
+        if time_s >= next_poll_s - POLL_EPS_S:
+            max_cpu_c, avg_cpu_c = kernel.poll_observation()
+            observation = ControllerObservation(
+                time_s=time_s,
+                max_cpu_temperature_c=max_cpu_c,
+                avg_cpu_temperature_c=avg_cpu_c,
+                utilization_pct=kernel.monitored_utilization(),
+                current_rpm_command=rpm_command,
+            )
+            decision = controller.decide(observation)
+            if decision is not None and decision != rpm_command:
+                rpm_command = decision
+                kernel.set_fan_command(rpm_command)
+            # Controllers with a DVFS policy (CoordinatedController)
+            # additionally expose decide_pstate.
+            if decide_pstate is not None:
+                pstate = decide_pstate(observation)
+                if pstate is not None:
+                    kernel.set_pstate(pstate)
+            # Advance past the current time: with dt_s larger than the
+            # poll interval a single increment would let the poll clock
+            # fall unboundedly behind the simulation.
+            while time_s >= next_poll_s - POLL_EPS_S:
+                next_poll_s += controller.poll_interval_s
+        end = kernel.chunk_end(tick, next_poll_s)
+        kernel.integrate(tick, end)
+        tick = end
+
+    recorder = TraceRecorder(TRACE_COLUMNS, capacity=steps)
+    recorder.record_chunk(kernel.finalize_columns())
+    return _finish(controller, config, sim, recorder)
+
+
+def _run_reference(
+    controller, config, sim, loadgen, rpm_command, steps
+) -> ExperimentResult:
+    """The pre-kernel tick-by-tick loop (equivalence oracle)."""
+    sim.set_fan_rpm(rpm_command)
+    monitor = UtilizationMonitor(window_s=config.monitor_window_s)
+    # The cold-start protocol idles the machine for >= 10 minutes before
+    # t = 0, so the utilization monitor window starts filled with idle
+    # samples (otherwise the first PWM on-phase would read as a 100%
+    # spike and trigger a spurious fan change).  The warm-up grid is
+    # generated by index so the sample count is exact for any dt_s.
+    for t_warm in monitor_warmup_times(config.monitor_window_s, config.dt_s):
+        monitor.observe(float(t_warm), 0.0, config.dt_s)
+    recorder = TraceRecorder(TRACE_COLUMNS, capacity=steps)
 
     next_poll_s = 0.0
     time_s = 0.0
@@ -151,7 +239,7 @@ def run_experiment(
         target = loadgen.target_pct(time_s)
         instantaneous = loadgen.instantaneous_pct(time_s)
 
-        if time_s >= next_poll_s - 1e-9:
+        if time_s >= next_poll_s - POLL_EPS_S:
             measured = sim.measured_cpu_temperatures_c()
             observation = ControllerObservation(
                 time_s=time_s,
@@ -174,7 +262,7 @@ def run_experiment(
             # Advance past the current time: with dt_s larger than the
             # poll interval a single increment would let the poll clock
             # fall unboundedly behind the simulation.
-            while time_s >= next_poll_s - 1e-9:
+            while time_s >= next_poll_s - POLL_EPS_S:
                 next_poll_s += controller.poll_interval_s
 
         state = sim.step(config.dt_s, instantaneous)
@@ -212,21 +300,4 @@ def run_experiment(
             }
         )
 
-    metrics = compute_metrics(
-        times_s=recorder.column("time_s"),
-        total_power_w=recorder.column("power_total_w"),
-        max_temperature_trace_c=recorder.column("max_junction_c"),
-        rpm_commands=recorder.column("rpm_command"),
-        actual_rpms=recorder.column("mean_rpm"),
-        # Executed, not demanded: a coordinated controller parked in a
-        # deep p-state stretches busy time, and Table-I utilization must
-        # report what the sockets actually ran.
-        utilization_pct=recorder.column("executed_util_pct"),
-        static_idle_w=sim.power_model.static_idle_w(),
-    )
-    return ExperimentResult(
-        controller_name=controller.name,
-        recorder=recorder,
-        metrics=metrics,
-        config=config,
-    )
+    return _finish(controller, config, sim, recorder)

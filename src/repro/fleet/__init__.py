@@ -27,6 +27,7 @@ from repro.fleet.scheduler import (
     PLACEMENT_POLICIES,
     CoolestFirstPolicy,
     DvfsAwarePolicy,
+    FleetLoadArrays,
     FleetScheduler,
     FleetWorkload,
     LeakageAwarePolicy,
@@ -54,6 +55,7 @@ __all__ = [
     "PLACEMENT_POLICIES",
     "CoolestFirstPolicy",
     "DvfsAwarePolicy",
+    "FleetLoadArrays",
     "FleetScheduler",
     "FleetWorkload",
     "LeakageAwarePolicy",

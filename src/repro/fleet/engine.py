@@ -1,14 +1,28 @@
 """Lock-step multi-server simulation engine.
 
 Steps every server in the fleet through the same tick sequence the
-single-server :class:`~repro.server.server.ServerSimulator` uses, but
-with the hot per-step math — fan slew, airflow, the RC thermal
-substeps, and the power decomposition — evaluated as numpy arrays over
-all servers and sockets at once (the ``vector`` backend).  A
-``reference`` backend drives one real :class:`ServerSimulator` per
-server through :class:`RecirculationAmbient` wrappers; it is the
-ground truth the vectorized math is tested against and the naive
-baseline the scaling benchmark compares to.
+single-server :class:`~repro.server.server.ServerSimulator` uses, with
+the hot per-step math — fan slew, airflow, the RC thermal substeps,
+and the power decomposition — evaluated as numpy arrays over all
+servers and sockets at once by the
+:class:`~repro.engine.kernel.FleetVectorKernel`.
+
+Three backends are available:
+
+* ``vector`` (default) — the kernelized loop: persistent ``(N, ·)``
+  state arrays feed the placement policy directly
+  (:meth:`~repro.fleet.scheduler.PlacementPolicy.order_indices`),
+  per-tick inputs (aggregate demand, CRAC supplies) are precomputed
+  for the whole horizon, and the physics writes straight into the
+  preallocated trace block.  Custom view-based policies transparently
+  fall back to per-tick :class:`ServerLoadView` construction.
+* ``vector-legacy`` — the pre-kernel per-tick loop over the same
+  batched physics (views rebuilt every tick, validated scheduling).
+  Kept as the bit-identical equivalence oracle and the baseline
+  ``benchmarks/bench_kernel.py`` measures the kernel speedup against.
+* ``reference`` — one real :class:`ServerSimulator` per server; the
+  ground truth the vectorized math is tested against and the naive
+  baseline of the scaling benchmark.
 
 Each server keeps its *own* controller instance (any
 :class:`~repro.core.controllers.base.FanController`), polled on its own
@@ -33,8 +47,16 @@ import numpy as np
 
 from repro.core.controllers.base import ControllerObservation, FanController
 from repro.core.controllers.default import FixedSpeedController
+from repro.engine.kernel import (
+    COLD_START_SETTLE_S,
+    POLL_EPS_S,
+    FleetTickState,
+    FleetVectorKernel,
+    plan_tick_times,
+)
 from repro.fleet.metrics import FleetMetrics, compute_fleet_metrics
 from repro.fleet.scheduler import (
+    FleetLoadArrays,
     FleetScheduler,
     FleetWorkload,
     RoundRobinPolicy,
@@ -45,259 +67,16 @@ from repro.fleet.topology import (
     RecirculationAmbient,
     exhaust_temperature_rise_c,
 )
-from repro.server.ambient import ConstantAmbient
-from repro.server.power import leakage_power_w, leakage_slope_w_per_c
-from repro.server.server import CriticalTemperatureError, ServerSimulator
-from repro.server.thermal import MAX_SUBSTEP_S, convective_resistance_k_w
-from repro.units import airflow_heat_capacity_w_per_k
+from repro.server.power import leakage_slope_w_per_c
+from repro.server.server import ServerSimulator
+from repro.server.thermal import substep_schedule
 from repro.workloads.profile import UtilizationProfile
 
 #: Poll-time comparison slack, seconds (matches the experiment runner).
-_POLL_EPS_S = 1e-9
+_POLL_EPS_S = POLL_EPS_S
 
-
-#: Cold-start fan settle horizon, seconds (matches the paper protocol's
-#: ">= 10 minutes idle" phase; long enough that any rotor reaches the
-#: commanded speed exactly).
-_COLD_START_SETTLE_S = 600.0
-
-
-@dataclass
-class _TickState:
-    """Per-server outputs of one physics tick (flat index order)."""
-
-    total_power_w: np.ndarray
-    fan_power_w: np.ndarray
-    airflow_cfm: np.ndarray
-    mean_rpm: np.ndarray
-    max_junction_c: np.ndarray
-    avg_junction_c: np.ndarray
-    leakage_w: np.ndarray
-    leakage_slope_w_per_c: np.ndarray
-    dimm_bank_c: np.ndarray
-    #: Executed (busy-fraction) utilization after the p-state stretch.
-    executed_pct: np.ndarray
-    #: DVFS deficit rate this tick, nominal percent (0 when keeping up).
-    work_deficit_pct: np.ndarray
-    #: P-state each server ran this tick.
-    pstate_index: np.ndarray
-
-
-class _VectorBackend:
-    """Numpy-batched physics for a homogeneous-socket-count fleet."""
-
-    def __init__(self, fleet: Fleet):
-        servers = fleet.servers
-        socket_counts = {spec.socket_count for spec in servers}
-        if len(socket_counts) != 1:
-            raise ValueError(
-                "the vector backend needs every server to have the same "
-                f"socket count (got {sorted(socket_counts)}); use "
-                "backend='reference' for heterogeneous fleets"
-            )
-        n = len(servers)
-
-        def per_server(getter) -> np.ndarray:
-            return np.array([float(getter(s)) for s in servers])
-
-        def per_socket(getter) -> np.ndarray:
-            return np.array(
-                [[float(getter(sock)) for sock in s.sockets] for s in servers]
-            )
-
-        # fan bank (uniform command across the bank, as the paper runs)
-        self.fan_count = per_server(lambda s: s.fan_count)
-        self.rpm_min = per_server(lambda s: s.fan.rpm_min)
-        self.rpm_max = per_server(lambda s: s.fan.rpm_max)
-        self.fan_rpm_ref = per_server(lambda s: s.fan.rpm_ref)
-        self.fan_power_ref_w = per_server(lambda s: s.fan.power_at_ref_w)
-        self.fan_power_exp = per_server(lambda s: s.fan.power_exponent)
-        self.fan_cfm_ref = per_server(lambda s: s.fan.cfm_at_ref)
-        self.fan_slew = per_server(lambda s: s.fan.slew_rpm_per_s)
-        # board / memory
-        self.board_w = per_server(lambda s: s.board_power_w)
-        self.mem_idle_w = per_server(lambda s: s.memory.p_idle_w)
-        self.mem_k_w_pct = per_server(lambda s: s.memory.k_active_w_per_pct)
-        self.mem_r_ref = per_server(lambda s: s.memory.r_bank_air_ref_k_w)
-        self.mem_rpm_ref = per_server(lambda s: s.memory.rpm_ref_thermal)
-        self.mem_flow_exp = per_server(lambda s: s.memory.flow_exponent)
-        self.mem_c_bank = per_server(lambda s: s.memory.c_bank_j_k)
-        self.preheat_frac = per_server(lambda s: s.memory.preheat_fraction)
-        self.critical_c = per_server(lambda s: s.critical_temperature_c)
-        # sockets, (server, socket)
-        self.sock_idle_w = per_socket(lambda k: k.p_idle_w)
-        self.sock_k_w_pct = per_socket(lambda k: k.k_active_w_per_pct)
-        self.leak_const_w = per_socket(lambda k: k.leak_const_w)
-        self.leak_k2_w = per_socket(lambda k: k.leak_k2_w)
-        self.leak_k3_per_c = per_socket(lambda k: k.leak_k3_per_c)
-        self.r_jh = per_socket(lambda k: k.r_junction_heatsink_k_w)
-        self.c_j = per_socket(lambda k: k.c_junction_j_k)
-        self.r_ha_ref = per_socket(lambda k: k.r_heatsink_air_ref_k_w)
-        self.rpm_ref_thermal = per_socket(lambda k: k.rpm_ref_thermal)
-        self.flow_exp = per_socket(lambda k: k.flow_exponent)
-        self.c_h = per_socket(lambda k: k.c_heatsink_j_k)
-
-        initial = fleet.supply_temperatures_c(0.0)
-        self.t_j = np.repeat(initial[:, None], self.sock_idle_w.shape[1], 1)
-        self.t_h = self.t_j.copy()
-        self.t_m = initial.copy()
-        self.rpm = per_server(lambda s: s.default_fan_rpm)
-
-        # DVFS: per-server p-state plus the three scaling factors the
-        # scalar power model derives from it, kept as flat arrays so
-        # the per-tick stretch/power math stays fully batched.
-        self._fleet = fleet
-        self._dvfs = [spec.dvfs for spec in servers]
-        self.pstate = np.zeros(n, dtype=int)
-        self.freq_ratio = np.ones(n)
-        self.static_scale = np.ones(n)
-        self.dynamic_scale = np.ones(n)
-
-    def set_pstate(self, server_index: int, pstate_index: int) -> None:
-        """Switch one server's sockets to *pstate_index* (validated)."""
-        dvfs = self._dvfs[server_index]
-        dvfs.state(pstate_index)  # raises IndexError if out of range
-        self.pstate[server_index] = pstate_index
-        self.freq_ratio[server_index] = dvfs.frequency_ratio(pstate_index)
-        self.static_scale[server_index] = dvfs.static_power_scale(pstate_index)
-        self.dynamic_scale[server_index] = dvfs.dynamic_power_scale(
-            pstate_index
-        )
-
-    def force_cold_state(self, cold_start_rpm: float) -> None:
-        """Settle every server at the idle equilibrium for *cold_start_rpm*.
-
-        Mirrors the experiment protocol's pre-``t = 0`` phase by
-        settling one real :class:`ServerSimulator` per server (init
-        only — the hot path stays batched), so a cold-started fleet
-        run is bit-compatible with ``run_experiment``.
-        """
-        supply = self._fleet.supply_temperatures_c(0.0)
-        for i, spec in enumerate(self._fleet.servers):
-            sim = ServerSimulator(
-                spec=spec,
-                ambient=ConstantAmbient(float(supply[i])),
-                trip_on_critical=False,
-            )
-            sim.set_fan_rpm(cold_start_rpm)
-            sim.fans.step(dt_s=_COLD_START_SETTLE_S)
-            sim.settle_to_steady_state(utilization_pct=0.0)
-            self.t_j[i] = sim.thermal.state.junction_c
-            self.t_h[i] = sim.thermal.state.heatsink_c
-            self.t_m[i] = sim.thermal.state.dimm_bank_c
-            self.rpm[i] = sim.fans.mean_rpm
-
-    def _leakage(self, t_j: np.ndarray) -> np.ndarray:
-        return leakage_power_w(
-            self.leak_const_w, self.leak_k2_w, self.leak_k3_per_c, t_j
-        )
-
-    def leakage_slope_w_per_c(self) -> np.ndarray:
-        """Per-server ``dP_leak/dT_j`` summed over sockets, W/°C."""
-        return leakage_slope_w_per_c(
-            self.leak_k2_w, self.leak_k3_per_c, self.t_j
-        ).sum(axis=1)
-
-    def step(
-        self,
-        dt_s: float,
-        demand_pct: np.ndarray,
-        rpm_command: np.ndarray,
-        inlet_c: np.ndarray,
-        offsets_c: np.ndarray,
-    ) -> _TickState:
-        # fan slew, then airflow/power at the new speed (as the
-        # single-server simulator orders it)
-        max_delta = self.fan_slew * dt_s
-        self.rpm += np.clip(rpm_command - self.rpm, -max_delta, max_delta)
-        airflow = self.fan_count * self.fan_cfm_ref * self.rpm / self.fan_rpm_ref
-        fan_power = (
-            self.fan_count
-            * self.fan_power_ref_w
-            * (self.rpm / self.fan_rpm_ref) ** self.fan_power_exp
-        )
-
-        # DVFS stretch: demanded nominal work runs slower at a deep
-        # p-state, so the busy fraction grows by f_nom/f and saturates
-        # at 100% — the saturated remainder is lost throughput,
-        # reported (in nominal percent) as the work deficit.  Ordering
-        # matches DvfsSpec.executed_utilization_pct / work_deficit_pct
-        # so the batch stays bit-compatible with the scalar simulator.
-        stretched = demand_pct / self.freq_ratio
-        u = np.minimum(100.0, stretched)
-        deficit = np.where(
-            stretched <= 100.0, 0.0, (stretched - 100.0) * self.freq_ratio
-        )
-
-        mem_power = self.mem_idle_w + self.mem_k_w_pct * u
-        capacity = airflow_heat_capacity_w_per_k(airflow)
-        cpu_inlet = inlet_c + self.preheat_frac * mem_power / capacity
-        r_ma = convective_resistance_k_w(
-            self.mem_r_ref, self.rpm, self.mem_rpm_ref, self.mem_flow_exp
-        )
-        r_ha = convective_resistance_k_w(
-            self.r_ha_ref, self.rpm[:, None], self.rpm_ref_thermal, self.flow_exp
-        )
-
-        active = (
-            self.sock_idle_w * self.static_scale[:, None]
-            + self.sock_k_w_pct * u[:, None] * self.dynamic_scale[:, None]
-        )
-        substeps = max(1, int(np.ceil(dt_s / MAX_SUBSTEP_S)))
-        h = dt_s / substeps
-        cpu_inlet_col = cpu_inlet[:, None]
-        for _ in range(substeps):
-            heat_in = active + self._leakage(self.t_j)
-            q_jh = (self.t_j - self.t_h) / self.r_jh
-            q_ha = (self.t_h - cpu_inlet_col) / r_ha
-            self.t_j += h * (heat_in - q_jh) / self.c_j
-            self.t_h += h * (q_jh - q_ha) / self.c_h
-            q_ma = (self.t_m - inlet_c) / r_ma
-            self.t_m += h * (mem_power - q_ma) / self.mem_c_bank
-
-        leakage = self._leakage(self.t_j)
-        total = (
-            self.board_w
-            + mem_power
-            + active.sum(axis=1)
-            + leakage.sum(axis=1)
-            + fan_power
-        )
-        return _TickState(
-            total_power_w=total,
-            fan_power_w=fan_power,
-            airflow_cfm=airflow,
-            mean_rpm=self.rpm.copy(),
-            max_junction_c=self.t_j.max(axis=1),
-            avg_junction_c=self.t_j.mean(axis=1),
-            leakage_w=leakage.sum(axis=1),
-            leakage_slope_w_per_c=self.leakage_slope_w_per_c(),
-            dimm_bank_c=self.t_m.copy(),
-            executed_pct=u,
-            work_deficit_pct=deficit,
-            pstate_index=self.pstate.copy(),
-        )
-
-    def check_critical(self, trip: bool) -> None:
-        if not trip:
-            return
-        hottest = self.t_j.max(axis=1)
-        over = np.nonzero(hottest > self.critical_c)[0]
-        if over.size:
-            i = int(over[0])
-            raise CriticalTemperatureError(
-                f"server {i} junction reached {hottest[i]:.1f} degC "
-                f"(critical threshold {self.critical_c[i]:.1f} degC)"
-            )
-
-    def initial_views_data(self):
-        leak = self._leakage(self.t_j)
-        return (
-            self.t_j.max(axis=1),
-            self.t_j.mean(axis=1),
-            leak.sum(axis=1),
-            self.leakage_slope_w_per_c(),
-        )
+#: Cold-start fan settle horizon, seconds (see the execution kernel).
+_COLD_START_SETTLE_S = COLD_START_SETTLE_S
 
 
 class _ReferenceBackend:
@@ -366,7 +145,7 @@ class _ReferenceBackend:
         rpm_command: np.ndarray,
         inlet_c: np.ndarray,
         offsets_c: np.ndarray,
-    ) -> _TickState:
+    ) -> FleetTickState:
         total, fan, airflow, rpm, dimm = [], [], [], [], []
         executed, deficit, pstate = [], [], []
         for i, sim in enumerate(self.sims):
@@ -388,7 +167,7 @@ class _ReferenceBackend:
             executed.append(state.utilization_pct)
         max_j, avg_j, leak_w, slope = self._views_data()
         self.rpm = np.array(rpm)
-        return _TickState(
+        return FleetTickState(
             total_power_w=np.array(total),
             fan_power_w=np.array(fan),
             airflow_cfm=np.array(airflow),
@@ -472,7 +251,7 @@ class FleetEngine:
         cold_start: bool = False,
         cold_start_rpm: float = 3600.0,
     ):
-        if backend not in ("vector", "reference"):
+        if backend not in ("vector", "vector-legacy", "reference"):
             raise ValueError(f"unknown backend {backend!r}")
         self.fleet = fleet
         if not isinstance(workload, FleetWorkload):
@@ -509,8 +288,8 @@ class FleetEngine:
 
     # ------------------------------------------------------------------
     def _make_backend(self):
-        if self.backend == "vector":
-            return _VectorBackend(self.fleet)
+        if self.backend in ("vector", "vector-legacy"):
+            return FleetVectorKernel(self.fleet)
         return _ReferenceBackend(self.fleet, self.seed, self.trip_on_critical)
 
     def _validated_command(self, index: int, rpm: float) -> float:
@@ -534,7 +313,13 @@ class FleetEngine:
     def run(
         self, dt_s: float = 1.0, duration_s: Optional[float] = None
     ) -> FleetResult:
-        """Run the whole scenario and return traces plus metrics."""
+        """Run the whole scenario and return traces plus metrics.
+
+        The ``vector`` backend executes the kernelized loop; the
+        ``vector-legacy`` and ``reference`` backends run the pre-kernel
+        per-tick loop (both produce the same traces as ``vector``, the
+        former bit for bit).
+        """
         if dt_s <= 0:
             raise ValueError("dt_s must be positive")
         if duration_s is None:
@@ -542,7 +327,269 @@ class FleetEngine:
         steps = int(round(duration_s / dt_s))
         if steps <= 0:
             raise ValueError("workload too short for the configured dt_s")
+        if self.backend == "vector":
+            return self._run_kernel(dt_s, steps)
+        return self._run_legacy(dt_s, steps)
 
+    # ------------------------------------------------------------------
+    # shared setup / teardown
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_views(
+        n, rack_of, executed, max_j, inlet, leak_w, leak_slope, pstate_now
+    ) -> List[ServerLoadView]:
+        """Materialize per-server views for view-based policies.
+
+        Single source for both the legacy loop and the kernel loop's
+        custom-policy fallback, so the two paths cannot drift apart
+        field-wise.
+        """
+        return [
+            ServerLoadView(
+                index=i,
+                rack_index=int(rack_of[i]),
+                utilization_pct=float(executed[i]),
+                max_junction_c=float(max_j[i]),
+                inlet_c=float(inlet[i]),
+                leakage_w=float(leak_w[i]),
+                leakage_slope_w_per_c=float(leak_slope[i]),
+                pstate_index=int(pstate_now[i]),
+            )
+            for i in range(n)
+        ]
+
+    def _reset_controllers(self, physics, n: int) -> np.ndarray:
+        self.scheduler.reset()
+        rpm_command = np.empty(n)
+        for i, controller in enumerate(self.controllers):
+            controller.reset()
+            initial = controller.initial_rpm()
+            rpm_command[i] = self._validated_command(
+                i, initial if initial is not None else float(physics.rpm[i])
+            )
+        return rpm_command
+
+    def _build_result(
+        self,
+        dt_s,
+        steps,
+        trace_power,
+        trace_fan,
+        trace_junction,
+        trace_util,
+        trace_inlet,
+        trace_rpm,
+        trace_unserved,
+        trace_pstate,
+        trace_deficit,
+    ) -> FleetResult:
+        metrics = compute_fleet_metrics(
+            self.fleet,
+            dt_s,
+            trace_power,
+            trace_fan,
+            trace_junction,
+            trace_util,
+            trace_inlet,
+            trace_unserved,
+            work_deficit_pct=trace_deficit,
+        )
+        controller_names = {c.name for c in self.controllers}
+        return FleetResult(
+            scheduler_name=self.scheduler.name,
+            controller_name=(
+                controller_names.pop()
+                if len(controller_names) == 1
+                else "mixed"
+            ),
+            backend=self.backend,
+            dt_s=dt_s,
+            times_s=np.arange(1, steps + 1) * dt_s,
+            total_power_w=trace_power,
+            fan_power_w=trace_fan,
+            max_junction_c=trace_junction,
+            utilization_pct=trace_util,
+            inlet_c=trace_inlet,
+            mean_rpm=trace_rpm,
+            unserved_pct=trace_unserved,
+            pstate_index=trace_pstate,
+            work_deficit_pct=trace_deficit,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # kernelized loop (backend="vector")
+    # ------------------------------------------------------------------
+    def _run_kernel(self, dt_s: float, steps: int) -> FleetResult:
+        n = self.fleet.server_count
+        physics = FleetVectorKernel(self.fleet)
+        if self.cold_start:
+            physics.force_cold_state(self.cold_start_rpm)
+        rack_of = np.asarray(self.fleet.rack_index_of_server)
+        coupling = self.fleet.recirculation_matrix()
+        supply_models = self.fleet.supply_models()
+        constant_supply = all(rack.crac is None for rack in self.fleet.racks)
+        supply_now = self.fleet.supply_temperatures_c(0.0)
+
+        substeps, h = substep_schedule(dt_s)
+        times_pre = plan_tick_times(steps, dt_s)[:steps]
+        times_pre_list = times_pre.tolist()
+        # Whole-horizon per-tick inputs: aggregate demand (the profile
+        # is evaluated once, elementwise-stable) and, when any rack has
+        # a CRAC model, the per-server supply series.
+        totals_list = (
+            self.workload.profile.utilization_chunk(times_pre)
+            * self.workload.server_count
+        ).tolist()
+        supply_matrix = None
+        if not constant_supply:
+            supply_matrix = np.empty((steps, n))
+            for column, model in enumerate(supply_models):
+                supply_matrix[:, column] = model.temperature_chunk(times_pre)
+
+        rpm_command = self._reset_controllers(physics, n)
+        next_poll = np.zeros(n)
+        next_poll_due = 0.0
+
+        executed = np.zeros(n)
+        pstate_now = np.zeros(n, dtype=int)
+        exhaust_rise = np.zeros(n)
+        max_j, _, leak_w, _ = physics.initial_views_data()
+        # the junction mean feeds only controller observations, and the
+        # leakage slope only leakage-aware rankings / view fallbacks —
+        # both are computed lazily from the pre-step fleet state
+        slope_fn = physics.leakage_slope_w_per_c
+
+        trace_power = np.empty((steps, n))
+        trace_fan = np.empty((steps, n))
+        trace_junction = np.empty((steps, n))
+        trace_util = np.empty((steps, n))
+        trace_inlet = np.empty((steps, n))
+        trace_rpm = np.empty((steps, n))
+        trace_unserved = np.empty(steps)
+        trace_pstate = np.empty((steps, n), dtype=int)
+        trace_deficit = np.empty((steps, n))
+
+        policy = self.scheduler.policy
+        controllers = self.controllers
+        decide_pstate_fns = [
+            getattr(controller, "decide_pstate", None)
+            for controller in controllers
+        ]
+
+        for tick in range(steps):
+            time_s = times_pre_list[tick]
+            if supply_matrix is not None:
+                supply_now = supply_matrix[tick]
+            offsets = coupling @ exhaust_rise
+            inlet = supply_now + offsets
+
+            arrays = FleetLoadArrays(
+                utilization_pct=executed,
+                max_junction_c=max_j,
+                inlet_c=inlet,
+                leakage_w=leak_w,
+                pstate_index=pstate_now,
+                rack_index=rack_of,
+                leakage_slope_fn=slope_fn,
+            )
+            order = policy.order_indices(arrays)
+            if order is not None:
+                decision = self.scheduler.assign_indexed(
+                    order, n, totals_list[tick]
+                )
+            else:
+                # view-based custom policy: full legacy scheduling path
+                views = self._build_views(
+                    n,
+                    rack_of,
+                    executed,
+                    max_j,
+                    inlet,
+                    leak_w,
+                    arrays.leakage_slope_w_per_c,
+                    pstate_now,
+                )
+                decision = self.scheduler.assign(views, totals_list[tick])
+
+            if time_s >= next_poll_due - _POLL_EPS_S:
+                avg_j = physics.t_j.mean(axis=1)
+                for i in np.nonzero(time_s >= next_poll - _POLL_EPS_S)[0]:
+                    controller = controllers[i]
+                    observation = ControllerObservation(
+                        time_s=time_s,
+                        max_cpu_temperature_c=float(max_j[i]),
+                        avg_cpu_temperature_c=float(avg_j[i]),
+                        utilization_pct=float(executed[i]),
+                        current_rpm_command=float(rpm_command[i]),
+                    )
+                    wanted = controller.decide(observation)
+                    if wanted is not None and wanted != rpm_command[i]:
+                        rpm_command[i] = self._validated_command(i, wanted)
+                    # Coordinated controllers additionally command a
+                    # p-state, polled on the same cadence and in the
+                    # same order as the single-server runner.
+                    decide_pstate = decide_pstate_fns[i]
+                    if decide_pstate is not None:
+                        wanted_pstate = decide_pstate(observation)
+                        if wanted_pstate is not None:
+                            physics.set_pstate(
+                                int(i),
+                                self._validated_pstate(
+                                    int(i), int(wanted_pstate)
+                                ),
+                            )
+                    # Advance past the current time: with dt_s larger
+                    # than the poll interval a single increment would
+                    # let the poll clock fall unboundedly behind.
+                    while time_s >= next_poll[i] - _POLL_EPS_S:
+                        next_poll[i] += controller.poll_interval_s
+                next_poll_due = next_poll.min()
+
+            air_capacity, leak_w = physics.step_into(
+                dt_s,
+                substeps,
+                h,
+                decision.allocations_pct,
+                rpm_command,
+                inlet,
+                trace_power[tick],
+                trace_fan[tick],
+                trace_junction[tick],
+                trace_util[tick],
+                trace_rpm[tick],
+                trace_pstate[tick],
+                trace_deficit[tick],
+            )
+            physics.check_critical(self.trip_on_critical)
+
+            max_j = trace_junction[tick]
+            executed = trace_util[tick]
+            pstate_now = trace_pstate[tick]
+            # exhaust_temperature_rise_c, with the already-computed
+            # stream heat capacity (identical expression and operands)
+            exhaust_rise = trace_power[tick] / air_capacity
+            trace_inlet[tick] = inlet
+            trace_unserved[tick] = decision.unserved_pct
+
+        return self._build_result(
+            dt_s,
+            steps,
+            trace_power,
+            trace_fan,
+            trace_junction,
+            trace_util,
+            trace_inlet,
+            trace_rpm,
+            trace_unserved,
+            trace_pstate,
+            trace_deficit,
+        )
+
+    # ------------------------------------------------------------------
+    # pre-kernel loop (backends "vector-legacy" and "reference")
+    # ------------------------------------------------------------------
+    def _run_legacy(self, dt_s: float, steps: int) -> FleetResult:
         n = self.fleet.server_count
         physics = self._make_backend()
         if self.cold_start:
@@ -553,22 +600,14 @@ class FleetEngine:
         constant_supply = all(rack.crac is None for rack in self.fleet.racks)
         supply_now = self.fleet.supply_temperatures_c(0.0)
 
-        self.scheduler.reset()
-        rpm_command = np.empty(n)
+        rpm_command = self._reset_controllers(physics, n)
         next_poll = np.zeros(n)
-        for i, controller in enumerate(self.controllers):
-            controller.reset()
-            initial = controller.initial_rpm()
-            rpm_command[i] = self._validated_command(
-                i, initial if initial is not None else float(physics.rpm[i])
-            )
 
         executed = np.zeros(n)
         pstate_now = np.zeros(n, dtype=int)
         exhaust_rise = np.zeros(n)
         max_j, avg_j, leak_w, leak_slope = physics.initial_views_data()
 
-        times = np.arange(1, steps + 1) * dt_s
         trace_power = np.empty((steps, n))
         trace_fan = np.empty((steps, n))
         trace_junction = np.empty((steps, n))
@@ -588,19 +627,16 @@ class FleetEngine:
             offsets = coupling @ exhaust_rise
             inlet = supply_now + offsets
 
-            views = [
-                ServerLoadView(
-                    index=i,
-                    rack_index=rack_of[i],
-                    utilization_pct=float(executed[i]),
-                    max_junction_c=float(max_j[i]),
-                    inlet_c=float(inlet[i]),
-                    leakage_w=float(leak_w[i]),
-                    leakage_slope_w_per_c=float(leak_slope[i]),
-                    pstate_index=int(pstate_now[i]),
-                )
-                for i in range(n)
-            ]
+            views = self._build_views(
+                n,
+                rack_of,
+                executed,
+                max_j,
+                inlet,
+                leak_w,
+                leak_slope,
+                pstate_now,
+            )
             decision = self.scheduler.assign(
                 views, self.workload.total_demand_pct(time_s)
             )
@@ -659,36 +695,16 @@ class FleetEngine:
             trace_deficit[tick] = state.work_deficit_pct
             time_s += dt_s
 
-        metrics = compute_fleet_metrics(
-            self.fleet,
+        return self._build_result(
             dt_s,
+            steps,
             trace_power,
             trace_fan,
             trace_junction,
             trace_util,
             trace_inlet,
+            trace_rpm,
             trace_unserved,
-            work_deficit_pct=trace_deficit,
-        )
-        controller_names = {c.name for c in self.controllers}
-        return FleetResult(
-            scheduler_name=self.scheduler.name,
-            controller_name=(
-                controller_names.pop()
-                if len(controller_names) == 1
-                else "mixed"
-            ),
-            backend=self.backend,
-            dt_s=dt_s,
-            times_s=times,
-            total_power_w=trace_power,
-            fan_power_w=trace_fan,
-            max_junction_c=trace_junction,
-            utilization_pct=trace_util,
-            inlet_c=trace_inlet,
-            mean_rpm=trace_rpm,
-            unserved_pct=trace_unserved,
-            pstate_index=trace_pstate,
-            work_deficit_pct=trace_deficit,
-            metrics=metrics,
+            trace_pstate,
+            trace_deficit,
         )

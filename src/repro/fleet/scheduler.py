@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -58,6 +58,73 @@ class ServerLoadView:
     pstate_index: int = 0
 
 
+class FleetLoadArrays:
+    """Array view of the whole fleet, one element per server.
+
+    The kernelized fleet engine keeps per-server state in persistent
+    ``(N,)`` arrays; policies that implement
+    :meth:`PlacementPolicy.order_indices` rank directly on them instead
+    of having the engine materialize N :class:`ServerLoadView` objects
+    every tick (the pre-kernel hot spot).
+
+    The leakage slope is evaluated lazily: it costs an ``(N, S)``
+    exponential, and only leakage-aware rankings (or the view
+    fallback) read it.  The provider reads the **live** fleet state,
+    so the first access must happen while the pre-step state is
+    current — i.e. inside ``order_indices`` during the scheduling
+    phase, before the tick's physics step (the value is cached from
+    then on).  Do not hold the object across ticks.
+    """
+
+    __slots__ = (
+        "utilization_pct",
+        "max_junction_c",
+        "inlet_c",
+        "leakage_w",
+        "pstate_index",
+        "rack_index",
+        "_slope",
+        "_slope_fn",
+    )
+
+    def __init__(
+        self,
+        utilization_pct: np.ndarray,
+        max_junction_c: np.ndarray,
+        inlet_c: np.ndarray,
+        leakage_w: np.ndarray,
+        pstate_index: np.ndarray,
+        rack_index: np.ndarray,
+        leakage_slope_w_per_c: Optional[np.ndarray] = None,
+        leakage_slope_fn=None,
+    ):
+        #: Executed utilization over the previous tick, percent.
+        self.utilization_pct = utilization_pct
+        #: Hottest junction per server, °C.
+        self.max_junction_c = max_junction_c
+        #: Inlet (post-recirculation) air temperature, °C.
+        self.inlet_c = inlet_c
+        #: Instantaneous whole-CPU leakage power, watts.
+        self.leakage_w = leakage_w
+        #: Active p-state during the previous tick (0 = nominal).
+        self.pstate_index = pstate_index
+        #: Rack index of each server.
+        self.rack_index = rack_index
+        if leakage_slope_w_per_c is None and leakage_slope_fn is None:
+            raise ValueError(
+                "need leakage_slope_w_per_c or a leakage_slope_fn provider"
+            )
+        self._slope = leakage_slope_w_per_c
+        self._slope_fn = leakage_slope_fn
+
+    @property
+    def leakage_slope_w_per_c(self) -> np.ndarray:
+        """Marginal leakage cost ``dP_leak/dT_j`` per server, W/°C."""
+        if self._slope is None:
+            self._slope = self._slope_fn()
+        return self._slope
+
+
 class PlacementPolicy(ABC):
     """Ranks servers; earlier in the order means filled first."""
 
@@ -69,6 +136,17 @@ class PlacementPolicy(ABC):
     @abstractmethod
     def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
         """Return all server indices, highest placement priority first."""
+
+    def order_indices(self, arrays: FleetLoadArrays):
+        """Array-based ranking; ``None`` falls back to :meth:`order`.
+
+        Implementations must produce exactly the permutation
+        :meth:`order` would return for view objects built from the
+        same arrays (the engine's bit-identical trace contract rides
+        on it).  The default opts out, so custom view-based policies
+        keep working unchanged.
+        """
+        return None
 
 
 class RoundRobinPolicy(PlacementPolicy):
@@ -88,6 +166,13 @@ class RoundRobinPolicy(PlacementPolicy):
         self._start += 1
         return [views[(start + k) % n].index for k in range(n)]
 
+    def order_indices(self, arrays: FleetLoadArrays) -> np.ndarray:
+        """The same rotation, sharing the tick counter with `order`."""
+        n = len(arrays.utilization_pct)
+        start = self._start % n
+        self._start += 1
+        return (start + np.arange(n)) % n
+
 
 class LeastUtilizedPolicy(PlacementPolicy):
     """Fill the currently least-busy servers first."""
@@ -98,6 +183,10 @@ class LeastUtilizedPolicy(PlacementPolicy):
         utils = np.array([v.utilization_pct for v in views])
         return [views[i].index for i in np.argsort(utils, kind="stable")]
 
+    def order_indices(self, arrays: FleetLoadArrays) -> np.ndarray:
+        """Stable argsort on the persistent utilization array."""
+        return np.argsort(arrays.utilization_pct, kind="stable")
+
 
 class CoolestFirstPolicy(PlacementPolicy):
     """Fill the thermally coldest servers first."""
@@ -107,6 +196,10 @@ class CoolestFirstPolicy(PlacementPolicy):
     def order(self, views: Sequence[ServerLoadView]) -> Sequence[int]:
         temps = np.array([v.max_junction_c for v in views])
         return [views[i].index for i in np.argsort(temps, kind="stable")]
+
+    def order_indices(self, arrays: FleetLoadArrays) -> np.ndarray:
+        """Stable argsort on the persistent junction array."""
+        return np.argsort(arrays.max_junction_c, kind="stable")
 
 
 class LeakageAwarePolicy(PlacementPolicy):
@@ -124,6 +217,10 @@ class LeakageAwarePolicy(PlacementPolicy):
         slopes = np.array([v.leakage_slope_w_per_c for v in views])
         inlets = np.array([v.inlet_c for v in views])
         return [views[i].index for i in np.lexsort((inlets, slopes))]
+
+    def order_indices(self, arrays: FleetLoadArrays) -> np.ndarray:
+        """The same slope-then-inlet lexsort, array-direct."""
+        return np.lexsort((arrays.inlet_c, arrays.leakage_slope_w_per_c))
 
 
 class DvfsAwarePolicy(PlacementPolicy):
@@ -147,6 +244,10 @@ class DvfsAwarePolicy(PlacementPolicy):
         pstates = np.array([v.pstate_index for v in views])
         utils = np.array([v.utilization_pct for v in views])
         return [views[i].index for i in np.lexsort((-utils, pstates))]
+
+    def order_indices(self, arrays: FleetLoadArrays) -> np.ndarray:
+        """The same p-state-then-utilization lexsort, array-direct."""
+        return np.lexsort((-arrays.utilization_pct, arrays.pstate_index))
 
 
 #: Registry used by the CLI and examples.
@@ -223,6 +324,43 @@ class FleetScheduler:
             remaining -= share
         return SchedulingDecision(
             allocations_pct=allocations, unserved_pct=max(0.0, remaining)
+        )
+
+    def assign_indexed(
+        self, order: np.ndarray, server_count: int, total_demand_pct: float
+    ) -> SchedulingDecision:
+        """Greedy fill along a trusted pre-ranked *order*, vectorized.
+
+        Fast path for policies providing
+        :meth:`PlacementPolicy.order_indices`: skips the view
+        materialization and the O(N log N) permutation validation of
+        :meth:`assign` and replaces the per-server Python fill loop
+        with ``np.subtract.accumulate`` — which subtracts strictly
+        sequentially, reproducing the loop's ``remaining`` sequence
+        (and therefore the partial final share and the unserved
+        remainder) bit for bit.
+        """
+        validate_non_negative(total_demand_pct, "total_demand_pct")
+        allocations = np.zeros(server_count)
+        total = float(total_demand_pct)
+        if total <= 0.0:
+            return SchedulingDecision(
+                allocations_pct=allocations, unserved_pct=max(0.0, total)
+            )
+        cap = self.server_cap_pct
+        # remaining-demand sequence [total, total - cap, ...] exactly as
+        # the loop computes it; every fill but the last takes the full
+        # cap, so the sequence needs at most min(n, ceil(total/cap)) + 1
+        # entries.
+        count_max = min(server_count, int(np.ceil(total / cap)) + 1)
+        remaining_seq = np.full(count_max + 1, cap)
+        remaining_seq[0] = total
+        np.subtract.accumulate(remaining_seq, out=remaining_seq)
+        fills = int((remaining_seq[:count_max] > 0.0).sum())
+        allocations[order[:fills]] = np.minimum(cap, remaining_seq[:fills])
+        return SchedulingDecision(
+            allocations_pct=allocations,
+            unserved_pct=max(0.0, float(remaining_seq[fills])),
         )
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.units import validate_non_negative, validate_temperature_c
 
 
@@ -21,6 +23,19 @@ class AmbientModel(ABC):
     def temperature_c(self, time_s: float) -> float:
         """Inlet air temperature at simulation time ``time_s``."""
 
+    def temperature_chunk(self, times_s) -> np.ndarray:
+        """Inlet temperatures for a whole chunk of tick times.
+
+        The default evaluates :meth:`temperature_c` per element, so any
+        subclass stays bit-identical with per-tick evaluation.
+        Subclasses whose math is built from bit-stable elementwise
+        operations (constants, piecewise holds) may vectorize; models
+        using transcendental functions (e.g. ``sin``) must keep the
+        scalar loop because numpy's SIMD transcendentals are not
+        bit-identical to :mod:`math`.
+        """
+        return np.array([self.temperature_c(t) for t in times_s])
+
 
 class ConstantAmbient(AmbientModel):
     """Fixed ambient temperature (the paper's 24 °C isolated room)."""
@@ -30,6 +45,10 @@ class ConstantAmbient(AmbientModel):
 
     def temperature_c(self, time_s: float) -> float:
         return self._temperature_c
+
+    def temperature_chunk(self, times_s) -> np.ndarray:
+        """Constant inlet for the whole chunk (no per-tick calls)."""
+        return np.full(len(times_s), self._temperature_c)
 
 
 class SinusoidalAmbient(AmbientModel):

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
+import numpy as np
+
 from repro.units import validate_utilization_pct
 
 
@@ -106,6 +108,24 @@ class DvfsSpec:
         if stretched <= 100.0:
             return 0.0
         return (stretched - 100.0) * self.frequency_ratio(index)
+
+    def stretch_chunk(self, demand_pct, index: int):
+        """Vectorized executed utilization and deficit rate for a chunk.
+
+        Returns ``(executed_pct, deficit_pct)`` arrays for a whole
+        chunk of demanded utilizations at p-state *index*.  Every
+        elementwise operation mirrors
+        :meth:`executed_utilization_pct` / :meth:`work_deficit_pct`
+        (IEEE add/mul/div/min are bit-identical between numpy and
+        scalar Python), so chunked runs reproduce tick-by-tick traces
+        exactly.
+        """
+        demand = np.asarray(demand_pct, dtype=float)
+        ratio = self.frequency_ratio(index)
+        stretched = demand / ratio
+        executed = np.minimum(100.0, stretched)
+        deficit = np.where(stretched <= 100.0, 0.0, (stretched - 100.0) * ratio)
+        return executed, deficit
 
     def slowest_state_sustaining(
         self, demand_pct: float, headroom_pct: float = 90.0

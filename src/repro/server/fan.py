@@ -14,6 +14,22 @@ from repro.server.specs import FanSpec
 from repro.units import clamp, validate_non_negative
 
 
+def uniform_bank_total(per_fan_value: float, fan_count: int) -> float:
+    """Bank aggregate of *fan_count* identical per-fan values.
+
+    Replicates the left-to-right ``sum()`` fold :class:`FanBank` uses
+    for :meth:`FanBank.total_power_w` / :meth:`FanBank.total_airflow_cfm`
+    (``0.0 + v + v + ...``), which is *not* bit-identical to
+    ``fan_count * per_fan_value`` in floating point.  The single-server
+    execution kernel uses this to reproduce the bank totals without
+    instantiating per-fan objects.
+    """
+    total = 0.0
+    for _ in range(fan_count):
+        total += per_fan_value
+    return total
+
+
 def fan_speed_ladder(
     spec: FanSpec, step_rpm: float = 600.0
 ) -> Tuple[float, ...]:

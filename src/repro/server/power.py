@@ -29,6 +29,25 @@ from repro.units import validate_temperature_c, validate_utilization_pct
 LEAKAGE_EVAL_MAX_C = 150.0
 
 
+def scalar_leakage_w(
+    leak_const_w: float,
+    leak_k2_w: float,
+    leak_k3_per_c: float,
+    t_junction_c: float,
+) -> float:
+    """Eqn. (2) leakage for one socket at one temperature, via
+    :func:`math.exp`.
+
+    This is the scalar arithmetic path the single-server trace contract
+    is pinned to: ``math.exp`` and ``np.exp`` are *not* bit-identical
+    on all platforms, so the execution kernel's N=1 substep loop (which
+    inlines this exact expression) and :class:`PowerModel` must share
+    it rather than the vectorized form below.
+    """
+    t_eval = min(float(t_junction_c), LEAKAGE_EVAL_MAX_C)
+    return leak_const_w + leak_k2_w * math.exp(leak_k3_per_c * t_eval)
+
+
 def leakage_power_w(
     leak_const_w,
     leak_k2_w,
@@ -46,8 +65,9 @@ def leakage_power_w(
         isinstance(arg, (int, float))
         for arg in (leak_const_w, leak_k2_w, leak_k3_per_c, t_junction_c)
     ):
-        t_eval = min(float(t_junction_c), LEAKAGE_EVAL_MAX_C)
-        return leak_const_w + leak_k2_w * math.exp(leak_k3_per_c * t_eval)
+        return scalar_leakage_w(
+            leak_const_w, leak_k2_w, leak_k3_per_c, t_junction_c
+        )
     t_eval = np.minimum(t_junction_c, LEAKAGE_EVAL_MAX_C)
     return leak_const_w + leak_k2_w * np.exp(leak_k3_per_c * t_eval)
 

@@ -49,3 +49,38 @@ class Sensor:
     def read_many(self, true_values) -> tuple:
         """Observe a sequence of ground-truth values."""
         return tuple(self.read(v) for v in true_values)
+
+    # ------------------------------------------------------------------
+    # batched interface (execution kernel)
+    # ------------------------------------------------------------------
+    def sample_noise(self, shape) -> np.ndarray:
+        """Pre-draw Gaussian noise for *shape* future readings.
+
+        ``Generator.normal`` fills arrays in C order from the same bit
+        stream scalar draws consume, so ``sample_noise((k, m))`` yields
+        exactly the values ``k * m`` sequential :meth:`read` calls
+        would have added — the property that lets the execution kernel
+        draw a whole chunk's sensor noise up front without perturbing
+        seeded reproducibility.  Draws nothing (all zeros) when the
+        channel is noise-free, matching the scalar path.
+        """
+        if self.spec.sigma > 0.0:
+            return self._rng.normal(0.0, self.spec.sigma, size=shape)
+        return np.zeros(shape)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Apply the channel's quantization to noisy *values*.
+
+        ``np.round`` and builtin ``round`` both round half to even, so
+        this matches :meth:`read` bit for bit.
+        """
+        if self.spec.quantum > 0.0:
+            return np.round(values / self.spec.quantum) * self.spec.quantum
+        return values
+
+    def read_array(self, true_values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read_many`: one draw per element, C order."""
+        values = np.asarray(true_values, dtype=float)
+        if self.spec.sigma > 0.0:
+            values = values + self.sample_noise(values.shape)
+        return self.quantize(values)

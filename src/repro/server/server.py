@@ -239,6 +239,16 @@ class ServerSimulator:
         return self._last_state
 
     @property
+    def temperature_sensor(self) -> Sensor:
+        """The shared die/DIMM thermal sensor channel.
+
+        Exposed so the execution kernel can take over the simulator's
+        RNG stream (pre-drawing chunk noise) without reaching into
+        private state.
+        """
+        return self._temp_sensor
+
+    @property
     def energy_joules(self) -> float:
         """Whole-server energy accumulated since construction."""
         return self._energy_j

@@ -42,6 +42,20 @@ _STEADY_TOL_C = 1e-9
 _STEADY_MAX_ITERATIONS = 200
 
 
+def substep_schedule(dt_s: float) -> Tuple[int, float]:
+    """Explicit-Euler substep count and length for a ``dt_s`` tick.
+
+    Returns ``(substeps, h_s)`` with ``h_s = dt_s / substeps`` and every
+    substep at most :data:`MAX_SUBSTEP_S`.  Shared by
+    :meth:`ThermalNetwork.step` and the execution kernels
+    (:mod:`repro.engine.kernel`) so chunked and tick-by-tick integration
+    use the *same* substep grid — a prerequisite for their bit-identical
+    trace contract.
+    """
+    substeps = max(1, int(np.ceil(dt_s / MAX_SUBSTEP_S)))
+    return substeps, dt_s / substeps
+
+
 def convective_resistance_k_w(r_ref_k_w, rpm, rpm_ref, flow_exponent):
     """Heat-transfer resistance to a forced air stream at *rpm*.
 
@@ -162,8 +176,7 @@ class ThermalNetwork:
         if dt_s == 0.0:
             return self.state
 
-        substeps = max(1, int(np.ceil(dt_s / MAX_SUBSTEP_S)))
-        h = dt_s / substeps
+        substeps, h = substep_schedule(dt_s)
         memory_power = power_model.memory_w(utilization_pct)
         cpu_inlet = self.cpu_inlet_temperature_c(inlet_c, memory_power, airflow_cfm)
         r_ma = self.dimm_air_resistance_k_w(rpm)

@@ -28,12 +28,22 @@ class UtilizationProfile(ABC):
     def duration_s(self) -> float:
         """Nominal profile length; queries past it hold the last value."""
 
+    def utilization_chunk(self, times_s) -> np.ndarray:
+        """Target utilizations for a whole chunk of tick times.
+
+        The base implementation evaluates :meth:`utilization_pct` per
+        element, so every subclass stays bit-identical with per-tick
+        evaluation; subclasses built from bit-stable elementwise
+        operations (holds, interpolation, modular phase) vectorize it.
+        """
+        return np.array([self.utilization_pct(t) for t in times_s])
+
     def sample(self, dt_s: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
         """Sample the profile on a regular grid; returns (times, values)."""
         if dt_s <= 0:
             raise ValueError("dt_s must be positive")
         times = np.arange(0.0, self.duration_s + dt_s / 2, dt_s)
-        values = np.array([self.utilization_pct(t) for t in times])
+        values = self.utilization_chunk(times)
         return times, values
 
     def mean_utilization_pct(self, dt_s: float = 1.0) -> float:
@@ -53,6 +63,10 @@ class ConstantProfile(UtilizationProfile):
 
     def utilization_pct(self, time_s: float) -> float:
         return self.level_pct
+
+    def utilization_chunk(self, times_s) -> np.ndarray:
+        """The constant level repeated across the chunk."""
+        return np.full(len(times_s), self.level_pct)
 
     @property
     def duration_s(self) -> float:
@@ -76,6 +90,10 @@ class RampProfile(UtilizationProfile):
     def utilization_pct(self, time_s: float) -> float:
         return float(np.interp(time_s, self._times, self._values))
 
+    def utilization_chunk(self, times_s) -> np.ndarray:
+        """Vectorized interpolation (``np.interp`` is elementwise-stable)."""
+        return np.interp(np.asarray(times_s, dtype=float), self._times, self._values)
+
     @property
     def duration_s(self) -> float:
         return float(self._times[-1] - self._times[0])
@@ -98,6 +116,15 @@ class StaircaseProfile(UtilizationProfile):
         index = int(max(0.0, time_s) // self.step_duration_s)
         index = min(index, len(self.levels_pct) - 1)
         return self.levels_pct[index]
+
+    def utilization_chunk(self, times_s) -> np.ndarray:
+        """Vectorized step lookup (floor-division is elementwise-stable)."""
+        index = (
+            np.maximum(0.0, np.asarray(times_s, dtype=float))
+            // self.step_duration_s
+        ).astype(np.int64)
+        np.minimum(index, len(self.levels_pct) - 1, out=index)
+        return np.asarray(self.levels_pct)[index]
 
     @property
     def duration_s(self) -> float:
@@ -130,6 +157,12 @@ class SquareWaveProfile(UtilizationProfile):
     def utilization_pct(self, time_s: float) -> float:
         phase = (max(0.0, time_s) % self.period_s) / self.period_s
         return self.high_pct if phase < self.duty else self.low_pct
+
+    def utilization_chunk(self, times_s) -> np.ndarray:
+        """Vectorized duty comparison (``%`` is elementwise-stable)."""
+        times = np.maximum(0.0, np.asarray(times_s, dtype=float))
+        phase = (times % self.period_s) / self.period_s
+        return np.where(phase < self.duty, self.high_pct, self.low_pct)
 
     @property
     def duration_s(self) -> float:
@@ -167,6 +200,10 @@ class RandomStepProfile(UtilizationProfile):
     def utilization_pct(self, time_s: float) -> float:
         return self._staircase.utilization_pct(time_s)
 
+    def utilization_chunk(self, times_s) -> np.ndarray:
+        """Vectorized lookup through the drawn staircase."""
+        return self._staircase.utilization_chunk(times_s)
+
     @property
     def duration_s(self) -> float:
         return self._duration_s
@@ -200,6 +237,15 @@ class TraceProfile(UtilizationProfile):
         index = int(np.searchsorted(self._times, time_s, side="right")) - 1
         index = max(0, min(index, len(self._values) - 1))
         return float(self._values[index])
+
+    def utilization_chunk(self, times_s) -> np.ndarray:
+        """Vectorized zero-order hold (one ``searchsorted`` per chunk)."""
+        index = (
+            np.searchsorted(self._times, np.asarray(times_s, dtype=float), side="right")
+            - 1
+        )
+        np.clip(index, 0, len(self._values) - 1, out=index)
+        return self._values[index]
 
     @property
     def duration_s(self) -> float:

@@ -1,0 +1,522 @@
+"""Bit-identity contract of the chunked execution kernels.
+
+The kernelized paths (``run_experiment(engine="kernel")`` and
+``FleetEngine(backend="vector")``) must reproduce the preserved
+pre-kernel implementations (``engine="reference"``,
+``backend="vector-legacy"``) column for column, bit for bit — chunked
+integration, preallocated traces, batched noise and array-based
+scheduling are pure execution-plan changes, not model changes.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.controllers.base import FanController
+from repro.core.controllers.coordinated import CoordinatedController
+from repro.core.controllers.default import FixedSpeedController
+from repro.core.controllers.lut import LUTController
+from repro.core.controllers.pid import PIController
+from repro.experiments.runner import (
+    ExperimentConfig,
+    TRACE_COLUMNS,
+    run_experiment,
+)
+from repro.fleet import (
+    Fleet,
+    FleetEngine,
+    FleetScheduler,
+    FleetLoadArrays,
+    PlacementPolicy,
+    Rack,
+    build_recirculation_matrix,
+    build_uniform_fleet,
+)
+from repro.fleet.scheduler import (
+    PLACEMENT_POLICIES,
+    ServerLoadView,
+)
+from repro.server.ambient import SinusoidalAmbient
+from repro.server.dvfs import default_dvfs_ladder
+from repro.server.specs import default_server_spec
+from repro.workloads.loadgen import monitor_warmup_times
+from repro.workloads.profile import (
+    RampProfile,
+    RandomStepProfile,
+    SquareWaveProfile,
+    StaircaseProfile,
+)
+
+FLEET_TRACES = (
+    "times_s",
+    "total_power_w",
+    "fan_power_w",
+    "max_junction_c",
+    "utilization_pct",
+    "inlet_c",
+    "mean_rpm",
+    "unserved_pct",
+    "pstate_index",
+    "work_deficit_pct",
+)
+
+
+def dvfs_spec():
+    return replace(default_server_spec(), dvfs=default_dvfs_ladder())
+
+
+def assert_experiments_identical(controller_fn, profile, config, **kwargs):
+    kernel = run_experiment(
+        controller_fn(), profile, config=config, engine="kernel", **kwargs
+    )
+    reference = run_experiment(
+        controller_fn(), profile, config=config, engine="reference", **kwargs
+    )
+    for column in TRACE_COLUMNS:
+        np.testing.assert_array_equal(
+            kernel.column(column),
+            reference.column(column),
+            err_msg=f"column {column!r} diverged from the reference loop",
+        )
+
+
+def assert_fleet_identical(make_engine, dt_s):
+    kernel = make_engine("vector").run(dt_s=dt_s)
+    legacy = make_engine("vector-legacy").run(dt_s=dt_s)
+    for name in FLEET_TRACES:
+        np.testing.assert_array_equal(
+            getattr(kernel, name),
+            getattr(legacy, name),
+            err_msg=f"fleet trace {name!r} diverged from the legacy loop",
+        )
+
+
+class _PollEvery(FanController):
+    """Minimal stateful controller with a configurable poll cadence."""
+
+    def __init__(self, poll_interval_s: float, speeds):
+        self.poll_interval_s = poll_interval_s
+        self._speeds = tuple(speeds)
+        self._calls = 0
+
+    def decide(self, observation):
+        self._calls += 1
+        return self._speeds[self._calls % len(self._speeds)]
+
+    def reset(self):
+        self._calls = 0
+
+
+class TestSingleServerAnchors:
+    """Pinned scenarios: the kernel equals the seed loop bit for bit."""
+
+    def test_lut_pwm_run(self, paper_lut):
+        assert_experiments_identical(
+            lambda: LUTController(paper_lut),
+            StaircaseProfile([10.0, 100.0, 40.0], 300.0),
+            ExperimentConfig(dt_s=1.0, seed=7),
+        )
+
+    def test_coordinated_dvfs_run(self, paper_lut):
+        spec = dvfs_spec()
+        assert_experiments_identical(
+            lambda: CoordinatedController(paper_lut, spec.dvfs),
+            StaircaseProfile([20.0, 70.0, 40.0, 95.0, 10.0], 180.0),
+            ExperimentConfig(
+                dt_s=1.0, monitor_window_s=1.0, loadgen_mode="direct"
+            ),
+            spec=spec,
+        )
+
+    def test_time_varying_ambient_run(self, paper_lut):
+        assert_experiments_identical(
+            lambda: LUTController(paper_lut),
+            RandomStepProfile(60.0, 600.0, seed=11),
+            ExperimentConfig(dt_s=2.0, seed=5),
+            ambient=SinusoidalAmbient(24.0, 3.0, 300.0),
+        )
+
+    def test_rng_draw_order_unchanged_from_seed(self):
+        """The noisy trace consumes the RNG stream exactly as the seed
+        implementation did: 2·S draws at every poll, then 2·S draws
+        after every tick, nothing else.
+
+        Rebuilt by hand from a twin generator and the ground-truth
+        junction trace, so this pins the *absolute* draw order, not
+        merely kernel/reference agreement.
+        """
+        spec = default_server_spec()
+        config = ExperimentConfig(dt_s=1.0, seed=123)
+        profile = StaircaseProfile([40.0, 85.0], 60.0)
+        result = run_experiment(
+            FixedSpeedController(rpm=3000.0), profile, config=config
+        )
+
+        noise = spec.sensor_noise
+        sigma = noise.temperature_sigma_c
+        quantum = noise.temperature_quantum_c
+        rng = np.random.default_rng(config.seed)
+        poll_interval = FixedSpeedController(rpm=3000.0).poll_interval_s
+
+        cpu0 = result.column("cpu0_junction_c")
+        cpu1 = result.column("cpu1_junction_c")
+        expected = []
+        next_poll = 0.0
+        time_s = 0.0
+        for tick in range(len(cpu0)):
+            if time_s >= next_poll - 1e-9:
+                rng.normal(0.0, sigma, size=4)  # the poll's sensor read
+                while time_s >= next_poll - 1e-9:
+                    next_poll += poll_interval
+            draws = rng.normal(0.0, sigma, size=4)
+            healthy = [
+                cpu0[tick] - 0.5,
+                cpu0[tick] + 0.5,
+                cpu1[tick] - 0.5,
+                cpu1[tick] + 0.5,
+            ]
+            measured = [
+                round((h + d) / quantum) * quantum
+                for h, d in zip(healthy, draws)
+            ]
+            expected.append(max(measured))
+            time_s += config.dt_s
+
+        np.testing.assert_array_equal(
+            result.column("measured_max_cpu_c"), np.array(expected)
+        )
+
+    def test_critical_trip_matches_reference(self):
+        spec = replace(
+            default_server_spec(),
+            critical_temperature_c=76.0,
+            target_max_temperature_c=70.0,
+        )
+        profile = StaircaseProfile([100.0], 3600.0)
+        errors = {}
+        for engine in ("kernel", "reference"):
+            with pytest.raises(Exception) as excinfo:
+                run_experiment(
+                    FixedSpeedController(rpm=1800.0),
+                    profile,
+                    spec=spec,
+                    config=ExperimentConfig(dt_s=5.0),
+                    engine=engine,
+                )
+            errors[engine] = str(excinfo.value)
+        assert errors["kernel"] == errors["reference"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_experiment(
+                FixedSpeedController(rpm=3000.0),
+                StaircaseProfile([50.0], 60.0),
+                engine="gpu",
+            )
+
+
+class TestChunkedEqualsTickByTickProperty:
+    """Randomized sweep over poll intervals, dt values (including
+    dt > poll interval), profiles, and seeds."""
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_random_configurations(self, case):
+        rng = np.random.default_rng(1000 + case)
+        dt_s = float(rng.choice([0.3, 0.7, 1.0, 2.5, 5.0, 30.0]))
+        poll_s = float(rng.choice([1.0, 3.0, 10.0, 25.0]))
+        seed = int(rng.integers(0, 2**16))
+        window_s = float(rng.choice([15.0, 60.0, 90.0]))
+        mode = str(rng.choice(["pwm", "direct"]))
+        duration = float(rng.choice([240.0, 480.0]))
+        kind = int(rng.integers(0, 3))
+        if kind == 0:
+            profile = RandomStepProfile(45.0, duration, seed=seed)
+        elif kind == 1:
+            profile = SquareWaveProfile(
+                85.0, 15.0, 100.0, duty=0.4, duration_s=duration
+            )
+        else:
+            profile = RampProfile(
+                [(0.0, 5.0), (duration / 2, 95.0), (duration, 20.0)]
+            )
+        # include non-exact speeds: sum(6 copies)/6 differs from the
+        # per-fan value by 1 ulp there, and the thermal network must
+        # see the bank mean exactly as ServerSimulator.step feeds it
+        speeds = rng.uniform(1800.0, 4200.0, size=3)
+        assert_experiments_identical(
+            lambda: _PollEvery(poll_s, speeds),
+            profile,
+            ExperimentConfig(
+                dt_s=dt_s,
+                monitor_window_s=window_s,
+                loadgen_mode=mode,
+                seed=seed,
+            ),
+        )
+
+    def test_non_exact_fan_rpm_regression(self):
+        """sum(6 · rpm)/6 != rpm for this value; the kernel must feed
+        the bank *mean* into the convective resistances like the
+        simulator does (1-ulp divergence otherwise)."""
+        rpm = 2033.0552710570582
+        assert sum([rpm] * 6) / 6 != rpm
+        assert_experiments_identical(
+            lambda: FixedSpeedController(rpm),
+            StaircaseProfile([60.0, 90.0], 150.0),
+            ExperimentConfig(dt_s=1.0, seed=2),
+        )
+
+
+class TestFleetKernelAnchors:
+    """The kernelized fleet loop equals the legacy loop bit for bit."""
+
+    @pytest.mark.parametrize("policy_name", sorted(PLACEMENT_POLICIES))
+    def test_every_builtin_policy(self, policy_name):
+        fleet = build_uniform_fleet(rack_count=2, servers_per_rack=3)
+        profile = StaircaseProfile([20.0, 80.0, 50.0], 120.0)
+        assert_fleet_identical(
+            lambda backend: FleetEngine(
+                fleet,
+                profile,
+                scheduler=FleetScheduler(PLACEMENT_POLICIES[policy_name]()),
+                controller_factory=lambda i: PIController(),
+                backend=backend,
+            ),
+            dt_s=2.0,
+        )
+
+    def test_coordinated_dvfs_with_recirculation(self, paper_lut):
+        spec = dvfs_spec()
+        fleet = build_uniform_fleet(rack_count=2, servers_per_rack=4, spec=spec)
+        assert_fleet_identical(
+            lambda backend: FleetEngine(
+                fleet,
+                StaircaseProfile([15.0, 60.0, 35.0], 120.0),
+                scheduler=FleetScheduler(PLACEMENT_POLICIES["dvfs-aware"]()),
+                controller_factory=lambda i: CoordinatedController(
+                    paper_lut, spec.dvfs
+                ),
+                backend=backend,
+            ),
+            dt_s=2.0,
+        )
+
+    def test_time_varying_crac_supply(self):
+        spec = default_server_spec()
+        racks = tuple(
+            Rack(
+                name=f"r{i}",
+                servers=(spec, spec),
+                crac=SinusoidalAmbient(23.0, 2.0, 300.0),
+            )
+            for i in range(2)
+        )
+        fleet = Fleet(
+            racks=racks,
+            recirculation=build_recirculation_matrix(
+                [2, 2], intra_rack_coupling=0.08, cross_rack_coupling=0.01
+            ),
+        )
+        assert_fleet_identical(
+            lambda backend: FleetEngine(
+                fleet,
+                StaircaseProfile([30.0, 80.0], 300.0),
+                controller_factory=lambda i: PIController(),
+                backend=backend,
+            ),
+            dt_s=2.0,
+        )
+
+    def test_capped_capacity_partial_fills(self):
+        fleet = build_uniform_fleet(rack_count=1, servers_per_rack=3)
+        assert_fleet_identical(
+            lambda backend: FleetEngine(
+                fleet,
+                StaircaseProfile([90.0, 40.0], 120.0),
+                scheduler=FleetScheduler(
+                    PLACEMENT_POLICIES["coolest-first"](), server_cap_pct=60.0
+                ),
+                backend=backend,
+            ),
+            dt_s=2.0,
+        )
+
+    def test_custom_view_policy_falls_back_and_matches(self):
+        """A policy without order_indices rides the view-building
+        fallback inside the kernel loop and still matches legacy."""
+
+        class HottestFirst(PlacementPolicy):
+            name = "hottest-first"
+
+            def order(self, views):
+                temps = np.array([v.max_junction_c for v in views])
+                return [views[i].index for i in np.argsort(-temps, kind="stable")]
+
+        fleet = build_uniform_fleet(rack_count=1, servers_per_rack=4)
+        assert_fleet_identical(
+            lambda backend: FleetEngine(
+                fleet,
+                StaircaseProfile([30.0, 70.0], 120.0),
+                scheduler=FleetScheduler(HottestFirst()),
+                controller_factory=lambda i: PIController(),
+                backend=backend,
+            ),
+            dt_s=2.0,
+        )
+
+
+class TestSchedulerFastPath:
+    """Array-based scheduling reproduces the view path exactly."""
+
+    def _random_arrays(self, rng, n):
+        return FleetLoadArrays(
+            utilization_pct=rng.uniform(0, 100, n),
+            max_junction_c=rng.uniform(30, 90, n),
+            inlet_c=rng.uniform(18, 32, n),
+            leakage_w=rng.uniform(5, 40, n),
+            pstate_index=rng.integers(0, 4, n),
+            rack_index=np.repeat(np.arange((n + 1) // 2), 2)[:n],
+            leakage_slope_w_per_c=rng.uniform(0.1, 3.0, n),
+        )
+
+    def _views_from(self, arrays):
+        n = len(arrays.utilization_pct)
+        return [
+            ServerLoadView(
+                index=i,
+                rack_index=int(arrays.rack_index[i]),
+                utilization_pct=float(arrays.utilization_pct[i]),
+                max_junction_c=float(arrays.max_junction_c[i]),
+                inlet_c=float(arrays.inlet_c[i]),
+                leakage_w=float(arrays.leakage_w[i]),
+                leakage_slope_w_per_c=float(arrays.leakage_slope_w_per_c[i]),
+                pstate_index=int(arrays.pstate_index[i]),
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("policy_name", sorted(PLACEMENT_POLICIES))
+    def test_order_indices_matches_order(self, policy_name):
+        rng = np.random.default_rng(42)
+        for n in (1, 3, 17):
+            array_policy = PLACEMENT_POLICIES[policy_name]()
+            view_policy = PLACEMENT_POLICIES[policy_name]()
+            for _ in range(5):
+                arrays = self._random_arrays(rng, n)
+                views = self._views_from(arrays)
+                np.testing.assert_array_equal(
+                    np.asarray(array_policy.order_indices(arrays)),
+                    np.asarray(view_policy.order(views)),
+                )
+
+    def test_assign_indexed_matches_assign(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            n = int(rng.integers(1, 40))
+            cap = float(rng.choice([100.0, 60.0, 73.3, 99.9]))
+            total = float(rng.uniform(0.0, 1.3 * n * cap))
+            order = rng.permutation(n)
+            scheduler = FleetScheduler(
+                PLACEMENT_POLICIES["round-robin"](), server_cap_pct=cap
+            )
+            views = self._views_from(self._random_arrays(rng, n))
+            by_views = scheduler.assign(
+                views, total
+            )  # validates + python fill; order is policy-driven
+            # repeat the python fill along the random order directly
+            allocations = np.zeros(n)
+            remaining = float(total)
+            for index in order:
+                if remaining <= 0.0:
+                    break
+                share = min(cap, remaining)
+                allocations[index] = share
+                remaining -= share
+            fast = scheduler.assign_indexed(order, n, total)
+            np.testing.assert_array_equal(fast.allocations_pct, allocations)
+            assert fast.unserved_pct == max(0.0, remaining)
+            # sanity: both paths conserve demand
+            assert by_views.allocations_pct.sum() + by_views.unserved_pct == (
+                pytest.approx(total)
+            )
+
+    def test_lazy_slope_requires_provider(self):
+        with pytest.raises(ValueError, match="leakage_slope"):
+            FleetLoadArrays(
+                utilization_pct=np.zeros(2),
+                max_junction_c=np.zeros(2),
+                inlet_c=np.zeros(2),
+                leakage_w=np.zeros(2),
+                pstate_index=np.zeros(2, dtype=int),
+                rack_index=np.zeros(2, dtype=int),
+            )
+
+
+class TestBatchedPrimitives:
+    """The batched helper APIs equal their scalar counterparts —
+    the contracts the kernel's chunk planning is built on."""
+
+    def test_sensor_read_array_equals_sequential_reads(self):
+        from repro.server.sensors import Sensor, SensorSpec
+
+        spec = SensorSpec(sigma=0.4, quantum=0.25)
+        values = np.random.default_rng(3).uniform(20, 90, 64)
+        scalar_sensor = Sensor(spec, np.random.default_rng(99))
+        batch_sensor = Sensor(spec, np.random.default_rng(99))
+        sequential = np.array([scalar_sensor.read(v) for v in values])
+        batched = batch_sensor.read_array(values)
+        np.testing.assert_array_equal(batched, sequential)
+
+    def test_sensor_read_array_noise_free_channel(self):
+        from repro.server.sensors import Sensor, SensorSpec
+
+        sensor = Sensor(SensorSpec(sigma=0.0, quantum=0.5), np.random.default_rng(0))
+        values = np.array([20.1, 55.55, 89.9])
+        np.testing.assert_array_equal(
+            sensor.read_array(values),
+            np.array([sensor.read(v) for v in values]),
+        )
+
+    def test_dvfs_stretch_chunk_equals_scalar_methods(self):
+        ladder = default_dvfs_ladder()
+        demand = np.random.default_rng(11).uniform(0, 100, 500)
+        for index in range(len(ladder)):
+            executed, deficit = ladder.stretch_chunk(demand, index)
+            np.testing.assert_array_equal(
+                executed,
+                [ladder.executed_utilization_pct(d, index) for d in demand],
+            )
+            np.testing.assert_array_equal(
+                deficit,
+                [ladder.work_deficit_pct(d, index) for d in demand],
+            )
+
+
+class TestWarmupGrid:
+    """The monitor warm-up grid is index-generated (no += drift)."""
+
+    def test_exact_sample_count_for_divisible_dt(self):
+        times = monitor_warmup_times(60.0, 1.0)
+        assert len(times) == 60
+        assert times[0] == -60.0
+        assert times[-1] == -1.0
+
+    def test_exact_sample_count_for_awkward_dt(self):
+        # 60 / 0.7 = 85.71...; samples at -60 + i*0.7 for i = 0..85
+        times = monitor_warmup_times(60.0, 0.7)
+        assert len(times) == 86
+        assert np.all(times < 0.0)
+        assert np.all(np.diff(times) > 0.0)
+
+    def test_no_sample_at_or_past_zero(self):
+        for dt in (0.1, 0.3, 1.0, 7.0, 60.0, 120.0):
+            times = monitor_warmup_times(60.0, dt)
+            assert np.all(times < 0.0)
+            assert len(times) == len({round(float(t), 9) for t in times})
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            monitor_warmup_times(0.0, 1.0)
+        with pytest.raises(ValueError):
+            monitor_warmup_times(60.0, 0.0)

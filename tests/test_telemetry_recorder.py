@@ -51,6 +51,92 @@ class TestAccess:
         assert set(arrays) == {"a", "b"}
 
 
+class TestRecordChunk:
+    def test_chunk_matches_row_by_row(self):
+        by_row = TraceRecorder(["a", "b"])
+        data = {"a": np.arange(5.0), "b": np.arange(5.0) * 2.0}
+        for i in range(5):
+            by_row.record({"a": data["a"][i], "b": data["b"][i]})
+        by_chunk = TraceRecorder(["a", "b"])
+        by_chunk.record_chunk(data)
+        np.testing.assert_array_equal(by_chunk.column("a"), by_row.column("a"))
+        np.testing.assert_array_equal(by_chunk.column("b"), by_row.column("b"))
+
+    def test_chunks_append(self):
+        recorder = TraceRecorder(["x"])
+        recorder.record_chunk({"x": [1.0, 2.0]})
+        recorder.record({"x": 3.0})
+        recorder.record_chunk({"x": [4.0]})
+        np.testing.assert_array_equal(
+            recorder.column("x"), [1.0, 2.0, 3.0, 4.0]
+        )
+
+    def test_growth_beyond_initial_capacity(self):
+        recorder = TraceRecorder(["x"], capacity=4)
+        recorder.record_chunk({"x": np.arange(1000.0)})
+        recorder.record_chunk({"x": np.arange(1000.0, 1500.0)})
+        assert len(recorder) == 1500
+        np.testing.assert_array_equal(
+            recorder.column("x"), np.arange(1500.0)
+        )
+
+    def test_missing_column_rejected(self):
+        recorder = TraceRecorder(["a", "b"])
+        with pytest.raises(ValueError, match="missing"):
+            recorder.record_chunk({"a": [1.0]})
+
+    def test_mismatched_lengths_rejected(self):
+        recorder = TraceRecorder(["a", "b"])
+        with pytest.raises(ValueError, match="rows"):
+            recorder.record_chunk({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_scalar_broadcast_against_array_column(self):
+        recorder = TraceRecorder(["a", "b"])
+        recorder.record_chunk({"a": [1.0, 2.0, 3.0], "b": 7.0})
+        np.testing.assert_array_equal(recorder.column("b"), [7.0, 7.0, 7.0])
+
+    def test_all_scalar_chunk_rejected(self):
+        recorder = TraceRecorder(["a"])
+        with pytest.raises(ValueError, match="array"):
+            recorder.record_chunk({"a": 1.0})
+
+    def test_empty_chunk_is_noop(self):
+        recorder = TraceRecorder(["a"])
+        recorder.record_chunk({"a": np.empty(0)})
+        assert len(recorder) == 0
+
+
+class TestColumnCaching:
+    def test_column_is_cached_between_reads(self):
+        recorder = TraceRecorder(["a"])
+        recorder.record({"a": 1.0})
+        first = recorder.column("a")
+        assert recorder.column("a") is first
+
+    def test_cache_invalidated_on_record(self):
+        recorder = TraceRecorder(["a"])
+        recorder.record({"a": 1.0})
+        stale = recorder.column("a")
+        recorder.record({"a": 2.0})
+        fresh = recorder.column("a")
+        np.testing.assert_array_equal(stale, [1.0])
+        np.testing.assert_array_equal(fresh, [1.0, 2.0])
+
+    def test_cache_invalidated_on_record_chunk(self):
+        recorder = TraceRecorder(["a"])
+        recorder.record_chunk({"a": [1.0]})
+        recorder.column("a")
+        recorder.record_chunk({"a": [2.0, 3.0]})
+        np.testing.assert_array_equal(recorder.column("a"), [1.0, 2.0, 3.0])
+
+    def test_returned_column_is_read_only(self):
+        recorder = TraceRecorder(["a"])
+        recorder.record({"a": 1.0})
+        column = recorder.column("a")
+        with pytest.raises(ValueError):
+            column[0] = 99.0
+
+
 class TestCsvRoundTrip:
     def test_roundtrip(self, tmp_path):
         recorder = TraceRecorder(["time_s", "power_w"])
