@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""A fleet fault drill: degraded operation under compound failures.
+
+The paper's control loop exists for exactly the moments when the data
+center is *not* healthy — its prognostics reference (Gross et al.,
+MFPT 2006) is about sensors that start lying before components fail.
+This drill runs the same 2x4 fleet twice, healthy and through a
+compound failure scenario, and reports what the degradation costs:
+
+* at t = 2 h a die sensor on server 0 sticks at a cold 30 degC — its
+  PI fan controller is blind to overheating and parks the fans low,
+* at t = 4 h server 5's fan bank derates to 60% of maximum speed,
+* at t = 6 h server 3 goes down for four hours; its share of the
+  aggregate demand respills through the placement policy onto the
+  survivors,
+* at t = 8 h the CRAC feeding rack 1 excursions +4 degC for two
+  hours (a setback / partial failure transient).
+
+The degraded-mode metrics attribute the damage: time in fault,
+respilled work, and the SLA loss the outage alone caused.  The same
+scenario is expressible as JSON for ``repro fleet --faults`` (this
+script writes the spec next to its output) and as a ``faults``
+parameter for ``run_sweep`` fault grids.
+
+Usage::
+
+    python examples/fleet_fault_drill.py
+"""
+
+from repro import (
+    CracExcursionEvent,
+    FanDegradationEvent,
+    FaultSchedule,
+    FleetEngine,
+    FleetScheduler,
+    SensorFaultEvent,
+    ServerOutageEvent,
+    build_diurnal_profile,
+    build_uniform_fleet,
+)
+from repro.core.controllers.pid import PIController
+from repro.fleet.scheduler import PLACEMENT_POLICIES
+from repro.reporting import format_table, sparkline
+from repro.units import hours
+
+
+def build_schedule() -> FaultSchedule:
+    """The compound drill: sensor lie + fan derate + outage + CRAC."""
+    return FaultSchedule(
+        events=(
+            SensorFaultEvent(
+                server=0, mode="stuck", value=30.0,
+                start_s=hours(2.0), end_s=hours(10.0),
+            ),
+            FanDegradationEvent(
+                server=5, rpm_factor=0.6, start_s=hours(4.0),
+            ),
+            ServerOutageEvent(
+                server=3, start_s=hours(6.0), end_s=hours(10.0),
+            ),
+            CracExcursionEvent(
+                delta_c=4.0, rack=1, start_s=hours(8.0), end_s=hours(10.0),
+            ),
+        )
+    )
+
+
+def run(faults):
+    """One 12 h diurnal fleet run, optionally through the drill."""
+    fleet = build_uniform_fleet(rack_count=2, servers_per_rack=4)
+    profile = build_diurnal_profile(duration_s=hours(12.0), seed=3)
+    engine = FleetEngine(
+        fleet,
+        profile,
+        scheduler=FleetScheduler(PLACEMENT_POLICIES["coolest-first"]()),
+        controller_factory=lambda i: PIController(),
+        faults=faults,
+    )
+    return engine.run(dt_s=60.0)
+
+
+def main() -> None:
+    schedule = build_schedule()
+    spec_path = schedule.to_json("fault_drill.json")
+    print(f"fault spec : {spec_path} (usable as repro fleet --faults)")
+    print()
+
+    healthy = run(None)
+    drill = run(schedule)
+
+    rows = []
+    for label, r in (("healthy", healthy), ("fault drill", drill)):
+        m = r.metrics
+        rows.append(
+            [
+                label,
+                f"{m.energy_kwh:.3f}",
+                f"{m.hot_spot_c:.1f}",
+                f"{m.sla_unserved_pct_s:.0f}",
+                f"{m.fault_time_s / 3600.0:.1f}",
+                f"{m.respilled_pct_s:.0f}",
+                f"{m.fault_sla_pct_s:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "scenario",
+                "E(kWh)",
+                "hotspot(C)",
+                "unserved(%s)",
+                "fault(h)",
+                "respilled(%s)",
+                "fault SLA(%s)",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(f"healthy power: {sparkline(healthy.fleet_power_w)}")
+    print(f"drill power  : {sparkline(drill.fleet_power_w)}")
+    delta = drill.max_junction_c[:, 0].max() - healthy.max_junction_c[:, 0].max()
+    faulted_h = drill.fault_active[:, 0].sum() * 60.0 / 3600.0
+    print(
+        f"\nserver 0's controller was blind for {faulted_h:.0f} h (sensor "
+        f"stuck at 30 degC); thermal-aware placement rerouted demand around "
+        f"it, so its peak junction moved only {delta:+.1f} degC — the "
+        f"fleet-level defense the single-server testbed cannot show."
+    )
+
+
+if __name__ == "__main__":
+    main()

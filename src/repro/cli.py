@@ -10,6 +10,7 @@
     python -m repro fig --figure 2a
     python -m repro fleet --racks 2 --servers-per-rack 4 --policy coolest-first
     python -m repro fleet --controller coordinated --policy dvfs-aware
+    python -m repro fleet --faults drill.json
 
 Every subcommand prints plain text and writes optional artifacts, so
 the full reproduction can be driven from a shell with no Python.
@@ -53,6 +54,7 @@ from repro.models.fitting import (
 )
 from repro.fleet import (
     PLACEMENT_POLICIES,
+    FaultSchedule,
     FleetEngine,
     FleetScheduler,
     build_uniform_fleet,
@@ -314,6 +316,13 @@ def cmd_fleet(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"cannot build {args.workload!r} workload: {exc}")
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultSchedule.from_json(Path(args.faults))
+            faults.validate_for(fleet)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load fault spec {args.faults!r}: {exc}")
     if args.controller in ("lut", "coordinated"):
         # build (or load) the LUT once and share it across all servers
         # instead of re-running the characterization per controller.
@@ -339,6 +348,7 @@ def cmd_fleet(args) -> int:
         controller_factory=factory,
         backend=args.backend,
         seed=args.seed,
+        faults=faults,
     )
     result = engine.run(dt_s=args.dt)
     m = result.metrics
@@ -404,6 +414,13 @@ def cmd_fleet(args) -> int:
         f"{m.sla_total_pct_s:.1f} pct*s lost work over "
         f"{m.sla_violation_ticks} violation ticks"
     )
+    if faults is not None:
+        print(
+            f"faults     : {len(faults)} events, {m.fault_time_s:.0f} s "
+            f"in degraded operation ({m.fault_ticks} ticks); "
+            f"{m.respilled_pct_s:.1f} pct*s respilled off outage servers, "
+            f"{m.fault_sla_pct_s:.1f} pct*s SLA loss attributable to faults"
+        )
     print(f"fleet power: {sparkline(result.fleet_power_w)}")
     return 0
 
@@ -577,6 +594,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--rpm", type=float, default=3300.0, help="default-controller RPM")
     p.add_argument("--lut", help="LUT JSON for the lut controller")
+    p.add_argument(
+        "--faults",
+        help="JSON fault spec (list of sensor/fan/outage/crac events, "
+        "see docs/faults.md) injected into the run",
+    )
     p.add_argument(
         "--backend",
         default="vector",

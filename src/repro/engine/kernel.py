@@ -272,6 +272,15 @@ class SingleServerKernel:
         # ---- sensors and monitor --------------------------------------
         self._temp_sensor = sim.temperature_sensor
         self._n_sensors = 2 * self._n_sockets
+        # Injected sensor faults (repro.server.faults): the kernel
+        # replays the scalar path's transform — after noise and
+        # quantization, at the exact read time — so a fault window
+        # opening mid-chunk takes effect at the correct tick, never the
+        # next poll boundary.
+        self._fault_sensors = sim.cpu_temp_fault_sensors
+        self._any_faults = any(
+            sensor.fault_count for sensor in self._fault_sensors
+        )
         # The first RNG draws of a run are the tick-0 poll's sensor
         # read; later polls consume the tail of the previous chunk's
         # noise block (see integrate), keeping the stream order of the
@@ -379,8 +388,8 @@ class SingleServerKernel:
         """The ``sar``-window utilization the controller observes."""
         return self._monitor.value()
 
-    def poll_observation(self):
-        """``(max, mean)`` of one noisy die-sensor read, for a poll.
+    def poll_observation(self, time_s: float):
+        """``(max, mean)`` of one noisy die-sensor read at *time_s*.
 
         Consumes the pre-drawn poll noise (same values the per-tick
         scalar ``Sensor.read`` calls would have drawn at this point in
@@ -388,12 +397,17 @@ class SingleServerKernel:
         ``float(np.mean(measured))`` — for fewer than 8 sensors numpy's
         reduction is the same left-to-right fold as the scalar code, so
         the fold is computed directly; wider sensor arrays go through
-        ``np.mean`` itself.
+        ``np.mean`` itself.  Injected sensor faults transform each
+        channel after noise and quantization, exactly as
+        :meth:`ServerSimulator.measured_cpu_temperatures_c` applies
+        them at this simulation time.
         """
         noise = self._pending_noise
         sensor = self._temp_sensor
         sigma = sensor.spec.sigma
         quantum = sensor.spec.quantum
+        any_faults = self._any_faults
+        fault_sensors = self._fault_sensors
         values: List[float] = []
         index = 0
         for t_j in self._J:
@@ -403,6 +417,8 @@ class SingleServerKernel:
                     value = value + noise[index]
                 if quantum > 0.0:
                     value = round(value / quantum) * quantum
+                if any_faults:
+                    value = fault_sensors[index].transform(time_s, value)
                 values.append(value)
                 index += 1
         count = len(values)
@@ -533,6 +549,8 @@ class SingleServerKernel:
         capacity = self._capacity
         r_ma = self._r_ma
         r_ha = self._r_ha
+        any_faults = self._any_faults
+        fault_sensors = self._fault_sensors
 
         for tick in range(start, end):
             # fan slew toward the command (FanModel.step semantics)
@@ -620,8 +638,12 @@ class SingleServerKernel:
                 )
 
             # noisy die-sensor read for this tick (Sensor.read scalar
-            # arithmetic, noise from the chunk's pre-drawn block)
+            # arithmetic, noise from the chunk's pre-drawn block);
+            # injected faults transform after noise + quantization at
+            # the post-step time, like measured_cpu_temperatures_c
             noise_index = (tick - start) * n_sensors
+            read_time = times_list[tick + 1]
+            sensor_index = 0
             peak = None
             for s in socket_range:
                 t_j = J[s]
@@ -632,6 +654,11 @@ class SingleServerKernel:
                         noise_index += 1
                     if quantum > 0.0:
                         value = round(value / quantum) * quantum
+                    if any_faults:
+                        value = fault_sensors[sensor_index].transform(
+                            read_time, value
+                        )
+                        sensor_index += 1
                     if peak is None or value > peak:
                         peak = value
 

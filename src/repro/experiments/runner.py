@@ -25,7 +25,8 @@ Two execution engines produce bit-identical traces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from math import isnan
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.engine.kernel import (
 from repro.experiments.metrics import ExperimentMetrics, compute_metrics
 from repro.experiments.protocol import ExperimentProtocol
 from repro.server.ambient import AmbientModel, ConstantAmbient
+from repro.server.faults import SensorFault
 from repro.server.server import ServerSimulator
 from repro.server.specs import ServerSpec, default_server_spec
 from repro.telemetry.recorder import TraceRecorder
@@ -95,7 +97,7 @@ class ExperimentResult:
         return self.recorder.as_arrays()
 
 
-def _prepare(controller, profile, spec, config, ambient):
+def _prepare(controller, profile, spec, config, ambient, faults=None):
     """Shared setup: spec/config defaults, cold-started simulator."""
     spec = spec if spec is not None else default_server_spec()
     config = config if config is not None else ExperimentConfig()
@@ -107,6 +109,12 @@ def _prepare(controller, profile, spec, config, ambient):
 
     sim = ServerSimulator(spec=spec, ambient=ambient, seed=config.seed)
     protocol.force_cold_state(sim)
+    if faults:
+        # Injected before either engine starts, so the kernel captures
+        # the fault wrappers and the reference loop's scalar reads see
+        # the identical schedule.
+        for sensor_index, fault in faults:
+            sim.inject_cpu_temp_fault(int(sensor_index), fault)
 
     controller.reset()
     initial = controller.initial_rpm()
@@ -151,6 +159,7 @@ def run_experiment(
     config: Optional[ExperimentConfig] = None,
     ambient: Optional[AmbientModel] = None,
     engine: str = "kernel",
+    faults: Optional[Iterable[Tuple[int, SensorFault]]] = None,
 ) -> ExperimentResult:
     """Run one controller against one workload profile.
 
@@ -160,11 +169,22 @@ def run_experiment(
     at ``config.dt_s`` for the profile duration.  *engine* selects the
     chunked kernel (default) or the tick-by-tick reference loop; both
     produce bit-identical traces.
+
+    *faults* is an optional iterable of ``(sensor_index, fault)``
+    pairs injecting :class:`~repro.server.faults.SensorFault` modes
+    into the die thermal channels (indices per
+    :meth:`ServerSimulator.measured_cpu_temperatures_c`).  Fault
+    windows take effect at the exact tick on both engines, and a
+    dropped-out channel (NaN observation) makes the control plane hold
+    its last commands until the channel returns.  Pass fresh fault
+    instances per run — :class:`~repro.server.faults.SpikeFault` keeps
+    RNG state.
     """
     if engine not in ("kernel", "reference"):
         raise ValueError(f"unknown engine {engine!r}")
+    faults = tuple(faults) if faults is not None else ()
     profile, config, sim, loadgen, rpm_command, steps = _prepare(
-        controller, profile, spec, config, ambient
+        controller, profile, spec, config, ambient, faults
     )
     if engine == "reference":
         return _run_reference(
@@ -186,24 +206,28 @@ def run_experiment(
     while tick < steps:
         time_s = kernel.tick_time(tick)
         if time_s >= next_poll_s - POLL_EPS_S:
-            max_cpu_c, avg_cpu_c = kernel.poll_observation()
-            observation = ControllerObservation(
-                time_s=time_s,
-                max_cpu_temperature_c=max_cpu_c,
-                avg_cpu_temperature_c=avg_cpu_c,
-                utilization_pct=kernel.monitored_utilization(),
-                current_rpm_command=rpm_command,
-            )
-            decision = controller.decide(observation)
-            if decision is not None and decision != rpm_command:
-                rpm_command = decision
-                kernel.set_fan_command(rpm_command)
-            # Controllers with a DVFS policy (CoordinatedController)
-            # additionally expose decide_pstate.
-            if decide_pstate is not None:
-                pstate = decide_pstate(observation)
-                if pstate is not None:
-                    kernel.set_pstate(pstate)
+            max_cpu_c, avg_cpu_c = kernel.poll_observation(time_s)
+            # A dropped-out sensor channel (NaN reading, see
+            # repro.server.faults) makes the control plane hold its
+            # last commands; the poll clock still advances.
+            if not (isnan(max_cpu_c) or isnan(avg_cpu_c)):
+                observation = ControllerObservation(
+                    time_s=time_s,
+                    max_cpu_temperature_c=max_cpu_c,
+                    avg_cpu_temperature_c=avg_cpu_c,
+                    utilization_pct=kernel.monitored_utilization(),
+                    current_rpm_command=rpm_command,
+                )
+                decision = controller.decide(observation)
+                if decision is not None and decision != rpm_command:
+                    rpm_command = decision
+                    kernel.set_fan_command(rpm_command)
+                # Controllers with a DVFS policy (CoordinatedController)
+                # additionally expose decide_pstate.
+                if decide_pstate is not None:
+                    pstate = decide_pstate(observation)
+                    if pstate is not None:
+                        kernel.set_pstate(pstate)
             # Advance past the current time: with dt_s larger than the
             # poll interval a single increment would let the poll clock
             # fall unboundedly behind the simulation.
@@ -241,24 +265,30 @@ def _run_reference(
 
         if time_s >= next_poll_s - POLL_EPS_S:
             measured = sim.measured_cpu_temperatures_c()
-            observation = ControllerObservation(
-                time_s=time_s,
-                max_cpu_temperature_c=max(measured),
-                avg_cpu_temperature_c=float(np.mean(measured)),
-                utilization_pct=monitor.utilization_pct(),
-                current_rpm_command=rpm_command,
-            )
-            decision = controller.decide(observation)
-            if decision is not None and decision != rpm_command:
-                rpm_command = decision
-                sim.set_fan_rpm(rpm_command)
-            # Controllers with a DVFS policy (CoordinatedController)
-            # additionally expose decide_pstate.
-            decide_pstate = getattr(controller, "decide_pstate", None)
-            if decide_pstate is not None:
-                pstate = decide_pstate(observation)
-                if pstate is not None:
-                    sim.set_pstate(pstate)
+            max_cpu_c = max(measured)
+            avg_cpu_c = float(np.mean(measured))
+            # A dropped-out sensor channel (NaN reading, see
+            # repro.server.faults) makes the control plane hold its
+            # last commands; the poll clock still advances.
+            if not (isnan(max_cpu_c) or isnan(avg_cpu_c)):
+                observation = ControllerObservation(
+                    time_s=time_s,
+                    max_cpu_temperature_c=max_cpu_c,
+                    avg_cpu_temperature_c=avg_cpu_c,
+                    utilization_pct=monitor.utilization_pct(),
+                    current_rpm_command=rpm_command,
+                )
+                decision = controller.decide(observation)
+                if decision is not None and decision != rpm_command:
+                    rpm_command = decision
+                    sim.set_fan_rpm(rpm_command)
+                # Controllers with a DVFS policy (CoordinatedController)
+                # additionally expose decide_pstate.
+                decide_pstate = getattr(controller, "decide_pstate", None)
+                if decide_pstate is not None:
+                    pstate = decide_pstate(observation)
+                    if pstate is not None:
+                        sim.set_pstate(pstate)
             # Advance past the current time: with dt_s larger than the
             # poll interval a single increment would let the poll clock
             # fall unboundedly behind the simulation.

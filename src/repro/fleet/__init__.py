@@ -14,10 +14,23 @@ experiment platform, the extension the paper's conclusion proposes:
   DVFS p-state) controller,
 * :mod:`repro.fleet.metrics` — fleet energy, coincident peak power,
   hot-spot temperature, SLA violations (scheduler-unserved demand plus
-  DVFS work deficit), and per-rack breakdowns.
+  DVFS work deficit), degraded-mode aggregates, and per-rack
+  breakdowns,
+* :mod:`repro.fleet.faults` — declarative fleet-scale fault injection
+  (sensor faults, fan degradation, server outages, CRAC excursions)
+  compiled to per-tick masks for every engine backend.
 """
 
 from repro.fleet.engine import FleetEngine, FleetResult
+from repro.fleet.faults import (
+    SENSOR_FAULT_MODES,
+    CracExcursionEvent,
+    FanDegradationEvent,
+    FaultSchedule,
+    FleetFaultPlan,
+    SensorFaultEvent,
+    ServerOutageEvent,
+)
 from repro.fleet.metrics import (
     FleetMetrics,
     RackMetrics,
@@ -49,6 +62,13 @@ from repro.fleet.topology import (
 __all__ = [
     "FleetEngine",
     "FleetResult",
+    "SENSOR_FAULT_MODES",
+    "CracExcursionEvent",
+    "FanDegradationEvent",
+    "FaultSchedule",
+    "FleetFaultPlan",
+    "SensorFaultEvent",
+    "ServerOutageEvent",
     "FleetMetrics",
     "RackMetrics",
     "compute_fleet_metrics",

@@ -41,6 +41,7 @@ noisy-sensor / ``sar``-window emulation for scale).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import isnan
 from typing import Callable, List, Optional, Union
 
 import numpy as np
@@ -54,6 +55,7 @@ from repro.engine.kernel import (
     FleetVectorKernel,
     plan_tick_times,
 )
+from repro.fleet.faults import FaultSchedule, FleetFaultPlan
 from repro.fleet.metrics import FleetMetrics, compute_fleet_metrics
 from repro.fleet.scheduler import (
     FleetLoadArrays,
@@ -185,6 +187,15 @@ class _ReferenceBackend:
     def check_critical(self, trip: bool) -> None:
         """The wrapped simulators trip during :meth:`step` themselves."""
 
+    def apply_supply_excursions(self, deltas_c: np.ndarray) -> None:
+        """Install per-server CRAC excursions on the wrapped ambients.
+
+        The sims read their inlet as ``(supply + excursion) + offset``,
+        matching the engine's inlet arithmetic term for term.
+        """
+        for sim, delta in zip(self.sims, deltas_c):
+            sim.ambient.set_excursion(float(delta))
+
     def initial_views_data(self):
         return self._views_data()
 
@@ -219,6 +230,13 @@ class FleetResult:
     #: DVFS deficit rate per tick and server, nominal percent.
     work_deficit_pct: np.ndarray
     metrics: FleetMetrics
+    #: Per-tick per-server "any fault event active" mask (all False on
+    #: fault-free runs).  See :mod:`repro.fleet.faults`.
+    fault_active: Optional[np.ndarray] = None
+    #: Work respilled off outage servers per tick, single-server %.
+    respilled_pct: Optional[np.ndarray] = None
+    #: Fault-attributable unserved demand per tick, single-server %.
+    fault_unserved_pct: Optional[np.ndarray] = None
 
     @property
     def fleet_power_w(self) -> np.ndarray:
@@ -250,6 +268,7 @@ class FleetEngine:
         trip_on_critical: bool = True,
         cold_start: bool = False,
         cold_start_rpm: float = 3600.0,
+        faults: Optional[FaultSchedule] = None,
     ):
         if backend not in ("vector", "vector-legacy", "reference"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -285,6 +304,13 @@ class FleetEngine:
                     )
         self.cold_start = cold_start
         self.cold_start_rpm = float(cold_start_rpm)
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            raise TypeError(
+                f"faults must be a FaultSchedule, got {type(faults).__name__}"
+            )
+        if faults is not None:
+            faults.validate_for(fleet)
+        self.faults = faults
 
     # ------------------------------------------------------------------
     def _make_backend(self):
@@ -327,9 +353,19 @@ class FleetEngine:
         steps = int(round(duration_s / dt_s))
         if steps <= 0:
             raise ValueError("workload too short for the configured dt_s")
+        # Compile the fault schedule once, on the engine's exact tick
+        # grid, and hand the same mask arrays to whichever loop runs —
+        # the backends cannot disagree about event timing.  An empty
+        # schedule compiles to None: the loops take the identical
+        # fault-free path a run without a schedule takes.
+        plan = (
+            self.faults.compile(self.fleet, steps, dt_s)
+            if self.faults is not None
+            else None
+        )
         if self.backend == "vector":
-            return self._run_kernel(dt_s, steps)
-        return self._run_legacy(dt_s, steps)
+            return self._run_kernel(dt_s, steps, plan)
+        return self._run_legacy(dt_s, steps, plan)
 
     # ------------------------------------------------------------------
     # shared setup / teardown
@@ -382,7 +418,20 @@ class FleetEngine:
         trace_unserved,
         trace_pstate,
         trace_deficit,
+        plan: Optional[FleetFaultPlan] = None,
+        trace_respilled: Optional[np.ndarray] = None,
+        trace_fault_unserved: Optional[np.ndarray] = None,
     ) -> FleetResult:
+        n = self.fleet.server_count
+        fault_active = (
+            plan.fault_active
+            if plan is not None
+            else np.zeros((steps, n), dtype=bool)
+        )
+        if trace_respilled is None:
+            trace_respilled = np.zeros(steps)
+        if trace_fault_unserved is None:
+            trace_fault_unserved = np.zeros(steps)
         metrics = compute_fleet_metrics(
             self.fleet,
             dt_s,
@@ -393,6 +442,9 @@ class FleetEngine:
             trace_inlet,
             trace_unserved,
             work_deficit_pct=trace_deficit,
+            fault_active=fault_active,
+            respilled_pct=trace_respilled,
+            fault_unserved_pct=trace_fault_unserved,
         )
         controller_names = {c.name for c in self.controllers}
         return FleetResult(
@@ -415,12 +467,20 @@ class FleetEngine:
             pstate_index=trace_pstate,
             work_deficit_pct=trace_deficit,
             metrics=metrics,
+            fault_active=fault_active,
+            respilled_pct=trace_respilled,
+            fault_unserved_pct=trace_fault_unserved,
         )
 
     # ------------------------------------------------------------------
     # kernelized loop (backend="vector")
     # ------------------------------------------------------------------
-    def _run_kernel(self, dt_s: float, steps: int) -> FleetResult:
+    def _run_kernel(
+        self,
+        dt_s: float,
+        steps: int,
+        plan: Optional[FleetFaultPlan] = None,
+    ) -> FleetResult:
         n = self.fleet.server_count
         physics = FleetVectorKernel(self.fleet)
         if self.cold_start:
@@ -430,6 +490,7 @@ class FleetEngine:
         supply_models = self.fleet.supply_models()
         constant_supply = all(rack.crac is None for rack in self.fleet.racks)
         supply_now = self.fleet.supply_temperatures_c(0.0)
+        supply_base = supply_now
 
         substeps, h = substep_schedule(dt_s)
         times_pre = plan_tick_times(steps, dt_s)[:steps]
@@ -469,6 +530,8 @@ class FleetEngine:
         trace_unserved = np.empty(steps)
         trace_pstate = np.empty((steps, n), dtype=int)
         trace_deficit = np.empty((steps, n))
+        trace_respilled = np.zeros(steps)
+        trace_fault_unserved = np.zeros(steps)
 
         policy = self.scheduler.policy
         controllers = self.controllers
@@ -476,14 +539,20 @@ class FleetEngine:
             getattr(controller, "decide_pstate", None)
             for controller in controllers
         ]
+        apply_faults = plan is not None
 
         for tick in range(steps):
             time_s = times_pre_list[tick]
             if supply_matrix is not None:
                 supply_now = supply_matrix[tick]
+            elif apply_faults:
+                supply_now = supply_base
+            if apply_faults and plan.has_excursions:
+                supply_now = supply_now + plan.supply_delta[tick]
             offsets = coupling @ exhaust_rise
             inlet = supply_now + offsets
 
+            outage_now = apply_faults and plan.outage_any[tick]
             arrays = FleetLoadArrays(
                 utilization_pct=executed,
                 max_junction_c=max_j,
@@ -495,9 +564,29 @@ class FleetEngine:
             )
             order = policy.order_indices(arrays)
             if order is not None:
-                decision = self.scheduler.assign_indexed(
-                    order, n, totals_list[tick]
-                )
+                if outage_now:
+                    # degraded fill plus the all-up counterfactual —
+                    # both along the single policy ranking, so the
+                    # respill/SLA attribution needs no second ranking
+                    out_row = plan.outage[tick]
+                    order = np.asarray(order)
+                    counterfactual = self.scheduler.assign_indexed(
+                        order, n, totals_list[tick]
+                    )
+                    decision = self.scheduler.assign_indexed(
+                        order[~out_row[order]], n, totals_list[tick]
+                    )
+                    trace_respilled[tick] = float(
+                        counterfactual.allocations_pct[out_row].sum()
+                    )
+                    trace_fault_unserved[tick] = max(
+                        0.0,
+                        decision.unserved_pct - counterfactual.unserved_pct,
+                    )
+                else:
+                    decision = self.scheduler.assign_indexed(
+                        order, n, totals_list[tick]
+                    )
             else:
                 # view-based custom policy: full legacy scheduling path
                 views = self._build_views(
@@ -510,35 +599,58 @@ class FleetEngine:
                     arrays.leakage_slope_w_per_c,
                     pstate_now,
                 )
-                decision = self.scheduler.assign(views, totals_list[tick])
+                if outage_now:
+                    out_row = plan.outage[tick]
+                    decision, counterfactual = self.scheduler.assign_with_spill(
+                        views, totals_list[tick], ~out_row
+                    )
+                    trace_respilled[tick] = float(
+                        counterfactual.allocations_pct[out_row].sum()
+                    )
+                    trace_fault_unserved[tick] = max(
+                        0.0,
+                        decision.unserved_pct - counterfactual.unserved_pct,
+                    )
+                else:
+                    decision = self.scheduler.assign(views, totals_list[tick])
 
             if time_s >= next_poll_due - _POLL_EPS_S:
                 avg_j = physics.t_j.mean(axis=1)
                 for i in np.nonzero(time_s >= next_poll - _POLL_EPS_S)[0]:
                     controller = controllers[i]
-                    observation = ControllerObservation(
-                        time_s=time_s,
-                        max_cpu_temperature_c=float(max_j[i]),
-                        avg_cpu_temperature_c=float(avg_j[i]),
-                        utilization_pct=float(executed[i]),
-                        current_rpm_command=float(rpm_command[i]),
-                    )
-                    wanted = controller.decide(observation)
-                    if wanted is not None and wanted != rpm_command[i]:
-                        rpm_command[i] = self._validated_command(i, wanted)
-                    # Coordinated controllers additionally command a
-                    # p-state, polled on the same cadence and in the
-                    # same order as the single-server runner.
-                    decide_pstate = decide_pstate_fns[i]
-                    if decide_pstate is not None:
-                        wanted_pstate = decide_pstate(observation)
-                        if wanted_pstate is not None:
-                            physics.set_pstate(
-                                int(i),
-                                self._validated_pstate(
-                                    int(i), int(wanted_pstate)
-                                ),
-                            )
+                    max_c = float(max_j[i])
+                    avg_c = float(avg_j[i])
+                    if apply_faults and plan.has_sensor_faults:
+                        max_c, avg_c = plan.transform_observation(
+                            int(i), time_s, max_c, avg_c
+                        )
+                    # A dropped-out channel (NaN reading) makes the BMC
+                    # hold the last fan and p-state commands; the poll
+                    # clock still advances.
+                    if not (isnan(max_c) or isnan(avg_c)):
+                        observation = ControllerObservation(
+                            time_s=time_s,
+                            max_cpu_temperature_c=max_c,
+                            avg_cpu_temperature_c=avg_c,
+                            utilization_pct=float(executed[i]),
+                            current_rpm_command=float(rpm_command[i]),
+                        )
+                        wanted = controller.decide(observation)
+                        if wanted is not None and wanted != rpm_command[i]:
+                            rpm_command[i] = self._validated_command(i, wanted)
+                        # Coordinated controllers additionally command a
+                        # p-state, polled on the same cadence and in the
+                        # same order as the single-server runner.
+                        decide_pstate = decide_pstate_fns[i]
+                        if decide_pstate is not None:
+                            wanted_pstate = decide_pstate(observation)
+                            if wanted_pstate is not None:
+                                physics.set_pstate(
+                                    int(i),
+                                    self._validated_pstate(
+                                        int(i), int(wanted_pstate)
+                                    ),
+                                )
                     # Advance past the current time: with dt_s larger
                     # than the poll interval a single increment would
                     # let the poll clock fall unboundedly behind.
@@ -546,12 +658,19 @@ class FleetEngine:
                         next_poll[i] += controller.poll_interval_s
                 next_poll_due = next_poll.min()
 
+            # a degraded fan bank caps the achievable rotor speed below
+            # the controller's command (the command itself is untouched)
+            if apply_faults and plan.has_fan_faults:
+                actuated_rpm = np.minimum(rpm_command, plan.rpm_cap[tick])
+            else:
+                actuated_rpm = rpm_command
+
             air_capacity, leak_w = physics.step_into(
                 dt_s,
                 substeps,
                 h,
                 decision.allocations_pct,
-                rpm_command,
+                actuated_rpm,
                 inlet,
                 trace_power[tick],
                 trace_fan[tick],
@@ -584,12 +703,20 @@ class FleetEngine:
             trace_unserved,
             trace_pstate,
             trace_deficit,
+            plan=plan,
+            trace_respilled=trace_respilled,
+            trace_fault_unserved=trace_fault_unserved,
         )
 
     # ------------------------------------------------------------------
     # pre-kernel loop (backends "vector-legacy" and "reference")
     # ------------------------------------------------------------------
-    def _run_legacy(self, dt_s: float, steps: int) -> FleetResult:
+    def _run_legacy(
+        self,
+        dt_s: float,
+        steps: int,
+        plan: Optional[FleetFaultPlan] = None,
+    ) -> FleetResult:
         n = self.fleet.server_count
         physics = self._make_backend()
         if self.cold_start:
@@ -617,6 +744,11 @@ class FleetEngine:
         trace_unserved = np.empty(steps)
         trace_pstate = np.empty((steps, n), dtype=int)
         trace_deficit = np.empty((steps, n))
+        trace_respilled = np.zeros(steps)
+        trace_fault_unserved = np.zeros(steps)
+
+        apply_faults = plan is not None
+        apply_excursions = getattr(physics, "apply_supply_excursions", None)
 
         time_s = 0.0
         for tick in range(steps):
@@ -624,8 +756,16 @@ class FleetEngine:
                 supply_now = np.array(
                     [m.temperature_c(time_s) for m in supply_models]
                 )
+            if apply_faults and plan.has_excursions:
+                # same term order as the kernel loop (and as
+                # RecirculationAmbient): (supply + excursion) + offset
+                inlet_supply = supply_now + plan.supply_delta[tick]
+                if apply_excursions is not None:
+                    apply_excursions(plan.supply_delta[tick])
+            else:
+                inlet_supply = supply_now
             offsets = coupling @ exhaust_rise
-            inlet = supply_now + offsets
+            inlet = inlet_supply + offsets
 
             views = self._build_views(
                 n,
@@ -637,41 +777,72 @@ class FleetEngine:
                 leak_slope,
                 pstate_now,
             )
-            decision = self.scheduler.assign(
-                views, self.workload.total_demand_pct(time_s)
-            )
+            if apply_faults and plan.outage_any[tick]:
+                out_row = plan.outage[tick]
+                decision, counterfactual = self.scheduler.assign_with_spill(
+                    views, self.workload.total_demand_pct(time_s), ~out_row
+                )
+                trace_respilled[tick] = float(
+                    counterfactual.allocations_pct[out_row].sum()
+                )
+                trace_fault_unserved[tick] = max(
+                    0.0, decision.unserved_pct - counterfactual.unserved_pct
+                )
+            else:
+                decision = self.scheduler.assign(
+                    views, self.workload.total_demand_pct(time_s)
+                )
 
             for i in np.nonzero(time_s >= next_poll - _POLL_EPS_S)[0]:
                 controller = self.controllers[i]
-                observation = ControllerObservation(
-                    time_s=time_s,
-                    max_cpu_temperature_c=float(max_j[i]),
-                    avg_cpu_temperature_c=float(avg_j[i]),
-                    utilization_pct=float(executed[i]),
-                    current_rpm_command=float(rpm_command[i]),
-                )
-                wanted = controller.decide(observation)
-                if wanted is not None and wanted != rpm_command[i]:
-                    rpm_command[i] = self._validated_command(i, wanted)
-                # Coordinated controllers additionally command a
-                # p-state, polled on the same cadence and in the same
-                # order as the single-server runner.
-                decide_pstate = getattr(controller, "decide_pstate", None)
-                if decide_pstate is not None:
-                    wanted_pstate = decide_pstate(observation)
-                    if wanted_pstate is not None:
-                        physics.set_pstate(
-                            int(i),
-                            self._validated_pstate(int(i), int(wanted_pstate)),
-                        )
+                max_c = float(max_j[i])
+                avg_c = float(avg_j[i])
+                if apply_faults and plan.has_sensor_faults:
+                    max_c, avg_c = plan.transform_observation(
+                        int(i), time_s, max_c, avg_c
+                    )
+                # A dropped-out channel (NaN reading) makes the BMC
+                # hold the last fan and p-state commands; the poll
+                # clock still advances.
+                if not (isnan(max_c) or isnan(avg_c)):
+                    observation = ControllerObservation(
+                        time_s=time_s,
+                        max_cpu_temperature_c=max_c,
+                        avg_cpu_temperature_c=avg_c,
+                        utilization_pct=float(executed[i]),
+                        current_rpm_command=float(rpm_command[i]),
+                    )
+                    wanted = controller.decide(observation)
+                    if wanted is not None and wanted != rpm_command[i]:
+                        rpm_command[i] = self._validated_command(i, wanted)
+                    # Coordinated controllers additionally command a
+                    # p-state, polled on the same cadence and in the same
+                    # order as the single-server runner.
+                    decide_pstate = getattr(controller, "decide_pstate", None)
+                    if decide_pstate is not None:
+                        wanted_pstate = decide_pstate(observation)
+                        if wanted_pstate is not None:
+                            physics.set_pstate(
+                                int(i),
+                                self._validated_pstate(
+                                    int(i), int(wanted_pstate)
+                                ),
+                            )
                 # Advance past the current time: with dt_s larger than
                 # the poll interval a single increment would let the
                 # poll clock fall unboundedly behind the simulation.
                 while time_s >= next_poll[i] - _POLL_EPS_S:
                     next_poll[i] += controller.poll_interval_s
 
+            # degraded fan banks cap the achievable speed (see the
+            # kernel loop)
+            if apply_faults and plan.has_fan_faults:
+                actuated_rpm = np.minimum(rpm_command, plan.rpm_cap[tick])
+            else:
+                actuated_rpm = rpm_command
+
             demand = decision.allocations_pct
-            state = physics.step(dt_s, demand, rpm_command, inlet, offsets)
+            state = physics.step(dt_s, demand, actuated_rpm, inlet, offsets)
             physics.check_critical(self.trip_on_critical)
 
             max_j = state.max_junction_c
@@ -707,4 +878,7 @@ class FleetEngine:
             trace_unserved,
             trace_pstate,
             trace_deficit,
+            plan=plan,
+            trace_respilled=trace_respilled,
+            trace_fault_unserved=trace_fault_unserved,
         )

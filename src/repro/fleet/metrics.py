@@ -62,6 +62,19 @@ class FleetMetrics:
     #: Demanded-but-unexecuted work from DVFS saturation, %·s (zero
     #: unless per-server controllers parked too-deep p-states).
     dvfs_deficit_pct_s: float = 0.0
+    #: Wall time during which at least one fault event was active, s.
+    fault_time_s: float = 0.0
+    #: Summed per-server faulted time (server·s): two servers degraded
+    #: for a minute each count 120 s here but 60 s above.
+    fault_server_time_s: float = 0.0
+    #: Ticks with at least one active fault event.
+    fault_ticks: int = 0
+    #: Work respilled off outage servers onto survivors, %·s — the
+    #: counterfactual allocations the down servers would have carried.
+    respilled_pct_s: float = 0.0
+    #: Unserved demand attributable to faults, %·s: actual unserved
+    #: minus the all-servers-up counterfactual's.
+    fault_sla_pct_s: float = 0.0
 
     @property
     def sla_total_pct_s(self) -> float:
@@ -92,6 +105,9 @@ def compute_fleet_metrics(
     inlet_c: np.ndarray,
     unserved_pct: np.ndarray,
     work_deficit_pct: Optional[np.ndarray] = None,
+    fault_active: Optional[np.ndarray] = None,
+    respilled_pct: Optional[np.ndarray] = None,
+    fault_unserved_pct: Optional[np.ndarray] = None,
 ) -> FleetMetrics:
     """Aggregate per-tick × per-server traces into :class:`FleetMetrics`.
 
@@ -101,6 +117,10 @@ def compute_fleet_metrics(
     ``utilization_pct`` is *executed* utilization and
     ``work_deficit_pct`` the per-tick DVFS deficit rate in nominal
     percent (omitted / ``None`` means no DVFS actuation: zero deficit).
+    The degraded-mode inputs (see :mod:`repro.fleet.faults`) are
+    ``fault_active`` (per-tick per-server fault mask),
+    ``respilled_pct`` and ``fault_unserved_pct`` (per-tick, in
+    single-server percent); omitted means a fault-free run.
     """
     if dt_s <= 0:
         raise ValueError("dt_s must be positive")
@@ -154,6 +174,38 @@ def compute_fleet_metrics(
     violation_ticks = (unserved > SLA_TICK_TOLERANCE_PCT) | (
         deficit_per_tick > SLA_TICK_TOLERANCE_PCT
     )
+
+    fault_time_s = 0.0
+    fault_server_time_s = 0.0
+    fault_ticks = 0
+    if fault_active is not None:
+        active = np.asarray(fault_active, dtype=bool)
+        if active.shape != power.shape:
+            raise ValueError(
+                f"fault_active shape {active.shape} != {power.shape}"
+            )
+        fault_ticks = int(active.any(axis=1).sum())
+        fault_time_s = fault_ticks * dt_s
+        fault_server_time_s = float(active.sum()) * dt_s
+    respilled_pct_s = 0.0
+    if respilled_pct is not None:
+        respilled = np.asarray(respilled_pct, dtype=float)
+        if respilled.shape != (ticks,):
+            raise ValueError(
+                f"respilled_pct must be one value per tick ({ticks},), "
+                f"got shape {respilled.shape}"
+            )
+        respilled_pct_s = float(respilled.sum()) * dt_s
+    fault_sla_pct_s = 0.0
+    if fault_unserved_pct is not None:
+        fault_unserved = np.asarray(fault_unserved_pct, dtype=float)
+        if fault_unserved.shape != (ticks,):
+            raise ValueError(
+                f"fault_unserved_pct must be one value per tick ({ticks},), "
+                f"got shape {fault_unserved.shape}"
+            )
+        fault_sla_pct_s = float(fault_unserved.sum()) * dt_s
+
     return FleetMetrics(
         server_count=fleet.server_count,
         duration_s=ticks * dt_s,
@@ -167,4 +219,9 @@ def compute_fleet_metrics(
         sla_violation_ticks=int(np.sum(violation_ticks)),
         racks=tuple(racks),
         dvfs_deficit_pct_s=float(deficit.sum()) * dt_s,
+        fault_time_s=fault_time_s,
+        fault_server_time_s=fault_server_time_s,
+        fault_ticks=fault_ticks,
+        respilled_pct_s=respilled_pct_s,
+        fault_sla_pct_s=fault_sla_pct_s,
     )

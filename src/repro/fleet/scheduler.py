@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -302,19 +302,11 @@ class FleetScheduler:
         """Clear policy state between runs."""
         self.policy.reset()
 
-    def assign(
-        self, views: Sequence[ServerLoadView], total_demand_pct: float
+    def _fill(
+        self, order, server_count: int, total_demand_pct: float
     ) -> SchedulingDecision:
-        """Split *total_demand_pct* (single-server % units) across servers."""
-        validate_non_negative(total_demand_pct, "total_demand_pct")
-        if not views:
-            raise ValueError("need at least one server view")
-        order = list(self.policy.order(views))
-        if sorted(order) != list(range(len(views))):
-            raise ValueError(
-                f"policy {self.policy.name!r} returned an invalid order"
-            )
-        allocations = np.zeros(len(views))
+        """The greedy Python fill along *order* (may skip servers)."""
+        allocations = np.zeros(server_count)
         remaining = float(total_demand_pct)
         for index in order:
             if remaining <= 0.0:
@@ -325,6 +317,55 @@ class FleetScheduler:
         return SchedulingDecision(
             allocations_pct=allocations, unserved_pct=max(0.0, remaining)
         )
+
+    def _ordered(self, views: Sequence[ServerLoadView]) -> List[int]:
+        """The policy's validated fill order for *views*."""
+        if not views:
+            raise ValueError("need at least one server view")
+        order = list(self.policy.order(views))
+        if sorted(order) != list(range(len(views))):
+            raise ValueError(
+                f"policy {self.policy.name!r} returned an invalid order"
+            )
+        return order
+
+    def assign(
+        self, views: Sequence[ServerLoadView], total_demand_pct: float
+    ) -> SchedulingDecision:
+        """Split *total_demand_pct* (single-server % units) across servers.
+
+        For degraded fleets (down servers excluded from the fill) use
+        :meth:`assign_with_spill`, which also produces the healthy
+        counterfactual the fault metrics need.
+        """
+        validate_non_negative(total_demand_pct, "total_demand_pct")
+        return self._fill(self._ordered(views), len(views), total_demand_pct)
+
+    def assign_with_spill(
+        self,
+        views: Sequence[ServerLoadView],
+        total_demand_pct: float,
+        available: np.ndarray,
+    ) -> Tuple[SchedulingDecision, SchedulingDecision]:
+        """One degraded fill plus its all-servers-up counterfactual.
+
+        The policy is ranked **once** (stateful policies like
+        round-robin must advance exactly one tick); the same order is
+        then filled twice — restricted to *available* servers, and
+        unrestricted.  The pair lets the engine attribute lost work to
+        the outage: counterfactual allocations landing on down servers
+        are the respilled work, and any unserved demand beyond the
+        counterfactual's is fault-attributable SLA loss.
+        """
+        validate_non_negative(total_demand_pct, "total_demand_pct")
+        order = self._ordered(views)
+        counterfactual = self._fill(order, len(views), total_demand_pct)
+        degraded = self._fill(
+            [index for index in order if available[index]],
+            len(views),
+            total_demand_pct,
+        )
+        return degraded, counterfactual
 
     def assign_indexed(
         self, order: np.ndarray, server_count: int, total_demand_pct: float
@@ -338,7 +379,9 @@ class FleetScheduler:
         with ``np.subtract.accumulate`` — which subtracts strictly
         sequentially, reproducing the loop's ``remaining`` sequence
         (and therefore the partial final share and the unserved
-        remainder) bit for bit.
+        remainder) bit for bit.  *order* may rank only a subset of the
+        servers (the fault path filters out outage servers); the rest
+        keep zero allocation.
         """
         validate_non_negative(total_demand_pct, "total_demand_pct")
         allocations = np.zeros(server_count)
@@ -352,7 +395,7 @@ class FleetScheduler:
         # the loop computes it; every fill but the last takes the full
         # cap, so the sequence needs at most min(n, ceil(total/cap)) + 1
         # entries.
-        count_max = min(server_count, int(np.ceil(total / cap)) + 1)
+        count_max = min(len(order), int(np.ceil(total / cap)) + 1)
         remaining_seq = np.full(count_max + 1, cap)
         remaining_seq[0] = total
         np.subtract.accumulate(remaining_seq, out=remaining_seq)

@@ -43,6 +43,7 @@ class RecirculationAmbient(AmbientModel):
     def __init__(self, supply: AmbientModel):
         self.supply = supply
         self._offset_c = 0.0
+        self._excursion_c = 0.0
 
     @property
     def offset_c(self) -> float:
@@ -58,8 +59,29 @@ class RecirculationAmbient(AmbientModel):
             )
         self._offset_c = float(offset_c)
 
+    @property
+    def excursion_c(self) -> float:
+        """Current CRAC setpoint excursion layered onto the supply, °C."""
+        return self._excursion_c
+
+    def set_excursion(self, delta_c: float) -> None:
+        """Install a supply-setpoint excursion (may be negative).
+
+        Models a CRAC disturbance transient (see
+        :mod:`repro.fleet.faults`): the excursion shifts the *supply*
+        below the recirculation offset, so the fleet engine's inlet
+        arithmetic ``(supply + excursion) + recirculation`` is
+        reproduced term for term.
+        """
+        if not np.isfinite(delta_c):
+            raise ValueError(f"excursion must be finite, got {delta_c!r}")
+        self._excursion_c = float(delta_c)
+
     def temperature_c(self, time_s: float) -> float:
-        return self.supply.temperature_c(time_s) + self._offset_c
+        supply = self.supply.temperature_c(time_s)
+        if self._excursion_c:
+            supply = supply + self._excursion_c
+        return supply + self._offset_c
 
 
 def exhaust_temperature_rise_c(power_w, airflow_cfm):

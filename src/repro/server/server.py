@@ -249,6 +249,16 @@ class ServerSimulator:
         return self._temp_sensor
 
     @property
+    def cpu_temp_fault_sensors(self) -> Tuple[FaultableSensor, ...]:
+        """The fault wrappers of the die thermal channels.
+
+        One per sensor in :meth:`measured_cpu_temperatures_c` order;
+        exposed so the execution kernel can replay injected faults on
+        its chunked reads exactly as the scalar path applies them.
+        """
+        return tuple(self._cpu_temp_faults)
+
+    @property
     def energy_joules(self) -> float:
         """Whole-server energy accumulated since construction."""
         return self._energy_j

@@ -411,10 +411,20 @@ def build_fleet_workload(name: str, duration_s: float, seed: int = 0):
 
 @register_scenario("fleet")
 def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
-    """One FleetEngine scenario; row = fleet aggregates (kWh, W, °C, %·s)."""
+    """One FleetEngine scenario; row = fleet aggregates (kWh, W, °C, %·s).
+
+    The optional ``faults`` parameter (a
+    :class:`~repro.fleet.faults.FaultSchedule` or a list of event
+    mappings, the JSON form) injects fleet-scale fault events; the row
+    then carries the degraded-mode aggregates (``fault_time_s``,
+    ``respilled_pct_s``, ``fault_sla_pct_s``).  Both forms
+    content-hash deterministically, so fault grids are cache-correct;
+    pick one representation per sweep (they hash differently).
+    """
     from repro.core.controllers.coordinated import CoordinatedController
     from repro.core.controllers.lut import LUTController
     from repro.fleet.engine import FleetEngine
+    from repro.fleet.faults import FaultSchedule
     from repro.fleet.scheduler import PLACEMENT_POLICIES, FleetScheduler
     from repro.server.dvfs import default_dvfs_ladder
     from repro.units import hours
@@ -432,9 +442,11 @@ def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
             "crac_supply_c",
             "seed",
             "backend",
+            "faults",
         },
         "fleet",
     )
+    fault_schedule = FaultSchedule.resolve(params.get("faults"))
     # Leakage / sensor-noise scaling applies at fleet scale too — a
     # leakage_factor axis must change the silicon, not be ignored.
     spec = _derived_spec(params)
@@ -482,6 +494,7 @@ def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
         controller_factory=factory,
         backend=str(params.get("backend", "vector")),
         seed=seed,
+        faults=fault_schedule,
     )
     m = engine.run(dt_s=float(params.get("dt_s", 60.0))).metrics
     return {
@@ -498,4 +511,7 @@ def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
         "dvfs_deficit_pct_s": m.dvfs_deficit_pct_s,
         "sla_total_pct_s": m.sla_total_pct_s,
         "sla_violation_ticks": m.sla_violation_ticks,
+        "fault_time_s": m.fault_time_s,
+        "respilled_pct_s": m.respilled_pct_s,
+        "fault_sla_pct_s": m.fault_sla_pct_s,
     }

@@ -33,7 +33,9 @@ import numpy as np
 
 #: Bumped whenever the row schema produced by the scenario runners
 #: changes shape; stale cache entries from older schemas are ignored.
-CACHE_SCHEMA_VERSION = 1
+#: v2: fleet rows gained the degraded-mode columns (fault_time_s,
+#: respilled_pct_s, fault_sla_pct_s).
+CACHE_SCHEMA_VERSION = 2
 
 #: Parameter values rendered directly into the tidy result table.
 _SCALAR_TYPES = (bool, int, float, str)

@@ -1,11 +1,18 @@
-"""Shared fixtures: expensive pipeline artifacts built once per session."""
+"""Shared fixtures: expensive pipeline artifacts built once per session,
+plus the small fleet/server specs the fleet and kernel suites share."""
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import pytest
 
 from repro import (
+    Fleet,
+    Rack,
     build_lut_from_characterization,
+    build_uniform_fleet,
+    default_dvfs_ladder,
     default_server_spec,
     fit_fan_power_model,
     fit_power_model,
@@ -47,3 +54,32 @@ def paper_lut(characterization_samples, fitted_model, fan_model):
         characterization_samples, fitted_model, fan_model
     )
     return lut
+
+
+# ----------------------------------------------------------------------
+# small fleet/server specs shared by the fleet and kernel suites
+# (specs and fleets are frozen dataclasses, safe to share session-wide)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def dvfs_spec(spec):
+    """The calibrated server with the four-step p-state ladder."""
+    return replace(spec, dvfs=default_dvfs_ladder())
+
+
+@pytest.fixture(scope="session")
+def single_server_fleet():
+    """Factory: a one-rack, one-server fleet around a (default) spec."""
+
+    def make(server_spec=None):
+        server_spec = (
+            server_spec if server_spec is not None else default_server_spec()
+        )
+        return Fleet(racks=(Rack(name="r0", servers=(server_spec,)),))
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    """The 2 racks x 2 servers uniform fleet with default recirculation."""
+    return build_uniform_fleet(rack_count=2, servers_per_rack=2)

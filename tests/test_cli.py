@@ -167,6 +167,63 @@ class TestFleet:
         assert "SLA" in out
         assert "0.0 pct*s DVFS deficit" in out
 
+    def test_fault_spec_reports_degraded_operation(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "faults.json"
+        spec.write_text(
+            json.dumps(
+                [
+                    {
+                        "kind": "sensor",
+                        "server": 0,
+                        "mode": "stuck",
+                        "value": 30.0,
+                        "start_s": 120.0,
+                        "end_s": 900.0,
+                    },
+                    {
+                        "kind": "outage",
+                        "server": 1,
+                        "start_s": 300.0,
+                        "end_s": 1500.0,
+                    },
+                ]
+            )
+        )
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--controller",
+                    "pi",
+                    "--racks",
+                    "1",
+                    "--servers-per-rack",
+                    "2",
+                    "--hours",
+                    "0.5",
+                    "--dt",
+                    "60",
+                    "--faults",
+                    str(spec),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "faults     : 2 events" in out
+        assert "degraded operation" in out
+        assert "respilled" in out
+
+    def test_bad_fault_spec_rejected(self, tmp_path):
+        spec = tmp_path / "faults.json"
+        spec.write_text('[{"kind": "meteor"}]')
+        with pytest.raises(SystemExit, match="fault spec"):
+            main(["fleet", "--faults", str(spec)])
+        with pytest.raises(SystemExit, match="fault spec"):
+            main(["fleet", "--faults", str(tmp_path / "missing.json")])
+
 
 class TestSweep:
     _ARGS = [

@@ -18,7 +18,12 @@ DOCS_DIR = REPO_ROOT / "docs"
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _CODE_SPAN_RE = re.compile(r"`[^`]*`")
 
-EXPECTED_DOCS = ("architecture.md", "paper_mapping.md", "sweeps.md")
+EXPECTED_DOCS = (
+    "architecture.md",
+    "faults.md",
+    "paper_mapping.md",
+    "sweeps.md",
+)
 
 
 def _markdown_files():

@@ -1,6 +1,9 @@
-"""Engine tests: vector/reference equivalence, recirculation, DVFS."""
+"""Engine tests: vector/reference equivalence, recirculation, DVFS.
 
-from dataclasses import replace
+The ``dvfs_spec``, ``single_server_fleet`` and ``small_fleet``
+fixtures live in ``conftest.py`` (shared with the kernel-equivalence
+and fault suites).
+"""
 
 import numpy as np
 import pytest
@@ -23,24 +26,13 @@ from repro.fleet import (
     compute_fleet_metrics,
 )
 from repro.server.ambient import SinusoidalAmbient
-from repro.server.dvfs import default_dvfs_ladder
 from repro.server.server import CriticalTemperatureError, ServerSimulator
 from repro.server.specs import CpuSocketSpec, ServerSpec, default_server_spec
 from repro.workloads.profile import ConstantProfile, StaircaseProfile
 
 
-def dvfs_spec():
-    """The calibrated server with the four-step p-state ladder."""
-    return replace(default_server_spec(), dvfs=default_dvfs_ladder())
-
-
-def single_server_fleet(spec=None):
-    spec = spec if spec is not None else default_server_spec()
-    return Fleet(racks=(Rack(name="r0", servers=(spec,)),))
-
-
 class TestSingleServerEquivalence:
-    def test_vector_engine_matches_server_simulator(self):
+    def test_vector_engine_matches_server_simulator(self, single_server_fleet):
         """N=1, no coupling: the batched math must reproduce the
         single-server simulator's trajectory."""
         profile = StaircaseProfile([30.0, 90.0, 10.0], 200.0)
@@ -70,7 +62,9 @@ class TestSingleServerEquivalence:
             result.mean_rpm[:, 0], rpms, rtol=0, atol=1e-9
         )
 
-    def test_energy_matches_server_simulator_accumulator(self):
+    def test_energy_matches_server_simulator_accumulator(
+        self, single_server_fleet
+    ):
         engine = FleetEngine(
             single_server_fleet(),
             ConstantProfile(70.0, 300.0),
@@ -103,8 +97,8 @@ class TestCoordinatedSingleServerAnchor:
     """
 
     @pytest.fixture(scope="class")
-    def anchor(self, paper_lut):
-        spec = dvfs_spec()
+    def anchor(self, paper_lut, dvfs_spec):
+        spec = dvfs_spec
         profile = StaircaseProfile([20.0, 70.0, 40.0, 95.0, 10.0], 180.0)
         config = ExperimentConfig(
             dt_s=1.0, monitor_window_s=1.0, loadgen_mode="direct"
@@ -118,9 +112,11 @@ class TestCoordinatedSingleServerAnchor:
         return spec, profile, paper_lut, runner
 
     @pytest.mark.parametrize("backend", ["vector", "reference"])
-    def test_traces_match_run_experiment(self, anchor, backend):
+    def test_traces_match_run_experiment(
+        self, anchor, backend, single_server_fleet
+    ):
         spec, profile, lut, runner = anchor
-        fleet = Fleet(racks=(Rack(name="r0", servers=(spec,)),))
+        fleet = single_server_fleet(spec)
         result = FleetEngine(
             fleet,
             profile,
@@ -161,11 +157,11 @@ class TestCoordinatedSingleServerAnchor:
         assert set(result.pstate_index[:, 0]) >= {0, 3}
         assert result.work_deficit_pct_s[-1, 0] > 0.0
 
-    def test_reference_backend_is_bit_equal(self, anchor):
+    def test_reference_backend_is_bit_equal(self, anchor, single_server_fleet):
         """The reference backend wraps real simulators, so even the
         float traces match the runner bit for bit."""
         spec, profile, lut, runner = anchor
-        fleet = Fleet(racks=(Rack(name="r0", servers=(spec,)),))
+        fleet = single_server_fleet(spec)
         result = FleetEngine(
             fleet,
             profile,
@@ -215,11 +211,13 @@ class TestBackendEquivalence:
             ref.metrics.energy_kwh, rel=1e-9
         )
 
-    def test_vector_matches_reference_with_dvfs_at_16_servers(self, paper_lut):
+    def test_vector_matches_reference_with_dvfs_at_16_servers(
+        self, paper_lut, dvfs_spec
+    ):
         """16 coupled servers with active p-state actuation: the
         batched DVFS stretch/deficit/power math must agree with the
         per-simulator loop on every trace."""
-        spec = dvfs_spec()
+        spec = dvfs_spec
         fleet = build_uniform_fleet(rack_count=2, servers_per_rack=8, spec=spec)
         profile = StaircaseProfile([15.0, 60.0, 35.0], 120.0)
 
@@ -359,7 +357,7 @@ class TestRecirculation:
 
 
 class TestEngineBehaviour:
-    def test_critical_trip_raises(self):
+    def test_critical_trip_raises(self, single_server_fleet):
         spec = ServerSpec(
             critical_temperature_c=76.0, target_max_temperature_c=70.0
         )
@@ -403,7 +401,9 @@ class TestEngineBehaviour:
         assert m.sla_violation_ticks == 60
         assert m.sla_unserved_pct_s == pytest.approx(60.0 * 120.0)
 
-    def test_out_of_range_controller_command_rejected(self):
+    def test_out_of_range_controller_command_rejected(
+        self, single_server_fleet
+    ):
         engine = FleetEngine(
             single_server_fleet(),
             ConstantProfile(50.0, 60.0),
@@ -418,7 +418,7 @@ class TestEngineBehaviour:
         with pytest.raises(ValueError, match="sized for"):
             FleetEngine(fleet, workload)
 
-    def test_unknown_backend_rejected(self):
+    def test_unknown_backend_rejected(self, single_server_fleet):
         with pytest.raises(ValueError, match="backend"):
             FleetEngine(
                 single_server_fleet(),
@@ -426,7 +426,9 @@ class TestEngineBehaviour:
                 backend="gpu",
             )
 
-    def test_cold_start_rpm_outside_fan_range_rejected(self):
+    def test_cold_start_rpm_outside_fan_range_rejected(
+        self, single_server_fleet
+    ):
         with pytest.raises(ValueError, match="cold_start_rpm"):
             FleetEngine(
                 single_server_fleet(),
@@ -436,7 +438,9 @@ class TestEngineBehaviour:
             )
 
     @pytest.mark.parametrize("backend", ["vector", "reference"])
-    def test_cold_start_begins_at_idle_equilibrium(self, backend):
+    def test_cold_start_begins_at_idle_equilibrium(
+        self, backend, single_server_fleet
+    ):
         """A cold-started fleet begins warm (idle equilibrium at 3600
         RPM), not at the ambient temperature."""
         result = FleetEngine(
@@ -448,13 +452,15 @@ class TestEngineBehaviour:
         ).run(dt_s=1.0)
         assert result.max_junction_c[0, 0] == pytest.approx(35.0, abs=2.5)
 
-    def test_out_of_range_pstate_command_rejected(self):
+    def test_out_of_range_pstate_command_rejected(
+        self, single_server_fleet, dvfs_spec
+    ):
         class BadPstateController(FixedSpeedController):
             def decide_pstate(self, observation):
                 return 7
 
         engine = FleetEngine(
-            single_server_fleet(dvfs_spec()),
+            single_server_fleet(dvfs_spec),
             ConstantProfile(50.0, 60.0),
             controller_factory=lambda i: BadPstateController(rpm=3000.0),
         )
@@ -463,11 +469,11 @@ class TestEngineBehaviour:
 
 
 class TestFleetDvfsAccounting:
-    def test_parked_pstate_stretches_and_accrues_deficit(self):
+    def test_parked_pstate_stretches_and_accrues_deficit(self, dvfs_spec):
         """Servers pinned in the deepest p-state execute stretched
         utilization and accrue the exact ladder deficit when demand
         saturates them."""
-        spec = dvfs_spec()
+        spec = dvfs_spec
 
         class DeepPark(FixedSpeedController):
             def decide_pstate(self, observation):
@@ -506,7 +512,7 @@ class TestFleetDvfsAccounting:
         # server given the 0% allocation and ratio on the busy one
         assert ratio < 1.0
 
-    def test_nominal_ladder_keeps_legacy_semantics(self):
+    def test_nominal_ladder_keeps_legacy_semantics(self, single_server_fleet):
         """Without a DVFS ladder nothing changes: executed equals the
         demanded allocation, no deficit, p-state 0 everywhere."""
         result = FleetEngine(

@@ -1,0 +1,67 @@
+"""Golden-trace regression suite.
+
+Three small seeded scenarios — a single-server ``run_experiment``, a
+4-server coordinated fleet, and a compound fault drill — are committed
+as exact-round-trip CSVs under ``tests/golden/``.  Recomputing each
+scenario must reproduce its committed trace bit for bit after the CSV
+round-trip; any diff means the simulation semantics changed.
+
+If the change is *intentional* (a model fix, a schema extension),
+regenerate and commit the traces alongside it::
+
+    PYTHONPATH=src python tests/regen_golden_traces.py
+
+The committed traces are produced on the reference platform (Linux
+x86-64 / glibc, the CI runner).  The physics crosses libm ``exp`` /
+``pow``, whose last-ulp rounding can differ on other platforms; a
+failure that reproduces only off-platform is environment skew, not a
+regression — verify on the reference platform before regenerating.
+"""
+
+import numpy as np
+import pytest
+
+from regen_golden_traces import (
+    GOLDEN_BUILDERS,
+    GOLDEN_DIR,
+    read_golden,
+)
+
+REGEN_HINT = (
+    "golden trace mismatch — if this change is intentional, regenerate "
+    "with:  PYTHONPATH=src python tests/regen_golden_traces.py  and "
+    "commit the updated tests/golden/*.csv"
+)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_BUILDERS))
+def test_golden_trace_matches(name):
+    path = GOLDEN_DIR / name
+    if not path.is_file():
+        pytest.fail(
+            f"missing golden trace {path}; generate it with: "
+            "PYTHONPATH=src python tests/regen_golden_traces.py"
+        )
+    golden = read_golden(path)
+    names, columns = GOLDEN_BUILDERS[name]()
+    assert list(golden) == names, REGEN_HINT
+    for column_name, computed in zip(names, columns):
+        # the committed file stores repr(float): parsing returns the
+        # exact float64 the builder produced, so equality is exact
+        expected = golden[column_name]
+        try:
+            np.testing.assert_array_equal(
+                np.asarray(computed, dtype=float),
+                expected,
+                err_msg=f"{name}:{column_name}",
+            )
+        except AssertionError as exc:
+            raise AssertionError(f"{exc}\n\n{REGEN_HINT}") from None
+
+
+def test_golden_traces_are_small_and_complete():
+    """Every committed trace has the advertised ~200-row shape."""
+    for name in GOLDEN_BUILDERS:
+        golden = read_golden(GOLDEN_DIR / name)
+        lengths = {len(column) for column in golden.values()}
+        assert lengths == {200}, name

@@ -13,6 +13,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
+from repro.core.controllers.bangbang import BangBangController
 from repro.core.controllers.base import FanController
 from repro.core.controllers.coordinated import CoordinatedController
 from repro.core.controllers.default import FixedSpeedController
@@ -39,6 +40,13 @@ from repro.fleet.scheduler import (
 )
 from repro.server.ambient import SinusoidalAmbient
 from repro.server.dvfs import default_dvfs_ladder
+from repro.server.faults import (
+    DriftFault,
+    DropoutFault,
+    OffsetFault,
+    SpikeFault,
+    StuckFault,
+)
 from repro.server.specs import default_server_spec
 from repro.workloads.loadgen import monitor_warmup_times
 from repro.workloads.profile import (
@@ -60,10 +68,6 @@ FLEET_TRACES = (
     "pstate_index",
     "work_deficit_pct",
 )
-
-
-def dvfs_spec():
-    return replace(default_server_spec(), dvfs=default_dvfs_ladder())
 
 
 def assert_experiments_identical(controller_fn, profile, config, **kwargs):
@@ -118,8 +122,8 @@ class TestSingleServerAnchors:
             ExperimentConfig(dt_s=1.0, seed=7),
         )
 
-    def test_coordinated_dvfs_run(self, paper_lut):
-        spec = dvfs_spec()
+    def test_coordinated_dvfs_run(self, paper_lut, dvfs_spec):
+        spec = dvfs_spec
         assert_experiments_identical(
             lambda: CoordinatedController(paper_lut, spec.dvfs),
             StaircaseProfile([20.0, 70.0, 40.0, 95.0, 10.0], 180.0),
@@ -286,8 +290,8 @@ class TestFleetKernelAnchors:
             dt_s=2.0,
         )
 
-    def test_coordinated_dvfs_with_recirculation(self, paper_lut):
-        spec = dvfs_spec()
+    def test_coordinated_dvfs_with_recirculation(self, paper_lut, dvfs_spec):
+        spec = dvfs_spec
         fleet = build_uniform_fleet(rack_count=2, servers_per_rack=4, spec=spec)
         assert_fleet_identical(
             lambda backend: FleetEngine(
@@ -520,3 +524,117 @@ class TestWarmupGrid:
             monitor_warmup_times(0.0, 1.0)
         with pytest.raises(ValueError):
             monitor_warmup_times(60.0, 0.0)
+
+
+class TestSensorFaultChunkBoundaries:
+    """Injected sensor faults are tick-exact in the kernelized path.
+
+    The chunked loop integrates whole poll intervals at once, so a
+    naive implementation would only notice a fault window at the next
+    poll boundary.  These tests pin the contract: windows open and
+    close at the exact tick, and every fault mode leaves the kernel
+    bit-identical to the tick-by-tick reference loop.
+    """
+
+    def test_mid_chunk_onset_is_tick_exact(self):
+        """Poll interval 10 s, fault window [7, 9) — entirely inside
+        one chunk.  The measured channel must change at read times 7 s
+        and 8 s only, not from the 10 s poll onward."""
+        config = ExperimentConfig(dt_s=1.0, seed=3)
+        profile = StaircaseProfile([40.0], 60.0)
+        faulted = run_experiment(
+            FixedSpeedController(rpm=3000.0),
+            profile,
+            config=config,
+            faults=[(0, StuckFault(200.0, start_s=7.0, end_s=9.0))],
+        )
+        baseline = run_experiment(
+            FixedSpeedController(rpm=3000.0), profile, config=config
+        )
+        differing = np.nonzero(
+            faulted.column("measured_max_cpu_c")
+            != baseline.column("measured_max_cpu_c")
+        )[0]
+        np.testing.assert_array_equal(
+            faulted.column("time_s")[differing], [7.0, 8.0]
+        )
+        # a lying sensor between polls cannot touch the physics
+        np.testing.assert_array_equal(
+            faulted.column("max_junction_c"),
+            baseline.column("max_junction_c"),
+        )
+
+    @pytest.mark.parametrize(
+        "make_faults",
+        [
+            lambda: [(0, StuckFault(30.0, start_s=11.0, end_s=130.0))],
+            lambda: [(2, DriftFault(0.04, start_s=23.0))],
+            lambda: [(1, OffsetFault(-6.0, start_s=0.0, end_s=77.0))],
+            lambda: [(3, SpikeFault(15.0, probability=0.4, seed=6, start_s=5.0))],
+            lambda: [
+                (index, DropoutFault(start_s=31.0, end_s=90.0))
+                for index in range(4)
+            ],
+        ],
+        ids=["stuck", "drift", "offset", "spike", "dropout"],
+    )
+    def test_every_mode_bit_identical_to_reference(self, make_faults):
+        """Fresh fault instances per engine (spikes keep RNG state):
+        the chunked loop must reproduce the reference loop column for
+        column under every fault mode."""
+        profile = StaircaseProfile([35.0, 85.0, 20.0], 80.0)
+        config = ExperimentConfig(dt_s=1.0, seed=17)
+        kernel = run_experiment(
+            BangBangController(),
+            profile,
+            config=config,
+            engine="kernel",
+            faults=make_faults(),
+        )
+        reference = run_experiment(
+            BangBangController(),
+            profile,
+            config=config,
+            engine="reference",
+            faults=make_faults(),
+        )
+        for column in TRACE_COLUMNS:
+            np.testing.assert_array_equal(
+                kernel.column(column),
+                reference.column(column),
+                err_msg=f"column {column!r} diverged under sensor faults",
+            )
+
+    def test_dropout_holds_last_command_on_both_engines(self):
+        """With every die sensor dropped out the BMC holds the last
+        fan command; when the channel returns, control resumes —
+        identically on both engines."""
+        profile = StaircaseProfile([10.0, 95.0], 120.0)
+        config = ExperimentConfig(dt_s=1.0, seed=4)
+
+        def faults():
+            return [
+                (index, DropoutFault(start_s=40.0, end_s=160.0))
+                for index in range(4)
+            ]
+
+        results = {
+            engine: run_experiment(
+                BangBangController(),
+                profile,
+                config=config,
+                engine=engine,
+                faults=faults(),
+            )
+            for engine in ("kernel", "reference")
+        }
+        for engine, result in results.items():
+            times = result.column("time_s")
+            commands = result.column("rpm_command")
+            window = (times >= 41.0) & (times < 160.0)
+            held = commands[window]
+            assert np.all(held == held[0]), engine
+        np.testing.assert_array_equal(
+            results["kernel"].column("rpm_command"),
+            results["reference"].column("rpm_command"),
+        )

@@ -338,3 +338,78 @@ class TestScenarioKinds:
         spec = ScenarioSpec("counting", {"x": 1.0})
         with pytest.raises(ValueError, match="matching lengths"):
             SweepResult.from_points([spec], [])
+
+
+class TestFaultGrids:
+    """Sweeping over failure scenarios is deterministic and cache-correct."""
+
+    def _fault_axis(self):
+        """Three fault plans in the JSON (list-of-mappings) form."""
+        outage = ({"kind": "outage", "server": 0, "start_s": 0.0, "end_s": 600.0},)
+        compound = (
+            {"kind": "outage", "server": 0, "start_s": 0.0, "end_s": 600.0},
+            {
+                "kind": "crac",
+                "delta_c": 3.0,
+                "start_s": 120.0,
+                "end_s": 480.0,
+            },
+        )
+        return [(), outage, compound]
+
+    def _grid(self):
+        return GridSpec(
+            kind="fleet",
+            base={
+                "racks": 1,
+                "servers_per_rack": 2,
+                "hours": 0.25,
+                "dt_s": 60.0,
+                "controller": "default",
+                "workload": "batch",
+                "policy": "round-robin",
+            },
+            axes={"faults": self._fault_axis()},
+        )
+
+    def test_distinct_fault_plans_hash_distinct(self):
+        keys = {point.cache_key() for point in self._grid().points()}
+        assert len(keys) == 3
+
+    def test_schedule_object_and_json_forms_both_cacheable(self):
+        from repro.fleet import FaultSchedule, ServerOutageEvent
+
+        def spec(faults):
+            return ScenarioSpec(kind="fleet", params={"racks": 1, "faults": faults})
+
+        def schedule():
+            return FaultSchedule(
+                events=(ServerOutageEvent(server=0, end_s=600.0),)
+            )
+
+        as_object = spec(schedule())
+        as_json = spec(schedule().to_dicts())
+        assert as_object.cacheable and as_json.cacheable
+        # independently-built equal schedules hash to the same key
+        assert as_object.cache_key() == spec(schedule()).cache_key()
+        assert as_json.cache_key() == spec(schedule().to_dicts()).cache_key()
+        # a different plan (different window) changes the key
+        other = FaultSchedule(events=(ServerOutageEvent(server=0, end_s=900.0),))
+        assert spec(other).cache_key() != as_object.cache_key()
+
+    def test_fault_grid_rows_and_warm_cache(self, tmp_path):
+        grid = self._grid()
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(grid, workers=1, cache=cache)
+        # degraded-mode columns are present, zero for the empty plan
+        # and increasing with the compound plan's extra events
+        fault_time = cold.column("fault_time_s")
+        assert fault_time[0] == 0.0
+        assert fault_time[1] > 0.0
+        assert fault_time[2] >= fault_time[1]
+        assert cold.column("respilled_pct_s")[1] > 0.0
+        # warm run answers entirely from the content-hash cache
+        warm = run_sweep(grid, workers=1, cache=cache)
+        assert warm.executed_count == 0
+        assert warm.cache_hit_count == 3
+        assert cold.equals(warm)
