@@ -1,0 +1,163 @@
+"""Telemetry observability benchmarks.
+
+Three costs are pinned here:
+
+* **capture overhead** — running the fleet engine with a live
+  :class:`FleetCapture` tap must stay within a few percent of the
+  uncaptured run (the tap is a handful of vectorized copies per
+  chunk, not per tick);
+* **store ingest** — bulk ``append_chunk`` throughput of the ring
+  buffers, in samples/s;
+* **detector tick cost** — the per-tick price of streaming a
+  64-server fleet through :class:`StreamingFleetDetector`.
+
+Numbers are persisted to ``benchmarks/results/BENCH_telemetry.json``
+so CI tracks the trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from bench_helpers import write_artifact, write_bench_json
+
+from repro.core.controllers.default import FixedSpeedController
+from repro.fleet import FleetEngine, build_uniform_fleet
+from repro.obs.capture import FleetCapture
+from repro.obs.detect import StreamingFleetDetector
+from repro.obs.store import TimeseriesStore
+from repro.workloads.profile import ConstantProfile
+
+HORIZON_S = 600.0
+TICK_S = 5.0
+SERVERS = 64
+
+#: Capture must not cost more than this fraction of fleet throughput.
+CAPTURE_OVERHEAD_CEILING = 1.10
+
+
+def _run_fleet(capture=None) -> float:
+    fleet = build_uniform_fleet(rack_count=2, servers_per_rack=SERVERS // 2)
+    engine = FleetEngine(
+        fleet,
+        ConstantProfile(70.0, HORIZON_S),
+        controller_factory=lambda i: FixedSpeedController(rpm=3000.0),
+        capture=capture,
+    )
+    start = time.perf_counter()
+    engine.run(dt_s=TICK_S)
+    return time.perf_counter() - start
+
+
+def _best_of(runs: int, fn, *args) -> float:
+    return min(fn(*args) for _ in range(runs))
+
+
+def test_capture_overhead_within_budget(results_dir):
+    """A live capture tap must not dent fleet throughput."""
+    _run_fleet()  # warm caches before timing
+    # Interleave plain/captured pairs so machine-load drift hits both
+    # sides equally; a fresh capture per run because the store's ring
+    # buffers enforce monotonic time and each run restarts the clock.
+    plain, captured = [], []
+    for _ in range(7):
+        plain.append(_run_fleet())
+        captured.append(_run_fleet(FleetCapture()))
+    t_plain = min(plain)
+    t_captured = min(captured)
+    ratio = t_captured / t_plain
+
+    write_artifact(
+        results_dir,
+        "telemetry_capture_overhead.txt",
+        f"{SERVERS} servers, {HORIZON_S:.0f}s horizon: "
+        f"plain {t_plain * 1e3:.1f} ms, captured {t_captured * 1e3:.1f} ms, "
+        f"overhead {ratio:.3f}x",
+    )
+
+    ingest = _store_ingest_rate()
+    tick_cost = _detector_tick_cost()
+    write_bench_json(
+        results_dir,
+        "telemetry",
+        {
+            "servers": SERVERS,
+            "horizon_s": HORIZON_S,
+            "dt_s": TICK_S,
+            "fleet_wall_s": t_plain,
+            "fleet_captured_wall_s": t_captured,
+            "capture_overhead_x": ratio,
+            "store_ingest_samples_per_s": ingest,
+            "detector_tick_cost_s": tick_cost,
+        },
+    )
+    assert ratio < CAPTURE_OVERHEAD_CEILING, (
+        f"capture overhead {ratio:.3f}x exceeds "
+        f"{CAPTURE_OVERHEAD_CEILING:.2f}x budget"
+    )
+
+
+def _store_ingest_rate() -> float:
+    """Bulk append_chunk throughput over 64 channels, samples/s."""
+    store = TimeseriesStore()
+    channels = [f"s{i}.junction_c" for i in range(SERVERS)]
+    block = 1024
+    rounds = 20
+    values = {name: np.random.default_rng(1).normal(50.0, 2.0, block) for name in channels}
+    start = time.perf_counter()
+    for k in range(rounds):
+        times = block * k + np.arange(block, dtype=float)
+        store.append_chunk(times, values)
+    elapsed = time.perf_counter() - start
+    return rounds * block * len(channels) / elapsed
+
+
+def _detector_tick_cost() -> float:
+    """Mean observe_tick cost streaming a 64-server fleet, seconds."""
+    rng = np.random.default_rng(5)
+    det = StreamingFleetDetector(SERVERS, 60.0)
+    power = rng.uniform(200.0, 450.0, SERVERS)
+    junction = 30.0 + 0.04 * power
+    inlet = np.full(SERVERS, 24.0)
+    util = np.full(SERVERS, 50.0)
+    ticks = 2000
+    start = time.perf_counter()
+    for k in range(ticks):
+        det.observe_tick(
+            60.0 * (k + 1),
+            junction + rng.normal(0.0, 0.2, SERVERS),
+            power_w=power,
+            inlet_c=inlet,
+            utilization_pct=util,
+        )
+    return (time.perf_counter() - start) / ticks
+
+
+def test_store_ingest_is_fast():
+    """Ring-buffer bulk ingest must clear 1M samples/s comfortably."""
+    assert _store_ingest_rate() > 1e6
+
+
+def test_detector_tick_cost_bounded():
+    """Streaming detection must stay far below the 60 s tick budget."""
+    assert _detector_tick_cost() < 5e-3
+
+
+def test_detector_throughput(benchmark):
+    """pytest-benchmark timing: 100 detector ticks on a 64-server fleet."""
+    rng = np.random.default_rng(9)
+    power = rng.uniform(200.0, 450.0, SERVERS)
+    junction = 30.0 + 0.04 * power
+    inlet = np.full(SERVERS, 24.0)
+    util = np.full(SERVERS, 50.0)
+
+    def hundred_ticks():
+        det = StreamingFleetDetector(SERVERS, 60.0)
+        for k in range(100):
+            det.observe_tick(
+                60.0 * (k + 1), junction, power_w=power,
+                inlet_c=inlet, utilization_pct=util,
+            )
+
+    benchmark(hundred_ticks)

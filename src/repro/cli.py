@@ -19,7 +19,9 @@ the full reproduction can be driven from a shell with no Python.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import csv
+import logging
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -292,7 +294,8 @@ def cmd_fig(args) -> int:
     return 0
 
 
-def cmd_fleet(args) -> int:
+def _build_fleet_engine(args, backend: str) -> FleetEngine:
+    """Shared fleet/workload/controller assembly for fleet-style commands."""
     if args.racks <= 0 or args.servers_per_rack <= 0:
         raise SystemExit("--racks and --servers-per-rack must be positive")
     if args.dt <= 0:
@@ -341,15 +344,21 @@ def cmd_fleet(args) -> int:
             args.controller, args
         )
 
-    engine = FleetEngine(
+    return FleetEngine(
         fleet,
         profile,
         scheduler=FleetScheduler(PLACEMENT_POLICIES[args.policy]()),
         controller_factory=factory,
-        backend=args.backend,
+        backend=backend,
         seed=args.seed,
         faults=faults,
     )
+
+
+def cmd_fleet(args) -> int:
+    engine = _build_fleet_engine(args, backend=args.backend)
+    fleet = engine.fleet
+    faults = engine.faults
     result = engine.run(dt_s=args.dt)
     m = result.metrics
 
@@ -425,6 +434,34 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.obs import LiveTelemetryService, ServiceConfig
+
+    engine = _build_fleet_engine(args, backend="vector")
+    if args.time_scale < 0:
+        raise SystemExit("--time-scale must be >= 0 (0 = fastest possible)")
+    service = LiveTelemetryService(
+        engine,
+        config=ServiceConfig(
+            host=args.host,
+            port=args.port,
+            dt_s=args.dt,
+            time_scale=args.time_scale,
+        ),
+    )
+    print(
+        f"serving {engine.fleet.server_count}-server "
+        f"{args.workload} x {args.hours:g} h scenario on "
+        f"http://{args.host}:{args.port}  "
+        f"(/metrics /channels /alerts /stream; Ctrl-C stops)"
+    )
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _parse_list(text: str, cast, option: str) -> List:
     """Split a comma-separated CLI value and cast each element."""
     items = [item.strip() for item in str(text).split(",") if item.strip()]
@@ -472,7 +509,10 @@ def cmd_sweep(args) -> int:
     )
     workers = args.workers if args.workers > 0 else None
     cache = None if args.no_cache else args.cache_dir
-    progress = None if args.quiet else lambda line: print(line)  # noqa: E731
+    # Progress lines flow through the executor's logger (see
+    # repro.sweep.executor); --quiet swallows them, and the global
+    # --log-level flag controls whether they reach the terminal.
+    progress = (lambda line: None) if args.quiet else None  # noqa: E731
     table = run_sweep(grid, workers=workers, cache=cache, progress=progress)
 
     rows = []
@@ -527,6 +567,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Leakage/temperature-aware server control (DATE'13) reproduction",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        dest="log_level",
+        help="logging threshold for all repro modules (sweep progress "
+        "and serve alerts flow through logging)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("characterize", help="run the steady-state sweep")
@@ -675,12 +723,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_sweep)
 
+    p = sub.add_parser(
+        "serve",
+        help="run a fleet scenario live and serve its telemetry over HTTP",
+    )
+    p.add_argument("--racks", type=int, default=2, help="number of racks")
+    p.add_argument(
+        "--servers-per-rack", type=int, default=4, dest="servers_per_rack"
+    )
+    p.add_argument(
+        "--policy",
+        default="coolest-first",
+        choices=sorted(PLACEMENT_POLICIES),
+        help="job placement policy",
+    )
+    p.add_argument(
+        "--workload",
+        default="diurnal",
+        choices=("diurnal", "batch", "flashcrowd", "mixed"),
+    )
+    p.add_argument(
+        "--controller",
+        default="pi",
+        choices=("default", "bangbang", "lut", "pi", "coordinated"),
+        help="per-server fan (or coordinated fan+DVFS) controller",
+    )
+    p.add_argument("--hours", type=float, default=12.0, help="scenario length")
+    p.add_argument("--dt", type=float, default=60.0, help="tick length, s")
+    p.add_argument(
+        "--crac-supply", type=float, default=24.0, dest="crac_supply",
+        help="CRAC supply temperature, degC",
+    )
+    p.add_argument("--rpm", type=float, default=3300.0, help="default-controller RPM")
+    p.add_argument("--lut", help="LUT JSON for the lut controller")
+    p.add_argument(
+        "--faults",
+        help="JSON fault spec injected into the run; detection is "
+        "scored against it once the scenario completes",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8787, help="bind port")
+    p.add_argument(
+        "--time-scale",
+        type=float,
+        default=60.0,
+        dest="time_scale",
+        help="simulated seconds per wall second (0 = fastest possible)",
+    )
+    p.set_defaults(func=cmd_serve)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(message)s",
+    )
     return args.func(args)
 
 

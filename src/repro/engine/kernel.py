@@ -184,8 +184,24 @@ class SingleServerKernel:
         dt_s: float,
         steps: int,
         monitor_window_s: float,
+        metrics=None,
     ):
         spec = sim.spec
+        # Observability hook: counters are bound once here so the hot
+        # integrate loop pays a single None check per chunk.  *metrics*
+        # is a repro.obs.metrics.MetricsRegistry (kept untyped to avoid
+        # importing obs into the kernel module).
+        self._metric_ticks = None
+        self._metric_chunks = None
+        if metrics is not None:
+            self._metric_ticks = metrics.counter(
+                "repro_kernel_ticks_total",
+                "Single-server kernel ticks integrated",
+            )
+            self._metric_chunks = metrics.counter(
+                "repro_kernel_chunks_total",
+                "Single-server kernel integrate() chunks",
+            )
         self.spec = spec
         self.steps = steps
         self._dt = dt_s
@@ -681,6 +697,9 @@ class SingleServerKernel:
         self._store_state(rpm, t_m, leak_now, deficit)
         if noise_flat is not None:
             self._pending_noise = noise_flat[(end - start) * n_sensors :]
+        if self._metric_ticks is not None:
+            self._metric_ticks.inc(end - start)
+            self._metric_chunks.inc()
 
     def _store_state(self, rpm, t_m, leak_now, deficit) -> None:
         self._rpm = rpm
@@ -729,7 +748,14 @@ class FleetVectorKernel:
     path sharing the same state and ufunc expressions.
     """
 
-    def __init__(self, fleet):
+    def __init__(self, fleet, metrics=None):
+        # Observability hook, bound once (see SingleServerKernel).
+        self._metric_steps = None
+        if metrics is not None:
+            self._metric_steps = metrics.counter(
+                "repro_kernel_fleet_steps_total",
+                "Fleet vector kernel physics steps",
+            )
         servers = fleet.servers
         socket_counts = {spec.socket_count for spec in servers}
         if len(socket_counts) != 1:
@@ -1064,6 +1090,8 @@ class FleetVectorKernel:
         out_deficit[...] = deficit
         if out_dimm is not None:
             out_dimm[...] = self.t_m
+        if self._metric_steps is not None:
+            self._metric_steps.inc()
         return capacity, leakage_w
 
     # ------------------------------------------------------------------

@@ -160,6 +160,7 @@ def run_experiment(
     ambient: Optional[AmbientModel] = None,
     engine: str = "kernel",
     faults: Optional[Iterable[Tuple[int, SensorFault]]] = None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run one controller against one workload profile.
 
@@ -179,6 +180,10 @@ def run_experiment(
     its last commands until the channel returns.  Pass fresh fault
     instances per run — :class:`~repro.server.faults.SpikeFault` keeps
     RNG state.
+
+    *metrics* is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry`; the kernel engine
+    counts its integrated ticks and chunks into it.
     """
     if engine not in ("kernel", "reference"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -197,6 +202,7 @@ def run_experiment(
         dt_s=config.dt_s,
         steps=steps,
         monitor_window_s=config.monitor_window_s,
+        metrics=metrics,
     )
     kernel.set_fan_command(rpm_command)
 

@@ -42,7 +42,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import isnan
-from typing import Callable, List, Optional, Union
+from time import perf_counter
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+
+if TYPE_CHECKING:  # observability taps; annotation-only imports
+    from repro.obs.capture import FleetCapture
+    from repro.obs.metrics import MetricsRegistry
 
 import numpy as np
 
@@ -254,6 +267,26 @@ class FleetResult:
         return np.cumsum(self.work_deficit_pct * self.dt_s, axis=0)
 
 
+@dataclass(frozen=True)
+class FleetTickView:
+    """Read-only per-tick snapshot yielded by :meth:`FleetEngine.run_stream`.
+
+    Array fields are length-N views into the engine's trace block for
+    the just-completed tick; ``time_s`` is the end-of-tick timestamp
+    (the same grid as :attr:`FleetResult.times_s`).
+    """
+
+    tick: int
+    time_s: float
+    total_power_w: np.ndarray
+    fan_power_w: np.ndarray
+    max_junction_c: np.ndarray
+    utilization_pct: np.ndarray
+    inlet_c: np.ndarray
+    mean_rpm: np.ndarray
+    unserved_pct: float
+
+
 class FleetEngine:
     """Schedules, controls and steps N servers in lock-step."""
 
@@ -269,6 +302,8 @@ class FleetEngine:
         cold_start: bool = False,
         cold_start_rpm: float = 3600.0,
         faults: Optional[FaultSchedule] = None,
+        capture: Optional["FleetCapture"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         if backend not in ("vector", "vector-legacy", "reference"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -311,11 +346,20 @@ class FleetEngine:
         if faults is not None:
             faults.validate_for(fleet)
         self.faults = faults
+        # Observability taps (see repro.obs): both default to None and
+        # cost nothing when absent.  ``capture`` streams trace rows
+        # into a timeseries store at chunk granularity; ``metrics``
+        # receives per-phase timers from the kernel loop.
+        self.capture = capture
+        self.metrics = metrics
+        #: Result of the most recent completed run (set by ``run`` and
+        #: by exhausting :meth:`run_stream`).
+        self.last_result: Optional[FleetResult] = None
 
     # ------------------------------------------------------------------
     def _make_backend(self):
         if self.backend in ("vector", "vector-legacy"):
-            return FleetVectorKernel(self.fleet)
+            return FleetVectorKernel(self.fleet, metrics=self.metrics)
         return _ReferenceBackend(self.fleet, self.seed, self.trip_on_critical)
 
     def _validated_command(self, index: int, rpm: float) -> float:
@@ -365,7 +409,9 @@ class FleetEngine:
         )
         if self.backend == "vector":
             return self._run_kernel(dt_s, steps, plan)
-        return self._run_legacy(dt_s, steps, plan)
+        result = self._run_legacy(dt_s, steps, plan)
+        self.last_result = result
+        return result
 
     # ------------------------------------------------------------------
     # shared setup / teardown
@@ -472,6 +518,68 @@ class FleetEngine:
             fault_unserved_pct=trace_fault_unserved,
         )
 
+    def _alloc_traces(self, steps: int) -> Dict[str, np.ndarray]:
+        """Preallocate the whole-horizon trace block for one run."""
+        n = self.fleet.server_count
+        return {
+            "power": np.empty((steps, n)),
+            "fan": np.empty((steps, n)),
+            "junction": np.empty((steps, n)),
+            "util": np.empty((steps, n)),
+            "inlet": np.empty((steps, n)),
+            "rpm": np.empty((steps, n)),
+            "unserved": np.empty(steps),
+            "pstate": np.empty((steps, n), dtype=int),
+            "deficit": np.empty((steps, n)),
+            "respilled": np.zeros(steps),
+            "fault_unserved": np.zeros(steps),
+        }
+
+    def _result_from_traces(
+        self,
+        dt_s: float,
+        steps: int,
+        trace: Dict[str, np.ndarray],
+        plan: Optional[FleetFaultPlan],
+    ) -> FleetResult:
+        return self._build_result(
+            dt_s,
+            steps,
+            trace["power"],
+            trace["fan"],
+            trace["junction"],
+            trace["util"],
+            trace["inlet"],
+            trace["rpm"],
+            trace["unserved"],
+            trace["pstate"],
+            trace["deficit"],
+            plan=plan,
+            trace_respilled=trace["respilled"],
+            trace_fault_unserved=trace["fault_unserved"],
+        )
+
+    def _capture_flush(
+        self,
+        times_rec: np.ndarray,
+        trace: Dict[str, np.ndarray],
+        start: int,
+        stop: int,
+    ) -> None:
+        """Hand trace rows ``[start, stop)`` to the capture tap."""
+        self.capture.flush(
+            times_rec[start:stop],
+            {
+                "power": trace["power"][start:stop],
+                "fan": trace["fan"][start:stop],
+                "junction": trace["junction"][start:stop],
+                "util": trace["util"][start:stop],
+                "inlet": trace["inlet"][start:stop],
+                "rpm": trace["rpm"][start:stop],
+            },
+            unserved_pct=trace["unserved"][start:stop],
+        )
+
     # ------------------------------------------------------------------
     # kernelized loop (backend="vector")
     # ------------------------------------------------------------------
@@ -481,8 +589,84 @@ class FleetEngine:
         steps: int,
         plan: Optional[FleetFaultPlan] = None,
     ) -> FleetResult:
+        trace = self._alloc_traces(steps)
+        for _ in self._kernel_tick_stream(dt_s, steps, plan, trace):
+            pass
+        result = self._result_from_traces(dt_s, steps, trace, plan)
+        self.last_result = result
+        return result
+
+    def run_stream(
+        self, dt_s: float = 1.0, duration_s: Optional[float] = None
+    ) -> Iterator["FleetTickView"]:
+        """Incrementally run the scenario, yielding one view per tick.
+
+        The streaming twin of :meth:`run` for the ``vector`` backend:
+        the identical kernel loop executes underneath (bit-identical
+        traces), but control returns to the caller after every tick —
+        the live telemetry service paces this generator against wall
+        clock.  After exhaustion the full :class:`FleetResult` is
+        available as :attr:`last_result`.
+
+        The yielded arrays are views into the engine's trace block:
+        read them, never write them.
+        """
+        if self.backend != "vector":
+            raise ValueError(
+                "run_stream requires the 'vector' backend, "
+                f"engine uses {self.backend!r}"
+            )
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if duration_s is None:
+            duration_s = self.workload.duration_s
+        steps = int(round(duration_s / dt_s))
+        if steps <= 0:
+            raise ValueError("workload too short for the configured dt_s")
+        plan = (
+            self.faults.compile(self.fleet, steps, dt_s)
+            if self.faults is not None
+            else None
+        )
+        trace = self._alloc_traces(steps)
+
+        def stream() -> Iterator[FleetTickView]:
+            for tick, time_s in self._kernel_tick_stream(
+                dt_s, steps, plan, trace
+            ):
+                yield FleetTickView(
+                    tick=tick,
+                    time_s=time_s,
+                    total_power_w=trace["power"][tick],
+                    fan_power_w=trace["fan"][tick],
+                    max_junction_c=trace["junction"][tick],
+                    utilization_pct=trace["util"][tick],
+                    inlet_c=trace["inlet"][tick],
+                    mean_rpm=trace["rpm"][tick],
+                    unserved_pct=float(trace["unserved"][tick]),
+                )
+            self.last_result = self._result_from_traces(
+                dt_s, steps, trace, plan
+            )
+
+        return stream()
+
+    def _kernel_tick_stream(
+        self,
+        dt_s: float,
+        steps: int,
+        plan: Optional[FleetFaultPlan],
+        trace: Dict[str, np.ndarray],
+    ) -> Iterator[tuple]:
+        """The kernelized per-tick loop, yielding ``(tick, time_s)``.
+
+        Single implementation behind both :meth:`run` (which drains
+        it) and :meth:`run_stream`; the yield sits after the tick's
+        trace rows are final.  ``time_s`` in the yielded pair is the
+        *end-of-tick* timestamp, matching ``FleetResult.times_s``.
+        """
         n = self.fleet.server_count
-        physics = FleetVectorKernel(self.fleet)
+        physics = FleetVectorKernel(self.fleet, metrics=self.metrics)
         if self.cold_start:
             physics.force_cold_state(self.cold_start_rpm)
         rack_of = np.asarray(self.fleet.rack_index_of_server)
@@ -521,17 +705,17 @@ class FleetEngine:
         # both are computed lazily from the pre-step fleet state
         slope_fn = physics.leakage_slope_w_per_c
 
-        trace_power = np.empty((steps, n))
-        trace_fan = np.empty((steps, n))
-        trace_junction = np.empty((steps, n))
-        trace_util = np.empty((steps, n))
-        trace_inlet = np.empty((steps, n))
-        trace_rpm = np.empty((steps, n))
-        trace_unserved = np.empty(steps)
-        trace_pstate = np.empty((steps, n), dtype=int)
-        trace_deficit = np.empty((steps, n))
-        trace_respilled = np.zeros(steps)
-        trace_fault_unserved = np.zeros(steps)
+        trace_power = trace["power"]
+        trace_fan = trace["fan"]
+        trace_junction = trace["junction"]
+        trace_util = trace["util"]
+        trace_inlet = trace["inlet"]
+        trace_rpm = trace["rpm"]
+        trace_unserved = trace["unserved"]
+        trace_pstate = trace["pstate"]
+        trace_deficit = trace["deficit"]
+        trace_respilled = trace["respilled"]
+        trace_fault_unserved = trace["fault_unserved"]
 
         policy = self.scheduler.policy
         controllers = self.controllers
@@ -540,6 +724,35 @@ class FleetEngine:
             for controller in controllers
         ]
         apply_faults = plan is not None
+
+        # Observability taps — both None in plain batch runs, in which
+        # case the loop body takes the exact pre-existing path.
+        capture = self.capture
+        times_rec = np.arange(1, steps + 1) * dt_s
+        flush_start = 0
+        chunk_ticks = capture.chunk_ticks if capture is not None else 0
+        if capture is not None:
+            capture.bind(n)
+        timers = None
+        if self.metrics is not None:
+            timers = (
+                self.metrics.timer(
+                    "repro_fleet_placement",
+                    "Placement policy + scheduler assignment",
+                ),
+                self.metrics.timer(
+                    "repro_fleet_control_poll",
+                    "Controller polls (fan + p-state decisions)",
+                ),
+                self.metrics.timer(
+                    "repro_fleet_thermal_step",
+                    "Vectorized physics step (RC substeps + power)",
+                ),
+                self.metrics.timer(
+                    "repro_fleet_trace_write",
+                    "Capture flushes into the timeseries store",
+                ),
+            )
 
         for tick in range(steps):
             time_s = times_pre_list[tick]
@@ -553,6 +766,8 @@ class FleetEngine:
             inlet = supply_now + offsets
 
             outage_now = apply_faults and plan.outage_any[tick]
+            if timers is not None:
+                _t0 = perf_counter()
             arrays = FleetLoadArrays(
                 utilization_pct=executed,
                 max_junction_c=max_j,
@@ -613,8 +828,12 @@ class FleetEngine:
                     )
                 else:
                     decision = self.scheduler.assign(views, totals_list[tick])
+            if timers is not None:
+                timers[0].add(perf_counter() - _t0)
 
             if time_s >= next_poll_due - _POLL_EPS_S:
+                if timers is not None:
+                    _t0 = perf_counter()
                 avg_j = physics.t_j.mean(axis=1)
                 for i in np.nonzero(time_s >= next_poll - _POLL_EPS_S)[0]:
                     controller = controllers[i]
@@ -657,6 +876,8 @@ class FleetEngine:
                     while time_s >= next_poll[i] - _POLL_EPS_S:
                         next_poll[i] += controller.poll_interval_s
                 next_poll_due = next_poll.min()
+                if timers is not None:
+                    timers[1].add(perf_counter() - _t0)
 
             # a degraded fan bank caps the achievable rotor speed below
             # the controller's command (the command itself is untouched)
@@ -665,6 +886,8 @@ class FleetEngine:
             else:
                 actuated_rpm = rpm_command
 
+            if timers is not None:
+                _t0 = perf_counter()
             air_capacity, leak_w = physics.step_into(
                 dt_s,
                 substeps,
@@ -690,23 +913,28 @@ class FleetEngine:
             exhaust_rise = trace_power[tick] / air_capacity
             trace_inlet[tick] = inlet
             trace_unserved[tick] = decision.unserved_pct
+            if timers is not None:
+                timers[2].add(perf_counter() - _t0)
 
-        return self._build_result(
-            dt_s,
-            steps,
-            trace_power,
-            trace_fan,
-            trace_junction,
-            trace_util,
-            trace_inlet,
-            trace_rpm,
-            trace_unserved,
-            trace_pstate,
-            trace_deficit,
-            plan=plan,
-            trace_respilled=trace_respilled,
-            trace_fault_unserved=trace_fault_unserved,
-        )
+            if capture is not None and (
+                tick + 1 - flush_start >= chunk_ticks or tick + 1 == steps
+            ):
+                if timers is not None:
+                    _t0 = perf_counter()
+                self._capture_flush(times_rec, trace, flush_start, tick + 1)
+                flush_start = tick + 1
+                if timers is not None:
+                    timers[3].add(perf_counter() - _t0)
+
+            yield tick, times_rec[tick]
+
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_fleet_ticks_total", "Fleet engine ticks executed"
+            ).inc(steps)
+            self.metrics.gauge(
+                "repro_fleet_sim_time_seconds", "Simulated seconds completed"
+            ).set(steps * dt_s)
 
     # ------------------------------------------------------------------
     # pre-kernel loop (backends "vector-legacy" and "reference")
@@ -749,6 +977,23 @@ class FleetEngine:
 
         apply_faults = plan is not None
         apply_excursions = getattr(physics, "apply_supply_excursions", None)
+
+        # Live capture rides the same trace-row seam as the kernel
+        # loop, so captured streams are backend-independent.
+        capture = self.capture
+        times_rec = np.arange(1, steps + 1) * dt_s
+        flush_start = 0
+        capture_rows = {
+            "power": trace_power,
+            "fan": trace_fan,
+            "junction": trace_junction,
+            "util": trace_util,
+            "inlet": trace_inlet,
+            "rpm": trace_rpm,
+            "unserved": trace_unserved,
+        }
+        if capture is not None:
+            capture.bind(n)
 
         time_s = 0.0
         for tick in range(steps):
@@ -865,6 +1110,18 @@ class FleetEngine:
             trace_pstate[tick] = state.pstate_index
             trace_deficit[tick] = state.work_deficit_pct
             time_s += dt_s
+
+            if capture is not None and (
+                tick + 1 - flush_start >= capture.chunk_ticks
+                or tick + 1 == steps
+            ):
+                sl = slice(flush_start, tick + 1)
+                capture.flush(
+                    times_rec[sl],
+                    {k: v[sl] for k, v in capture_rows.items() if v.ndim == 2},
+                    unserved_pct=trace_unserved[sl],
+                )
+                flush_start = tick + 1
 
         return self._build_result(
             dt_s,

@@ -1,0 +1,74 @@
+"""Fleet observability: timeseries store, metrics, detection, service.
+
+The paper's methodology is built on continuous telemetry (CSTH polls
+every 10 s on the service processor) and on prognostics that watch it
+(MSET similarity models, SPRT detectors).  This package promotes the
+seed's single-server telemetry substrate to fleet scale and keeps it
+*live*:
+
+* :mod:`repro.obs.store` — bounded in-memory timeseries store
+  (per-channel ring buffers + downsampled retention tiers);
+* :mod:`repro.obs.capture` — near-zero-overhead tap from the fleet
+  engine's trace rows into the store;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms /
+  per-phase timers with Prometheus text exposition;
+* :mod:`repro.obs.detect` — streaming fleet anomaly detection (SPRT
+  banks over peer-fit residuals) scored against
+  :class:`~repro.fleet.faults.FaultSchedule` ground truth;
+* :mod:`repro.obs.service` — the asyncio live-telemetry service
+  behind the ``repro serve`` CLI.
+"""
+
+from repro.obs.capture import CAPTURE_SIGNALS, FleetCapture
+from repro.obs.detect import (
+    Alert,
+    DetectionReport,
+    DetectorConfig,
+    EventOutcome,
+    StreamingFleetDetector,
+    VectorSprt,
+    replay_channels,
+    score_alerts,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+    default_registry,
+    merge_snapshots,
+)
+from repro.obs.service import LiveTelemetryService, ServiceConfig
+from repro.obs.store import (
+    ChannelStats,
+    StoreChannel,
+    TierSpec,
+    TimeseriesStore,
+)
+
+__all__ = [
+    "Alert",
+    "CAPTURE_SIGNALS",
+    "ChannelStats",
+    "Counter",
+    "DetectionReport",
+    "DetectorConfig",
+    "EventOutcome",
+    "FleetCapture",
+    "Gauge",
+    "Histogram",
+    "LiveTelemetryService",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "ServiceConfig",
+    "StoreChannel",
+    "StreamingFleetDetector",
+    "TierSpec",
+    "TimeseriesStore",
+    "VectorSprt",
+    "default_registry",
+    "merge_snapshots",
+    "replay_channels",
+    "score_alerts",
+]

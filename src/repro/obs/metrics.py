@@ -1,0 +1,409 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+The observability layer instruments the hot paths (fleet kernel,
+placement, control polls, trace writes, sweep execution) with a small
+set of metric primitives — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram`, and :class:`PhaseTimer` — collected in a
+:class:`MetricsRegistry`.  The registry renders two ways:
+
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (version 0.0.4), served by ``repro serve`` at
+  ``/metrics``;
+* :meth:`MetricsRegistry.snapshot` — a plain JSON-safe dict embedded
+  into the ``BENCH_*.json`` artifacts.
+
+All primitives are cheap (a float add behind a lock) but not free;
+engine instrumentation is therefore *opt-in*: the engines accept an
+optional registry and skip all timing when none is supplied, so batch
+runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseTimer",
+    "MetricsRegistry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram bucket upper bounds, in seconds — tuned for the
+#: per-phase engine timings (placement / thermal step / control poll),
+#: which run from microseconds to tens of milliseconds per tick.
+DEFAULT_BUCKETS_S: Tuple[float, ...] = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing count (events, ticks, bytes)."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _check_name(name)
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current cumulative count."""
+        return self._value
+
+    def render(self) -> List[str]:
+        """Prometheus exposition lines for this metric."""
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} counter",
+            f"{self.name} {_format_value(self._value)}",
+        ]
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-safe summary of the metric."""
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Instantaneous value that can go up or down (temperature, lag)."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _check_name(name)
+        self.help_text = help_text
+        self._value = math.nan
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* to the gauge (NaN gauges start from 0)."""
+        with self._lock:
+            base = 0.0 if math.isnan(self._value) else self._value
+            self._value = base + amount
+
+    @property
+    def value(self) -> float:
+        """Current value (NaN until first ``set``)."""
+        return self._value
+
+    def render(self) -> List[str]:
+        """Prometheus exposition lines for this metric."""
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} gauge",
+            f"{self.name} {_format_value(self._value)}",
+        ]
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-safe summary of the metric."""
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observed values.
+
+    Buckets follow Prometheus semantics: ``bucket[i]`` counts
+    observations ``<= bounds[i]``, with an implicit ``+Inf`` bucket
+    equal to the total count.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS_S,
+    ):
+        self.name = _check_name(name)
+        self.help_text = help_text
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._total = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._total += 1
+            self._sum += value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._total
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def render(self) -> List[str]:
+        """Prometheus exposition lines for this metric."""
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for bound, count in zip(self.bounds, self._counts):
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {count}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._total}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._total}")
+        return lines
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe summary of the metric."""
+        return {
+            "type": "histogram",
+            "count": self._total,
+            "sum": self._sum,
+            "buckets": dict(zip(map(str, self.bounds), self._counts)),
+        }
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timer for one engine phase.
+
+    Use as a context manager around the phase body::
+
+        with registry.timer("repro_fleet_placement"):
+            order = policy.order_indices(loads)
+
+    Renders as two series: ``<name>_seconds_total`` and
+    ``<name>_calls_total``.
+    """
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _check_name(name)
+        self.help_text = help_text
+        self._total_s = 0.0
+        self._calls = 0
+        self._last_s = math.nan
+        self._lock = threading.Lock()
+
+    def add(self, seconds: float) -> None:
+        """Record one timed phase of *seconds* duration."""
+        with self._lock:
+            self._total_s += seconds
+            self._calls += 1
+            self._last_s = seconds
+
+    def __enter__(self) -> "PhaseTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.add(time.perf_counter() - self._t0)
+
+    @property
+    def total_s(self) -> float:
+        """Cumulative seconds spent inside the phase."""
+        return self._total_s
+
+    @property
+    def calls(self) -> int:
+        """Number of completed phase executions."""
+        return self._calls
+
+    @property
+    def mean_s(self) -> float:
+        """Mean phase duration in seconds (NaN before the first call)."""
+        return self._total_s / self._calls if self._calls else math.nan
+
+    def render(self) -> List[str]:
+        """Prometheus exposition lines for this metric."""
+        return [
+            f"# HELP {self.name}_seconds_total {self.help_text}",
+            f"# TYPE {self.name}_seconds_total counter",
+            f"{self.name}_seconds_total {_format_value(self._total_s)}",
+            f"# TYPE {self.name}_calls_total counter",
+            f"{self.name}_calls_total {self._calls}",
+        ]
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-safe summary of the metric."""
+        return {
+            "type": "timer",
+            "total_s": self._total_s,
+            "calls": self._calls,
+            "mean_s": self.mean_s,
+        }
+
+
+class MetricsRegistry:
+    """Named collection of metrics with idempotent get-or-create.
+
+    Accessors (:meth:`counter`, :meth:`gauge`, :meth:`histogram`,
+    :meth:`timer`) return the existing metric when the name is already
+    registered — instrumentation sites never need to coordinate — and
+    raise ``TypeError`` if the name is bound to a different kind.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind: type, name: str, *args: object):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = kind(name, *args)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS_S,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help_text, buckets)
+
+    def timer(self, name: str, help_text: str = "") -> PhaseTimer:
+        """Get or create a :class:`PhaseTimer`."""
+        return self._get_or_create(PhaseTimer, name, help_text)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def render_prometheus(self) -> str:
+        """Render every metric in the Prometheus text format."""
+        lines: List[str] = []
+        for name in self.names():
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe dict of every metric, keyed by name.
+
+        This is the block embedded into ``BENCH_*.json`` artifacts so
+        benchmark runs carry their phase timings alongside the
+        headline numbers.
+        """
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+
+def _format_value(value: float) -> str:
+    """Format a float for exposition (integers without the dot)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Merge per-process registry snapshots (sum counters and timers).
+
+    The sweep executor runs points in worker processes; each worker
+    carries its own registry.  This combines their snapshots into one
+    fleet-wide view: counters/timers/histogram counts add, gauges keep
+    the last non-NaN value.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snap in snapshots:
+        for name, entry in snap.items():
+            if name not in merged:
+                merged[name] = dict(entry)
+                continue
+            base = merged[name]
+            kind = entry.get("type")
+            if kind != base.get("type"):
+                raise ValueError(f"metric {name!r} changed type across snapshots")
+            if kind == "counter":
+                base["value"] = float(base["value"]) + float(entry["value"])
+            elif kind == "gauge":
+                value = float(entry["value"])
+                if not math.isnan(value):
+                    base["value"] = value
+            elif kind == "timer":
+                base["total_s"] = float(base["total_s"]) + float(entry["total_s"])
+                base["calls"] = int(base["calls"]) + int(entry["calls"])
+                calls = int(base["calls"])
+                base["mean_s"] = (
+                    float(base["total_s"]) / calls if calls else math.nan
+                )
+            elif kind == "histogram":
+                base["count"] = int(base["count"]) + int(entry["count"])
+                base["sum"] = float(base["sum"]) + float(entry["sum"])
+                buckets = dict(base["buckets"])
+                for bound, count in entry["buckets"].items():
+                    buckets[bound] = buckets.get(bound, 0) + count
+                base["buckets"] = buckets
+    return merged
+
+
+_default_registry: Optional[MetricsRegistry] = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """Process-wide shared registry (created on first use)."""
+    global _default_registry
+    with _default_lock:
+        if _default_registry is None:
+            _default_registry = MetricsRegistry()
+        return _default_registry

@@ -17,17 +17,34 @@ expensive artifacts amortize them per process instead of per point.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from time import perf_counter
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.sweep.cache import ResultCache
 from repro.sweep.result import SweepResult
 from repro.sweep.scenarios import run_scenario
 from repro.sweep.spec import GridSpec, ScenarioSpec
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricsRegistry
+
 #: A sweep input: a grid, or explicit points.
 Sweepable = Union[GridSpec, Sequence[ScenarioSpec]]
+
+_LOG = logging.getLogger(__name__)
 
 
 def default_worker_count() -> int:
@@ -59,6 +76,7 @@ def run_sweep(
     workers: Optional[int] = 1,
     cache: Union[ResultCache, str, os.PathLike, None] = None,
     progress: Optional[Callable[[str], None]] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> SweepResult:
     """Run every point of *sweep* and return the tidy result table.
 
@@ -67,9 +85,14 @@ def run_sweep(
     one worker per core.  ``cache`` (a directory path or
     :class:`ResultCache`) short-circuits previously-computed points by
     content hash and persists fresh rows.  ``progress`` receives one
-    human-readable line per completed point.
+    human-readable line per completed point; when omitted, the lines
+    go to this module's logger at INFO instead.  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) receives point /
+    cache-hit counters and the per-point wall timer.
     """
     points = _resolve_points(sweep)
+    if progress is None:
+        progress = _LOG.info
     if workers is None:
         workers = default_worker_count()
     if workers < 1:
@@ -87,8 +110,23 @@ def run_sweep(
         else:
             misses.append(i)
     cache_hits = total - len(misses)
-    if progress is not None and cache_hits:
+    if cache_hits:
         progress(f"cache: {cache_hits}/{total} points already computed")
+
+    point_timer = None
+    if metrics is not None:
+        metrics.counter(
+            "repro_sweep_points_total", "Sweep points resolved"
+        ).inc(total)
+        metrics.counter(
+            "repro_sweep_cache_hits_total", "Sweep points served from cache"
+        ).inc(cache_hits)
+        metrics.counter(
+            "repro_sweep_executed_total", "Sweep points actually simulated"
+        ).inc(len(misses))
+        point_timer = metrics.timer(
+            "repro_sweep_point", "Wall time per executed sweep point"
+        )
 
     # Rows are cached as they complete (not after the whole sweep), so
     # an interrupted or failing run keeps its partial progress durable.
@@ -97,14 +135,17 @@ def run_sweep(
         rows[i] = row
         if cache is not None:
             cache.put(points[i], row)
-        if progress is not None:
-            progress(f"[{done}/{total}] {points[i].describe()}")
+        progress(f"[{done}/{total}] {points[i].describe()}")
 
     done = cache_hits
     if len(misses) <= 1 or workers == 1:
         for i in misses:
             done += 1
-            finish(i, _execute_point(points[i]), done)
+            _t0 = perf_counter()
+            row = _execute_point(points[i])
+            if point_timer is not None:
+                point_timer.add(perf_counter() - _t0)
+            finish(i, row, done)
     else:
         pool_size = min(workers, len(misses))
         # Chunks keep each worker's per-process memo (LUTs, fits) warm
@@ -116,8 +157,16 @@ def run_sweep(
                 [points[i] for i in misses],
                 chunksize=chunksize,
             )
+            _t0 = perf_counter()
             for i, row in zip(misses, ordered):
                 done += 1
+                # Pool wall time is attributed as it drains; with N
+                # workers the per-point figure is an upper bound on
+                # fleet-average latency, not a per-process CPU time.
+                if point_timer is not None:
+                    _t1 = perf_counter()
+                    point_timer.add(_t1 - _t0)
+                    _t0 = _t1
                 finish(i, row, done)
 
     return SweepResult.from_points(

@@ -11,6 +11,7 @@ runner.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.telemetry.channel import TelemetryChannel
@@ -19,7 +20,18 @@ Provider = Callable[[], float]
 
 
 class TelemetryHarness:
-    """Polls registered providers on a fixed period."""
+    """Polls registered providers on a fixed period.
+
+    Poll deadlines are generated *by index* from the first poll's
+    epoch (``epoch + k * interval``), never by accumulating the
+    interval or re-anchoring at the observed poll time.  Re-anchoring
+    lets float jitter compound: a tick grid built by ``t += dt`` sits
+    a few ULPs past the nominal times, each poll then lands "late",
+    and the late anchor pushes every later deadline further — over a
+    long horizon the harness drops polls (same failure mode
+    :func:`repro.engine.kernel.monitor_warmup_times` exists to avoid
+    on the warm-up grid).
+    """
 
     def __init__(self, poll_interval_s: float = 10.0):
         if poll_interval_s <= 0:
@@ -28,6 +40,8 @@ class TelemetryHarness:
         self._providers: Dict[str, Provider] = {}
         self._channels: Dict[str, TelemetryChannel] = {}
         self._last_poll_s: Optional[float] = None
+        self._epoch_s: Optional[float] = None
+        self._poll_count = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -94,11 +108,22 @@ class TelemetryHarness:
             raise KeyError(f"unknown telemetry channel {name!r}")
         return self._channels[name]
 
+    @property
+    def poll_count(self) -> int:
+        """Polls performed since construction."""
+        return self._poll_count
+
+    def next_poll_s(self) -> Optional[float]:
+        """The next scheduled poll time (``None`` before the first poll)."""
+        if self._epoch_s is None:
+            return None
+        return self._epoch_s + self._poll_count * self.poll_interval_s
+
     def due(self, time_s: float) -> bool:
         """Whether a poll is due at simulation time *time_s*."""
-        if self._last_poll_s is None:
+        if self._epoch_s is None:
             return True
-        return time_s - self._last_poll_s >= self.poll_interval_s - 1e-9
+        return time_s >= self.next_poll_s() - 1e-9
 
     def poll(self, time_s: float) -> Dict[str, float]:
         """Read every provider and append samples at *time_s*."""
@@ -108,6 +133,13 @@ class TelemetryHarness:
             self._channels[name].append(time_s, value)
             readings[name] = value
         self._last_poll_s = time_s
+        if self._epoch_s is None:
+            self._epoch_s = time_s
+        # Advance to the first index-generated deadline beyond time_s:
+        # one poll per period, and a time jump (paused consumer, coarse
+        # dt) skips the missed deadlines instead of polling a burst.
+        elapsed = (time_s - self._epoch_s) / self.poll_interval_s
+        self._poll_count = max(self._poll_count + 1, int(math.floor(elapsed + 1e-9)) + 1)
         return readings
 
     def maybe_poll(self, time_s: float) -> Optional[Dict[str, float]]:

@@ -1,0 +1,344 @@
+"""Unit tests for the streaming fleet anomaly-detection pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fleet.faults import (
+    CracExcursionEvent,
+    FaultSchedule,
+    SensorFaultEvent,
+    ServerOutageEvent,
+)
+from repro.obs.detect import (
+    Alert,
+    DetectorConfig,
+    StreamingFleetDetector,
+    VectorSprt,
+    replay_channels,
+    score_alerts,
+)
+from repro.obs.metrics import MetricsRegistry
+
+N = 6
+DT = 60.0
+#: Per-server operating points with enough power spread for the peer
+#: fit (min_peer_spread_w = 20 W).
+POWER_W = np.asarray([200.0, 250.0, 300.0, 350.0, 400.0, 450.0])
+SLOPE_C_PER_W = 0.04
+
+
+def healthy_junction():
+    return 30.0 + SLOPE_C_PER_W * POWER_W
+
+
+def make_detector(**overrides):
+    cfg = DetectorConfig(**overrides)
+    return StreamingFleetDetector(N, DT, config=cfg)
+
+
+def warm_up(det, ticks=None):
+    """Feed steady healthy telemetry through the warm-up window."""
+    steps = ticks if ticks is not None else int(det.config.warmup_s / DT) + 2
+    t = 0.0
+    for _ in range(steps):
+        alerts = det.observe_tick(
+            t,
+            healthy_junction(),
+            power_w=POWER_W,
+            inlet_c=np.full(N, 24.0),
+            utilization_pct=np.full(N, 50.0),
+        )
+        assert alerts == []
+        t += DT
+    return t
+
+
+class TestVectorSprt:
+    def test_sustained_shift_alarms_only_shifted_tests(self):
+        sprt = VectorSprt(3, sigma=1.0, shift=4.0)
+        alarmed_at = None
+        for k in range(50):
+            mask = sprt.update(np.asarray([0.0, 6.0, 0.0]))
+            if mask[1] and alarmed_at is None:
+                alarmed_at = k
+            assert not mask[0] and not mask[2]
+        assert alarmed_at is not None and alarmed_at <= 3
+
+    def test_zero_mean_noise_never_alarms(self):
+        sprt = VectorSprt(2, sigma=1.0, shift=8.0)
+        rng = np.random.default_rng(7)
+        for _ in range(5000):
+            assert not sprt.update(rng.normal(0.0, 1.0, 2)).any()
+
+    def test_non_finite_residual_alarms_immediately(self):
+        sprt = VectorSprt(2, sigma=1.0, shift=4.0)
+        mask = sprt.update(np.asarray([0.0, math.nan]))
+        assert mask.tolist() == [False, True]
+
+    def test_alarm_resets_statistic(self):
+        sprt = VectorSprt(1, sigma=1.0, shift=4.0)
+        while not sprt.update(np.asarray([6.0]))[0]:
+            pass
+        assert sprt.statistic[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorSprt(0, sigma=1.0, shift=1.0)
+        with pytest.raises(ValueError):
+            VectorSprt(1, sigma=0.0, shift=1.0)
+        with pytest.raises(ValueError):
+            VectorSprt(1, sigma=1.0, shift=1.0, false_alarm=0.0)
+
+
+class TestStreamingFleetDetector:
+    def test_healthy_fleet_never_alerts(self):
+        det = make_detector()
+        t = warm_up(det)
+        rng = np.random.default_rng(11)
+        for _ in range(300):
+            alerts = det.observe_tick(
+                t,
+                healthy_junction() + rng.normal(0.0, 0.3, N),
+                power_w=POWER_W,
+                inlet_c=np.full(N, 24.0) + rng.normal(0.0, 0.1, N),
+                utilization_pct=np.full(N, 50.0),
+            )
+            assert alerts == []
+            t += DT
+        assert det.alerts == []
+
+    def test_junction_step_fault_detected_on_right_server(self):
+        det = make_detector()
+        t = warm_up(det)
+        onset = t
+        detected = None
+        for _ in range(60):
+            obs = healthy_junction()
+            obs[2] += 12.0  # a lying sensor, way past the 5 degC dead zone
+            alerts = det.observe_tick(
+                t, obs, power_w=POWER_W,
+                inlet_c=np.full(N, 24.0),
+                utilization_pct=np.full(N, 50.0),
+            )
+            if alerts:
+                detected = (t - onset, alerts)
+                break
+            t += DT
+        assert detected is not None
+        ttd, alerts = detected
+        assert [a.server for a in alerts] == [2]
+        assert alerts[0].channel == "junction"
+        assert ttd <= 15 * DT
+
+    def test_sensor_dropout_alarms_immediately(self):
+        det = make_detector()
+        t = warm_up(det)
+        obs = healthy_junction()
+        obs[4] = math.nan
+        alerts = det.observe_tick(
+            t, obs, power_w=POWER_W,
+            inlet_c=np.full(N, 24.0),
+            utilization_pct=np.full(N, 50.0),
+        )
+        assert [a.server for a in alerts] == [4]
+
+    def test_alert_latched_not_repeated(self):
+        det = make_detector()
+        t = warm_up(det)
+        total = 0
+        for _ in range(30):
+            obs = healthy_junction()
+            obs[2] += 12.0
+            total += len(det.observe_tick(
+                t, obs, power_w=POWER_W,
+                inlet_c=np.full(N, 24.0),
+                utilization_pct=np.full(N, 50.0),
+            ))
+            t += DT
+        assert total == 1
+
+    def test_inlet_excursion_detected(self):
+        det = make_detector()
+        t = warm_up(det)
+        alerts = []
+        for _ in range(30):
+            inlet = np.full(N, 24.0)
+            inlet[1] += 4.0
+            alerts += det.observe_tick(
+                t, healthy_junction(), power_w=POWER_W,
+                inlet_c=inlet, utilization_pct=np.full(N, 50.0),
+            )
+            if alerts:
+                break
+            t += DT
+        assert alerts and alerts[0].server == 1
+        assert alerts[0].channel == "inlet"
+
+    def test_availability_alert_after_hold(self):
+        det = make_detector()
+        t = warm_up(det)
+        hold_ticks = int(det.config.availability_hold_s / DT)
+        util = np.full(N, 50.0)
+        util[3] = 0.0
+        alerts = []
+        ticks = 0
+        while not alerts:
+            alerts = det.observe_tick(
+                t, healthy_junction(), power_w=POWER_W,
+                inlet_c=np.full(N, 24.0), utilization_pct=util,
+            )
+            # the idle server must not raise a junction/inlet alert
+            assert all(a.channel == "availability" for a in alerts)
+            t += DT
+            ticks += 1
+            assert ticks <= hold_ticks + 2
+        assert alerts[0].server == 3
+        assert ticks == hold_ticks
+
+    def test_short_idle_is_not_an_outage(self):
+        det = make_detector()
+        t = warm_up(det)
+        hold_ticks = int(det.config.availability_hold_s / DT)
+        for k in range(hold_ticks * 3):
+            util = np.full(N, 50.0)
+            # idles long but always one tick short of the hold
+            if k % hold_ticks != 0:
+                util[3] = 0.0
+            assert det.observe_tick(
+                t, healthy_junction(), power_w=POWER_W,
+                inlet_c=np.full(N, 24.0), utilization_pct=util,
+            ) == []
+            t += DT
+
+    def test_fleetwide_idle_is_not_an_outage(self):
+        # A coordinated idle period (batch gap) zeroes every server;
+        # with no serving peers the availability monitor must hold.
+        det = make_detector()
+        t = warm_up(det)
+        for _ in range(60):
+            assert det.observe_tick(
+                t, healthy_junction(), power_w=POWER_W,
+                inlet_c=np.full(N, 24.0),
+                utilization_pct=np.zeros(N),
+            ) == []
+            t += DT
+
+    def test_metrics_counters(self):
+        reg = MetricsRegistry()
+        det = StreamingFleetDetector(N, DT, metrics=reg)
+        t = warm_up(det)
+        obs = healthy_junction()
+        obs[0] = math.nan
+        det.observe_tick(t, obs, power_w=POWER_W)
+        assert reg.counter("repro_detector_alerts_total").value == 1
+        assert reg.counter("repro_detector_ticks_total").value > 0
+
+    def test_sigma_floors_applied(self):
+        det = make_detector()
+        warm_up(det)
+        assert det.ready
+        assert det.sigma_junction_c >= det.config.sigma_floor_junction_c
+        assert det.sigma_inlet_c >= det.config.sigma_floor_inlet_c
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(warmup_s=-1.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(shift_sigmas=0.0)
+        with pytest.raises(ValueError):
+            StreamingFleetDetector(0, DT)
+        with pytest.raises(ValueError):
+            StreamingFleetDetector(N, 0.0)
+
+
+class TestScoring:
+    def _alert(self, t, server, channel="junction"):
+        return Alert(time_s=t, server=server, channel=channel, residual=9.0)
+
+    def test_scores_ttd_and_recall(self):
+        schedule = FaultSchedule(events=(
+            SensorFaultEvent(
+                server=2, mode="stuck", value=30.0, start_s=1000.0, end_s=5000.0
+            ),
+            ServerOutageEvent(server=4, start_s=2000.0, end_s=6000.0),
+        ))
+        alerts = [
+            self._alert(1300.0, 2),
+            self._alert(2900.0, 4, "availability"),
+            self._alert(100.0, 0),  # before any event: false positive
+        ]
+        report = score_alerts(alerts, schedule, N, horizon_s=8000.0)
+        assert report.detected_count == 2
+        by_kind = {o.kind: o for o in report.outcomes}
+        assert by_kind["sensor"].time_to_detect_s == 300.0
+        assert by_kind["outage"].time_to_detect_s == 900.0
+        assert by_kind["outage"].alert_channel == "availability"
+        assert report.recall_by_kind == {"sensor": 1.0, "outage": 1.0}
+        assert len(report.false_positives) == 1
+        assert report.false_positives[0].server == 0
+        assert report.false_positive_rate_per_server_hour > 0
+
+    def test_crac_event_expands_by_rack(self):
+        schedule = FaultSchedule(events=(
+            CracExcursionEvent(delta_c=4.0, rack=1, start_s=1000.0, end_s=2000.0),
+        ))
+        rack_of = [0, 0, 0, 1, 1, 1]
+        report = score_alerts(
+            [self._alert(1100.0, 4, "inlet")],
+            schedule, N, horizon_s=4000.0, rack_of=rack_of,
+        )
+        outcome = report.outcomes[0]
+        assert outcome.servers == (3, 4, 5)
+        assert outcome.detected
+        assert outcome.time_to_detect_s == 100.0
+
+    def test_undetected_event_has_nan_ttd(self):
+        schedule = FaultSchedule(events=(
+            ServerOutageEvent(server=1, start_s=1000.0, end_s=2000.0),
+        ))
+        report = score_alerts([], schedule, N, horizon_s=4000.0)
+        outcome = report.outcomes[0]
+        assert not outcome.detected
+        assert math.isnan(outcome.time_to_detect_s)
+        assert report.recall_by_kind == {"outage": 0.0}
+
+    def test_report_round_trips_to_dict(self):
+        schedule = FaultSchedule(events=(
+            ServerOutageEvent(server=1, start_s=1000.0, end_s=2000.0),
+        ))
+        report = score_alerts(
+            [self._alert(1500.0, 1)], schedule, N, horizon_s=4000.0
+        )
+        payload = report.to_dict()
+        assert payload["outcomes"][0]["detected"] is True
+        assert payload["alert_count"] == 1
+
+
+class TestReplay:
+    def test_replay_matches_streaming(self):
+        steps = 120
+        times = DT * np.arange(1, steps + 1)
+        junction = np.tile(healthy_junction(), (steps, 1))
+        junction[60:, 2] += 12.0
+        power = np.tile(POWER_W, (steps, 1))
+        inlet = np.full((steps, N), 24.0)
+        util = np.full((steps, N), 50.0)
+
+        detector = replay_channels(
+            times, junction, power_w=power, inlet_c=inlet,
+            utilization_pct=util,
+        )
+        assert [a.server for a in detector.alerts] == [2]
+        assert detector.alerts[0].channel == "junction"
+
+    def test_replay_accepts_transposed_layout(self):
+        steps = 80
+        times = DT * np.arange(1, steps + 1)
+        junction = np.tile(healthy_junction(), (steps, 1))
+        det_a = replay_channels(times, junction, power_w=np.tile(POWER_W, (steps, 1)))
+        det_b = replay_channels(
+            times, junction.T, power_w=np.tile(POWER_W, (steps, 1)).T
+        )
+        assert det_a.alerts == det_b.alerts == []

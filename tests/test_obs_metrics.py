@@ -1,0 +1,150 @@
+"""Unit tests for the observability metrics registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+    default_registry,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_bad_names_rejected(self):
+        for bad in ("", "9lead", "with space", "dash-ed"):
+            with pytest.raises(ValueError):
+                Counter(bad)
+
+    def test_thread_safety(self):
+        c = Counter("contended_total")
+
+        def spin():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("depth")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("latency_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        text = "\n".join(h.render())
+        assert 'le="0.1"} 1' in text
+        assert 'le="1"} 2' in text
+        assert 'le="+Inf"} 3' in text
+
+    def test_buckets_sorted_and_nonempty(self):
+        h = Histogram("h", buckets=(1.0, 0.1))
+        assert h.bounds == (0.1, 1.0)
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=())
+
+
+class TestPhaseTimer:
+    def test_context_manager_accumulates(self):
+        t = PhaseTimer("phase")
+        with t:
+            pass
+        t.add(0.25)
+        assert t.calls == 2
+        assert t.total_s >= 0.25
+        assert t.mean_s == t.total_s / 2
+
+    def test_render_names(self):
+        t = PhaseTimer("thermal_step")
+        t.add(1.0)
+        text = "\n".join(t.render())
+        assert "thermal_step_seconds_total 1" in text
+        assert "thermal_step_calls_total 1" in text
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(TypeError):
+            reg.gauge("x_total")
+
+    def test_render_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "things").inc(2)
+        reg.gauge("b").set(math.nan)
+        reg.gauge("c").set(math.inf)
+        text = reg.render_prometheus()
+        assert "# TYPE a_total counter" in text
+        assert "a_total 2" in text
+        assert "b NaN" in text
+        assert "c +Inf" in text
+        assert text.endswith("\n")
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.timer("t")
+        assert "t" in reg
+        assert reg.names() == ["t"]
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_and_gauges_take_last(self):
+        a = MetricsRegistry()
+        a.counter("points_total").inc(3)
+        a.gauge("temp").set(10.0)
+        a.timer("phase").add(1.0)
+        b = MetricsRegistry()
+        b.counter("points_total").inc(4)
+        b.gauge("temp").set(20.0)
+        b.timer("phase").add(0.5)
+
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["points_total"]["value"] == 7
+        assert merged["temp"]["value"] == 20.0
+        assert merged["phase"]["total_s"] == pytest.approx(1.5)
+        assert merged["phase"]["calls"] == 2
+
+    def test_type_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("x")
+        b = MetricsRegistry()
+        b.gauge("x")
+        with pytest.raises(ValueError, match="changed type"):
+            merge_snapshots([a.snapshot(), b.snapshot()])

@@ -1,0 +1,148 @@
+"""Unit tests for the bounded in-memory timeseries store."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.store import (
+    DEFAULT_TIERS,
+    StoreChannel,
+    TierSpec,
+    TimeseriesStore,
+)
+
+
+def _fill(channel, n, t0=0.0, dt=1.0):
+    times = t0 + dt * np.arange(n)
+    values = np.arange(n, dtype=float)
+    channel.append_block(times, values)
+    return times, values
+
+
+class TestTierSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierSpec(factor=1, capacity=10)
+        with pytest.raises(ValueError):
+            TierSpec(factor=10, capacity=0)
+
+
+class TestStoreChannel:
+    def test_retains_everything_under_capacity(self):
+        ch = StoreChannel("x", "W", capacity=100)
+        times, values = _fill(ch, 50)
+        t, v = ch.series()
+        assert np.array_equal(t, times)
+        assert np.array_equal(v, values)
+        assert ch.latest == (49.0, 49.0)
+
+    def test_ring_wraparound_keeps_newest(self):
+        ch = StoreChannel("x", "W", capacity=10, tiers=())
+        _fill(ch, 25)
+        t, v = ch.series()
+        assert len(t) == 10
+        assert t[0] == 15.0 and t[-1] == 24.0
+        assert np.all(np.diff(t) > 0)
+        stats = ch.stats
+        assert stats.appended == 25
+        assert stats.dropped == 15
+        assert stats.retained_fraction == pytest.approx(10 / 25)
+
+    def test_block_larger_than_capacity(self):
+        ch = StoreChannel("x", "W", capacity=8, tiers=())
+        _fill(ch, 100)
+        t, v = ch.series()
+        assert np.array_equal(t, np.arange(92.0, 100.0))
+
+    def test_chunked_ingest_matches_bulk(self):
+        bulk = StoreChannel("a", "W", capacity=64, tiers=())
+        chunked = StoreChannel("b", "W", capacity=64, tiers=())
+        times = np.arange(200.0)
+        values = np.sin(times)
+        bulk.append_block(times, values)
+        # odd-size chunks cross the wrap boundary at every offset
+        for start in range(0, 200, 7):
+            sl = slice(start, min(start + 7, 200))
+            chunked.append_block(times[sl], values[sl])
+        tb, vb = bulk.series()
+        tc, vc = chunked.series()
+        assert np.array_equal(tb, tc)
+        assert np.array_equal(vb, vc)
+
+    def test_non_monotonic_rejected(self):
+        ch = StoreChannel("x", "W")
+        ch.append(10.0, 1.0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            ch.append(5.0, 2.0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            ch.append_block(
+                np.asarray([11.0, 10.5]), np.asarray([1.0, 2.0])
+            )
+
+    def test_since_query(self):
+        ch = StoreChannel("x", "W", capacity=100)
+        _fill(ch, 50)
+        t, v = ch.since(44.0)
+        assert t.tolist() == [45.0, 46.0, 47.0, 48.0, 49.0]
+        t, v = ch.since(1000.0)
+        assert len(t) == 0
+
+    def test_tier_aggregation(self):
+        ch = StoreChannel(
+            "x", "W", capacity=1000, tiers=(TierSpec(factor=10, capacity=50),)
+        )
+        _fill(ch, 100)
+        rollup = ch.tier(0)
+        assert len(rollup["times"]) == 10
+        # bucket 0 covers values 0..9
+        assert rollup["mean"][0] == pytest.approx(4.5)
+        assert rollup["min"][0] == 0.0
+        assert rollup["max"][0] == 9.0
+        # bucket timestamps are the bucket-closing sample times
+        assert rollup["times"][0] == 9.0
+
+    def test_tier_partial_bucket_held_back(self):
+        ch = StoreChannel(
+            "x", "W", capacity=1000, tiers=(TierSpec(factor=10, capacity=50),)
+        )
+        _fill(ch, 15)
+        assert len(ch.tier(0)["times"]) == 1
+        _fill(ch, 5, t0=15.0)
+        assert len(ch.tier(0)["times"]) == 2
+
+    def test_default_tiers_present(self):
+        ch = StoreChannel("x", "W")
+        assert ch.tier_count == len(DEFAULT_TIERS)
+
+
+class TestTimeseriesStore:
+    def test_register_rejects_duplicates(self):
+        store = TimeseriesStore()
+        store.register("x", "W")
+        with pytest.raises(ValueError):
+            store.register("x", "W")
+
+    def test_append_chunk_bulk_and_autoregister(self):
+        store = TimeseriesStore()
+        store.register("known", "W")
+        times = np.arange(10.0)
+        store.append_chunk(
+            times, {"known": times * 2, "new.channel": times * 3}
+        )
+        assert "new.channel" in store
+        t, v = store.channel("new.channel").series()
+        assert np.array_equal(v, times * 3)
+        assert store.total_samples() == 20
+        assert sorted(store.channel_names()) == ["known", "new.channel"]
+
+    def test_latest_map(self):
+        store = TimeseriesStore()
+        store.append("a", 1.0, 10.0)
+        store.append("a", 2.0, 20.0)
+        assert store.latest() == {"a": (2.0, 20.0)}
+
+    def test_metrics_integration(self):
+        reg = MetricsRegistry()
+        store = TimeseriesStore(metrics=reg)
+        store.append_chunk(np.arange(5.0), {"x": np.ones(5)})
+        assert reg.counter("repro_store_samples_total").value == 5

@@ -16,6 +16,7 @@ PACKAGES = (
     "repro.experiments",
     "repro.fleet",
     "repro.models",
+    "repro.obs",
     "repro.reporting",
     "repro.server",
     "repro.sweep",

@@ -117,3 +117,55 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize([])
+
+
+class TestEdgeCases:
+    """Degenerate inputs: empty, single-sample, and all-NaN series."""
+
+    def test_empty_series_raises_everywhere(self):
+        for call in (
+            lambda: rolling_mean([], [], 10.0),
+            lambda: settle_time_s([], []),
+            lambda: max_overshoot([], 75.0),
+            lambda: summarize([]),
+        ):
+            with pytest.raises(ValueError, match="empty"):
+                call()
+
+    def test_single_sample(self):
+        # One sample is its own window mean, settles instantly, and can
+        # neither cross a threshold nor complete a thermal cycle.
+        assert rolling_mean([0.0], [5.0], 10.0).tolist() == [5.0]
+        assert settle_time_s([0.0], [5.0]) == 0.0
+        assert count_threshold_crossings([5.0], 1.0) == 0
+        assert count_thermal_cycles([5.0]) == 0
+        summary = summarize([5.0])
+        assert summary.count == 1
+        assert summary.peak_to_peak == 0.0
+
+    def test_two_samples_no_cycles(self):
+        # A cycle needs a turning point; a monotone pair has none.
+        assert count_thermal_cycles([20.0, 80.0]) == 0
+
+    def test_all_nan_channel(self):
+        # A dropped-out channel (every read NaN) must not crash the
+        # evaluation: NaN propagates through the means, the settle
+        # scan never finds an in-band sample (full-span answer), and
+        # the overshoot/cycle counts stay at their "nothing happened"
+        # values (NaN comparisons are False).
+        nans = [float("nan")] * 3
+        times = [0.0, 1.0, 2.0]
+        assert np.isnan(rolling_mean(times, nans, 2.0)).all()
+        assert settle_time_s(times, nans) == 2.0
+        assert max_overshoot(nans, 75.0) == 0.0
+        assert count_threshold_crossings(nans, 75.0) == 0
+        assert count_thermal_cycles([float("nan")] * 5) == 0
+        summary = summarize(nans)
+        assert summary.count == 3
+        assert np.isnan(summary.mean)
+
+    def test_mismatched_and_non_monotonic_series_raise(self):
+        with pytest.raises(ValueError, match="same shape"):
+            rolling_mean([0.0, 1.0], [1.0], 10.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            settle_time_s([1.0, 0.0], [1.0, 2.0])
