@@ -1,0 +1,36 @@
+"""``reprolint`` — domain-aware static analysis for this repository.
+
+An AST-based lint engine plus four project-specific checkers that keep
+the reproduction's load-bearing conventions machine-checked:
+
+* **R001** unit-consistency over the ``_c``/``_w``/``_s``/``_pct``/...
+  suffix lexicon (:mod:`repro.analysis.rules.units`);
+* **R002** RNG discipline — seeded ``default_rng`` at declared entry
+  points only (:mod:`repro.analysis.rules.rng`);
+* **R003** hot-path allocation — marked kernel loops stay
+  allocation-free (:mod:`repro.analysis.rules.hotpath`);
+* **R004** trace-schema consistency between ``TraceRecorder``
+  producers/consumers and declared ``*TRACE_COLUMNS`` schemas
+  (:mod:`repro.analysis.rules.schema`).
+
+Run it via ``repro lint src/repro`` (see ``docs/static_analysis.md``
+for the rule catalog, suppression comments, and baseline workflow).
+"""
+
+from repro.analysis.config import RULE_IDS, RULE_SUMMARIES
+from repro.analysis.engine import Baseline, Finding, LintEngine, Rule, SourceFile
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintEngine",
+    "RULE_IDS",
+    "RULE_SUMMARIES",
+    "Rule",
+    "SourceFile",
+    "default_rules",
+    "render_json",
+    "render_text",
+]

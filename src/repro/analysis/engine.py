@@ -1,0 +1,317 @@
+"""AST lint engine: file model, suppression, baseline, rule driver.
+
+The engine parses every target file once, hands each rule a
+two-phase pass over the whole file set — ``collect`` (build cross-file
+state, e.g. the union of declared trace schemas) then ``check`` (emit
+findings) — and post-filters findings through per-line suppression
+comments and the committed JSON baseline:
+
+* ``# reprolint: disable=R001`` on a line suppresses the named
+  rule(s) for findings anchored to that line (comma-separate several,
+  or ``disable=all``).
+* ``# reprolint: disable-file=R001`` anywhere in a file suppresses
+  the rule for the whole file.
+* A baseline file (see :class:`Baseline`) grandfathers existing
+  findings by stable fingerprint, so the CI gate fails only on *new*
+  findings while the backlog is burned down explicitly.
+
+Fingerprints hash the rule id, the file's path relative to the lint
+root, and the stripped source line text (plus an occurrence counter
+for repeated lines) — never the line *number*, so unrelated edits
+above a grandfathered finding do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Matches one suppression comment; group 1 is ``disable`` or
+#: ``disable-file``, group 2 the comma-separated rule list.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+#: Matches the hot-function marker comment on a ``def`` line.
+_HOT_MARKER_RE = re.compile(r"#\s*reprolint:\s*hot\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    #: Rule identifier (``R001`` .. ``R004``).
+    rule: str
+    #: Path relative to the lint root, ``/``-separated.
+    path: str
+    #: 1-indexed source line.
+    line: int
+    #: 0-indexed column.
+    col: int
+    #: Human-readable description of the violation.
+    message: str
+    #: Stable identity for baselining (line-number independent).
+    fingerprint: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (the text reporter's row)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class SourceFile:
+    """One parsed lint target: source text, AST, and suppressions."""
+
+    def __init__(self, path: Path, relpath: str, text: str):
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        #: 1-indexed line -> rule ids suppressed on that line.
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        #: Rule ids suppressed for the whole file.
+        self.file_suppressions: Set[str] = set()
+        #: 1-indexed lines carrying a ``# reprolint: hot`` marker.
+        self._hot_lines: Set[int] = set()
+        for number, line in enumerate(self.lines, start=1):
+            if "reprolint" not in line:
+                continue
+            if _HOT_MARKER_RE.search(line):
+                self._hot_lines.add(number)
+            for match in _SUPPRESS_RE.finditer(line):
+                rules = {
+                    item.strip().upper()
+                    for item in match.group(2).split(",")
+                    if item.strip()
+                }
+                if match.group(1) == "disable-file":
+                    self.file_suppressions |= rules
+                else:
+                    self.line_suppressions.setdefault(number, set()).update(
+                        rules
+                    )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether *rule* findings on *line* are suppressed."""
+        for rules in (
+            self.file_suppressions,
+            self.line_suppressions.get(line, ()),
+        ):
+            if rule in rules or "ALL" in rules:
+                return True
+        return False
+
+    def has_hot_marker(self, line: int) -> bool:
+        """Whether the ``def`` on *line* carries the hot marker."""
+        return line in self._hot_lines
+
+    def line_text(self, line: int) -> str:
+        """The 1-indexed source line (empty string when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class Rule:
+    """Base class for one checker; subclasses override the hooks."""
+
+    #: Rule identifier, e.g. ``"R001"``.
+    id: str = ""
+    #: One-line summary rendered in reports.
+    summary: str = ""
+
+    def begin_run(self, files: Sequence[SourceFile]) -> None:
+        """Reset per-run state before any collect/check call."""
+
+    def collect(self, file: SourceFile) -> None:
+        """Phase 1: accumulate cross-file state (optional)."""
+
+    def check(self, file: SourceFile) -> Iterable[Tuple[int, int, str]]:
+        """Phase 2: yield ``(line, col, message)`` violations."""
+        return ()
+
+    def finish_run(self) -> Iterable[Tuple[str, int, int, str]]:
+        """Optional run-level findings: ``(relpath, line, col, message)``."""
+        return ()
+
+
+@dataclass
+class Baseline:
+    """Committed fingerprints of grandfathered findings.
+
+    The JSON document maps fingerprints to a descriptive entry (rule,
+    path, message at capture time) purely for human review — matching
+    uses the fingerprint keys only.
+    """
+
+    path: Optional[Path] = None
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    VERSION = 1
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        with path.open("r") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict) or "findings" not in document:
+            raise ValueError(
+                f"{path}: not a reprolint baseline (missing 'findings')"
+            )
+        entries = document["findings"]
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: baseline 'findings' must be an object")
+        return cls(path=path, entries=dict(entries))
+
+    def save(self, path: Path, findings: Sequence[Finding]) -> None:
+        """Write *findings* as the new baseline document."""
+        document = {
+            "version": self.VERSION,
+            "findings": {
+                f.fingerprint: {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "message": f.message,
+                }
+                for f in sorted(
+                    findings, key=lambda f: (f.path, f.line, f.rule)
+                )
+            },
+        }
+        with Path(path).open("w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _fingerprint(rule: str, relpath: str, line_text: str, occurrence: int) -> str:
+    digest = hashlib.sha256(
+        f"{rule}:{relpath}:{line_text.strip()}:{occurrence}".encode("utf-8")
+    ).hexdigest()
+    return digest[:20]
+
+
+class LintEngine:
+    """Drives the rules over a file set and assembles findings."""
+
+    def __init__(self, root: Path, rules: Optional[Sequence[Rule]] = None):
+        from repro.analysis.rules import default_rules
+
+        self.root = Path(root).resolve()
+        self.rules: List[Rule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+
+    # ------------------------------------------------------------------
+    def gather(self, paths: Sequence[Path]) -> List[SourceFile]:
+        """Parse every ``.py`` file under *paths* (files or directories).
+
+        Paths are resolved against the engine root; files that fail to
+        parse raise ``SyntaxError`` with their path (a lint run over
+        unparsable code is meaningless).
+        """
+        seen: Set[Path] = set()
+        targets: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            path = path.resolve()
+            if path.is_dir():
+                candidates = sorted(path.rglob("*.py"))
+            elif path.suffix == ".py":
+                candidates = [path]
+            else:
+                raise FileNotFoundError(f"not a python file or directory: {raw}")
+            for candidate in candidates:
+                if candidate not in seen:
+                    seen.add(candidate)
+                    targets.append(candidate)
+        files = []
+        for target in targets:
+            try:
+                relpath = target.relative_to(self.root).as_posix()
+            except ValueError:
+                relpath = target.as_posix()
+            files.append(
+                SourceFile(target, relpath, target.read_text(encoding="utf-8"))
+            )
+        return files
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        """Lint *paths* and return suppression-filtered findings."""
+        files = self.gather(paths)
+        for rule in self.rules:
+            rule.begin_run(files)
+        for rule in self.rules:
+            for file in files:
+                rule.collect(file)
+        by_relpath = {file.relpath: file for file in files}
+        raw: List[Tuple[SourceFile, str, int, int, str]] = []
+        for rule in self.rules:
+            for file in files:
+                for line, col, message in rule.check(file):
+                    raw.append((file, rule.id, line, col, message))
+            for relpath, line, col, message in rule.finish_run():
+                file = by_relpath.get(relpath)
+                if file is not None:
+                    raw.append((file, rule.id, line, col, message))
+
+        findings: List[Finding] = []
+        occurrences: Dict[Tuple[str, str, str], int] = {}
+        for file, rule_id, line, col, message in sorted(
+            raw, key=lambda item: (item[0].relpath, item[2], item[3], item[1])
+        ):
+            if file.is_suppressed(rule_id, line):
+                continue
+            text = file.line_text(line)
+            key = (rule_id, file.relpath, text.strip())
+            occurrence = occurrences.get(key, 0)
+            occurrences[key] = occurrence + 1
+            findings.append(
+                Finding(
+                    rule=rule_id,
+                    path=file.relpath,
+                    line=line,
+                    col=col,
+                    message=message,
+                    fingerprint=_fingerprint(
+                        rule_id, file.relpath, text, occurrence
+                    ),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def split_baselined(
+        findings: Sequence[Finding], baseline: Baseline
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, grandfathered-by-baseline)."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            (old if finding.fingerprint in baseline else new).append(finding)
+        return new, old
+
+
+def qualname_stack(node_stack: Sequence[ast.AST]) -> str:
+    """Dotted qualified name from a class/function node stack."""
+    parts = []
+    for node in node_stack:
+        name = getattr(node, "name", None)
+        if name is not None:
+            parts.append(name)
+    return ".".join(parts)

@@ -1,0 +1,68 @@
+"""Render lint findings as human text or a machine-readable JSON report."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.config import RULE_SUMMARIES
+from repro.analysis.engine import Baseline, Finding
+
+#: Schema version of the JSON report document.
+REPORT_VERSION = 1
+
+
+def render_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    baseline: Optional[Baseline] = None,
+) -> str:
+    """One line per new finding plus a summary footer."""
+    lines: List[str] = [finding.render() for finding in new]
+    if new:
+        per_rule: Dict[str, int] = {}
+        for finding in new:
+            per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(per_rule.items())
+        )
+        lines.append("")
+        lines.append(f"{len(new)} finding(s): {breakdown}")
+        for rule in sorted(per_rule):
+            lines.append(f"  {rule}: {RULE_SUMMARIES.get(rule, '')}")
+    else:
+        lines.append("reprolint: clean (0 new findings)")
+    if baselined:
+        lines.append(f"{len(baselined)} baselined finding(s) suppressed")
+    if baseline is not None and baseline.path is not None and len(baseline):
+        lines.append(f"baseline: {baseline.path} ({len(baseline)} entries)")
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    """Stable JSON document with new and baselined findings."""
+
+    def encode(finding: Finding) -> Dict[str, object]:
+        """One finding as a JSON-ready mapping."""
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "fingerprint": finding.fingerprint,
+        }
+
+    document = {
+        "version": REPORT_VERSION,
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+        },
+        "findings": [encode(f) for f in new],
+        "baselined": [encode(f) for f in baselined],
+    }
+    return json.dumps(document, indent=1, sort_keys=True) + "\n"

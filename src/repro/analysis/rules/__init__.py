@@ -1,0 +1,37 @@
+"""The ``reprolint`` rule registry.
+
+Each rule module implements one checker on top of
+:class:`repro.analysis.engine.Rule`; :func:`default_rules` builds the
+catalog the engine runs by default.  To add a rule: implement it in a
+new module here, give it the next free ``R0xx`` id, register it below,
+and add it to ``RULE_IDS`` / ``RULE_SUMMARIES`` in
+:mod:`repro.analysis.config` (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.hotpath import HotPathAllocationRule
+from repro.analysis.rules.rng import RngDisciplineRule
+from repro.analysis.rules.schema import TraceSchemaRule
+from repro.analysis.rules.units import UnitConsistencyRule
+
+__all__ = [
+    "HotPathAllocationRule",
+    "RngDisciplineRule",
+    "TraceSchemaRule",
+    "UnitConsistencyRule",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in catalog order."""
+    return [
+        UnitConsistencyRule(),
+        RngDisciplineRule(),
+        HotPathAllocationRule(),
+        TraceSchemaRule(),
+    ]

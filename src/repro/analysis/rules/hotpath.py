@@ -1,0 +1,171 @@
+"""R003 — hot-path allocation: marked kernels stay allocation-free.
+
+PR 4's kernelization bought its speedups by hoisting every per-tick
+allocation out of the simulation loops — persistent state arrays,
+preallocated trace blocks, in-place ``out=`` writes.  This rule keeps
+that property machine-checked: inside the hot functions declared in
+:data:`repro.analysis.config.HOT_FUNCTIONS` (or any function whose
+``def`` line carries a ``# reprolint: hot`` marker comment), it flags
+
+* calls to allocating numpy constructors
+  (``np.zeros`` / ``np.concatenate`` / ``np.asarray`` / ... — see
+  :data:`repro.analysis.config.ALLOCATING_NP_CALLS`);
+* list/set/dict comprehensions and generator expressions (each builds
+  a fresh container per evaluation);
+* ``.append`` / ``.extend`` / ``.insert`` calls inside ``for`` /
+  ``while`` loops (amortized reallocation per tick).
+
+Ufunc calls like ``np.minimum`` / ``np.where`` / ``np.clip`` are *not*
+flagged: the vector kernel uses them with preallocated operands, and a
+temporaries-level check would need dataflow this linter does not do.
+One-time allocations that are genuinely amortized across a whole chunk
+(not per tick) are false positives by design — suppress them inline
+with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from repro.analysis.config import ALLOCATING_NP_CALLS, HOT_FUNCTIONS
+from repro.analysis.engine import Rule, SourceFile, qualname_stack
+
+_MUTATING_LIST_METHODS = frozenset({"append", "extend", "insert"})
+
+
+def _declared_hot(relpath: str) -> frozenset:
+    for suffix, names in HOT_FUNCTIONS.items():
+        if relpath.endswith(suffix):
+            return names
+    return frozenset()
+
+
+class _HotPathVisitor(ast.NodeVisitor):
+    """Finds hot functions, then scans their bodies for allocations."""
+
+    def __init__(self, file: SourceFile):
+        self.file = file
+        self.declared = _declared_hot(file.relpath)
+        self.findings: List[Tuple[int, int, str]] = []
+        self._stack: List[ast.AST] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append((node.lineno, node.col_offset, message))
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Track the class stack for qualified names."""
+        self._stack.append(node)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._stack.append(node)
+        qualname = qualname_stack(self._stack)
+        if qualname in self.declared or self.file.has_hot_marker(node.lineno):
+            scanner = _AllocationScanner(qualname)
+            for child in node.body:
+                scanner.visit(child)
+            self.findings.extend(scanner.findings)
+        else:
+            self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+class _AllocationScanner(ast.NodeVisitor):
+    """Scans one hot function body; does not descend into nested defs."""
+
+    def __init__(self, qualname: str):
+        self.qualname = qualname
+        self.findings: List[Tuple[int, int, str]] = []
+        self._loop_depth = 0
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            (
+                node.lineno,
+                node.col_offset,
+                f"{message} in hot function {self.qualname!r}",
+            )
+        )
+
+    # nested function definitions get their own hot/cold classification
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Skip: nested defs get their own hot/cold classification."""
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Skip: nested defs get their own hot/cold classification."""
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        """Skip: lambdas are classified with their enclosing scope."""
+        return
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_While = _visit_loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag allocating numpy calls and loop-body list mutation."""
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+            and func.attr in ALLOCATING_NP_CALLS
+        ):
+            self._flag(
+                node,
+                f"allocating call np.{func.attr}(...) "
+                "(preallocate and write in place)",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_LIST_METHODS
+            and self._loop_depth > 0
+        ):
+            self._flag(
+                node,
+                f"list .{func.attr}(...) inside a loop "
+                "(preallocate the container)",
+            )
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        kind = {
+            ast.ListComp: "list comprehension",
+            ast.SetComp: "set comprehension",
+            ast.DictComp: "dict comprehension",
+            ast.GeneratorExp: "generator expression",
+        }[type(node)]
+        self._flag(
+            node,
+            f"{kind} allocates a fresh container per evaluation",
+        )
+        # don't generic_visit: one finding per comprehension is enough
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+class HotPathAllocationRule(Rule):
+    """R003: no per-tick allocation inside marked hot functions."""
+
+    id = "R003"
+    summary = "hot-path allocation: marked kernels stay allocation-free"
+
+    def check(self, file: SourceFile) -> Iterable[Tuple[int, int, str]]:
+        """Scan marked hot functions in *file* for allocations."""
+        visitor = _HotPathVisitor(file)
+        visitor.visit(file.tree)
+        return visitor.findings

@@ -1,0 +1,241 @@
+"""R001 — unit-consistency over the suffix-naming convention.
+
+The repository encodes units in ``snake_case`` suffixes (``inlet_c``,
+``power_w``, ``dt_s``, ``sla_total_pct_s`` — see :mod:`repro.units`
+and :data:`repro.analysis.config.UNIT_SUFFIXES`).  This checker infers
+a unit for every name, attribute, and keyword argument from that
+lexicon and flags the expressions where two *different known* units
+meet in an operation that requires agreement:
+
+* ``+`` / ``-`` between operands of different units
+  (``temp_c + power_w``);
+* comparisons between operands of different units
+  (``rpm < junction_c``);
+* assignment of a differently-suffixed value to a suffixed target
+  (``duration_s = distance_cfm``), including ``+=`` / ``-=``;
+* keyword arguments whose name carries one unit while the value
+  carries another (``f(supply_c=fan_rpm)``).
+
+Inference is deliberately conservative: unknown names, multiplication
+and division (which change dimensions), and numeric literals are all
+unit-neutral, so only provable cross-unit mixes are reported.  The
+:mod:`repro.units` conversion functions are sanctioned casts — their
+*result* carries the target unit, so
+``duration_s = hours(runtime_h)`` is clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.config import (
+    CONVERSION_RESULT_UNITS,
+    SINGLE_LETTER_MIN_STEM,
+    UNIT_PRESERVING_CALLS,
+    UNIT_SUFFIXES,
+)
+from repro.analysis.engine import Rule, SourceFile
+
+#: Inference result for expressions with no unit information.
+UNKNOWN = None
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """The unit a ``snake_case`` identifier carries, if any.
+
+    Longest suffix wins (``pct_s`` before ``s``); single-letter
+    suffixes require a stem of ``SINGLE_LETTER_MIN_STEM`` characters
+    so physics subscripts (``t_j``, ``c_h``) stay unit-neutral.
+    """
+    lowered = name.lower()
+    for suffix, unit in UNIT_SUFFIXES:
+        tail = "_" + suffix
+        if lowered.endswith(tail):
+            stem = lowered[: -len(tail)]
+            if not stem:
+                return UNKNOWN
+            if len(suffix) == 1 and len(stem) < SINGLE_LETTER_MIN_STEM:
+                return UNKNOWN
+            return unit
+    return UNKNOWN
+
+
+class _UnitVisitor(ast.NodeVisitor):
+    """Walks one module, inferring units and recording mismatches."""
+
+    def __init__(self) -> None:
+        self.findings: List[Tuple[int, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def infer(self, node: ast.AST) -> Optional[str]:
+        """Best-effort unit of *node* (None when not provable)."""
+        if isinstance(node, ast.Name):
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            return body if body == orelse else UNKNOWN
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        return UNKNOWN
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[str]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not UNKNOWN and right is not UNKNOWN:
+                return left if left == right else UNKNOWN
+            return UNKNOWN
+        if isinstance(node.op, ast.Mult):
+            # only scaling by a bare numeric literal preserves the unit
+            if left is not UNKNOWN and _is_number(node.right):
+                return left
+            if right is not UNKNOWN and _is_number(node.left):
+                return right
+            return UNKNOWN
+        if isinstance(node.op, ast.Div):
+            if left is not UNKNOWN and _is_number(node.right):
+                return left
+            return UNKNOWN
+        return UNKNOWN
+
+    def _infer_call(self, node: ast.Call) -> Optional[str]:
+        name = _call_name(node)
+        if name in CONVERSION_RESULT_UNITS:
+            return CONVERSION_RESULT_UNITS[name]
+        if name in UNIT_PRESERVING_CALLS and node.args:
+            units = {self.infer(arg) for arg in node.args}
+            units.discard(UNKNOWN)
+            if len(units) == 1:
+                return units.pop()
+        return UNKNOWN
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append((node.lineno, node.col_offset, message))
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        """Flag cross-unit ``+`` / ``-``."""
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            if left is not UNKNOWN and right is not UNKNOWN and left != right:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self._flag(
+                    node,
+                    f"cross-unit arithmetic: [{left}] {op} [{right}] "
+                    "(convert via repro.units first)",
+                )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        """Flag cross-unit comparisons (pairwise over chains)."""
+        operands = [node.left, *node.comparators]
+        for first, second in zip(operands, operands[1:]):
+            left = self.infer(first)
+            right = self.infer(second)
+            if left is not UNKNOWN and right is not UNKNOWN and left != right:
+                self._flag(
+                    node,
+                    f"cross-unit comparison: [{left}] vs [{right}]",
+                )
+        self.generic_visit(node)
+
+    def _check_assignment(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            target_unit = unit_of_name(target.id)
+            label = target.id
+        elif isinstance(target, ast.Attribute):
+            target_unit = unit_of_name(target.attr)
+            label = target.attr
+        else:
+            return
+        if target_unit is UNKNOWN:
+            return
+        value_unit = self.infer(value)
+        if value_unit is not UNKNOWN and value_unit != target_unit:
+            self._flag(
+                target,
+                f"assignment of [{value_unit}] value to "
+                f"[{target_unit}] name {label!r}",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Flag mismatched assignments to suffixed names."""
+        for target in node.targets:
+            self._check_assignment(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        """Flag mismatched annotated assignments."""
+        if node.value is not None:
+            self._check_assignment(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        """Flag mismatched ``+=`` / ``-=``."""
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_assignment(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag keyword arguments fed a differently-united value."""
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            kw_unit = unit_of_name(keyword.arg)
+            if kw_unit is UNKNOWN:
+                continue
+            value_unit = self.infer(keyword.value)
+            if value_unit is not UNKNOWN and value_unit != kw_unit:
+                self._flag(
+                    keyword.value,
+                    f"keyword {keyword.arg!r} expects [{kw_unit}], "
+                    f"got a [{value_unit}] value",
+                )
+        self.generic_visit(node)
+
+
+def _is_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_number(node.operand)
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class UnitConsistencyRule(Rule):
+    """R001: flag provable cross-unit arithmetic/comparison/assignment."""
+
+    id = "R001"
+    summary = "unit-consistency over the suffix-naming convention"
+
+    def check(self, file: SourceFile) -> Iterable[Tuple[int, int, str]]:
+        """Run the unit visitor over *file*."""
+        visitor = _UnitVisitor()
+        visitor.visit(file.tree)
+        return visitor.findings

@@ -462,6 +462,34 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import Baseline, LintEngine, render_json, render_text
+
+    root = Path(args.root).resolve()
+    engine = LintEngine(root)
+    findings = engine.run([Path(p) for p in args.paths])
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    if args.write_baseline:
+        Baseline().save(baseline_path, findings)
+        print(
+            f"wrote baseline with {len(findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    new, old = LintEngine.split_baselined(findings, baseline)
+    if args.report:
+        Path(args.report).write_text(render_json(new, old))
+    if args.format == "json":
+        print(render_json(new, old), end="")
+    else:
+        print(render_text(new, old, baseline))
+    return 1 if new else 0
+
+
 def _parse_list(text: str, cast, option: str) -> List:
     """Split a comma-separated CLI value and cast each element."""
     items = [item.strip() for item in str(text).split(",") if item.strip()]
@@ -771,6 +799,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds per wall second (0 = fastest possible)",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the reprolint domain checkers (units, RNG, hot paths, "
+        "trace schemas)",
+    )
+    p.add_argument("paths", nargs="+", help="files or directories to lint")
+    p.add_argument(
+        "--root",
+        default=".",
+        help="lint root; relative paths and the baseline resolve against it",
+    )
+    p.add_argument(
+        "--baseline",
+        default="reprolint-baseline.json",
+        help="grandfathered-findings JSON (a missing file is empty)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        dest="write_baseline",
+        help="capture the current findings as the new baseline and exit 0",
+    )
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.add_argument("--report", help="also write the JSON report to this path")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

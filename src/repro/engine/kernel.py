@@ -282,6 +282,9 @@ class SingleServerKernel:
         self._refresh_pstate_scales()
         self._deficit = sim.work_deficit_pct_s
         self._leak_now = self._leakage_at(self._J)
+        # persistent per-socket scratch, filled in place every tick so
+        # the integrate loop never allocates (R003)
+        self._active_buf = [0.0] * self._n_sockets
         self._rpm_cache_key: Optional[float] = None
         self._refresh_rpm_derived()
 
@@ -567,6 +570,7 @@ class SingleServerKernel:
         r_ha = self._r_ha
         any_faults = self._any_faults
         fault_sensors = self._fault_sensors
+        active = self._active_buf
 
         for tick in range(start, end):
             # fan slew toward the command (FanModel.step semantics)
@@ -597,22 +601,21 @@ class SingleServerKernel:
             mem_power = mem_idle + mem_k * u
             inlet = inlet_list[tick]
             cpu_inlet = inlet + preheat * mem_power / capacity
-            active = [
-                p_idle[s] * static_scale + k_act[s] * u * dynamic_scale
-                for s in socket_range
-            ]
+            for s in socket_range:
+                active[s] = (
+                    p_idle[s] * static_scale + k_act[s] * u * dynamic_scale
+                )
 
             for sub in range(substeps):
                 if sub:
-                    leak_now = [
-                        leak_const[s]
-                        + leak_k2[s]
-                        * exp(
+                    # every entry is rewritten before the physics loop
+                    # below reads it, so in-place reuse of the carried
+                    # buffer is bit-identical to a fresh list
+                    for s in socket_range:
+                        leak_now[s] = leak_const[s] + leak_k2[s] * exp(
                             leak_k3[s]
                             * (J[s] if J[s] < leak_max else leak_max)
                         )
-                        for s in socket_range
-                    ]
                 for s in socket_range:
                     t_j = J[s]
                     t_h = H[s]
@@ -625,12 +628,10 @@ class SingleServerKernel:
                 t_m = t_m + h * (mem_power - q_ma) / mem_c_bank
 
             # post-step snapshot (PowerBreakdown fold order)
-            leak_now = [
-                leak_const[s]
-                + leak_k2[s]
-                * exp(leak_k3[s] * (J[s] if J[s] < leak_max else leak_max))
-                for s in socket_range
-            ]
+            for s in socket_range:
+                leak_now[s] = leak_const[s] + leak_k2[s] * exp(
+                    leak_k3[s] * (J[s] if J[s] < leak_max else leak_max)
+                )
             active_total = 0.0
             for s in socket_range:
                 active_total += active[s]

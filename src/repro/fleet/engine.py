@@ -125,11 +125,11 @@ class _ReferenceBackend:
         self.rpm = np.array([sim.fans.mean_rpm for sim in self.sims])
 
     def _views_data(self):
-        max_j, avg_j, leak_w, slope = [], [], [], []
+        max_junction_c, avg_junction_c, leak_w, slope = [], [], [], []
         for sim in self.sims:
             junctions = sim.thermal.state.junction_c
-            max_j.append(max(junctions))
-            avg_j.append(sum(junctions) / len(junctions))
+            max_junction_c.append(max(junctions))
+            avg_junction_c.append(sum(junctions) / len(junctions))
             leak_w.append(
                 sum(
                     sim.power_model.socket_leakage_w(sock, t)
@@ -147,8 +147,8 @@ class _ReferenceBackend:
                 )
             )
         return (
-            np.array(max_j),
-            np.array(avg_j),
+            np.array(max_junction_c),
+            np.array(avg_junction_c),
             np.array(leak_w),
             np.array(slope),
         )
@@ -180,15 +180,15 @@ class _ReferenceBackend:
             rpm.append(state.mean_fan_rpm)
             dimm.append(state.thermal.dimm_bank_c)
             executed.append(state.utilization_pct)
-        max_j, avg_j, leak_w, slope = self._views_data()
+        max_junction_c, avg_junction_c, leak_w, slope = self._views_data()
         self.rpm = np.array(rpm)
         return FleetTickState(
             total_power_w=np.array(total),
             fan_power_w=np.array(fan),
             airflow_cfm=np.array(airflow),
             mean_rpm=self.rpm.copy(),
-            max_junction_c=max_j,
-            avg_junction_c=avg_j,
+            max_junction_c=max_junction_c,
+            avg_junction_c=avg_junction_c,
             leakage_w=leak_w,
             leakage_slope_w_per_c=slope,
             dimm_bank_c=np.array(dimm),
@@ -418,7 +418,7 @@ class FleetEngine:
     # ------------------------------------------------------------------
     @staticmethod
     def _build_views(
-        n, rack_of, executed, max_j, inlet, leak_w, leak_slope, pstate_now
+        n, rack_of, executed, max_junction_c, inlet, leak_w, leak_slope, pstate_now
     ) -> List[ServerLoadView]:
         """Materialize per-server views for view-based policies.
 
@@ -431,7 +431,7 @@ class FleetEngine:
                 index=i,
                 rack_index=int(rack_of[i]),
                 utilization_pct=float(executed[i]),
-                max_junction_c=float(max_j[i]),
+                max_junction_c=float(max_junction_c[i]),
                 inlet_c=float(inlet[i]),
                 leakage_w=float(leak_w[i]),
                 leakage_slope_w_per_c=float(leak_slope[i]),
@@ -699,7 +699,7 @@ class FleetEngine:
         executed = np.zeros(n)
         pstate_now = np.zeros(n, dtype=int)
         exhaust_rise = np.zeros(n)
-        max_j, _, leak_w, _ = physics.initial_views_data()
+        max_junction_c, _, leak_w, _ = physics.initial_views_data()
         # the junction mean feeds only controller observations, and the
         # leakage slope only leakage-aware rankings / view fallbacks —
         # both are computed lazily from the pre-step fleet state
@@ -770,7 +770,7 @@ class FleetEngine:
                 _t0 = perf_counter()
             arrays = FleetLoadArrays(
                 utilization_pct=executed,
-                max_junction_c=max_j,
+                max_junction_c=max_junction_c,
                 inlet_c=inlet,
                 leakage_w=leak_w,
                 pstate_index=pstate_now,
@@ -808,7 +808,7 @@ class FleetEngine:
                     n,
                     rack_of,
                     executed,
-                    max_j,
+                    max_junction_c,
                     inlet,
                     leak_w,
                     arrays.leakage_slope_w_per_c,
@@ -834,11 +834,11 @@ class FleetEngine:
             if time_s >= next_poll_due - _POLL_EPS_S:
                 if timers is not None:
                     _t0 = perf_counter()
-                avg_j = physics.t_j.mean(axis=1)
+                avg_junction_c = physics.t_j.mean(axis=1)
                 for i in np.nonzero(time_s >= next_poll - _POLL_EPS_S)[0]:
                     controller = controllers[i]
-                    max_c = float(max_j[i])
-                    avg_c = float(avg_j[i])
+                    max_c = float(max_junction_c[i])
+                    avg_c = float(avg_junction_c[i])
                     if apply_faults and plan.has_sensor_faults:
                         max_c, avg_c = plan.transform_observation(
                             int(i), time_s, max_c, avg_c
@@ -905,7 +905,7 @@ class FleetEngine:
             )
             physics.check_critical(self.trip_on_critical)
 
-            max_j = trace_junction[tick]
+            max_junction_c = trace_junction[tick]
             executed = trace_util[tick]
             pstate_now = trace_pstate[tick]
             # exhaust_temperature_rise_c, with the already-computed
@@ -961,7 +961,7 @@ class FleetEngine:
         executed = np.zeros(n)
         pstate_now = np.zeros(n, dtype=int)
         exhaust_rise = np.zeros(n)
-        max_j, avg_j, leak_w, leak_slope = physics.initial_views_data()
+        max_junction_c, avg_junction_c, leak_w, leak_slope = physics.initial_views_data()
 
         trace_power = np.empty((steps, n))
         trace_fan = np.empty((steps, n))
@@ -1016,7 +1016,7 @@ class FleetEngine:
                 n,
                 rack_of,
                 executed,
-                max_j,
+                max_junction_c,
                 inlet,
                 leak_w,
                 leak_slope,
@@ -1040,8 +1040,8 @@ class FleetEngine:
 
             for i in np.nonzero(time_s >= next_poll - _POLL_EPS_S)[0]:
                 controller = self.controllers[i]
-                max_c = float(max_j[i])
-                avg_c = float(avg_j[i])
+                max_c = float(max_junction_c[i])
+                avg_c = float(avg_junction_c[i])
                 if apply_faults and plan.has_sensor_faults:
                     max_c, avg_c = plan.transform_observation(
                         int(i), time_s, max_c, avg_c
@@ -1090,8 +1090,8 @@ class FleetEngine:
             state = physics.step(dt_s, demand, actuated_rpm, inlet, offsets)
             physics.check_critical(self.trip_on_critical)
 
-            max_j = state.max_junction_c
-            avg_j = state.avg_junction_c
+            max_junction_c = state.max_junction_c
+            avg_junction_c = state.avg_junction_c
             leak_w = state.leakage_w
             leak_slope = state.leakage_slope_w_per_c
             executed = state.executed_pct

@@ -48,7 +48,16 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -62,6 +71,9 @@ from repro.server.faults import (
     SpikeFault,
     StuckFault,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.topology import Fleet
 
 #: The supported sensor-fault modes (the five single-server classes).
 SENSOR_FAULT_MODES = ("stuck", "drift", "offset", "spike", "dropout")
@@ -320,7 +332,7 @@ class FaultSchedule:
         return cls.from_dicts(entries)
 
     @classmethod
-    def resolve(cls, value) -> Optional["FaultSchedule"]:
+    def resolve(cls, value: object) -> Optional["FaultSchedule"]:
         """Coerce a sweep/CLI parameter into a schedule.
 
         Accepts ``None`` (no faults), a :class:`FaultSchedule`, or a
@@ -345,7 +357,7 @@ class FaultSchedule:
     # ------------------------------------------------------------------
     # validation and compilation
     # ------------------------------------------------------------------
-    def validate_for(self, fleet) -> None:
+    def validate_for(self, fleet: "Fleet") -> None:
         """Reject events targeting servers/racks the fleet lacks."""
         n = fleet.server_count
         racks = fleet.rack_count
@@ -362,7 +374,9 @@ class FaultSchedule:
                     f"fault event targets rack {rack}, fleet has {racks} racks"
                 )
 
-    def compile(self, fleet, steps: int, dt_s: float) -> Optional["FleetFaultPlan"]:
+    def compile(
+        self, fleet: "Fleet", steps: int, dt_s: float
+    ) -> Optional["FleetFaultPlan"]:
         """Lower the schedule to per-tick mask arrays for one run.
 
         Activity is evaluated on the engine's accumulated tick-time
@@ -462,7 +476,7 @@ class FleetFaultPlan:
         has_excursions: bool,
         fault_active: np.ndarray,
         sensor_channels: Sequence[FaultableSensor],
-    ):
+    ) -> None:
         #: Per-tick per-server outage mask (True = zero capacity).
         self.outage = outage
         #: Per-tick "any server out" flags (skips the respill math).

@@ -336,19 +336,19 @@ class StreamingFleetDetector:
         var_i = np.maximum(0.0, self._warm_i_sumsq / ticks - mean_i**2)
         self._offset_j = self._offset_j + mean_j
         self._offset_i = mean_i
-        sigma_j = max(cfg.sigma_floor_junction_c, float(np.sqrt(var_j.mean())))
-        sigma_i = max(cfg.sigma_floor_inlet_c, float(np.sqrt(var_i.mean())))
+        sigma_junction_c = max(cfg.sigma_floor_junction_c, float(np.sqrt(var_j.mean())))
+        sigma_inlet_c = max(cfg.sigma_floor_inlet_c, float(np.sqrt(var_i.mean())))
         self._sprt_j = VectorSprt(
             n,
-            np.full(n, sigma_j),
-            np.full(n, cfg.shift_sigmas * sigma_j),
+            np.full(n, sigma_junction_c),
+            np.full(n, cfg.shift_sigmas * sigma_junction_c),
             cfg.false_alarm,
             cfg.missed_alarm,
         )
         self._sprt_i = VectorSprt(
             n,
-            np.full(n, sigma_i),
-            np.full(n, cfg.shift_sigmas * sigma_i),
+            np.full(n, sigma_inlet_c),
+            np.full(n, cfg.shift_sigmas * sigma_inlet_c),
             cfg.false_alarm,
             cfg.missed_alarm,
         )

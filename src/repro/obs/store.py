@@ -35,7 +35,7 @@ traces bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,7 +96,7 @@ class _Tier:
     loop.
     """
 
-    def __init__(self, spec: TierSpec, width: int):
+    def __init__(self, spec: TierSpec, width: int) -> None:
         self.spec = spec
         capacity = spec.capacity
         self._times = np.empty(capacity, dtype=np.float64)
@@ -227,7 +227,9 @@ class _Group:
     of width one.
     """
 
-    def __init__(self, width: int, capacity: int, tiers: Sequence[TierSpec]):
+    def __init__(
+        self, width: int, capacity: int, tiers: Sequence[TierSpec]
+    ) -> None:
         self.width = width
         self.capacity = capacity
         self._times = np.empty(capacity, dtype=np.float64)
@@ -321,7 +323,7 @@ class StoreChannel:
         tiers: Sequence[TierSpec] = DEFAULT_TIERS,
         group: Optional[_Group] = None,
         row: int = 0,
-    ):
+    ) -> None:
         if not name:
             raise ValueError("channel name must be non-empty")
         if group is None:
@@ -406,7 +408,7 @@ class TimeseriesStore:
         capacity: int = 100_000,
         tiers: Sequence[TierSpec] = DEFAULT_TIERS,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         self._capacity = capacity
         self._tiers = tuple(tiers)
         self._channels: Dict[str, StoreChannel] = {}
@@ -529,7 +531,9 @@ class TimeseriesStore:
         if self._ingest_counter is not None:
             self._ingest_counter.inc(m * len(names))
 
-    def group_writer(self, names: Sequence[str]):
+    def group_writer(
+        self, names: Sequence[str]
+    ) -> Callable[[np.ndarray, np.ndarray], None]:
         """Return a bulk writer ``write(times, matrix)`` for one group.
 
         *matrix* is time-major ``(m, len(names))`` with columns in

@@ -72,13 +72,15 @@ class TraceRecorder:
         values broadcast across the chunk only when at least one real
         array fixes the chunk length.
         """
-        missing = [c for c in self.columns if c not in chunk]
+        # chunk-amortized validation: one pass per chunk of hundreds of
+        # rows, not per tick, so these allocations are off the hot path
+        missing = [c for c in self.columns if c not in chunk]  # reprolint: disable=R003
         if missing:
             raise ValueError(f"chunk missing columns: {missing}")
         arrays = {}
         rows = None
         for name in self.columns:
-            values = np.asarray(chunk[name], dtype=float)
+            values = np.asarray(chunk[name], dtype=float)  # reprolint: disable=R003
             if values.ndim > 1:
                 raise ValueError(f"column {name!r} must be 1-D, got {values.shape}")
             if values.ndim == 1:

@@ -18,6 +18,7 @@ module can depend on this one without creating import cycles.
 from __future__ import annotations
 
 import math
+from typing import Union
 
 import numpy as np
 
@@ -71,7 +72,9 @@ def m3_s_to_cfm(m3_s: float) -> float:
     return m3_s / CFM_TO_M3_S
 
 
-def airflow_heat_capacity_w_per_k(cfm):
+def airflow_heat_capacity_w_per_k(
+    cfm: Union[float, np.ndarray],
+) -> Union[float, np.ndarray]:
     """Heat capacity rate of an air stream, in W/K.
 
     This is ``m_dot * c_p``: the power needed to raise the stream

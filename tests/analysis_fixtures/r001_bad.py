@@ -1,0 +1,16 @@
+"""R001 positive fixture: every statement below mixes units."""
+
+
+def mixed(temp_c: float, power_w: float, fan_rpm: float) -> float:
+    """Cross-unit arithmetic, comparison, assignment, and kwarg."""
+    bad_sum = temp_c + power_w  # add degC to W
+    if fan_rpm < temp_c:  # compare RPM to degC
+        bad_sum += 1.0
+    duration_s = fan_rpm  # assign RPM into a seconds name
+    consume(supply_c=fan_rpm)  # RPM value into a degC keyword
+    return bad_sum + duration_s
+
+
+def consume(supply_c: float) -> float:
+    """Sink for the keyword-mismatch case."""
+    return supply_c

@@ -1,0 +1,16 @@
+"""R001 negative fixture: unit-correct code the checker must pass."""
+
+from repro.units import hours, minutes
+
+
+def consistent(inlet_c: float, supply_c: float, runtime_h: float) -> float:
+    """Same-unit arithmetic, sanctioned casts, neutral names."""
+    delta_c = inlet_c - supply_c  # degC - degC
+    duration_s = hours(runtime_h)  # conversion call is a sanctioned cast
+    warmup_s = minutes(5.0)
+    total_s = duration_s + warmup_s  # s + s
+    t_j = inlet_c  # single-letter suffix with short stem: no unit
+    scaled_c = delta_c * 2.0  # literal scaling preserves the unit
+    if delta_c < scaled_c:
+        total_s += 1.0
+    return total_s + t_j * 0.0

@@ -1,0 +1,14 @@
+"""R002 positive fixture: every randomness pattern below is banned."""
+
+import random  # stdlib random is banned
+
+import numpy as np
+
+
+def draws() -> float:
+    """Unseeded and out-of-entry-point RNG construction."""
+    np.random.seed(0)  # legacy global-state API
+    value = np.random.rand()  # legacy global-state API
+    rng = np.random.default_rng()  # no explicit seed
+    other = np.random.default_rng(42)  # seeded, but not an entry module
+    return value + rng.random() + other.random() + random.random()

@@ -1,0 +1,13 @@
+"""R002 negative fixture: randomness flows in as a passed Generator."""
+
+import numpy as np
+
+
+def draw_noise(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Consume an injected Generator; never construct one here."""
+    return rng.standard_normal(n)
+
+
+def spawn_streams(seed_seq: np.random.SeedSequence, n: int) -> list:
+    """SeedSequence plumbing is part of the sanctioned API."""
+    return seed_seq.spawn(n)

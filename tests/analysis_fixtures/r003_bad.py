@@ -1,0 +1,19 @@
+"""R003 positive fixture: a marked hot function that allocates."""
+
+import numpy as np
+
+
+def step_all(state: np.ndarray, ticks: int) -> list:  # reprolint: hot
+    """Per-tick allocating numpy calls, appends, and a comprehension."""
+    history = []
+    for _ in range(ticks):
+        scratch = np.zeros(state.shape[0])  # allocating numpy call
+        state = state + scratch
+        history.append(float(state.sum()))  # append inside the loop
+    doubled = [value * 2.0 for value in history]  # comprehension
+    return doubled
+
+
+def cold_helper(state: np.ndarray) -> np.ndarray:
+    """Unmarked function: allocation here is fine."""
+    return np.zeros_like(state)

@@ -1,0 +1,11 @@
+"""R003 negative fixture: an allocation-free marked hot function."""
+
+import numpy as np
+
+
+def step_all(state: np.ndarray, out: np.ndarray, ticks: int) -> None:  # reprolint: hot
+    """Writes into preallocated buffers; ufuncs with out= are fine."""
+    for tick in range(ticks):
+        np.multiply(state, 0.5, out=state)
+        np.clip(state, 0.0, 1.0, out=state)
+        out[tick] = state.sum()

@@ -1,0 +1,13 @@
+"""R004 positive fixture: recorded/consumed columns drift from schema."""
+
+DEMO_TRACE_COLUMNS = ("time_s", "power_w", "junction_c")
+
+
+def produce(recorder) -> None:
+    """Records a column the schema does not declare."""
+    recorder.record({"time_s": 0.0, "power_w": 1.0, "junctoin_c": 2.0})
+
+
+def consume(recorder) -> float:
+    """Reads a column no schema declares."""
+    return recorder.column("power_total")[0]

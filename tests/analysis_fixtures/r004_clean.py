@@ -1,0 +1,15 @@
+"""R004 negative fixture: producer and consumer agree with the schema."""
+
+DEMO_TRACE_COLUMNS = ("time_s", "power_w", "junction_c")
+
+ALIAS_TRACE_COLUMNS = DEMO_TRACE_COLUMNS
+
+
+def produce(recorder) -> None:
+    """Records exactly the declared columns."""
+    recorder.record({"time_s": 0.0, "power_w": 1.0, "junction_c": 2.0})
+
+
+def consume(recorder) -> float:
+    """Reads a declared column."""
+    return recorder.column("power_w")[0]

@@ -1,0 +1,210 @@
+"""Engine mechanics of reprolint: suppression, baselines, fingerprints, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, LintEngine, render_json, render_text
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+UNSEEDED = (
+    "import numpy as np\n"
+    "\n"
+    "rng = np.random.default_rng(){comment}\n"
+)
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+def _lint(tmp_path, *names):
+    engine = LintEngine(tmp_path)
+    return engine.run([tmp_path / name for name in names])
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+def test_violation_detected_without_suppression(tmp_path):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment=""))
+    findings = _lint(tmp_path, "mod.py")
+    assert [f.rule for f in findings] == ["R002"]
+    assert findings[0].line == 3
+
+
+@pytest.mark.parametrize(
+    "comment",
+    [
+        "  # reprolint: disable=R002",
+        "  # reprolint: disable=R001,R002",
+        "  # reprolint: disable=all",
+    ],
+)
+def test_line_suppression(tmp_path, comment):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment=comment))
+    assert _lint(tmp_path, "mod.py") == []
+
+
+def test_line_suppression_other_rule_does_not_apply(tmp_path):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment="  # reprolint: disable=R001"))
+    findings = _lint(tmp_path, "mod.py")
+    assert [f.rule for f in findings] == ["R002"]
+
+
+def test_file_suppression(tmp_path):
+    text = "# reprolint: disable-file=R002\n" + UNSEEDED.format(comment="")
+    _write(tmp_path, "mod.py", text)
+    assert _lint(tmp_path, "mod.py") == []
+
+
+# ----------------------------------------------------------------------
+# fingerprints and baseline
+# ----------------------------------------------------------------------
+def test_fingerprint_survives_line_insertion(tmp_path):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment=""))
+    before = _lint(tmp_path, "mod.py")
+    # an unrelated edit above the finding must not change its identity
+    _write(tmp_path, "mod.py", "# a new header comment\n" + UNSEEDED.format(comment=""))
+    after = _lint(tmp_path, "mod.py")
+    assert [f.fingerprint for f in before] == [f.fingerprint for f in after]
+    assert before[0].line != after[0].line
+
+
+def test_fingerprint_distinguishes_repeated_lines(tmp_path):
+    text = (
+        "import numpy as np\n"
+        "a = np.random.default_rng()\n"
+        "a = np.random.default_rng()\n"
+    )
+    _write(tmp_path, "mod.py", text)
+    findings = _lint(tmp_path, "mod.py")
+    assert len(findings) == 2
+    assert findings[0].fingerprint != findings[1].fingerprint
+
+
+def test_baseline_round_trip(tmp_path):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment=""))
+    findings = _lint(tmp_path, "mod.py")
+    baseline_path = tmp_path / "baseline.json"
+    Baseline().save(baseline_path, findings)
+
+    baseline = Baseline.load(baseline_path)
+    assert len(baseline) == len(findings)
+    new, old = LintEngine.split_baselined(findings, baseline)
+    assert new == []
+    assert old == findings
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    assert len(baseline) == 0
+    assert "anything" not in baseline
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = _write(tmp_path, "bad.json", '{"not": "a baseline"}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# gathering
+# ----------------------------------------------------------------------
+def test_gather_deduplicates_and_sorts(tmp_path):
+    _write(tmp_path, "b.py", "x = 1\n")
+    _write(tmp_path, "a.py", "y = 2\n")
+    engine = LintEngine(tmp_path)
+    files = engine.gather([tmp_path, tmp_path / "a.py"])
+    assert [f.relpath for f in files] == ["a.py", "b.py"]
+
+
+def test_gather_rejects_non_python(tmp_path):
+    _write(tmp_path, "data.csv", "1,2\n")
+    with pytest.raises(FileNotFoundError):
+        LintEngine(tmp_path).gather([tmp_path / "data.csv"])
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+def test_reporters_render_findings(tmp_path):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment=""))
+    findings = _lint(tmp_path, "mod.py")
+    text = render_text(findings, [])
+    assert "mod.py:3" in text and "R002" in text
+    document = json.loads(render_json(findings, []))
+    assert document["summary"]["new"] == 1
+    assert document["findings"][0]["rule"] == "R002"
+
+
+def test_text_reporter_clean_summary():
+    assert "clean" in render_text([], [])
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_exit_one_on_findings(capsys):
+    code = main(["lint", "--root", str(FIXTURES), "r002_bad.py"])
+    assert code == 1
+    assert "R002" in capsys.readouterr().out
+
+
+def test_cli_exit_zero_on_clean(capsys):
+    code = main(["lint", "--root", str(FIXTURES), "r002_clean.py"])
+    assert code == 0
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment=""))
+    assert main(["lint", "--root", str(tmp_path), "mod.py"]) == 1
+    assert (
+        main(["lint", "--root", str(tmp_path), "--write-baseline", "mod.py"])
+        == 0
+    )
+    assert (tmp_path / "reprolint-baseline.json").exists()
+    # the grandfathered finding no longer fails the gate...
+    assert main(["lint", "--root", str(tmp_path), "mod.py"]) == 0
+    # ...but a fresh violation still does
+    _write(
+        tmp_path,
+        "mod.py",
+        UNSEEDED.format(comment="") + "other = np.random.default_rng()\n",
+    )
+    assert main(["lint", "--root", str(tmp_path), "mod.py"]) == 1
+
+
+def test_cli_json_format_and_report(tmp_path, capsys):
+    _write(tmp_path, "mod.py", UNSEEDED.format(comment=""))
+    report = tmp_path / "report.json"
+    code = main(
+        [
+            "lint",
+            "--root",
+            str(tmp_path),
+            "--format",
+            "json",
+            "--report",
+            str(report),
+            "mod.py",
+        ]
+    )
+    assert code == 1
+    stdout_doc = json.loads(capsys.readouterr().out)
+    report_doc = json.loads(report.read_text())
+    assert stdout_doc == report_doc
+    assert report_doc["summary"]["new"] == 1
+
+
+def test_repo_source_tree_lints_clean(capsys):
+    """Self-check: `repro lint src/repro` exits 0 on the committed tree."""
+    code = main(["lint", "--root", str(REPO_ROOT), "src/repro"])
+    out = capsys.readouterr().out
+    assert code == 0, f"reprolint findings in src/repro:\n{out}"

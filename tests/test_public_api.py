@@ -11,6 +11,7 @@ import pytest
 
 PACKAGES = (
     "repro",
+    "repro.analysis",
     "repro.core",
     "repro.core.controllers",
     "repro.experiments",
