@@ -1,0 +1,157 @@
+"""Datacenter-scale benchmark for the sharded streaming backend.
+
+Two claims are pinned here:
+
+* **small-N equivalence** — a sharded run with forked workers is
+  bit-identical to ``backend="vector"`` (the cheap CI-facing smoke;
+  the exhaustive matrix lives in ``tests/test_sharded_equivalence.py``);
+* **100k faster than real time, bounded RSS** — the headline scale
+  target: ``REPRO_SCALE_SERVERS`` servers (default 100 000) simulated
+  over ``REPRO_SCALE_HOURS`` (default 1 h) complete in less wall-clock
+  than simulated time, while traces stream to disk and peak resident
+  memory stays under ``REPRO_SCALE_RSS_BUDGET_MB`` — i.e. no
+  O(horizon x N) column ever lives in RAM.
+
+CI runs this file with ``REPRO_SCALE_SERVERS`` lowered (the scale-smoke
+job); the committed ``BENCH_scale.json`` snapshot comes from a full
+100k run on the reference machine.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_helpers import write_bench_json
+
+from repro.core.controllers.default import FixedSpeedController
+from repro.fleet import Fleet, FleetEngine, Rack, build_uniform_fleet
+from repro.server.specs import default_server_spec
+from repro.workloads.profile import ConstantProfile, StaircaseProfile
+
+SCALE_SERVERS = int(os.environ.get("REPRO_SCALE_SERVERS", "100000"))
+SCALE_HOURS = float(os.environ.get("REPRO_SCALE_HOURS", "1.0"))
+SCALE_SHARDS = int(os.environ.get("REPRO_SCALE_SHARDS", "4"))
+RSS_BUDGET_MB = float(os.environ.get("REPRO_SCALE_RSS_BUDGET_MB", "2048"))
+
+TICK_S = 30.0
+SERVERS_PER_RACK = 1000
+
+
+def _big_fleet(server_count: int) -> Fleet:
+    """An uncoupled fleet (recirculation=None skips the N x N matrix)."""
+    spec = default_server_spec()
+    per_rack = min(SERVERS_PER_RACK, server_count)
+    sizes = [per_rack] * (server_count // per_rack)
+    if server_count % per_rack:
+        sizes.append(server_count % per_rack)
+    racks = tuple(
+        Rack(name=f"rack{r}", servers=tuple(spec for _ in range(size)))
+        for r, size in enumerate(sizes)
+    )
+    return Fleet(racks=racks, recirculation=None)
+
+
+def test_sharded_matches_vector_smoke():
+    """Forked 2-shard run bit-identical to the vector kernel at N=32."""
+
+    def run(backend, **kw):
+        fleet = build_uniform_fleet(rack_count=2, servers_per_rack=16)
+        return FleetEngine(
+            fleet,
+            StaircaseProfile([30.0, 85.0, 60.0], 100.0),
+            controller_factory=lambda i: FixedSpeedController(rpm=3000.0),
+            backend=backend,
+            **kw,
+        ).run(dt_s=5.0, duration_s=300.0)
+
+    base = run("vector")
+    sharded = run("sharded", shards=2)
+    for name in (
+        "times_s",
+        "total_power_w",
+        "fan_power_w",
+        "max_junction_c",
+        "utilization_pct",
+        "inlet_c",
+        "mean_rpm",
+        "unserved_pct",
+        "pstate_index",
+        "work_deficit_pct",
+    ):
+        np.testing.assert_array_equal(
+            np.asarray(getattr(base, name)),
+            np.asarray(getattr(sharded, name)),
+            err_msg=name,
+        )
+    assert base.metrics == sharded.metrics
+
+
+def test_scale_faster_than_real_time(results_dir):
+    """The headline run: stream a big fleet faster than the wall clock."""
+    horizon_s = SCALE_HOURS * 3600.0
+    fleet = _big_fleet(SCALE_SERVERS)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
+        engine = FleetEngine(
+            fleet,
+            ConstantProfile(70.0, horizon_s),
+            controller_factory=lambda i: FixedSpeedController(
+                rpm=3000.0, poll_interval_s=300.0
+            ),
+            backend="sharded",
+            shards=SCALE_SHARDS,
+            trace_dir=str(Path(tmp) / "segments"),
+        )
+        start = time.perf_counter()
+        result = engine.run(dt_s=TICK_S)
+        wall_s = time.perf_counter() - start
+        stats = dict(engine.last_run_stats)
+        trace_bytes = sum(
+            path.stat().st_size
+            for path in (Path(tmp) / "segments").glob("*.npy")
+        )
+        # touch the lazy result so the mmap path is exercised end to end
+        mean_power_w = float(np.asarray(result.total_power_w).sum(axis=1).mean())
+
+    rss_stream_mb = stats["ru_maxrss_stream_kb"] / 1024.0
+    rss_children_mb = stats["ru_maxrss_children_kb"] / 1024.0
+    peak_rss_mb = max(rss_stream_mb, rss_children_mb)
+    speedup = horizon_s / wall_s
+    ticks = int(horizon_s / TICK_S)
+    write_bench_json(
+        results_dir,
+        "scale",
+        {
+            "servers": SCALE_SERVERS,
+            "shards": SCALE_SHARDS,
+            "shard_mode": stats["shard_mode"],
+            "horizon_s": horizon_s,
+            "dt_s": TICK_S,
+            "ticks": ticks,
+            "wall_s": wall_s,
+            "sim_time_over_wall": speedup,
+            "server_ticks_per_s": SCALE_SERVERS * ticks / wall_s,
+            "streamed_trace_bytes": trace_bytes,
+            "peak_rss_coordinator_mb": rss_stream_mb,
+            "peak_rss_workers_mb": rss_children_mb,
+            "rss_budget_mb": RSS_BUDGET_MB,
+            "mean_fleet_power_w": mean_power_w,
+        },
+    )
+
+    assert speedup > 1.0, (
+        f"{SCALE_SERVERS} servers took {wall_s:.0f}s wall for "
+        f"{horizon_s:.0f}s simulated — slower than real time"
+    )
+    assert peak_rss_mb < RSS_BUDGET_MB, (
+        f"peak RSS {peak_rss_mb:.0f} MB exceeds the {RSS_BUDGET_MB:.0f} MB "
+        f"budget — a trace column is living in RAM"
+    )
+    # the streamed trace must dwarf what stayed resident whenever the
+    # horizon is big enough for the distinction to mean anything
+    if trace_bytes > 2 * RSS_BUDGET_MB * 1024 * 1024:
+        assert trace_bytes > peak_rss_mb * 1024 * 1024

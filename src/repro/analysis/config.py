@@ -99,6 +99,15 @@ HOT_FUNCTIONS: Mapping[str, FrozenSet[str]] = {
     "repro/telemetry/recorder.py": frozenset(
         {"TraceRecorder.record_chunk"}
     ),
+    "repro/engine/sharded.py": frozenset(
+        {
+            "_ShardWorker.step",
+            "_Coordinator.begin_tick",
+        }
+    ),
+    "repro/telemetry/segments.py": frozenset(
+        {"ShardTraceWriter.record_chunk"}
+    ),
 }
 
 #: numpy namespace calls that allocate a fresh array per invocation.

@@ -344,15 +344,26 @@ def _build_fleet_engine(args, backend: str) -> FleetEngine:
             args.controller, args
         )
 
-    return FleetEngine(
-        fleet,
-        profile,
-        scheduler=FleetScheduler(PLACEMENT_POLICIES[args.policy]()),
-        controller_factory=factory,
-        backend=backend,
-        seed=args.seed,
-        faults=faults,
-    )
+    sharded_kwargs = {}
+    if getattr(args, "shards", None) is not None:
+        sharded_kwargs["shards"] = args.shards
+    if getattr(args, "trace_dir", None) is not None:
+        sharded_kwargs["trace_dir"] = args.trace_dir
+    try:
+        return FleetEngine(
+            fleet,
+            profile,
+            scheduler=FleetScheduler(PLACEMENT_POLICIES[args.policy]()),
+            controller_factory=factory,
+            backend=backend,
+            seed=args.seed,
+            faults=faults,
+            **sharded_kwargs,
+        )
+    except ValueError as exc:
+        # e.g. --shards/--trace-dir without --backend sharded, or a
+        # shard count exceeding the server count
+        raise SystemExit(str(exc))
 
 
 def cmd_fleet(args) -> int:
@@ -534,6 +545,7 @@ def cmd_sweep(args) -> int:
         dt_s=args.dt,
         seed=args.seed,
         backend=args.backend,
+        shards=args.shards,
     )
     workers = args.workers if args.workers > 0 else None
     cache = None if args.no_cache else args.cache_dir
@@ -678,10 +690,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="vector",
-        choices=("vector", "vector-legacy", "reference"),
+        choices=("vector", "vector-legacy", "reference", "sharded"),
         help="vector = kernelized batch, vector-legacy = pre-kernel "
         "per-tick loop (equivalence oracle), reference = one "
-        "ServerSimulator per server",
+        "ServerSimulator per server, sharded = multi-process workers "
+        "with streamed traces (see docs/scaling.md)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        help="worker shard count for --backend sharded",
+    )
+    p.add_argument(
+        "--trace-dir",
+        dest="trace_dir",
+        help="directory for streamed trace segments "
+        "(--backend sharded; default: a self-cleaning temp dir)",
     )
     p.set_defaults(func=cmd_fleet)
 
@@ -722,10 +746,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="vector",
-        choices=("vector", "vector-legacy", "reference"),
+        choices=("vector", "vector-legacy", "reference", "sharded"),
         help="vector = kernelized batch, vector-legacy = pre-kernel "
         "per-tick loop (equivalence oracle), reference = one "
-        "ServerSimulator per server",
+        "ServerSimulator per server, sharded = multi-process workers "
+        "with streamed traces (see docs/scaling.md)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        help="worker shard count per point for --backend sharded "
+        "(enters the result-cache hash)",
     )
     p.add_argument(
         "--workers",

@@ -1,0 +1,923 @@
+"""Sharded fleet execution: per-shard kernels, streamed trace segments.
+
+The ``vector`` backend of :class:`~repro.fleet.engine.FleetEngine` runs
+one :class:`~repro.engine.kernel.FleetVectorKernel` over all N servers
+in a single process and keeps every ``(steps, N)`` trace column in RAM.
+This module is the ``sharded`` backend: the fleet is partitioned into
+contiguous server slices, each owned by a worker that runs its own
+kernel slice and spills its trace rows to the memory-mapped ``.npy``
+segments of :mod:`repro.telemetry.segments`, while the coordinator
+keeps the whole control plane — CRAC supplies, the recirculation
+coupling, the placement policy's single global ranking and fill, and
+fault attribution.
+
+Bit-identity with ``vector`` holds by construction, not by tolerance:
+
+* Every per-server physics expression in the kernel is elementwise or
+  a per-row (per-server) reduction, so evaluating it over a contiguous
+  row slice produces bit-identical results.
+* The only cross-server couplings — the ``coupling @ exhaust_rise``
+  recirculation product and the scheduler's ranked fill — stay on the
+  coordinator, evaluated over the same gathered full-width arrays (and
+  in the same expression order) as the single-process loop.
+* Controllers, poll clocks and stateful sensor-fault channels are
+  partitioned with their servers; no per-server state is ever touched
+  by two shards.
+
+Per tick the coordinator and the k workers exchange exactly O(N)
+values through shared memory: workers publish their post-step summary
+rows (exhaust rise, executed utilization, hottest junction, leakage
+and its slope, p-state), the coordinator publishes the inlet vector
+and the placement allocations.  Two barriers sequence each tick:
+
+.. code-block:: text
+
+   coordinator                      workers (x k)
+   -----------                      -------------
+   trip check / capture flush
+   supply + coupling + schedule
+   publish inlet, allocations
+   ---------- barrier "go" ------------------------
+                                    poll controllers [lo, hi)
+                                    step_into -> chunk buffer
+                                    spill chunk at boundary
+                                    publish summary rows
+   ---------- barrier "done" ----------------------
+
+Worker processes are forked (the ``process`` mode requires the
+``fork`` start method; ``inline`` drives the same shard objects
+sequentially in-process and is the default fallback), so controllers,
+specs and the compiled fault plan are inherited copy-on-write without
+pickling.  Critical-temperature trips are reported through shared trip
+flags and re-raised by the coordinator with the globally-first server
+index — the same server, message and exception type as ``vector``.
+
+In ``process`` mode the coordinator's copies of the per-server
+controller objects are *not* mutated (each worker advances its own
+inherited copies), and the per-phase loop timers of the metrics
+registry are not populated (tick counters and simulated-time gauges
+are).  Traces land under ``trace_dir`` and are reassembled lazily by
+:class:`~repro.telemetry.segments.FleetTraceReader`; when no directory
+is given a temporary one is used and the result is materialized to RAM
+before cleanup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import resource
+import shutil
+import tempfile
+from math import gcd, isnan
+from threading import BrokenBarrierError
+from time import perf_counter
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.controllers.base import ControllerObservation
+from repro.engine.kernel import (
+    POLL_EPS_S,
+    FleetVectorKernel,
+    plan_tick_times,
+)
+from repro.server.server import CriticalTemperatureError
+from repro.server.thermal import substep_schedule
+from repro.telemetry.segments import (
+    FLEET_TRACE_COLUMNS,
+    FleetTraceReader,
+    ShardedTraceWriter,
+    ShardTraceWriter,
+    default_chunk_ticks,
+    partition_servers,
+)
+
+if TYPE_CHECKING:  # annotation-only; avoids an import cycle at runtime
+    from repro.fleet.engine import FleetEngine, FleetResult
+    from repro.fleet.faults import FleetFaultPlan
+
+#: Per-server columns written by shard workers (the coordinator owns
+#: ``inlet``, which is an input to the step, not an output of it).
+_WORKER_COLUMNS = tuple(c for c in FLEET_TRACE_COLUMNS if c != "inlet")
+
+#: Barrier timeout, s: generous enough for a 100k-server tick on a
+#: loaded box, small enough that a wedged worker fails the run instead
+#: of hanging it forever.
+_BARRIER_TIMEOUT_S = 600.0
+
+
+def _subfleet(fleet: Any, lo: int, hi: int) -> Any:
+    """Servers ``[lo, hi)`` as a standalone :class:`Fleet`.
+
+    Rack fragments keep their name, CRAC supply setpoint and CRAC
+    model, so per-server supply temperatures are bit-identical to the
+    full fleet's slice.  Recirculation is dropped — shard kernels never
+    evaluate the coupling (the coordinator owns it).
+    """
+    from repro.fleet.topology import Fleet, Rack
+
+    racks = []
+    base = 0
+    for rack in fleet.racks:
+        count = len(rack.servers)
+        a = max(lo, base)
+        b = min(hi, base + count)
+        if a < b:
+            racks.append(
+                Rack(
+                    name=rack.name,
+                    servers=list(rack.servers[a - base : b - base]),
+                    crac_supply_c=rack.crac_supply_c,
+                    crac=rack.crac,
+                )
+            )
+        base += count
+    return Fleet(racks=racks)
+
+
+class _SharedBlock:
+    """The O(N) cross-process exchange arrays for one sharded run.
+
+    Backed by ``multiprocessing.RawArray`` buffers in ``process`` mode
+    (anonymous shared memory inherited over ``fork``) and by plain
+    numpy arrays in ``inline`` mode; either way the coordinator and the
+    workers see the same storage through numpy views.
+    """
+
+    def __init__(self, n: int, shard_count: int, ctx: Any = None) -> None:
+        def f64(size: int) -> np.ndarray:
+            if ctx is None:
+                return np.zeros(size)
+            return np.frombuffer(ctx.RawArray("d", size))
+
+        def i64(size: int) -> np.ndarray:
+            if ctx is None:
+                return np.zeros(size, dtype=np.int64)
+            return np.frombuffer(ctx.RawArray("q", size), dtype=np.int64)
+
+        #: Worker-published post-step summaries, full width.
+        self.exhaust_rise = f64(n)
+        self.executed = f64(n)
+        self.max_junction = f64(n)
+        self.leakage = f64(n)
+        self.slope = f64(n)
+        self.pstate = i64(n)
+        #: Coordinator-published per-tick inputs, full width.
+        self.inlet = f64(n)
+        self.allocations = f64(n)
+        #: Per-shard critical-trip reports (-1 = no trip) and the
+        #: cooperative stop flag.
+        self.trip_server = i64(shard_count)
+        self.trip_server[:] = -1
+        self.trip_temp = f64(shard_count)
+        self.trip_threshold = f64(shard_count)
+        self.stop = i64(1)
+
+
+class _ShardWorker:
+    """One shard: kernel slice, controllers ``[lo, hi)``, trace spills.
+
+    :meth:`step` mirrors the poll / fan-cap / ``step_into`` / handoff
+    section of the ``vector`` loop over the shard's slice, expression
+    for expression — the bit-identity contract lives here.
+    """
+
+    def __init__(
+        self,
+        engine: "FleetEngine",
+        shard_id: int,
+        lo: int,
+        hi: int,
+        shared: _SharedBlock,
+        plan: Optional["FleetFaultPlan"],
+        dt_s: float,
+        steps: int,
+        writer: ShardTraceWriter,
+        chunk_ticks: int,
+        times: List[float],
+    ) -> None:
+        self.engine = engine
+        self.shard_id = shard_id
+        self.lo = lo
+        self.hi = hi
+        self.shared = shared
+        self.plan = plan
+        self.dt_s = dt_s
+        self.steps = steps
+        self.writer = writer
+        self.chunk_ticks = chunk_ticks
+        self.times = times
+        self.substeps, self.h = substep_schedule(dt_s)
+
+    def setup(self) -> None:
+        """Build the shard kernel, reset controllers, publish t=0 state."""
+        engine = self.engine
+        lo, hi = self.lo, self.hi
+        width = hi - lo
+        self._sl = slice(lo, hi)
+        kernel = FleetVectorKernel(_subfleet(engine.fleet, lo, hi))
+        if engine.cold_start:
+            kernel.force_cold_state(engine.cold_start_rpm)
+        self.kernel = kernel
+        self.controllers = engine.controllers[lo:hi]
+        self.decide_pstate_fns = [
+            getattr(controller, "decide_pstate", None)
+            for controller in self.controllers
+        ]
+        rpm_command = np.empty(width)
+        for li, controller in enumerate(self.controllers):
+            controller.reset()
+            initial = controller.initial_rpm()
+            rpm_command[li] = engine._validated_command(
+                lo + li,
+                initial if initial is not None else float(kernel.rpm[li]),
+            )
+        self.rpm_command = rpm_command
+        self.next_poll = np.zeros(width)
+        self.next_poll_due = 0.0
+        self.apply_faults = self.plan is not None
+
+        # chunk buffers: the only O(chunk x width) state a worker holds
+        self._buffers = {
+            name: np.empty(
+                (self.chunk_ticks, width),
+                dtype=np.int64 if name == "pstate" else np.float64,
+            )
+            for name in _WORKER_COLUMNS
+        }
+        self._buf_power = self._buffers["power"]
+        self._buf_fan = self._buffers["fan"]
+        self._buf_junction = self._buffers["junction"]
+        self._buf_util = self._buffers["util"]
+        self._buf_rpm = self._buffers["rpm"]
+        self._buf_pstate = self._buffers["pstate"]
+        self._buf_deficit = self._buffers["deficit"]
+        self._chunk_start = 0
+
+        # pre-step state the poll block reads: views into the shard's
+        # slice of the published summary arrays
+        self._junction_view = self.shared.max_junction[self._sl]
+        self._executed_view = self.shared.executed[self._sl]
+
+        # initial publish (executed / p-state / exhaust stay zero,
+        # matching the vector loop's pre-first-tick state)
+        max_junction_c, _, leak_w, slope = kernel.initial_views_data()
+        self.shared.max_junction[self._sl] = max_junction_c
+        self.shared.leakage[self._sl] = leak_w
+        self.shared.slope[self._sl] = slope
+
+    def _poll(self, time_s: float) -> None:
+        """Poll due controllers, exactly as the vector loop does."""
+        lo = self.lo
+        plan = self.plan
+        kernel = self.kernel
+        rpm_command = self.rpm_command
+        next_poll = self.next_poll
+        engine = self.engine
+        avg_junction_c = kernel.t_j.mean(axis=1)
+        for li in np.nonzero(time_s >= next_poll - POLL_EPS_S)[0]:
+            controller = self.controllers[li]
+            i = lo + int(li)
+            max_c = float(self._junction_view[li])
+            avg_c = float(avg_junction_c[li])
+            if self.apply_faults and plan.has_sensor_faults:
+                max_c, avg_c = plan.transform_observation(
+                    i, time_s, max_c, avg_c
+                )
+            # A dropped-out channel (NaN reading) makes the BMC hold
+            # the last fan and p-state commands; the poll clock still
+            # advances.
+            if not (isnan(max_c) or isnan(avg_c)):
+                observation = ControllerObservation(
+                    time_s=time_s,
+                    max_cpu_temperature_c=max_c,
+                    avg_cpu_temperature_c=avg_c,
+                    utilization_pct=float(self._executed_view[li]),
+                    current_rpm_command=float(rpm_command[li]),
+                )
+                wanted = controller.decide(observation)
+                if wanted is not None and wanted != rpm_command[li]:
+                    rpm_command[li] = engine._validated_command(i, wanted)
+                decide_pstate = self.decide_pstate_fns[li]
+                if decide_pstate is not None:
+                    wanted_pstate = decide_pstate(observation)
+                    if wanted_pstate is not None:
+                        kernel.set_pstate(
+                            int(li),
+                            engine._validated_pstate(i, int(wanted_pstate)),
+                        )
+            while time_s >= next_poll[li] - POLL_EPS_S:
+                next_poll[li] += controller.poll_interval_s
+        self.next_poll_due = next_poll.min()
+
+    def step(self, tick: int) -> None:  # reprolint: hot
+        """One tick over the shard slice: poll, physics, publish, spill."""
+        time_s = self.times[tick]
+        plan = self.plan
+        kernel = self.kernel
+        sl = self._sl
+        shared = self.shared
+
+        if time_s >= self.next_poll_due - POLL_EPS_S:
+            self._poll(time_s)
+
+        # a degraded fan bank caps the achievable rotor speed below the
+        # controller's command (the command itself is untouched)
+        if self.apply_faults and plan.has_fan_faults:
+            actuated_rpm = np.minimum(self.rpm_command, plan.rpm_cap[tick][sl])
+        else:
+            actuated_rpm = self.rpm_command
+
+        r = tick - self._chunk_start
+        air_capacity, leak_w = kernel.step_into(
+            self.dt_s,
+            self.substeps,
+            self.h,
+            shared.allocations[sl],
+            actuated_rpm,
+            shared.inlet[sl],
+            self._buf_power[r],
+            self._buf_fan[r],
+            self._buf_junction[r],
+            self._buf_util[r],
+            self._buf_rpm[r],
+            self._buf_pstate[r],
+            self._buf_deficit[r],
+        )
+        if self.engine.trip_on_critical:
+            self._check_critical(self._buf_junction[r])
+
+        # publish the post-step summary rows the coordinator schedules
+        # from at the next tick (same expressions as the vector loop's
+        # state handoff; the slope is published eagerly — identical to
+        # the lazy provider, it reads the same post-step t_j)
+        shared.exhaust_rise[sl] = self._buf_power[r] / air_capacity
+        shared.executed[sl] = self._buf_util[r]
+        shared.max_junction[sl] = self._buf_junction[r]
+        shared.leakage[sl] = leak_w
+        shared.slope[sl] = kernel.leakage_slope_w_per_c()
+        shared.pstate[sl] = self._buf_pstate[r]
+
+        if tick + 1 - self._chunk_start >= self.chunk_ticks or (
+            tick + 1 == self.steps
+        ):
+            self._spill(tick + 1)
+
+    def _check_critical(self, hottest: np.ndarray) -> None:
+        """Record a trip flag instead of raising (the coordinator raises).
+
+        Same selection as ``FleetVectorKernel.check_critical`` — the
+        first over-threshold server in index order — reported with the
+        global index so the coordinator can pick the globally-first
+        trip across shards and replicate the vector error message.
+        """
+        over = np.nonzero(hottest > self.kernel.critical_c)[0]
+        if over.size:
+            li = int(over[0])
+            self.shared.trip_server[self.shard_id] = self.lo + li
+            self.shared.trip_temp[self.shard_id] = float(hottest[li])
+            self.shared.trip_threshold[self.shard_id] = float(
+                self.kernel.critical_c[li]
+            )
+
+    def _spill(self, stop_tick: int) -> None:
+        """Write buffered rows ``[chunk_start, stop_tick)`` to disk."""
+        rows = stop_tick - self._chunk_start
+        self.writer.record_chunk(
+            self._chunk_start,
+            {name: buf[:rows] for name, buf in self._buffers.items()},
+        )
+        self._chunk_start = stop_tick
+
+    def close(self) -> None:
+        """Flush and close the shard's segment files."""
+        self.writer.close()
+
+
+class _Coordinator:
+    """The control plane: supplies, coupling, scheduling, attribution.
+
+    :meth:`begin_tick` mirrors the supply / coupling / scheduling
+    section of the vector loop over the gathered full-width arrays and
+    publishes its outputs (inlet, allocations) for the workers.
+    """
+
+    def __init__(
+        self,
+        engine: "FleetEngine",
+        dt_s: float,
+        steps: int,
+        plan: Optional["FleetFaultPlan"],
+        shared: _SharedBlock,
+        inlet_writer: ShardTraceWriter,
+        chunk_ticks: int,
+        trace_writer: ShardedTraceWriter,
+    ) -> None:
+        from repro.fleet.scheduler import FleetLoadArrays
+
+        self._load_arrays = FleetLoadArrays
+        self.engine = engine
+        self.dt_s = dt_s
+        self.steps = steps
+        self.plan = plan
+        self.shared = shared
+        self.inlet_writer = inlet_writer
+        self.chunk_ticks = chunk_ticks
+        self.trace_writer = trace_writer
+
+        fleet = engine.fleet
+        n = fleet.server_count
+        self.n = n
+        self.rack_of = np.asarray(fleet.rack_index_of_server)
+        # the dense coupling matrix is only materialized when the fleet
+        # actually recirculates: with no coupling the offsets are an
+        # exact zero vector and the O(N^2) product (of zeros) is skipped
+        self.coupling = (
+            fleet.recirculation_matrix()
+            if fleet.recirculation is not None
+            else None
+        )
+        self.zero_offsets = np.zeros(n)
+        self.supply_base = fleet.supply_temperatures_c(0.0)
+        self.supply_now = self.supply_base
+        constant_supply = all(rack.crac is None for rack in fleet.racks)
+        times_pre = plan_tick_times(steps, dt_s)[:steps]
+        self.times_pre_list = times_pre.tolist()
+        self.totals_list = (
+            engine.workload.profile.utilization_chunk(times_pre)
+            * engine.workload.server_count
+        ).tolist()
+        self.supply_matrix: Optional[np.ndarray] = None
+        if not constant_supply:
+            supply_models = fleet.supply_models()
+            self.supply_matrix = np.empty((steps, n))
+            for column, model in enumerate(supply_models):
+                self.supply_matrix[:, column] = model.temperature_chunk(
+                    times_pre
+                )
+
+        self.apply_faults = plan is not None
+        self.policy = engine.scheduler.policy
+        engine.scheduler.reset()
+
+        # coordinator-owned 1-D traces (O(steps), kept in RAM)
+        self.trace_unserved = np.empty(steps)
+        self.trace_respilled = np.zeros(steps)
+        self.trace_fault_unserved = np.zeros(steps)
+
+        # inlet chunk buffer, spilled on the same boundaries as the
+        # workers' physics columns
+        self._buf_inlet = np.empty((chunk_ticks, n))
+        self._chunk_start = 0
+
+        # capture tap: flushed from the read-side memory maps of the
+        # freshly-spilled segments, on the capture's own chunk cadence
+        # (the writer chunk divides it, see run_sharded)
+        self.capture = engine.capture
+        self.times_rec = np.arange(1, steps + 1) * dt_s
+        self._flush_start = 0
+        self._capture_cols: Dict[str, np.ndarray] = {}
+        if self.capture is not None:
+            self.capture.bind(n)
+            self._capture_cols = {
+                name: trace_writer.read_view(name)
+                for name in ("power", "fan", "junction", "util", "inlet", "rpm")
+            }
+
+    def _raise_if_tripped(self) -> None:
+        """Re-raise the globally-first critical trip, vector-style."""
+        tripped = self.shared.trip_server
+        hit = np.nonzero(tripped >= 0)[0]
+        if not hit.size:
+            return
+        shard = int(hit[np.argmin(tripped[hit])])
+        i = int(tripped[shard])
+        raise CriticalTemperatureError(
+            f"server {i} junction reached "
+            f"{self.shared.trip_temp[shard]:.1f} degC (critical threshold "
+            f"{self.shared.trip_threshold[shard]:.1f} degC)"
+        )
+
+    def _capture_flush(self, stop: int) -> None:
+        """Hand trace rows ``[flush_start, stop)`` to the capture tap."""
+        start = self._flush_start
+        self.capture.flush(
+            self.times_rec[start:stop],
+            {
+                name: np.asarray(col[start:stop])
+                for name, col in self._capture_cols.items()
+            },
+            unserved_pct=self.trace_unserved[start:stop],
+        )
+        self._flush_start = stop
+
+    def begin_tick(self, tick: int) -> None:  # reprolint: hot
+        """Trip check, capture flush, then schedule + publish tick inputs."""
+        self._raise_if_tripped()
+        if (
+            self.capture is not None
+            and tick - self._flush_start >= self.capture.chunk_ticks
+        ):
+            self._capture_flush(tick)
+
+        plan = self.plan
+        shared = self.shared
+        n = self.n
+        time_s = self.times_pre_list[tick]
+        supply_now = self.supply_now
+        if self.supply_matrix is not None:
+            supply_now = self.supply_matrix[tick]
+        elif self.apply_faults:
+            supply_now = self.supply_base
+        if self.apply_faults and plan.has_excursions:
+            supply_now = supply_now + plan.supply_delta[tick]
+        if self.coupling is None:
+            offsets = self.zero_offsets
+        else:
+            offsets = self.coupling @ shared.exhaust_rise
+        inlet = supply_now + offsets
+        self.supply_now = supply_now
+
+        outage_now = self.apply_faults and plan.outage_any[tick]
+        arrays = self._load_arrays(
+            utilization_pct=shared.executed,
+            max_junction_c=shared.max_junction,
+            inlet_c=inlet,
+            leakage_w=shared.leakage,
+            pstate_index=shared.pstate,
+            rack_index=self.rack_of,
+            leakage_slope_w_per_c=shared.slope,
+        )
+        order = self.policy.order_indices(arrays)
+        scheduler = self.engine.scheduler
+        if order is not None:
+            if outage_now:
+                # degraded fill plus the all-up counterfactual — both
+                # along the single policy ranking, so the respill/SLA
+                # attribution needs no second ranking
+                out_row = plan.outage[tick]
+                order = np.asarray(order)  # reprolint: disable=R003
+                counterfactual = scheduler.assign_indexed(
+                    order, n, self.totals_list[tick]
+                )
+                decision = scheduler.assign_indexed(
+                    order[~out_row[order]], n, self.totals_list[tick]
+                )
+                self.trace_respilled[tick] = float(
+                    counterfactual.allocations_pct[out_row].sum()
+                )
+                self.trace_fault_unserved[tick] = max(
+                    0.0,
+                    decision.unserved_pct - counterfactual.unserved_pct,
+                )
+            else:
+                decision = scheduler.assign_indexed(
+                    order, n, self.totals_list[tick]
+                )
+        else:
+            # view-based custom policy: full legacy scheduling path
+            views = self.engine._build_views(
+                n,
+                self.rack_of,
+                shared.executed,
+                shared.max_junction,
+                inlet,
+                shared.leakage,
+                arrays.leakage_slope_w_per_c,
+                shared.pstate,
+            )
+            if outage_now:
+                out_row = plan.outage[tick]
+                decision, counterfactual = scheduler.assign_with_spill(
+                    views, self.totals_list[tick], ~out_row
+                )
+                self.trace_respilled[tick] = float(
+                    counterfactual.allocations_pct[out_row].sum()
+                )
+                self.trace_fault_unserved[tick] = max(
+                    0.0,
+                    decision.unserved_pct - counterfactual.unserved_pct,
+                )
+            else:
+                decision = scheduler.assign(views, self.totals_list[tick])
+
+        shared.inlet[:] = inlet
+        shared.allocations[:] = decision.allocations_pct
+        self.trace_unserved[tick] = decision.unserved_pct
+
+        r = tick - self._chunk_start
+        self._buf_inlet[r] = inlet
+        if tick + 1 - self._chunk_start >= self.chunk_ticks or (
+            tick + 1 == self.steps
+        ):
+            self.inlet_writer.record_chunk(
+                self._chunk_start, {"inlet": self._buf_inlet[: r + 1]}
+            )
+            self._chunk_start = tick + 1
+
+    def finish(self) -> None:
+        """Post-loop trip check and the final capture flush."""
+        self._raise_if_tripped()
+        if self.capture is not None:
+            self._capture_flush(self.steps)
+        self.inlet_writer.close()
+
+
+def _worker_main(
+    worker: _ShardWorker, go: Any, done: Any, errors: Any
+) -> None:
+    """Worker-process entry: run the shard through the barrier protocol."""
+    try:
+        worker.setup()
+        done.wait(timeout=_BARRIER_TIMEOUT_S)
+        for tick in range(worker.steps):
+            go.wait(timeout=_BARRIER_TIMEOUT_S)
+            if worker.shared.stop[0]:
+                break
+            worker.step(tick)
+            done.wait(timeout=_BARRIER_TIMEOUT_S)
+        worker.close()
+    except BaseException as exc:  # propagate, then unblock everyone
+        try:
+            errors.put_nowait(
+                (worker.shard_id, type(exc).__name__, str(exc))
+            )
+            errors.cancel_join_thread()
+        except Exception:
+            pass
+        go.abort()
+        done.abort()
+
+
+def _collect_worker_error(errors: Any) -> RuntimeError:
+    """Drain the worker error queue into one RuntimeError."""
+    details = []
+    try:
+        while True:
+            shard_id, kind, message = errors.get_nowait()
+            details.append(f"shard {shard_id}: {kind}: {message}")
+    except Exception:
+        pass
+    if not details:
+        details.append("a shard worker died without reporting an error")
+    return RuntimeError(
+        "sharded fleet run failed: " + "; ".join(sorted(details))
+    )
+
+
+def _drive_inline(
+    coordinator: _Coordinator, workers: Sequence[_ShardWorker], steps: int
+) -> None:
+    """Sequential driver: same shard objects, no processes, no barriers."""
+    try:
+        for worker in workers:
+            worker.setup()
+        for tick in range(steps):
+            coordinator.begin_tick(tick)
+            for worker in workers:
+                worker.step(tick)
+        coordinator.finish()
+    finally:
+        for worker in workers:
+            worker.close()
+
+
+def _drive_process(
+    coordinator: _Coordinator,
+    workers: Sequence[_ShardWorker],
+    steps: int,
+    shared: _SharedBlock,
+) -> None:
+    """Forked driver: one process per shard, two barriers per tick."""
+    ctx = multiprocessing.get_context("fork")
+    go = ctx.Barrier(len(workers) + 1)
+    done = ctx.Barrier(len(workers) + 1)
+    errors = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(worker, go, done, errors),
+            daemon=True,
+        )
+        for worker in workers
+    ]
+
+    def wait(barrier: Any) -> None:
+        try:
+            barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+        except BrokenBarrierError:
+            raise _collect_worker_error(errors) from None
+
+    for proc in procs:
+        proc.start()
+    try:
+        wait(done)  # initial publishes visible
+        for tick in range(steps):
+            try:
+                coordinator.begin_tick(tick)
+            except Exception:
+                # release the workers into a cooperative stop before
+                # re-raising (trip or scheduling error on our side)
+                shared.stop[0] = 1
+                try:
+                    go.wait(timeout=5.0)
+                except Exception:
+                    go.abort()
+                    done.abort()
+                raise
+            wait(go)
+            wait(done)
+        coordinator.finish()
+    finally:
+        shared.stop[0] = 1
+        for proc in procs:
+            proc.join(timeout=10.0)
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+def resolve_shard_mode(mode: str) -> str:
+    """Map a ``shard_mode`` setting to ``"process"`` or ``"inline"``.
+
+    ``auto`` picks ``process`` when the ``fork`` start method exists
+    (Linux/macOS CPython) and the current process may have children
+    (daemonic workers — e.g. a parallel sweep's pool — may not), and
+    falls back to ``inline`` otherwise; requesting ``process`` where it
+    cannot work is an error — the worker protocol inherits unpicklable
+    state (controller closures, compiled fault plans) by design.
+    """
+    if mode not in ("auto", "process", "inline"):
+        raise ValueError(f"unknown shard_mode {mode!r}")
+    fork_ok = "fork" in multiprocessing.get_all_start_methods()
+    daemonic = multiprocessing.current_process().daemon
+    if mode == "auto":
+        return "process" if fork_ok and not daemonic else "inline"
+    if mode == "process" and not fork_ok:
+        raise ValueError(
+            "shard_mode='process' needs the fork start method; "
+            "use shard_mode='inline' on this platform"
+        )
+    if mode == "process" and daemonic:
+        raise ValueError(
+            "shard_mode='process' cannot fork workers from a daemonic "
+            "process (e.g. inside a parallel sweep); use "
+            "shard_mode='inline' there"
+        )
+    return mode
+
+
+def run_sharded(
+    engine: "FleetEngine",
+    dt_s: float,
+    steps: int,
+    plan: Optional["FleetFaultPlan"],
+) -> "FleetResult":
+    """Run *engine*'s scenario sharded; returns a vector-bit-identical result.
+
+    Called by :meth:`FleetEngine.run` for ``backend="sharded"`` with
+    the already-validated tick count and the pre-compiled fault plan
+    (compiled once, before any fork, so every worker inherits the same
+    masks and stateful sensor channels).  Streams traces into
+    ``engine.trace_dir`` (a temporary, deleted directory when None) and
+    records wall-clock / peak-RSS figures in ``engine.last_run_stats``.
+    """
+    wall_t0 = perf_counter()
+    fleet = engine.fleet
+    n = fleet.server_count
+    socket_counts = {spec.socket_count for spec in fleet.servers}
+    if len(socket_counts) != 1:
+        raise ValueError(
+            "the sharded backend needs every server to have the same "
+            f"socket count (got {sorted(socket_counts)}); use "
+            "backend='reference' for heterogeneous fleets"
+        )
+    shards: Union[int, Sequence[int]] = (
+        engine.shards if engine.shards is not None else min(2, n)
+    )
+    bounds = partition_servers(n, shards)
+    mode = resolve_shard_mode(engine.shard_mode)
+
+    trace_dir = engine.trace_dir
+    temporary = trace_dir is None
+    if temporary:
+        trace_dir = tempfile.mkdtemp(prefix="repro-sharded-")
+
+    chunk_ticks = (
+        engine.stream_chunk_ticks
+        if engine.stream_chunk_ticks is not None
+        else default_chunk_ticks(n)
+    )
+    chunk_ticks = min(int(chunk_ticks), steps)
+    if engine.capture is not None:
+        # worker spill boundaries must land on (divide) the capture's
+        # flush boundaries: the capture reads rows back through the
+        # segment files, so they must be on disk by flush time
+        chunk_ticks = gcd(chunk_ticks, int(engine.capture.chunk_ticks))
+
+    ctx = (
+        multiprocessing.get_context("fork") if mode == "process" else None
+    )
+    shared = _SharedBlock(n, len(bounds), ctx)
+    writer = ShardedTraceWriter(
+        trace_dir, steps, n, chunk_ticks=chunk_ticks
+    )
+    times = plan_tick_times(steps, dt_s)[:steps].tolist()
+    workers = [
+        _ShardWorker(
+            engine,
+            shard_id,
+            lo,
+            hi,
+            shared,
+            plan,
+            dt_s,
+            steps,
+            writer.shard_writer(lo, hi, columns=_WORKER_COLUMNS),
+            chunk_ticks,
+            times,
+        )
+        for shard_id, (lo, hi) in enumerate(bounds)
+    ]
+    coordinator = _Coordinator(
+        engine,
+        dt_s,
+        steps,
+        plan,
+        shared,
+        writer.shard_writer(0, n, columns=("inlet",)),
+        chunk_ticks,
+        writer,
+    )
+
+    try:
+        if mode == "process":
+            _drive_process(coordinator, workers, steps, shared)
+        else:
+            _drive_inline(coordinator, workers, steps)
+
+        writer.write_scalar("unserved", coordinator.trace_unserved)
+        writer.write_scalar("respilled", coordinator.trace_respilled)
+        writer.write_scalar(
+            "fault_unserved", coordinator.trace_fault_unserved
+        )
+        if plan is not None:
+            writer.write_fault_active(plan.fault_active)
+        controller_names = {c.name for c in engine.controllers}
+        writer.finalize(
+            {
+                "backend": "sharded",
+                "dt_s": dt_s,
+                "scheduler": engine.scheduler.name,
+                "controller": (
+                    controller_names.pop()
+                    if len(controller_names) == 1
+                    else "mixed"
+                ),
+                "shard_bounds": [list(b) for b in bounds],
+                "shard_mode": mode,
+            }
+        )
+
+        # sample the peak RSS *before* metrics aggregation faults the
+        # memory-mapped columns in: this is the streaming loop's
+        # resident footprint, the figure the scale benchmark bounds
+        usage_self = resource.getrusage(resource.RUSAGE_SELF)
+        usage_children = resource.getrusage(resource.RUSAGE_CHILDREN)
+        engine.last_run_stats = {
+            "backend": "sharded",
+            "shard_mode": mode,
+            "shards": len(bounds),
+            "server_count": n,
+            "steps": steps,
+            "sim_time_s": steps * dt_s,
+            "stream_chunk_ticks": chunk_ticks,
+            "wall_stream_s": perf_counter() - wall_t0,
+            "ru_maxrss_stream_kb": int(usage_self.ru_maxrss),
+            "ru_maxrss_children_kb": int(usage_children.ru_maxrss),
+            "trace_dir": None if temporary else str(trace_dir),
+        }
+
+        reader = FleetTraceReader(trace_dir)
+        result = reader.to_result(fleet, materialize=temporary)
+        engine.last_run_stats["wall_total_s"] = perf_counter() - wall_t0
+        if engine.metrics is not None:
+            engine.metrics.counter(
+                "repro_fleet_ticks_total", "Fleet engine ticks executed"
+            ).inc(steps)
+            engine.metrics.gauge(
+                "repro_fleet_sim_time_seconds", "Simulated seconds completed"
+            ).set(steps * dt_s)
+        return result
+    finally:
+        if temporary:
+            shutil.rmtree(trace_dir, ignore_errors=True)

@@ -7,7 +7,7 @@ and the power decomposition — evaluated as numpy arrays over all
 servers and sockets at once by the
 :class:`~repro.engine.kernel.FleetVectorKernel`.
 
-Three backends are available:
+Four backends are available:
 
 * ``vector`` (default) — the kernelized loop: persistent ``(N, ·)``
   state arrays feed the placement policy directly
@@ -23,6 +23,12 @@ Three backends are available:
 * ``reference`` — one real :class:`ServerSimulator` per server; the
   ground truth the vectorized math is tested against and the naive
   baseline of the scaling benchmark.
+* ``sharded`` — the ``vector`` loop partitioned across per-shard
+  kernels (worker processes over shared memory, or in-process with
+  ``shard_mode="inline"``) with trace columns streamed to
+  memory-mapped ``.npy`` segments instead of held in RAM; traces are
+  bit-identical to ``vector``.  See :mod:`repro.engine.sharded` and
+  ``docs/scaling.md``.
 
 Each server keeps its *own* controller instance (any
 :class:`~repro.core.controllers.base.FanController`), polled on its own
@@ -50,6 +56,7 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Sequence,
     Union,
 )
 
@@ -304,8 +311,12 @@ class FleetEngine:
         faults: Optional[FaultSchedule] = None,
         capture: Optional["FleetCapture"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        shards: Optional[Union[int, Sequence[int]]] = None,
+        trace_dir: Optional[str] = None,
+        shard_mode: str = "auto",
+        stream_chunk_ticks: Optional[int] = None,
     ):
-        if backend not in ("vector", "vector-legacy", "reference"):
+        if backend not in ("vector", "vector-legacy", "reference", "sharded"):
             raise ValueError(f"unknown backend {backend!r}")
         self.fleet = fleet
         if not isinstance(workload, FleetWorkload):
@@ -327,6 +338,34 @@ class FleetEngine:
             controller_factory(i) for i in range(fleet.server_count)
         ]
         self.backend = backend
+        # Sharded-execution knobs (see repro.engine.sharded): the shard
+        # partition, the streamed-trace directory (None = temporary),
+        # the worker mode, and the spill-chunk length.  Validated here
+        # so a bad partition fails at construction, not mid-run.
+        if backend != "sharded" and (
+            shards is not None
+            or trace_dir is not None
+            or stream_chunk_ticks is not None
+        ):
+            raise ValueError(
+                "shards / trace_dir / stream_chunk_ticks require "
+                f"backend='sharded', engine uses {backend!r}"
+            )
+        if shard_mode not in ("auto", "process", "inline"):
+            raise ValueError(f"unknown shard_mode {shard_mode!r}")
+        if stream_chunk_ticks is not None and int(stream_chunk_ticks) < 1:
+            raise ValueError("stream_chunk_ticks must be >= 1")
+        if shards is not None:
+            from repro.telemetry.segments import partition_servers
+
+            partition_servers(fleet.server_count, shards)
+        self.shards = shards
+        self.trace_dir = trace_dir
+        self.shard_mode = shard_mode
+        self.stream_chunk_ticks = stream_chunk_ticks
+        #: Wall-clock / RSS figures of the most recent sharded run
+        #: (None until one completes; see repro.engine.sharded).
+        self.last_run_stats: Optional[Dict[str, object]] = None
         self.seed = seed
         self.trip_on_critical = trip_on_critical
         if cold_start:
@@ -388,7 +427,9 @@ class FleetEngine:
         The ``vector`` backend executes the kernelized loop; the
         ``vector-legacy`` and ``reference`` backends run the pre-kernel
         per-tick loop (both produce the same traces as ``vector``, the
-        former bit for bit).
+        former bit for bit); the ``sharded`` backend partitions the
+        kernelized loop across shard workers with streamed traces
+        (bit-identical to ``vector``, see :mod:`repro.engine.sharded`).
         """
         if dt_s <= 0:
             raise ValueError("dt_s must be positive")
@@ -409,7 +450,12 @@ class FleetEngine:
         )
         if self.backend == "vector":
             return self._run_kernel(dt_s, steps, plan)
-        result = self._run_legacy(dt_s, steps, plan)
+        if self.backend == "sharded":
+            from repro.engine.sharded import run_sharded
+
+            result = run_sharded(self, dt_s, steps, plan)
+        else:
+            result = self._run_legacy(dt_s, steps, plan)
         self.last_result = result
         return result
 

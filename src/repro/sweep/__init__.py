@@ -71,6 +71,7 @@ def fleet_grid(
     dt_s: float = 60.0,
     seed: int = 0,
     backend: str = "vector",
+    shards=None,
     spec=None,
     lut=None,
 ) -> GridSpec:
@@ -89,6 +90,10 @@ def fleet_grid(
         "seed": int(seed),
         "backend": backend,
     }
+    if shards is not None:
+        # sharded-backend shard count (or explicit sizes); part of the
+        # base params, so it enters every point's content hash
+        base["shards"] = shards
     if spec is not None:
         base["spec"] = spec
     if lut is not None:

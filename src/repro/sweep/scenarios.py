@@ -442,6 +442,7 @@ def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
             "crac_supply_c",
             "seed",
             "backend",
+            "shards",
             "faults",
         },
         "fleet",
@@ -487,14 +488,27 @@ def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
             controller_name, params, spec
         )
 
+    backend = str(params.get("backend", "vector"))
+    engine_kwargs: Dict[str, Any] = {}
+    if "shards" in params:
+        # sharded-only knob: an int or explicit shard sizes; enters the
+        # cache hash like every other param, so sharded rows never
+        # collide with vector rows.
+        raw_shards = params["shards"]
+        engine_kwargs["shards"] = (
+            tuple(int(s) for s in raw_shards)
+            if isinstance(raw_shards, (list, tuple))
+            else int(raw_shards)
+        )
     engine = FleetEngine(
         fleet,
         profile,
         scheduler=FleetScheduler(PLACEMENT_POLICIES[policy_name]()),
         controller_factory=factory,
-        backend=str(params.get("backend", "vector")),
+        backend=backend,
         seed=seed,
         faults=fault_schedule,
+        **engine_kwargs,
     )
     m = engine.run(dt_s=float(params.get("dt_s", 60.0))).metrics
     return {

@@ -153,11 +153,49 @@ def golden_fleet_fault_drill() -> Table:
     return _fleet_table(result)
 
 
+def golden_fleet_sharded() -> Table:
+    """2-shard sharded backend on a faulted 2x2 fleet, 200 ticks.
+
+    Leakage-aware placement + bang-bang control (distinct from the
+    other fleet goldens), with a mid-run outage whose respilled work
+    crosses the shard boundary — pins the sharded coordinator/worker
+    exchange and the streamed-trace reassembly to an exact CSV surface.
+    """
+    from repro.core.controllers.bangbang import BangBangController
+    from repro.fleet import (
+        FaultSchedule,
+        FleetEngine,
+        FleetScheduler,
+        PLACEMENT_POLICIES,
+        ServerOutageEvent,
+        build_uniform_fleet,
+    )
+    from repro.workloads.profile import StaircaseProfile
+
+    schedule = FaultSchedule(
+        events=(ServerOutageEvent(server=1, start_s=120.0, end_s=280.0),)
+    )
+    fleet = build_uniform_fleet(rack_count=2, servers_per_rack=2)
+    result = FleetEngine(
+        fleet,
+        StaircaseProfile([35.0, 90.0, 65.0, 80.0], 100.0),
+        scheduler=FleetScheduler(PLACEMENT_POLICIES["leakage-aware"]()),
+        controller_factory=lambda i: BangBangController(),
+        faults=schedule,
+        backend="sharded",
+        shards=2,
+        shard_mode="inline",
+        stream_chunk_ticks=32,
+    ).run(dt_s=2.0)
+    return _fleet_table(result)
+
+
 #: Golden file name → builder.
 GOLDEN_BUILDERS = {
     "run_experiment.csv": golden_run_experiment,
     "fleet_coordinated.csv": golden_fleet_coordinated,
     "fleet_fault_drill.csv": golden_fleet_fault_drill,
+    "fleet_sharded.csv": golden_fleet_sharded,
 }
 
 

@@ -1,8 +1,9 @@
 """Golden-trace regression suite.
 
-Three small seeded scenarios — a single-server ``run_experiment``, a
-4-server coordinated fleet, and a compound fault drill — are committed
-as exact-round-trip CSVs under ``tests/golden/``.  Recomputing each
+Four small seeded scenarios — a single-server ``run_experiment``, a
+4-server coordinated fleet, a compound fault drill, and a 2-shard
+sharded-backend drill — are committed as exact-round-trip CSVs under
+``tests/golden/``.  Recomputing each
 scenario must reproduce its committed trace bit for bit after the CSV
 round-trip; any diff means the simulation semantics changed.
 

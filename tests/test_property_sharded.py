@@ -1,0 +1,137 @@
+"""Property tests: sharding/streaming knobs never change the numbers.
+
+Hypothesis drives the degrees of freedom the sharded backend adds on
+top of the vector kernel — shard partition, stream chunk size, tick
+length vs controller poll interval — and asserts that none of them
+moves a single bit of any trace column.  A second property round-trips
+a streamed trace directory through :class:`FleetTraceReader` and
+requires exact (not ``allclose``) equality.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controllers.pid import PIController
+from repro.fleet import (
+    PLACEMENT_POLICIES,
+    FleetEngine,
+    FleetScheduler,
+    FleetWorkload,
+    build_uniform_fleet,
+)
+from repro.telemetry.segments import FleetTraceReader, partition_servers
+from repro.workloads.profile import StaircaseProfile
+
+SERVER_COUNT = 5
+STEPS = 48
+
+TRACES = (
+    "times_s",
+    "total_power_w",
+    "fan_power_w",
+    "max_junction_c",
+    "utilization_pct",
+    "inlet_c",
+    "mean_rpm",
+    "unserved_pct",
+    "pstate_index",
+    "work_deficit_pct",
+)
+
+
+def compositions(total):
+    """All ordered compositions of ``total`` (shard size tuples)."""
+    if total == 0:
+        return [()]
+    out = []
+    for first in range(1, total + 1):
+        out.extend((first,) + rest for rest in compositions(total - first))
+    return out
+
+
+PARTITIONS = st.sampled_from(compositions(SERVER_COUNT))
+CHUNKS = st.integers(min_value=1, max_value=30)
+DT_POLL = st.sampled_from(
+    [(1.0, 10.0), (2.0, 10.0), (2.0, 5.0), (3.0, 7.0), (5.0, 10.0)]
+)
+
+_BASE_CACHE = {}
+
+
+def run(backend, dt_s, poll_s, **kw):
+    """One short fleet run; the workload steps across the horizon."""
+    fleet = build_uniform_fleet(rack_count=1, servers_per_rack=SERVER_COUNT)
+    engine = FleetEngine(
+        fleet,
+        FleetWorkload(
+            StaircaseProfile([30.0, 90.0, 60.0], STEPS * dt_s / 3.0),
+            fleet.server_count,
+        ),
+        scheduler=FleetScheduler(PLACEMENT_POLICIES["coolest-first"]()),
+        controller_factory=lambda i: PIController(poll_interval_s=poll_s),
+        backend=backend,
+        **kw,
+    )
+    return engine.run(dt_s=dt_s, duration_s=STEPS * dt_s), engine
+
+
+def base_result(dt_s, poll_s):
+    """Vector-backend reference, cached per (dt, poll) combination."""
+    key = (dt_s, poll_s)
+    if key not in _BASE_CACHE:
+        _BASE_CACHE[key], _ = run("vector", dt_s, poll_s)
+    return _BASE_CACHE[key]
+
+
+def assert_bit_identical(expected, actual):
+    for name in TRACES:
+        np.testing.assert_array_equal(
+            np.asarray(getattr(expected, name)),
+            np.asarray(getattr(actual, name)),
+            err_msg=name,
+        )
+
+
+@given(partition=PARTITIONS, chunk_ticks=CHUNKS, dt_poll=DT_POLL)
+@settings(max_examples=25, deadline=None)
+def test_sharding_never_changes_any_trace_column(
+    partition, chunk_ticks, dt_poll
+):
+    dt_s, poll_s = dt_poll
+    sharded, _ = run(
+        "sharded",
+        dt_s,
+        poll_s,
+        shards=partition,
+        shard_mode="inline",
+        stream_chunk_ticks=chunk_ticks,
+    )
+    assert_bit_identical(base_result(dt_s, poll_s), sharded)
+
+
+@given(partition=PARTITIONS, chunk_ticks=CHUNKS)
+@settings(max_examples=15, deadline=None)
+def test_streamed_trace_round_trips_bit_exactly(
+    tmp_path_factory, partition, chunk_ticks
+):
+    trace_dir = tmp_path_factory.mktemp("segments")
+    sharded, engine = run(
+        "sharded",
+        2.0,
+        10.0,
+        shards=partition,
+        shard_mode="inline",
+        stream_chunk_ticks=chunk_ticks,
+        trace_dir=str(trace_dir),
+    )
+    reloaded = FleetTraceReader(trace_dir).to_result(engine.fleet)
+    assert_bit_identical(sharded, reloaded)
+    assert_bit_identical(base_result(2.0, 10.0), reloaded)
+    assert reloaded.metrics == sharded.metrics
+
+
+def test_partition_servers_matches_composition_semantics():
+    assert partition_servers(5, 2) == ((0, 3), (3, 5))
+    assert partition_servers(5, (1, 3, 1)) == ((0, 1), (1, 4), (4, 5))
+    assert partition_servers(4, 4) == ((0, 1), (1, 2), (2, 3), (3, 4))
