@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""CI crash drill: SIGKILL a shard worker mid-run, prove bit-identity.
+
+Runs the same fleet scenario twice — once uninterrupted on the vector
+backend (the golden trace), once sharded across worker processes with
+a chaos hook that ``kill -9``\\ s one worker at ~50% of the run.  The
+shard supervisor restarts the dead worker from the last consistent
+checkpoint cut; afterwards every trace column must equal the golden
+run bit-for-bit.  Exits non-zero on any divergence, and writes the
+surviving checkpoint's manifest to ``--manifest-out`` so CI can upload
+it as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/crash_drill.py \
+        --servers 1000 --shards 4 --manifest-out drill-manifest.json
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.engine.sharded as sharded  # noqa: E402
+from repro.core.controllers.pid import PIController  # noqa: E402
+from repro.engine.checkpoint import (  # noqa: E402
+    CheckpointConfig,
+    latest_checkpoint,
+    read_manifest,
+)
+from repro.fleet import (  # noqa: E402
+    PLACEMENT_POLICIES,
+    Fleet,
+    FleetEngine,
+    FleetScheduler,
+    FleetWorkload,
+    Rack,
+)
+from repro.server.specs import default_server_spec  # noqa: E402
+from repro.workloads.profile import StaircaseProfile  # noqa: E402
+
+TRACES = (
+    "times_s",
+    "total_power_w",
+    "fan_power_w",
+    "max_junction_c",
+    "utilization_pct",
+    "inlet_c",
+    "mean_rpm",
+    "unserved_pct",
+    "pstate_index",
+    "work_deficit_pct",
+)
+
+
+def build_engine(servers, **kw):
+    """The drill fleet: ``servers`` PI-controlled machines, 25 per rack.
+
+    Uncoupled (``recirculation=None``) like the scale benchmark — the
+    default recirculation couplings only stay stable for small fleets.
+    """
+    spec = default_server_spec()
+    per_rack = min(25, servers)
+    sizes = [per_rack] * (servers // per_rack)
+    if servers % per_rack:
+        sizes.append(servers % per_rack)
+    racks = tuple(
+        Rack(name=f"rack{r}", servers=tuple(spec for _ in range(size)))
+        for r, size in enumerate(sizes)
+    )
+    fleet = Fleet(racks=racks, recirculation=None)
+    profile = StaircaseProfile([25.0, 85.0, 55.0, 95.0], 900.0)
+    return FleetEngine(
+        fleet,
+        FleetWorkload(profile, fleet.server_count),
+        scheduler=FleetScheduler(PLACEMENT_POLICIES["coolest-first"]()),
+        controller_factory=lambda spec: PIController(),
+        **kw,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--servers", type=int, default=1000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--dt", type=float, default=30.0)
+    parser.add_argument("--steps", type=int, default=120)
+    parser.add_argument(
+        "--kill-frac", type=float, default=0.5,
+        help="fraction of the run at which the worker is SIGKILLed",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        help="copy the surviving checkpoint manifest JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    dt_s = args.dt
+    duration_s = args.steps * dt_s
+    kill_tick = int(args.steps * args.kill_frac)
+
+    print(f"golden run: {args.servers} servers x {args.steps} ticks ...")
+    golden = build_engine(args.servers).run(dt_s=dt_s, duration_s=duration_s)
+
+    work = Path(tempfile.mkdtemp(prefix="crash-drill-"))
+    flag = work / "killed-once"
+    # Cut cadence: a quarter of the run, so the kill at ~50% lands
+    # past at least one sealed checkpoint.
+    cfg = CheckpointConfig(
+        directory=work / "ckpt",
+        every_s=max(dt_s, args.steps * dt_s / 4.0),
+        max_restarts=2,
+        restart_backoff_s=0.0,
+    )
+
+    def kill_once(shard_id, tick):
+        if shard_id == 1 and tick == kill_tick and not flag.exists():
+            flag.touch()
+            print(
+                f"CHAOS: SIGKILL shard {shard_id} (pid {os.getpid()}) "
+                f"at tick {tick}",
+                flush=True,
+            )
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    try:
+        print(
+            f"drill run: {args.shards} shard processes, "
+            f"kill -9 one worker at tick {kill_tick} ..."
+        )
+        sharded.CHAOS_WORKER_HOOK = kill_once
+        try:
+            engine = build_engine(
+                args.servers,
+                backend="sharded",
+                shards=args.shards,
+                shard_mode="process",
+                trace_dir=str(work / "trace"),
+                checkpoint=cfg,
+            )
+            result = engine.run(dt_s=dt_s, duration_s=duration_s)
+        finally:
+            sharded.CHAOS_WORKER_HOOK = None
+
+        if not flag.exists():
+            print("FAIL: chaos hook never fired", file=sys.stderr)
+            return 1
+        restarts = engine.last_run_stats.get("restarts", 0)
+        if restarts < 1:
+            print("FAIL: supervisor recorded no restart", file=sys.stderr)
+            return 1
+        print(
+            f"supervisor: {restarts} restart(s), resumed from tick "
+            f"{engine.last_resume_tick}"
+        )
+
+        for name in TRACES:
+            a = np.asarray(getattr(golden, name))
+            b = np.asarray(getattr(result, name))
+            if not np.array_equal(a, b):
+                print(f"FAIL: trace column {name} diverged", file=sys.stderr)
+                return 1
+        print(f"bit-identity: all {len(TRACES)} trace columns match golden")
+
+        cut = latest_checkpoint(cfg.root)
+        manifest = read_manifest(cut, verify=True)
+        print(
+            f"checkpoint: {cut.name} (format v{manifest['format_version']}, "
+            f"{len(manifest['files'])} payload files, checksums OK)"
+        )
+        if args.manifest_out:
+            out = Path(args.manifest_out)
+            out.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+            print(f"manifest: {out}")
+        print("CRASH DRILL PASSED")
+        return 0
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

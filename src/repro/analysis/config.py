@@ -102,7 +102,10 @@ HOT_FUNCTIONS: Mapping[str, FrozenSet[str]] = {
     "repro/engine/sharded.py": frozenset(
         {
             "_ShardWorker.step",
+            "_ShardWorker.maybe_checkpoint",
             "_Coordinator.begin_tick",
+            "_Coordinator.maybe_request_checkpoint",
+            "_Coordinator.maybe_commit_checkpoint",
         }
     ),
     "repro/telemetry/segments.py": frozenset(

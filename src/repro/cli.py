@@ -37,6 +37,12 @@ from repro.core.controllers.mpc import build_mpc_from_characterization
 from repro.core.controllers.oracle import OracleController
 from repro.core.controllers.pid import PIController
 from repro.core.lut import LookupTable, build_lut_from_characterization
+from repro.engine.checkpoint import (
+    EX_TEMPFAIL,
+    CheckpointConfig,
+    CheckpointError,
+    RunInterrupted,
+)
 from repro.experiments.characterization import run_characterization_steady
 from repro.experiments.report import (
     build_paper_lut,
@@ -349,6 +355,17 @@ def _build_fleet_engine(args, backend: str) -> FleetEngine:
         sharded_kwargs["shards"] = args.shards
     if getattr(args, "trace_dir", None) is not None:
         sharded_kwargs["trace_dir"] = args.trace_dir
+    if getattr(args, "barrier_timeout", None) is not None:
+        sharded_kwargs["barrier_timeout_s"] = args.barrier_timeout
+    if getattr(args, "checkpoint_dir", None) is not None:
+        sharded_kwargs["checkpoint"] = CheckpointConfig(
+            directory=args.checkpoint_dir,
+            every_s=args.checkpoint_every,
+            keep=args.checkpoint_keep,
+            # serve has no --max-restarts (supervised restart is a
+            # sharded-run concern); fall back to the config default
+            max_restarts=getattr(args, "max_restarts", 2),
+        )
     try:
         return FleetEngine(
             fleet,
@@ -370,7 +387,23 @@ def cmd_fleet(args) -> int:
     engine = _build_fleet_engine(args, backend=args.backend)
     fleet = engine.fleet
     faults = engine.faults
-    result = engine.run(dt_s=args.dt)
+    try:
+        result = engine.run(dt_s=args.dt, resume_from=args.resume)
+    except RunInterrupted as exc:
+        # Exit-code hygiene: a stopped-but-checkpointed run is
+        # resumable (EX_TEMPFAIL, 75); anything else is a failure.
+        if exc.checkpoint_path is not None:
+            print(
+                f"run interrupted; resume with "
+                f"--resume {exc.checkpoint_path}",
+                file=sys.stderr,
+            )
+            return EX_TEMPFAIL
+        print(f"run interrupted, no checkpoint: {exc}", file=sys.stderr)
+        return 1
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 1
     m = result.metrics
 
     print(
@@ -458,6 +491,9 @@ def cmd_serve(args) -> int:
             port=args.port,
             dt_s=args.dt,
             time_scale=args.time_scale,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_s=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
         ),
     )
     print(
@@ -470,6 +506,14 @@ def cmd_serve(args) -> int:
         asyncio.run(service.serve_forever())
     except KeyboardInterrupt:
         pass
+    if service.interrupted_checkpoint is not None:
+        # Graceful degradation: SIGTERM sealed a final checkpoint; the
+        # next start with the same --checkpoint-dir resumes from it.
+        print(
+            f"interrupted; will resume from {service.interrupted_checkpoint}",
+            file=sys.stderr,
+        )
+        return EX_TEMPFAIL
     return 0
 
 
@@ -553,10 +597,34 @@ def cmd_sweep(args) -> int:
     # repro.sweep.executor); --quiet swallows them, and the global
     # --log-level flag controls whether they reach the terminal.
     progress = (lambda line: None) if args.quiet else None  # noqa: E731
-    table = run_sweep(grid, workers=workers, cache=cache, progress=progress)
+    table = run_sweep(
+        grid,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        retries=args.retries,
+        backoff_s=args.backoff,
+    )
 
+    failures = 0
     rows = []
     for row in table.rows():
+        if row.get("error") is not None:
+            failures += 1
+            rows.append(
+                [
+                    f"{args.racks * row['servers_per_rack']}",
+                    row["policy"],
+                    row["controller"],
+                    f"{row['crac_supply_c']:.1f}",
+                    f"FAILED: {row['error']}",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                ]
+            )
+            continue
         rows.append(
             [
                 f"{args.racks * row['servers_per_rack']}",
@@ -592,10 +660,15 @@ def cmd_sweep(args) -> int:
     )
     if cache is not None:
         print(f"cache      : {cache}")
+    if failures:
+        print(
+            f"failures   : {failures} point(s) exhausted their retry "
+            f"budget (kept uncached; re-run retries exactly those)"
+        )
     if args.csv:
         path = table.to_csv(Path(args.csv))
         print(f"table      : {path}")
-    return 0
+    return 1 if failures else 0
 
 
 # ----------------------------------------------------------------------
@@ -707,6 +780,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for streamed trace segments "
         "(--backend sharded; default: a self-cleaning temp dir)",
     )
+    p.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        help="write periodic run checkpoints here (see docs/resilience.md); "
+        "an interrupted run exits 75 and can continue with --resume",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=300.0,
+        dest="checkpoint_every",
+        help="checkpoint cadence in simulated seconds",
+    )
+    p.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=2,
+        dest="checkpoint_keep",
+        help="retained checkpoint generations",
+    )
+    p.add_argument(
+        "--resume",
+        help="continue a checkpointed run: a checkpoint directory, or a "
+        "checkpoint root (resumes from its latest cut); the continued "
+        "run is bit-identical to an uninterrupted one",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        dest="max_restarts",
+        help="automatic in-run restarts of a crashed shard worker from "
+        "the last checkpoint (--backend sharded with --checkpoint-dir)",
+    )
+    p.add_argument(
+        "--barrier-timeout",
+        type=float,
+        dest="barrier_timeout",
+        help="sharded tick-barrier timeout in seconds (default scales "
+        "with the server count; env REPRO_BARRIER_TIMEOUT_S also works)",
+    )
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
@@ -778,6 +892,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--csv", help="write the tidy sweep table CSV here")
     p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="per-point retry budget: a point that still fails lands in "
+        "the table as an error row while the rest of the grid completes",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="first retry delay in seconds (doubles per attempt)",
+    )
+    p.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress"
     )
     p.set_defaults(func=cmd_sweep)
@@ -828,6 +955,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         dest="time_scale",
         help="simulated seconds per wall second (0 = fastest possible)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        help="checkpoint the live run here: SIGTERM seals a final cut "
+        "(exit 75) and the next start resumes from the latest one",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=300.0,
+        dest="checkpoint_every",
+        help="checkpoint cadence in simulated seconds",
+    )
+    p.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=2,
+        dest="checkpoint_keep",
+        help="retained checkpoint generations",
     )
     p.set_defaults(func=cmd_serve)
 

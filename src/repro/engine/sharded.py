@@ -37,12 +37,15 @@ and the placement allocations.  Two barriers sequence each tick:
    trip check / capture flush
    supply + coupling + schedule
    publish inlet, allocations
+   request checkpoint cut?
    ---------- barrier "go" ------------------------
                                     poll controllers [lo, hi)
                                     step_into -> chunk buffer
                                     spill chunk at boundary
                                     publish summary rows
+                                    snapshot slice if cut requested
    ---------- barrier "done" ----------------------
+   seal + commit checkpoint
 
 Worker processes are forked (the ``process`` mode requires the
 ``fork`` start method; ``inline`` drives the same shard objects
@@ -51,6 +54,18 @@ specs and the compiled fault plan are inherited copy-on-write without
 pickling.  Critical-temperature trips are reported through shared trip
 flags and re-raised by the coordinator with the globally-first server
 index — the same server, message and exception type as ``vector``.
+
+Checkpoints are a *consistent cut*: the coordinator announces the cut
+tick through shared memory before the "go" barrier, every worker
+snapshots its slice right after stepping that tick (a spill boundary,
+so all trace rows below the cut are already durable on disk), and the
+coordinator seals the checksummed manifest after the "done" barrier.
+A supervisor wraps the process driver: worker death (detected by a
+sentinel watcher that breaks the barriers immediately instead of
+waiting out the timeout) is classified as restartable, and the run is
+rebuilt from the latest checkpoint with bounded retries and
+exponential backoff.  Barrier timeouts scale with the fleet size and
+are overridable per engine or via ``REPRO_BARRIER_TIMEOUT_S``.
 
 In ``process`` mode the coordinator's copies of the per-server
 controller objects are *not* mutated (each worker advances its own
@@ -65,25 +80,46 @@ before cleanup.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import resource
 import shutil
 import tempfile
 from math import gcd, isnan
-from threading import BrokenBarrierError
-from time import perf_counter
+from multiprocessing.connection import wait as _sentinel_wait
+from threading import BrokenBarrierError, Event, Thread
+from time import monotonic, perf_counter, sleep
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
 import numpy as np
 
 from repro.core.controllers.base import ControllerObservation
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointWriter,
+    RunInterrupted,
+    latest_checkpoint,
+    load_arrays,
+    load_pickle,
+    prune_checkpoints,
+    read_manifest,
+    require_fingerprint,
+    resolve_checkpoint,
+    save_arrays,
+    save_pickle,
+    staging_dir_for_tick,
+)
 from repro.engine.kernel import (
     POLL_EPS_S,
     FleetVectorKernel,
@@ -108,10 +144,61 @@ if TYPE_CHECKING:  # annotation-only; avoids an import cycle at runtime
 #: ``inlet``, which is an input to the step, not an output of it).
 _WORKER_COLUMNS = tuple(c for c in FLEET_TRACE_COLUMNS if c != "inlet")
 
-#: Barrier timeout, s: generous enough for a 100k-server tick on a
-#: loaded box, small enough that a wedged worker fails the run instead
-#: of hanging it forever.
-_BARRIER_TIMEOUT_S = 600.0
+#: Barrier timeout floor, s: even a tiny fleet gets a minute per tick
+#: before a silent worker fails the run.
+_BARRIER_TIMEOUT_FLOOR_S = 60.0
+
+#: Barrier timeout growth, s per server: 0.006 s x 100k servers = the
+#: 600 s budget the previously fixed timeout granted the largest drill.
+_BARRIER_TIMEOUT_PER_SERVER_S = 0.006
+
+#: Chaos-test seams (set by tests, inherited over ``fork``): called as
+#: ``hook(shard_id, tick)`` in each worker right before it steps, and
+#: ``hook(tick)`` on the coordinator right after each tick completes.
+CHAOS_WORKER_HOOK: Optional[Callable[[int, int], None]] = None
+CHAOS_COORDINATOR_HOOK: Optional[Callable[[int], None]] = None
+
+
+def default_barrier_timeout_s(server_count: int) -> float:
+    """Per-tick barrier budget scaled with the fleet size."""
+    return max(
+        _BARRIER_TIMEOUT_FLOOR_S,
+        _BARRIER_TIMEOUT_PER_SERVER_S * int(server_count),
+    )
+
+
+def resolve_barrier_timeout_s(
+    engine: "FleetEngine", server_count: int
+) -> float:
+    """Engine override > ``REPRO_BARRIER_TIMEOUT_S`` > scaled default."""
+    if engine.barrier_timeout_s is not None:
+        return float(engine.barrier_timeout_s)
+    env = os.environ.get("REPRO_BARRIER_TIMEOUT_S")
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BARRIER_TIMEOUT_S must be a number, got {env!r}"
+            ) from None
+        if not value > 0.0:
+            raise ValueError("REPRO_BARRIER_TIMEOUT_S must be positive")
+        return value
+    return default_barrier_timeout_s(server_count)
+
+
+class ShardCrashError(RuntimeError):
+    """A sharded run failed below the coordinator.
+
+    ``restartable`` distinguishes a worker that *died* (killed, OOM,
+    wedged past the barrier timeout — worth restarting from the last
+    checkpoint) from one that *raised* (a deterministic error that
+    would simply recur on replay).
+    """
+
+    def __init__(self, message: str, restartable: bool = False) -> None:
+        super().__init__(message)
+        self.restartable = restartable
 
 
 def _subfleet(fleet: Any, lo: int, hi: int) -> Any:
@@ -180,6 +267,13 @@ class _SharedBlock:
         self.trip_temp = f64(shard_count)
         self.trip_threshold = f64(shard_count)
         self.stop = i64(1)
+        #: Supervision: per-shard completed-tick watermark and the
+        #: wall-clock of each worker's last sign of life.
+        self.progress = i64(shard_count)
+        self.heartbeat = f64(shard_count)
+        #: Checkpoint protocol: the cut tick every worker must snapshot
+        #: after stepping (0 = no cut pending).
+        self.ckpt_tick = i64(1)
 
 
 class _ShardWorker:
@@ -203,6 +297,10 @@ class _ShardWorker:
         writer: ShardTraceWriter,
         chunk_ticks: int,
         times: List[float],
+        barrier_timeout_s: float = _BARRIER_TIMEOUT_FLOOR_S,
+        checkpoint_root: Optional[str] = None,
+        resume_dir: Optional[str] = None,
+        start_tick: int = 0,
     ) -> None:
         self.engine = engine
         self.shard_id = shard_id
@@ -215,34 +313,66 @@ class _ShardWorker:
         self.writer = writer
         self.chunk_ticks = chunk_ticks
         self.times = times
+        self.barrier_timeout_s = barrier_timeout_s
+        self.checkpoint_root = checkpoint_root
+        self.resume_dir = resume_dir
+        self.start_tick = start_tick
         self.substeps, self.h = substep_schedule(dt_s)
 
+    @property
+    def _shard_name(self) -> str:
+        return f"shard-{self.shard_id:04d}"
+
     def setup(self) -> None:
-        """Build the shard kernel, reset controllers, publish t=0 state."""
+        """Build the shard kernel; cold-start or restore its state."""
         engine = self.engine
         lo, hi = self.lo, self.hi
         width = hi - lo
         self._sl = slice(lo, hi)
         kernel = FleetVectorKernel(_subfleet(engine.fleet, lo, hi))
-        if engine.cold_start:
-            kernel.force_cold_state(engine.cold_start_rpm)
         self.kernel = kernel
-        self.controllers = engine.controllers[lo:hi]
+        if self.resume_dir is None:
+            if engine.cold_start:
+                kernel.force_cold_state(engine.cold_start_rpm)
+            self.controllers = engine.controllers[lo:hi]
+            rpm_command = np.empty(width)
+            for li, controller in enumerate(self.controllers):
+                controller.reset()
+                initial = controller.initial_rpm()
+                rpm_command[li] = engine._validated_command(
+                    lo + li,
+                    initial
+                    if initial is not None
+                    else float(kernel.rpm[li]),
+                )
+            self.rpm_command = rpm_command
+            self.next_poll = np.zeros(width)
+            self.next_poll_due = 0.0
+        else:
+            state = load_arrays(self.resume_dir, self._shard_name)
+            kernel.load_state_arrays(
+                {
+                    key: state[f"kernel_{key}"]
+                    for key in FleetVectorKernel.STATE_KEYS
+                }
+            )
+            control = load_pickle(self.resume_dir, self._shard_name)
+            self.controllers = list(control["controllers"])
+            if len(self.controllers) != width:
+                raise CheckpointError(
+                    f"checkpoint shard {self.shard_id} holds "
+                    f"{len(self.controllers)} controllers, expected {width}"
+                )
+            channels = control["sensor_channels"]
+            if self.plan is not None and channels is not None:
+                self.plan.sensor_channels[lo:hi] = channels
+            self.rpm_command = state["rpm_command"].copy()
+            self.next_poll = state["next_poll"].copy()
+            self.next_poll_due = float(state["next_poll_due"])
         self.decide_pstate_fns = [
             getattr(controller, "decide_pstate", None)
             for controller in self.controllers
         ]
-        rpm_command = np.empty(width)
-        for li, controller in enumerate(self.controllers):
-            controller.reset()
-            initial = controller.initial_rpm()
-            rpm_command[li] = engine._validated_command(
-                lo + li,
-                initial if initial is not None else float(kernel.rpm[li]),
-            )
-        self.rpm_command = rpm_command
-        self.next_poll = np.zeros(width)
-        self.next_poll_due = 0.0
         self.apply_faults = self.plan is not None
 
         # chunk buffers: the only O(chunk x width) state a worker holds
@@ -260,19 +390,22 @@ class _ShardWorker:
         self._buf_rpm = self._buffers["rpm"]
         self._buf_pstate = self._buffers["pstate"]
         self._buf_deficit = self._buffers["deficit"]
-        self._chunk_start = 0
+        self._chunk_start = self.start_tick
 
         # pre-step state the poll block reads: views into the shard's
         # slice of the published summary arrays
         self._junction_view = self.shared.max_junction[self._sl]
         self._executed_view = self.shared.executed[self._sl]
 
-        # initial publish (executed / p-state / exhaust stay zero,
-        # matching the vector loop's pre-first-tick state)
-        max_junction_c, _, leak_w, slope = kernel.initial_views_data()
-        self.shared.max_junction[self._sl] = max_junction_c
-        self.shared.leakage[self._sl] = leak_w
-        self.shared.slope[self._sl] = slope
+        if self.resume_dir is None:
+            # initial publish (executed / p-state / exhaust stay zero,
+            # matching the vector loop's pre-first-tick state); on
+            # resume the coordinator restores the full summary arrays
+            # from its own payload instead
+            max_junction_c, _, leak_w, slope = kernel.initial_views_data()
+            self.shared.max_junction[self._sl] = max_junction_c
+            self.shared.leakage[self._sl] = leak_w
+            self.shared.slope[self._sl] = slope
 
     def _poll(self, time_s: float) -> None:
         """Poll due controllers, exactly as the vector loop does."""
@@ -371,6 +504,54 @@ class _ShardWorker:
         ):
             self._spill(tick + 1)
 
+    def mark_progress(self, tick: int) -> None:
+        """Publish the completed-tick watermark and a heartbeat."""
+        self.shared.progress[self.shard_id] = tick + 1
+        self.shared.heartbeat[self.shard_id] = monotonic()
+
+    def maybe_checkpoint(self, tick: int) -> None:
+        """Snapshot this slice if a cut is announced for ``tick + 1``.
+
+        Called right after :meth:`step` every tick; the fast path is a
+        pair of scalar reads and must stay allocation-free (it is
+        registered in the reprolint hot-path config).  The snapshot
+        itself is cold-path work in :meth:`_snapshot_slice`.
+        """
+        root = self.checkpoint_root
+        if root is None or int(self.shared.ckpt_tick[0]) != tick + 1:
+            return
+        self._snapshot_slice(root, tick)
+
+    def _snapshot_slice(self, root: Path, tick: int) -> None:
+        """Write this slice's state into the announced cut's staging dir.
+
+        A cut is only ever announced at a spill boundary, so every
+        trace row below it is already on disk and the snapshot is
+        exactly the worker's carried state: kernel arrays, controller
+        objects, poll clocks, fan commands and the shard's stateful
+        sensor-fault channels.
+        """
+        staging = staging_dir_for_tick(root, tick + 1)
+        arrays: Dict[str, np.ndarray] = {
+            f"kernel_{key}": value
+            for key, value in self.kernel.state_arrays().items()
+        }
+        arrays["rpm_command"] = self.rpm_command.copy()
+        arrays["next_poll"] = self.next_poll.copy()
+        arrays["next_poll_due"] = np.float64(self.next_poll_due)
+        save_arrays(staging, self._shard_name, arrays)
+        channels = None
+        if self.plan is not None:
+            channels = list(self.plan.sensor_channels[self.lo : self.hi])
+        save_pickle(
+            staging,
+            self._shard_name,
+            {
+                "controllers": self.controllers,
+                "sensor_channels": channels,
+            },
+        )
+
     def _check_critical(self, hottest: np.ndarray) -> None:
         """Record a trip flag instead of raising (the coordinator raises).
 
@@ -420,6 +601,11 @@ class _Coordinator:
         inlet_writer: ShardTraceWriter,
         chunk_ticks: int,
         trace_writer: ShardedTraceWriter,
+        checkpoint: Optional[CheckpointConfig] = None,
+        ckpt_every_ticks: Optional[int] = None,
+        fingerprint: Optional[Mapping[str, Any]] = None,
+        resume_dir: Optional[str] = None,
+        start_tick: int = 0,
     ) -> None:
         from repro.fleet.scheduler import FleetLoadArrays
 
@@ -432,6 +618,13 @@ class _Coordinator:
         self.inlet_writer = inlet_writer
         self.chunk_ticks = chunk_ticks
         self.trace_writer = trace_writer
+        self.checkpoint = checkpoint
+        self.ckpt_every_ticks = ckpt_every_ticks
+        self.fingerprint: Dict[str, Any] = (
+            dict(fingerprint) if fingerprint is not None else {}
+        )
+        self.start_tick = int(start_tick)
+        self._ckpt_writer: Optional[CheckpointWriter] = None
 
         fleet = engine.fleet
         n = fleet.server_count
@@ -465,18 +658,38 @@ class _Coordinator:
                 )
 
         self.apply_faults = plan is not None
+        if resume_dir is None:
+            engine.scheduler.reset()
+        else:
+            engine.scheduler = load_pickle(resume_dir, "coordinator")[
+                "scheduler"
+            ]
         self.policy = engine.scheduler.policy
-        engine.scheduler.reset()
 
         # coordinator-owned 1-D traces (O(steps), kept in RAM)
         self.trace_unserved = np.empty(steps)
         self.trace_respilled = np.zeros(steps)
         self.trace_fault_unserved = np.zeros(steps)
+        if resume_dir is not None:
+            restored = load_arrays(resume_dir, "coordinator")
+            t = self.start_tick
+            self.trace_unserved[:t] = restored["unserved"]
+            self.trace_respilled[:t] = restored["respilled"]
+            self.trace_fault_unserved[:t] = restored["fault_unserved"]
+            # the post-step summaries of the cut tick: restored *here*,
+            # before any worker runs, so resumed workers skip their
+            # initial publish
+            shared.exhaust_rise[:] = restored["exhaust_rise"]
+            shared.executed[:] = restored["executed"]
+            shared.max_junction[:] = restored["max_junction"]
+            shared.leakage[:] = restored["leakage"]
+            shared.slope[:] = restored["slope"]
+            shared.pstate[:] = restored["pstate"]
 
         # inlet chunk buffer, spilled on the same boundaries as the
         # workers' physics columns
         self._buf_inlet = np.empty((chunk_ticks, n))
-        self._chunk_start = 0
+        self._chunk_start = self.start_tick
 
         # capture tap: flushed from the read-side memory maps of the
         # freshly-spilled segments, on the capture's own chunk cadence
@@ -491,6 +704,14 @@ class _Coordinator:
                 name: trace_writer.read_view(name)
                 for name in ("power", "fan", "junction", "util", "inlet", "rpm")
             }
+            if self.start_tick > 0:
+                # replay the restored prefix through the tap in the
+                # exact flush slices the uninterrupted run used, so
+                # every downstream capture artifact is bit-identical
+                cap_chunk = int(self.capture.chunk_ticks)
+                target = ((self.start_tick - 1) // cap_chunk) * cap_chunk
+                while self._flush_start < target:
+                    self._capture_flush(self._flush_start + cap_chunk)
 
     def _raise_if_tripped(self) -> None:
         """Re-raise the globally-first critical trip, vector-style."""
@@ -623,6 +844,82 @@ class _Coordinator:
             )
             self._chunk_start = tick + 1
 
+    def maybe_request_checkpoint(self, tick: int) -> None:
+        """Announce a cut after ``tick`` if one is due at its boundary.
+
+        Called between :meth:`begin_tick` and the "go" barrier.  Cuts
+        land only on spill boundaries (the cadence is pre-aligned to a
+        multiple of ``chunk_ticks``; a stop/checkpoint request waits
+        for the next boundary), so the announced tick's trace rows are
+        durable before the manifest is sealed.
+        """
+        if self.checkpoint is None or self.ckpt_every_ticks is None:
+            return
+        t1 = tick + 1
+        if t1 >= self.steps:
+            return
+        due = t1 % self.ckpt_every_ticks == 0
+        if not due and (
+            self.engine._stop_requested or self.engine._checkpoint_requested
+        ):
+            due = t1 % self.chunk_ticks == 0
+        if not due:
+            return
+        self._ckpt_writer = CheckpointWriter(self.checkpoint.root, t1)
+        self.shared.ckpt_tick[0] = t1
+
+    def maybe_commit_checkpoint(self, tick: int) -> Optional[str]:
+        """Seal the cut announced for ``tick``, if any; return its path.
+
+        Runs after the "done" barrier every tick; the fast path is two
+        scalar reads and must stay allocation-free (registered in the
+        reprolint hot-path config).  Sealing is cold-path work in
+        :meth:`_seal_cut`.
+        """
+        if self.checkpoint is None:
+            return None
+        t1 = tick + 1
+        if int(self.shared.ckpt_tick[0]) != t1:
+            return None
+        return self._seal_cut(t1)
+
+    def _seal_cut(self, t1: int) -> str:
+        """Complete and atomically commit the cut announced for ``t1``.
+
+        Every worker's slice snapshot is already staged (the "done"
+        barrier passed), so adding the coordinator payload (scalar
+        traces, the published summary arrays, the scheduler) completes
+        the consistent cut before the atomic rename.
+        """
+        writer = self._ckpt_writer
+        assert writer is not None
+        writer.arrays(
+            "coordinator",
+            {
+                "unserved": self.trace_unserved[:t1].copy(),
+                "respilled": self.trace_respilled[:t1].copy(),
+                "fault_unserved": self.trace_fault_unserved[:t1].copy(),
+                "exhaust_rise": np.array(self.shared.exhaust_rise),
+                "executed": np.array(self.shared.executed),
+                "max_junction": np.array(self.shared.max_junction),
+                "leakage": np.array(self.shared.leakage),
+                "slope": np.array(self.shared.slope),
+                "pstate": np.array(self.shared.pstate),
+            },
+        )
+        writer.pickle("coordinator", {"scheduler": self.engine.scheduler})
+        path = writer.commit(
+            "fleet-sharded",
+            self.fingerprint,
+            extra={"chunk_ticks": self.chunk_ticks},
+        )
+        prune_checkpoints(self.checkpoint.root, self.checkpoint.keep)
+        self.shared.ckpt_tick[0] = 0
+        self._ckpt_writer = None
+        self.engine.last_checkpoint_path = path
+        self.engine._checkpoint_requested = False
+        return str(path)
+
     def finish(self) -> None:
         """Post-loop trip check and the final capture flush."""
         self._raise_if_tripped()
@@ -635,16 +932,26 @@ def _worker_main(
     worker: _ShardWorker, go: Any, done: Any, errors: Any
 ) -> None:
     """Worker-process entry: run the shard through the barrier protocol."""
+    timeout = worker.barrier_timeout_s
     try:
         worker.setup()
-        done.wait(timeout=_BARRIER_TIMEOUT_S)
-        for tick in range(worker.steps):
-            go.wait(timeout=_BARRIER_TIMEOUT_S)
+        done.wait(timeout=timeout)
+        for tick in range(worker.start_tick, worker.steps):
+            go.wait(timeout=timeout)
             if worker.shared.stop[0]:
                 break
+            if CHAOS_WORKER_HOOK is not None:
+                CHAOS_WORKER_HOOK(worker.shard_id, tick)
             worker.step(tick)
-            done.wait(timeout=_BARRIER_TIMEOUT_S)
+            worker.maybe_checkpoint(tick)
+            worker.mark_progress(tick)
+            done.wait(timeout=timeout)
         worker.close()
+    except BrokenBarrierError:
+        # a peer or the coordinator already failed and broke the
+        # barriers — secondary noise, never the root cause; reporting
+        # it would mask the real error during classification
+        pass
     except BaseException as exc:  # propagate, then unblock everyone
         try:
             errors.put_nowait(
@@ -657,37 +964,129 @@ def _worker_main(
         done.abort()
 
 
-def _collect_worker_error(errors: Any) -> RuntimeError:
-    """Drain the worker error queue into one RuntimeError."""
+def _collect_worker_error(
+    errors: Any,
+    procs: Sequence[Any] = (),
+    shared: Optional[_SharedBlock] = None,
+    tick: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> ShardCrashError:
+    """Classify a broken barrier into one :class:`ShardCrashError`.
+
+    A reported worker exception is deterministic and not restartable;
+    a dead or silent worker (killed, OOM, wedged) is — the run can be
+    rebuilt from the last checkpoint.  The grace ``get`` absorbs the
+    race between a worker's error enqueue and its barrier abort.
+    """
     details = []
     try:
+        shard_id, kind, message = errors.get(True, 1.0)
+        details.append(f"shard {shard_id}: {kind}: {message}")
         while True:
             shard_id, kind, message = errors.get_nowait()
             details.append(f"shard {shard_id}: {kind}: {message}")
     except Exception:
         pass
-    if not details:
-        details.append("a shard worker died without reporting an error")
-    return RuntimeError(
-        "sharded fleet run failed: " + "; ".join(sorted(details))
+    if details:
+        return ShardCrashError(
+            "sharded fleet run failed: " + "; ".join(sorted(details)),
+            restartable=False,
+        )
+    dead = [
+        shard_id
+        for shard_id, proc in enumerate(procs)
+        if not proc.is_alive()
+    ]
+    if dead:
+        return ShardCrashError(
+            f"shard worker(s) {dead} died without reporting an error "
+            "(killed or out of memory)",
+            restartable=True,
+        )
+    laggards: List[int] = []
+    if shared is not None and tick is not None:
+        laggards = [
+            shard_id
+            for shard_id, done_tick in enumerate(shared.progress)
+            if int(done_tick) <= tick
+        ]
+    budget = f" after {timeout_s:.0f}s" if timeout_s is not None else ""
+    at = f" at tick {tick}" if tick is not None else ""
+    return ShardCrashError(
+        f"sharded fleet run barrier timed out{budget}{at}; "
+        f"shards that failed to arrive: {laggards or 'unknown'}",
+        restartable=True,
     )
 
 
 def _drive_inline(
-    coordinator: _Coordinator, workers: Sequence[_ShardWorker], steps: int
+    coordinator: _Coordinator,
+    workers: Sequence[_ShardWorker],
+    steps: int,
+    start_tick: int = 0,
 ) -> None:
     """Sequential driver: same shard objects, no processes, no barriers."""
+    engine = coordinator.engine
     try:
         for worker in workers:
             worker.setup()
-        for tick in range(steps):
+        for tick in range(start_tick, steps):
             coordinator.begin_tick(tick)
+            coordinator.maybe_request_checkpoint(tick)
             for worker in workers:
                 worker.step(tick)
+            for worker in workers:
+                worker.maybe_checkpoint(tick)
+            path = coordinator.maybe_commit_checkpoint(tick)
+            if (
+                engine._stop_requested
+                and tick + 1 < steps
+                and (coordinator.checkpoint is None or path is not None)
+            ):
+                raise RunInterrupted(
+                    f"sharded run stopped at tick {tick + 1}/{steps}",
+                    engine.last_checkpoint_path,
+                )
         coordinator.finish()
     finally:
         for worker in workers:
             worker.close()
+
+
+def _watch_sentinels(
+    procs: Sequence[Any],
+    go: Any,
+    done: Any,
+    stop: Event,
+    shared: "_SharedBlock",
+    steps: int,
+) -> None:
+    """Break the barriers the moment any worker process *crashes*.
+
+    Without this, a SIGKILLed worker leaves the coordinator and every
+    sibling blocked until the barrier timeout; process sentinels turn
+    that into an immediate, classifiable failure.  An exit is a crash
+    only if the worker had ticks left to run and no cooperative stop
+    was flagged: at end of run the workers can clear the final barrier
+    and exit before the coordinator observes its own release, and
+    aborting then would break the barrier out from under it.
+    """
+    remaining = {proc.sentinel: shard for shard, proc in enumerate(procs)}
+    while remaining and not stop.is_set():
+        ready = _sentinel_wait(list(remaining), timeout=0.25)
+        crashed = False
+        for sentinel in ready:
+            shard = remaining.pop(sentinel, None)
+            if (
+                shard is not None
+                and int(shared.progress[shard]) < steps
+                and not shared.stop[0]
+            ):
+                crashed = True
+        if crashed and not stop.is_set():
+            go.abort()
+            done.abort()
+            return
 
 
 def _drive_process(
@@ -695,8 +1094,11 @@ def _drive_process(
     workers: Sequence[_ShardWorker],
     steps: int,
     shared: _SharedBlock,
+    start_tick: int = 0,
+    timeout_s: float = _BARRIER_TIMEOUT_FLOOR_S,
 ) -> None:
     """Forked driver: one process per shard, two barriers per tick."""
+    engine = coordinator.engine
     ctx = multiprocessing.get_context("fork")
     go = ctx.Barrier(len(workers) + 1)
     done = ctx.Barrier(len(workers) + 1)
@@ -710,33 +1112,60 @@ def _drive_process(
         for worker in workers
     ]
 
-    def wait(barrier: Any) -> None:
+    def wait(barrier: Any, tick: Optional[int] = None) -> None:
         try:
-            barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+            barrier.wait(timeout=timeout_s)
         except BrokenBarrierError:
-            raise _collect_worker_error(errors) from None
+            raise _collect_worker_error(
+                errors, procs, shared, tick, timeout_s
+            ) from None
+
+    def release_into_stop() -> None:
+        shared.stop[0] = 1
+        try:
+            go.wait(timeout=5.0)
+        except Exception:
+            go.abort()
+            done.abort()
 
     for proc in procs:
         proc.start()
+    stop_watch = Event()
+    watcher = Thread(
+        target=_watch_sentinels,
+        args=(procs, go, done, stop_watch, shared, steps),
+        daemon=True,
+    )
+    watcher.start()
     try:
-        wait(done)  # initial publishes visible
-        for tick in range(steps):
+        wait(done, start_tick - 1)  # initial publishes visible
+        for tick in range(start_tick, steps):
             try:
                 coordinator.begin_tick(tick)
+                coordinator.maybe_request_checkpoint(tick)
             except Exception:
                 # release the workers into a cooperative stop before
                 # re-raising (trip or scheduling error on our side)
-                shared.stop[0] = 1
-                try:
-                    go.wait(timeout=5.0)
-                except Exception:
-                    go.abort()
-                    done.abort()
+                release_into_stop()
                 raise
-            wait(go)
-            wait(done)
+            wait(go, tick)
+            wait(done, tick)
+            path = coordinator.maybe_commit_checkpoint(tick)
+            if CHAOS_COORDINATOR_HOOK is not None:
+                CHAOS_COORDINATOR_HOOK(tick)
+            if (
+                engine._stop_requested
+                and tick + 1 < steps
+                and (coordinator.checkpoint is None or path is not None)
+            ):
+                release_into_stop()
+                raise RunInterrupted(
+                    f"sharded run stopped at tick {tick + 1}/{steps}",
+                    engine.last_checkpoint_path,
+                )
         coordinator.finish()
     finally:
+        stop_watch.set()
         shared.stop[0] = 1
         for proc in procs:
             proc.join(timeout=10.0)
@@ -781,6 +1210,7 @@ def run_sharded(
     dt_s: float,
     steps: int,
     plan: Optional["FleetFaultPlan"],
+    resume_from: Optional[str] = None,
 ) -> "FleetResult":
     """Run *engine*'s scenario sharded; returns a vector-bit-identical result.
 
@@ -790,6 +1220,13 @@ def run_sharded(
     masks and stateful sensor channels).  Streams traces into
     ``engine.trace_dir`` (a temporary, deleted directory when None) and
     records wall-clock / peak-RSS figures in ``engine.last_run_stats``.
+
+    With ``engine.checkpoint`` set, consistent-cut checkpoints are
+    committed on the (spill-aligned) cadence and restartable worker
+    deaths are retried from the latest cut, up to
+    ``checkpoint.max_restarts`` times with exponential backoff; with
+    ``resume_from``, the run continues from that cut and the finished
+    trace is bit-identical to the uninterrupted run.
     """
     wall_t0 = perf_counter()
     fleet = engine.fleet
@@ -806,9 +1243,16 @@ def run_sharded(
     )
     bounds = partition_servers(n, shards)
     mode = resolve_shard_mode(engine.shard_mode)
+    ckpt_cfg: Optional[CheckpointConfig] = engine.checkpoint
 
     trace_dir = engine.trace_dir
     temporary = trace_dir is None
+    if temporary and (ckpt_cfg is not None or resume_from is not None):
+        raise ValueError(
+            "sharded checkpoint/resume needs a persistent trace_dir: "
+            "the streamed trace rows on disk are part of the "
+            "checkpointed state"
+        )
     if temporary:
         trace_dir = tempfile.mkdtemp(prefix="repro-sharded-")
 
@@ -824,46 +1268,166 @@ def run_sharded(
         # segment files, so they must be on disk by flush time
         chunk_ticks = gcd(chunk_ticks, int(engine.capture.chunk_ticks))
 
+    timeout_s = resolve_barrier_timeout_s(engine, n)
+    ckpt_every: Optional[int] = None
+    if ckpt_cfg is not None:
+        # checkpoint cuts must land on spill boundaries: at a cut tick
+        # the workers have just spilled, so every trace row below the
+        # cut is already durable and the snapshot is state-only.  The
+        # spill chunk is shrunk to divide the cadence (it still divides
+        # the capture chunk), then the cadence is rounded up onto the
+        # resulting boundary grid.
+        every = ckpt_cfg.every_ticks(dt_s)
+        chunk_ticks = gcd(chunk_ticks, min(every, steps))
+        ckpt_every = -(-every // chunk_ticks) * chunk_ticks
+
+    start_tick = 0
+    resume_dir: Optional[str] = None
+    if resume_from is not None:
+        resolved = resolve_checkpoint(resume_from)
+        manifest = read_manifest(resolved)
+        if manifest.get("kind") != "fleet-sharded":
+            raise CheckpointError(
+                f"checkpoint {resolved} is kind "
+                f"{manifest.get('kind')!r}, expected 'fleet-sharded'"
+            )
+        start_tick = int(manifest["tick"])
+        if not 0 < start_tick < steps:
+            raise CheckpointError(
+                f"checkpoint tick {start_tick} outside the resumable "
+                f"range (0, {steps})"
+            )
+        # adopt the checkpointed run's spill grid: the trace rows on
+        # disk were written on it, and the cut tick is one of its
+        # boundaries — a resumed writer must stay on the same grid
+        chunk_ticks = int(manifest.get("chunk_ticks", chunk_ticks))
+        if engine.capture is not None and (
+            int(engine.capture.chunk_ticks) % chunk_ticks
+        ):
+            raise CheckpointError(
+                f"capture chunk_ticks {engine.capture.chunk_ticks} is "
+                f"not a multiple of the checkpointed spill grid "
+                f"{chunk_ticks}"
+            )
+        if start_tick % chunk_ticks:
+            raise CheckpointError(
+                f"checkpoint tick {start_tick} is not on the spill "
+                f"grid ({chunk_ticks} ticks)"
+            )
+        if ckpt_cfg is not None:
+            every = ckpt_cfg.every_ticks(dt_s)
+            ckpt_every = -(-every // chunk_ticks) * chunk_ticks
+        resume_dir = str(resolved)
+
+    fingerprint = engine._run_fingerprint(dt_s, steps, "fleet-sharded")
+    fingerprint["shard_bounds"] = [list(b) for b in bounds]
+    fingerprint["stream_chunk_ticks"] = int(chunk_ticks)
+    if resume_from is not None:
+        require_fingerprint(manifest, fingerprint)
+        engine.last_resume_tick = start_tick
+        engine.last_checkpoint_path = resolved
+
     ctx = (
         multiprocessing.get_context("fork") if mode == "process" else None
     )
-    shared = _SharedBlock(n, len(bounds), ctx)
-    writer = ShardedTraceWriter(
-        trace_dir, steps, n, chunk_ticks=chunk_ticks
-    )
     times = plan_tick_times(steps, dt_s)[:steps].tolist()
-    workers = [
-        _ShardWorker(
+
+    def build(
+        attempt_resume: Optional[str], attempt_start: int
+    ) -> Tuple[
+        _SharedBlock, ShardedTraceWriter, List[_ShardWorker], _Coordinator
+    ]:
+        shared = _SharedBlock(n, len(bounds), ctx)
+        if attempt_start:
+            shared.progress[:] = attempt_start
+        writer = ShardedTraceWriter(
+            trace_dir,
+            steps,
+            n,
+            chunk_ticks=chunk_ticks,
+            resume=attempt_resume is not None,
+        )
+        workers = [
+            _ShardWorker(
+                engine,
+                shard_id,
+                lo,
+                hi,
+                shared,
+                plan,
+                dt_s,
+                steps,
+                writer.shard_writer(lo, hi, columns=_WORKER_COLUMNS),
+                chunk_ticks,
+                times,
+                barrier_timeout_s=timeout_s,
+                checkpoint_root=(
+                    str(ckpt_cfg.root) if ckpt_cfg is not None else None
+                ),
+                resume_dir=attempt_resume,
+                start_tick=attempt_start,
+            )
+            for shard_id, (lo, hi) in enumerate(bounds)
+        ]
+        coordinator = _Coordinator(
             engine,
-            shard_id,
-            lo,
-            hi,
-            shared,
-            plan,
             dt_s,
             steps,
-            writer.shard_writer(lo, hi, columns=_WORKER_COLUMNS),
+            plan,
+            shared,
+            writer.shard_writer(0, n, columns=("inlet",)),
             chunk_ticks,
-            times,
+            writer,
+            checkpoint=ckpt_cfg,
+            ckpt_every_ticks=ckpt_every,
+            fingerprint=fingerprint,
+            resume_dir=attempt_resume,
+            start_tick=attempt_start,
         )
-        for shard_id, (lo, hi) in enumerate(bounds)
-    ]
-    coordinator = _Coordinator(
-        engine,
-        dt_s,
-        steps,
-        plan,
-        shared,
-        writer.shard_writer(0, n, columns=("inlet",)),
-        chunk_ticks,
-        writer,
-    )
+        return shared, writer, workers, coordinator
 
     try:
-        if mode == "process":
-            _drive_process(coordinator, workers, steps, shared)
-        else:
-            _drive_inline(coordinator, workers, steps)
+        restarts = 0
+        attempt_resume, attempt_start = resume_dir, start_tick
+        while True:
+            shared, writer, workers, coordinator = build(
+                attempt_resume, attempt_start
+            )
+            try:
+                if mode == "process":
+                    _drive_process(
+                        coordinator,
+                        workers,
+                        steps,
+                        shared,
+                        attempt_start,
+                        timeout_s,
+                    )
+                else:
+                    _drive_inline(
+                        coordinator, workers, steps, attempt_start
+                    )
+                break
+            except ShardCrashError as crash:
+                if (
+                    not crash.restartable
+                    or ckpt_cfg is None
+                    or restarts >= ckpt_cfg.max_restarts
+                ):
+                    raise
+                latest = latest_checkpoint(ckpt_cfg.root)
+                if latest is None:
+                    raise
+                manifest = read_manifest(latest)
+                require_fingerprint(manifest, fingerprint)
+                restarts += 1
+                backoff = ckpt_cfg.restart_backoff_s * 2 ** (restarts - 1)
+                if backoff > 0:
+                    sleep(backoff)
+                attempt_resume = str(latest)
+                attempt_start = int(manifest["tick"])
+                engine.last_resume_tick = attempt_start
+                engine.last_checkpoint_path = latest
 
         writer.write_scalar("unserved", coordinator.trace_unserved)
         writer.write_scalar("respilled", coordinator.trace_respilled)
@@ -901,6 +1465,9 @@ def run_sharded(
             "steps": steps,
             "sim_time_s": steps * dt_s,
             "stream_chunk_ticks": chunk_ticks,
+            "barrier_timeout_s": timeout_s,
+            "resume_tick": start_tick,
+            "restarts": restarts,
             "wall_stream_s": perf_counter() - wall_t0,
             "ru_maxrss_stream_kb": int(usage_self.ru_maxrss),
             "ru_maxrss_children_kb": int(usage_children.ru_maxrss),

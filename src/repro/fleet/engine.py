@@ -68,6 +68,18 @@ import numpy as np
 
 from repro.core.controllers.base import ControllerObservation, FanController
 from repro.core.controllers.default import FixedSpeedController
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointWriter,
+    RunInterrupted,
+    load_arrays,
+    load_pickle,
+    prune_checkpoints,
+    read_manifest,
+    require_fingerprint,
+    resolve_checkpoint,
+)
 from repro.engine.kernel import (
     COLD_START_SETTLE_S,
     POLL_EPS_S,
@@ -292,6 +304,10 @@ class FleetTickView:
     inlet_c: np.ndarray
     mean_rpm: np.ndarray
     unserved_pct: float
+    #: True for ticks re-emitted from a restored checkpoint prefix (a
+    #: resumed stream replays them so consumers can rebuild derived
+    #: state deterministically before live ticks arrive).
+    replayed: bool = False
 
 
 class FleetEngine:
@@ -315,6 +331,8 @@ class FleetEngine:
         trace_dir: Optional[str] = None,
         shard_mode: str = "auto",
         stream_chunk_ticks: Optional[int] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
+        barrier_timeout_s: Optional[float] = None,
     ):
         if backend not in ("vector", "vector-legacy", "reference", "sharded"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -359,10 +377,37 @@ class FleetEngine:
             from repro.telemetry.segments import partition_servers
 
             partition_servers(fleet.server_count, shards)
+        if barrier_timeout_s is not None:
+            if backend != "sharded":
+                raise ValueError(
+                    "barrier_timeout_s requires backend='sharded', "
+                    f"engine uses {backend!r}"
+                )
+            if not float(barrier_timeout_s) > 0.0:
+                raise ValueError("barrier_timeout_s must be positive")
+        if checkpoint is not None and not isinstance(
+            checkpoint, CheckpointConfig
+        ):
+            raise TypeError(
+                "checkpoint must be a CheckpointConfig, got "
+                f"{type(checkpoint).__name__}"
+            )
         self.shards = shards
         self.trace_dir = trace_dir
         self.shard_mode = shard_mode
         self.stream_chunk_ticks = stream_chunk_ticks
+        self.barrier_timeout_s = (
+            float(barrier_timeout_s) if barrier_timeout_s is not None else None
+        )
+        #: Periodic run-state checkpointing (None = disabled); see
+        #: :mod:`repro.engine.checkpoint` and ``docs/resilience.md``.
+        self.checkpoint = checkpoint
+        #: Last committed checkpoint of the current/most recent run.
+        self.last_checkpoint_path = None
+        #: Tick the most recent run resumed from (0 = started fresh).
+        self.last_resume_tick = 0
+        self._stop_requested = False
+        self._checkpoint_requested = False
         #: Wall-clock / RSS figures of the most recent sharded run
         #: (None until one completes; see repro.engine.sharded).
         self.last_run_stats: Optional[Dict[str, object]] = None
@@ -419,8 +464,132 @@ class FleetEngine:
             )
         return int(pstate)
 
+    # ------------------------------------------------------------------
+    # checkpoint / cooperative-stop plumbing
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask the running loop to stop at the next tick boundary.
+
+        With checkpointing configured the loop writes a final
+        checkpoint first, then raises
+        :class:`~repro.engine.checkpoint.RunInterrupted` carrying its
+        path; without, it raises immediately.  Safe to call from a
+        signal handler.
+        """
+        self._stop_requested = True
+
+    def request_checkpoint(self) -> None:
+        """Ask the running loop for an off-cadence checkpoint."""
+        self._checkpoint_requested = True
+
+    def _run_fingerprint(
+        self, dt_s: float, steps: int, kind: str
+    ) -> Dict[str, object]:
+        """JSON-able run identity pinned into checkpoint manifests."""
+        return {
+            "kind": kind,
+            "backend": self.backend,
+            "server_count": self.fleet.server_count,
+            "steps": int(steps),
+            "dt_s": float(dt_s),
+            "seed": self.seed,
+            "scheduler": self.scheduler.name,
+            "controllers": sorted({c.name for c in self.controllers}),
+            "cold_start": bool(self.cold_start),
+            "fault_events": len(self.faults.events)
+            if self.faults is not None
+            else 0,
+        }
+
+    def _write_run_checkpoint(
+        self,
+        kind: str,
+        tick: int,
+        dt_s: float,
+        steps: int,
+        plan: Optional[FleetFaultPlan],
+        trace: Dict[str, np.ndarray],
+        state: Dict[str, np.ndarray],
+        extra_pickles: Sequence = (),
+    ):
+        """Commit one atomic checkpoint after ``tick`` completed ticks."""
+        cfg = self.checkpoint
+        writer = CheckpointWriter(cfg.root, tick)
+        writer.arrays("state", state)
+        writer.arrays("trace", {name: trace[name][:tick] for name in trace})
+        writer.pickle(
+            "control",
+            {
+                "controllers": self.controllers,
+                "scheduler": self.scheduler,
+                "sensor_channels": plan.sensor_channels
+                if plan is not None
+                else None,
+            },
+        )
+        for name, obj in extra_pickles:
+            writer.pickle(name, obj)
+        path = writer.commit(kind, self._run_fingerprint(dt_s, steps, kind))
+        prune_checkpoints(cfg.root, cfg.keep)
+        self.last_checkpoint_path = path
+        self._checkpoint_requested = False
+        return path
+
+    def _load_run_checkpoint(
+        self,
+        resume_from,
+        kind: str,
+        dt_s: float,
+        steps: int,
+        plan: Optional[FleetFaultPlan],
+        trace: Dict[str, np.ndarray],
+    ):
+        """Restore an in-memory-loop checkpoint; returns (tick, state, dir).
+
+        Verifies payload checksums and the run fingerprint, refills the
+        trace prefix, and swaps in the pickled controllers, scheduler
+        and stateful fault-sensor channels.
+        """
+        directory = resolve_checkpoint(resume_from)
+        manifest = read_manifest(directory)
+        if manifest.get("kind") != kind:
+            raise CheckpointError(
+                f"checkpoint at {directory} is a {manifest.get('kind')!r} "
+                f"checkpoint, this run needs {kind!r}"
+            )
+        require_fingerprint(
+            manifest, self._run_fingerprint(dt_s, steps, kind)
+        )
+        tick = int(manifest["tick"])
+        if not 0 < tick < steps:
+            raise CheckpointError(
+                f"checkpoint tick {tick} outside the run's 1..{steps - 1}"
+            )
+        state = load_arrays(directory, "state")
+        saved_trace = load_arrays(directory, "trace")
+        for name in trace:
+            trace[name][:tick] = saved_trace[name]
+        control = load_pickle(directory, "control")
+        self.controllers = list(control["controllers"])
+        if len(self.controllers) != self.fleet.server_count:
+            raise CheckpointError(
+                "checkpointed controller count does not match the fleet"
+            )
+        self.scheduler = control["scheduler"]
+        channels = control["sensor_channels"]
+        if plan is not None and channels is not None:
+            plan.sensor_channels[:] = channels
+        self.last_resume_tick = tick
+        # until a newer checkpoint commits, the resumed-from one is
+        # still the right restart point after another interruption
+        self.last_checkpoint_path = directory
+        return tick, state, directory
+
     def run(
-        self, dt_s: float = 1.0, duration_s: Optional[float] = None
+        self,
+        dt_s: float = 1.0,
+        duration_s: Optional[float] = None,
+        resume_from=None,
     ) -> FleetResult:
         """Run the whole scenario and return traces plus metrics.
 
@@ -448,14 +617,19 @@ class FleetEngine:
             if self.faults is not None
             else None
         )
+        self._stop_requested = False
+        self._checkpoint_requested = False
+        self.last_resume_tick = 0
+        if resume_from is None:
+            self.last_checkpoint_path = None
         if self.backend == "vector":
-            return self._run_kernel(dt_s, steps, plan)
+            return self._run_kernel(dt_s, steps, plan, resume_from)
         if self.backend == "sharded":
             from repro.engine.sharded import run_sharded
 
-            result = run_sharded(self, dt_s, steps, plan)
+            result = run_sharded(self, dt_s, steps, plan, resume_from)
         else:
-            result = self._run_legacy(dt_s, steps, plan)
+            result = self._run_legacy(dt_s, steps, plan, resume_from)
         self.last_result = result
         return result
 
@@ -634,16 +808,22 @@ class FleetEngine:
         dt_s: float,
         steps: int,
         plan: Optional[FleetFaultPlan] = None,
+        resume_from=None,
     ) -> FleetResult:
         trace = self._alloc_traces(steps)
-        for _ in self._kernel_tick_stream(dt_s, steps, plan, trace):
+        for _ in self._kernel_tick_stream(
+            dt_s, steps, plan, trace, resume_from
+        ):
             pass
         result = self._result_from_traces(dt_s, steps, trace, plan)
         self.last_result = result
         return result
 
     def run_stream(
-        self, dt_s: float = 1.0, duration_s: Optional[float] = None
+        self,
+        dt_s: float = 1.0,
+        duration_s: Optional[float] = None,
+        resume_from=None,
     ) -> Iterator["FleetTickView"]:
         """Incrementally run the scenario, yielding one view per tick.
 
@@ -675,10 +855,15 @@ class FleetEngine:
             else None
         )
         trace = self._alloc_traces(steps)
+        self._stop_requested = False
+        self._checkpoint_requested = False
+        self.last_resume_tick = 0
+        if resume_from is None:
+            self.last_checkpoint_path = None
 
         def stream() -> Iterator[FleetTickView]:
             for tick, time_s in self._kernel_tick_stream(
-                dt_s, steps, plan, trace
+                dt_s, steps, plan, trace, resume_from
             ):
                 yield FleetTickView(
                     tick=tick,
@@ -690,6 +875,7 @@ class FleetEngine:
                     inlet_c=trace["inlet"][tick],
                     mean_rpm=trace["rpm"][tick],
                     unserved_pct=float(trace["unserved"][tick]),
+                    replayed=tick < self.last_resume_tick,
                 )
             self.last_result = self._result_from_traces(
                 dt_s, steps, trace, plan
@@ -703,6 +889,7 @@ class FleetEngine:
         steps: int,
         plan: Optional[FleetFaultPlan],
         trace: Dict[str, np.ndarray],
+        resume_from=None,
     ) -> Iterator[tuple]:
         """The kernelized per-tick loop, yielding ``(tick, time_s)``.
 
@@ -710,10 +897,29 @@ class FleetEngine:
         it) and :meth:`run_stream`; the yield sits after the tick's
         trace rows are final.  ``time_s`` in the yielded pair is the
         *end-of-tick* timestamp, matching ``FleetResult.times_s``.
+
+        With ``resume_from`` the restored ticks are re-yielded first
+        (their trace rows come from the checkpoint), then the loop
+        continues from the checkpointed tick with restored kernel,
+        controller, scheduler and fault-channel state — the completed
+        trace is bit-identical to an uninterrupted run.
         """
         n = self.fleet.server_count
+        start_tick = 0
+        restored = None
+        if resume_from is not None:
+            start_tick, restored, _ = self._load_run_checkpoint(
+                resume_from, "fleet-vector", dt_s, steps, plan, trace
+            )
         physics = FleetVectorKernel(self.fleet, metrics=self.metrics)
-        if self.cold_start:
+        if restored is not None:
+            physics.load_state_arrays(
+                {
+                    key: restored[f"kernel_{key}"]
+                    for key in FleetVectorKernel.STATE_KEYS
+                }
+            )
+        elif self.cold_start:
             physics.force_cold_state(self.cold_start_rpm)
         rack_of = np.asarray(self.fleet.rack_index_of_server)
         coupling = self.fleet.recirculation_matrix()
@@ -738,14 +944,24 @@ class FleetEngine:
             for column, model in enumerate(supply_models):
                 supply_matrix[:, column] = model.temperature_chunk(times_pre)
 
-        rpm_command = self._reset_controllers(physics, n)
-        next_poll = np.zeros(n)
-        next_poll_due = 0.0
+        if restored is not None:
+            rpm_command = restored["rpm_command"].copy()
+            next_poll = restored["next_poll"].copy()
+            next_poll_due = float(restored["next_poll_due"])
+            executed = restored["executed"].copy()
+            pstate_now = restored["pstate_now"].copy()
+            exhaust_rise = restored["exhaust_rise"].copy()
+            max_junction_c = restored["max_junction"].copy()
+            leak_w = restored["leak_w"].copy()
+        else:
+            rpm_command = self._reset_controllers(physics, n)
+            next_poll = np.zeros(n)
+            next_poll_due = 0.0
 
-        executed = np.zeros(n)
-        pstate_now = np.zeros(n, dtype=int)
-        exhaust_rise = np.zeros(n)
-        max_junction_c, _, leak_w, _ = physics.initial_views_data()
+            executed = np.zeros(n)
+            pstate_now = np.zeros(n, dtype=int)
+            exhaust_rise = np.zeros(n)
+            max_junction_c, _, leak_w, _ = physics.initial_views_data()
         # the junction mean feeds only controller observations, and the
         # leakage slope only leakage-aware rankings / view fallbacks —
         # both are computed lazily from the pre-step fleet state
@@ -779,6 +995,15 @@ class FleetEngine:
         chunk_ticks = capture.chunk_ticks if capture is not None else 0
         if capture is not None:
             capture.bind(n)
+            # Replay the restored trace prefix through the capture tap
+            # in the exact chunk slices the uninterrupted run flushed:
+            # the store (lost with the interrupted process) is rebuilt
+            # bit-identically, and flush_start lands where it would be.
+            while flush_start + chunk_ticks <= start_tick:
+                self._capture_flush(
+                    times_rec, trace, flush_start, flush_start + chunk_ticks
+                )
+                flush_start += chunk_ticks
         timers = None
         if self.metrics is not None:
             timers = (
@@ -800,7 +1025,13 @@ class FleetEngine:
                 ),
             )
 
-        for tick in range(steps):
+        ckpt_cfg = self.checkpoint
+        ckpt_every = ckpt_cfg.every_ticks(dt_s) if ckpt_cfg is not None else 0
+
+        for tick in range(start_tick):
+            yield tick, times_rec[tick]
+
+        for tick in range(start_tick, steps):
             time_s = times_pre_list[tick]
             if supply_matrix is not None:
                 supply_now = supply_matrix[tick]
@@ -972,6 +1203,38 @@ class FleetEngine:
                 if timers is not None:
                     timers[3].add(perf_counter() - _t0)
 
+            if (
+                ckpt_cfg is not None
+                and tick + 1 < steps
+                and (
+                    (tick + 1) % ckpt_every == 0
+                    or self._checkpoint_requested
+                    or self._stop_requested
+                )
+            ):
+                state = {
+                    f"kernel_{key}": value
+                    for key, value in physics.state_arrays().items()
+                }
+                state.update(
+                    rpm_command=rpm_command.copy(),
+                    next_poll=next_poll.copy(),
+                    next_poll_due=np.float64(next_poll_due),
+                    executed=np.array(executed),
+                    pstate_now=np.array(pstate_now),
+                    exhaust_rise=np.array(exhaust_rise),
+                    max_junction=np.array(max_junction_c),
+                    leak_w=np.array(leak_w),
+                )
+                self._write_run_checkpoint(
+                    "fleet-vector", tick + 1, dt_s, steps, plan, trace, state
+                )
+            if self._stop_requested and tick + 1 < steps:
+                raise RunInterrupted(
+                    f"fleet run stopped at tick {tick + 1}/{steps}",
+                    self.last_checkpoint_path,
+                )
+
             yield tick, times_rec[tick]
 
         if self.metrics is not None:
@@ -990,36 +1253,65 @@ class FleetEngine:
         dt_s: float,
         steps: int,
         plan: Optional[FleetFaultPlan] = None,
+        resume_from=None,
     ) -> FleetResult:
         n = self.fleet.server_count
-        physics = self._make_backend()
-        if self.cold_start:
-            physics.force_cold_state(self.cold_start_rpm)
+        trace = self._alloc_traces(steps)
+        start_tick = 0
+        restored = None
+        if resume_from is not None:
+            start_tick, restored, resume_dir = self._load_run_checkpoint(
+                resume_from, "fleet-legacy", dt_s, steps, plan, trace
+            )
+        if restored is not None and self.backend == "reference":
+            physics = load_pickle(resume_dir, "backend")
+        else:
+            physics = self._make_backend()
+            if restored is not None:
+                physics.load_state_arrays(
+                    {
+                        key: restored[f"kernel_{key}"]
+                        for key in FleetVectorKernel.STATE_KEYS
+                    }
+                )
+            elif self.cold_start:
+                physics.force_cold_state(self.cold_start_rpm)
         rack_of = self.fleet.rack_index_of_server
         coupling = self.fleet.recirculation_matrix()
         supply_models = self.fleet.supply_models()
         constant_supply = all(rack.crac is None for rack in self.fleet.racks)
         supply_now = self.fleet.supply_temperatures_c(0.0)
 
-        rpm_command = self._reset_controllers(physics, n)
-        next_poll = np.zeros(n)
+        if restored is not None:
+            rpm_command = restored["rpm_command"].copy()
+            next_poll = restored["next_poll"].copy()
+            executed = restored["executed"].copy()
+            pstate_now = restored["pstate_now"].copy()
+            exhaust_rise = restored["exhaust_rise"].copy()
+            max_junction_c = restored["max_junction"].copy()
+            avg_junction_c = restored["avg_junction"].copy()
+            leak_w = restored["leak_w"].copy()
+            leak_slope = restored["leak_slope"].copy()
+        else:
+            rpm_command = self._reset_controllers(physics, n)
+            next_poll = np.zeros(n)
 
-        executed = np.zeros(n)
-        pstate_now = np.zeros(n, dtype=int)
-        exhaust_rise = np.zeros(n)
-        max_junction_c, avg_junction_c, leak_w, leak_slope = physics.initial_views_data()
+            executed = np.zeros(n)
+            pstate_now = np.zeros(n, dtype=int)
+            exhaust_rise = np.zeros(n)
+            max_junction_c, avg_junction_c, leak_w, leak_slope = physics.initial_views_data()
 
-        trace_power = np.empty((steps, n))
-        trace_fan = np.empty((steps, n))
-        trace_junction = np.empty((steps, n))
-        trace_util = np.empty((steps, n))
-        trace_inlet = np.empty((steps, n))
-        trace_rpm = np.empty((steps, n))
-        trace_unserved = np.empty(steps)
-        trace_pstate = np.empty((steps, n), dtype=int)
-        trace_deficit = np.empty((steps, n))
-        trace_respilled = np.zeros(steps)
-        trace_fault_unserved = np.zeros(steps)
+        trace_power = trace["power"]
+        trace_fan = trace["fan"]
+        trace_junction = trace["junction"]
+        trace_util = trace["util"]
+        trace_inlet = trace["inlet"]
+        trace_rpm = trace["rpm"]
+        trace_unserved = trace["unserved"]
+        trace_pstate = trace["pstate"]
+        trace_deficit = trace["deficit"]
+        trace_respilled = trace["respilled"]
+        trace_fault_unserved = trace["fault_unserved"]
 
         apply_faults = plan is not None
         apply_excursions = getattr(physics, "apply_supply_excursions", None)
@@ -1040,9 +1332,22 @@ class FleetEngine:
         }
         if capture is not None:
             capture.bind(n)
+            # replay the restored prefix in the original flush slices
+            # (see the kernel loop)
+            while flush_start + capture.chunk_ticks <= start_tick:
+                sl = slice(flush_start, flush_start + capture.chunk_ticks)
+                capture.flush(
+                    times_rec[sl],
+                    {k: v[sl] for k, v in capture_rows.items() if v.ndim == 2},
+                    unserved_pct=trace_unserved[sl],
+                )
+                flush_start += capture.chunk_ticks
 
-        time_s = 0.0
-        for tick in range(steps):
+        ckpt_cfg = self.checkpoint
+        ckpt_every = ckpt_cfg.every_ticks(dt_s) if ckpt_cfg is not None else 0
+
+        time_s = float(restored["time_s"]) if restored is not None else 0.0
+        for tick in range(start_tick, steps):
             if not constant_supply:
                 supply_now = np.array(
                     [m.temperature_c(time_s) for m in supply_models]
@@ -1169,19 +1474,51 @@ class FleetEngine:
                 )
                 flush_start = tick + 1
 
-        return self._build_result(
-            dt_s,
-            steps,
-            trace_power,
-            trace_fan,
-            trace_junction,
-            trace_util,
-            trace_inlet,
-            trace_rpm,
-            trace_unserved,
-            trace_pstate,
-            trace_deficit,
-            plan=plan,
-            trace_respilled=trace_respilled,
-            trace_fault_unserved=trace_fault_unserved,
-        )
+            if (
+                ckpt_cfg is not None
+                and tick + 1 < steps
+                and (
+                    (tick + 1) % ckpt_every == 0
+                    or self._checkpoint_requested
+                    or self._stop_requested
+                )
+            ):
+                state = {
+                    "rpm_command": rpm_command.copy(),
+                    "next_poll": next_poll.copy(),
+                    "executed": np.array(executed),
+                    "pstate_now": np.array(pstate_now),
+                    "exhaust_rise": np.array(exhaust_rise),
+                    "max_junction": np.array(max_junction_c),
+                    "avg_junction": np.array(avg_junction_c),
+                    "leak_w": np.array(leak_w),
+                    "leak_slope": np.array(leak_slope),
+                    "time_s": np.float64(time_s),
+                }
+                extra_pickles = []
+                if self.backend == "reference":
+                    extra_pickles.append(("backend", physics))
+                else:
+                    state.update(
+                        {
+                            f"kernel_{key}": value
+                            for key, value in physics.state_arrays().items()
+                        }
+                    )
+                self._write_run_checkpoint(
+                    "fleet-legacy",
+                    tick + 1,
+                    dt_s,
+                    steps,
+                    plan,
+                    trace,
+                    state,
+                    extra_pickles,
+                )
+            if self._stop_requested and tick + 1 < steps:
+                raise RunInterrupted(
+                    f"fleet run stopped at tick {tick + 1}/{steps}",
+                    self.last_checkpoint_path,
+                )
+
+        return self._result_from_traces(dt_s, steps, trace, plan)

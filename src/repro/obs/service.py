@@ -36,11 +36,18 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-from typing import Dict, List, Optional, Set
+import os
+import signal
+from typing import Dict, List, Optional, Set, Union
 from urllib.parse import parse_qs, unquote, urlparse
 
 import numpy as np
 
+from repro.engine.checkpoint import (
+    CheckpointConfig,
+    RunInterrupted,
+    latest_checkpoint,
+)
 from repro.fleet.engine import FleetEngine
 from repro.obs.capture import FleetCapture
 from repro.obs.detect import (
@@ -71,6 +78,10 @@ class ServiceConfig:
         time_scale: float = 0.0,
         sse_every_ticks: int = 1,
         linger: bool = True,
+        checkpoint_dir: Union[str, os.PathLike, None] = None,
+        checkpoint_every_s: float = 300.0,
+        checkpoint_keep: int = 2,
+        sse_queue_maxsize: int = 1024,
     ):
         if dt_s <= 0:
             raise ValueError("dt_s must be positive")
@@ -81,6 +92,8 @@ class ServiceConfig:
             )
         if sse_every_ticks < 1:
             raise ValueError("sse_every_ticks must be >= 1")
+        if sse_queue_maxsize < 1:
+            raise ValueError("sse_queue_maxsize must be >= 1")
         self.host = host
         self.port = port
         self.dt_s = dt_s
@@ -90,6 +103,28 @@ class ServiceConfig:
         #: Keep serving after the scenario completes (the CLI wants
         #: this; in-process tests usually stop the service instead).
         self.linger = linger
+        #: Directory for periodic run checkpoints (None = disabled).
+        #: With a directory set the service checkpoints the engine
+        #: every ``checkpoint_every_s`` simulated seconds, writes a
+        #: final cut on SIGTERM/SIGINT, and resumes from the latest
+        #: checkpoint found there on start.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every_s = checkpoint_every_s
+        self.checkpoint_keep = checkpoint_keep
+        #: Per-client SSE queue bound: a stalled client drops events
+        #: (counted in ``repro_service_sse_dropped_total``) instead of
+        #: stalling the simulation or its sibling subscribers.
+        self.sse_queue_maxsize = sse_queue_maxsize
+
+    def checkpoint_config(self) -> Optional[CheckpointConfig]:
+        """The engine-side checkpoint config, or None when disabled."""
+        if self.checkpoint_dir is None:
+            return None
+        return CheckpointConfig(
+            directory=self.checkpoint_dir,
+            every_s=self.checkpoint_every_s,
+            keep=self.checkpoint_keep,
+        )
 
 
 class LiveTelemetryService:
@@ -121,6 +156,9 @@ class LiveTelemetryService:
             )
         self.engine = engine
         self.config = config or ServiceConfig()
+        ckpt_cfg = self.config.checkpoint_config()
+        if ckpt_cfg is not None:
+            engine.checkpoint = ckpt_cfg
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.store = (
             store
@@ -145,11 +183,20 @@ class LiveTelemetryService:
         self._stopping = asyncio.Event()
         self._subscribers: Set[asyncio.Queue] = set()
         self._server: Optional[asyncio.base_events.Server] = None
+        #: Checkpoint path of an interrupted (SIGTERM/stop) run, once
+        #: the loop has sealed it; the CLI maps this to EX_TEMPFAIL.
+        self.interrupted_checkpoint: Optional[str] = None
+        #: Tick the simulation resumed from (0 = cold start).
+        self.resume_tick = 0
         self._gauge_clients = self.metrics.gauge(
             "repro_service_sse_clients", "Connected SSE stream clients"
         )
         self._counter_requests = self.metrics.counter(
             "repro_service_requests_total", "HTTP requests served"
+        )
+        self._counter_dropped = self.metrics.counter(
+            "repro_service_sse_dropped_total",
+            "SSE events dropped on stalled client queues",
         )
 
     # ------------------------------------------------------------------
@@ -195,11 +242,42 @@ class LiveTelemetryService:
         except asyncio.CancelledError:
             pass
         for queue in list(self._subscribers):
-            queue.put_nowait(None)
+            try:
+                queue.put_nowait(None)
+            except asyncio.QueueFull:
+                # A full (stalled) client queue never drains anyway;
+                # closing the listener is what ends its stream.
+                pass
+
+    def request_shutdown(self) -> None:
+        """Degrade gracefully: checkpoint the run (if configured), stop.
+
+        While the scenario is still simulating this asks the engine
+        for a cooperative stop — with checkpointing configured the
+        loop seals a final cut first and the service records it in
+        :attr:`interrupted_checkpoint` so ``repro serve`` can exit
+        with ``EX_TEMPFAIL`` (resumable).  After completion it simply
+        releases :meth:`serve_forever`.
+        """
+        if not self._finished.is_set():
+            self.engine.request_stop()
+        else:
+            self._stopping.set()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                # Platforms without loop signal support (or nested
+                # loops) fall back to whatever the host CLI installed.
+                break
 
     async def serve_forever(self) -> None:
         """Run until cancelled (``repro serve``'s main loop)."""
         await self.start()
+        self._install_signal_handlers()
         try:
             await self._stopping.wait()
         finally:
@@ -237,41 +315,80 @@ class LiveTelemetryService:
             self._observer_plan = engine.faults.compile(
                 engine.fleet, self._steps, dt
             )
+        resume_from = None
+        ckpt_cfg = engine.checkpoint
+        if ckpt_cfg is not None:
+            resume_from = latest_checkpoint(ckpt_cfg.root)
+            if resume_from is not None:
+                _LOG.info("resuming from checkpoint %s", resume_from)
         loop = asyncio.get_event_loop()
         started_wall = loop.time()
-        stream = engine.run_stream(dt_s=dt)
-        for view in stream:
-            self._tick = view.tick + 1
-            self._sim_time_s = view.time_s
-            observed = self._observed_junction(view.time_s, view.max_junction_c)
-            alerts = self.detector.observe_tick(
-                view.time_s,
-                observed,
-                power_w=view.total_power_w,
-                inlet_c=view.inlet_c,
-                utilization_pct=view.utilization_pct,
-            )
-            for alert in alerts:
-                _LOG.warning(
-                    "ALERT t=%.0fs server=%d channel=%s residual=%+.2f",
-                    alert.time_s,
-                    alert.server,
-                    alert.channel,
-                    alert.residual,
+        stream = engine.run_stream(dt_s=dt, resume_from=resume_from)
+        try:
+            for view in stream:
+                self._tick = view.tick + 1
+                self._sim_time_s = view.time_s
+                self.resume_tick = engine.last_resume_tick
+                observed = self._observed_junction(
+                    view.time_s, view.max_junction_c
                 )
-                self._publish("alert", alert.to_dict())
-            if self._tick % cfg.sse_every_ticks == 0 or self._tick == self._steps:
-                self._publish("tick", self._tick_payload(view))
-            if cfg.time_scale > 0:
-                target_wall = started_wall + view.time_s / cfg.time_scale
-                delay = target_wall - loop.time()
-                if delay > 0:
-                    await asyncio.sleep(delay)
+                alerts = self.detector.observe_tick(
+                    view.time_s,
+                    observed,
+                    power_w=view.total_power_w,
+                    inlet_c=view.inlet_c,
+                    utilization_pct=view.utilization_pct,
+                )
+                if view.replayed:
+                    # Restored-prefix ticks rebuild the detector, the
+                    # store and the alert log deterministically; they
+                    # are history, not live telemetry — no SSE fan-out,
+                    # no alert noise, no wall-clock pacing.
+                    continue
+                for alert in alerts:
+                    _LOG.warning(
+                        "ALERT t=%.0fs server=%d channel=%s residual=%+.2f",
+                        alert.time_s,
+                        alert.server,
+                        alert.channel,
+                        alert.residual,
+                    )
+                    self._publish("alert", alert.to_dict())
+                if (
+                    self._tick % cfg.sse_every_ticks == 0
+                    or self._tick == self._steps
+                ):
+                    self._publish("tick", self._tick_payload(view))
+                if cfg.time_scale > 0:
+                    sim_elapsed_s = view.time_s - self.resume_tick * dt
+                    target_wall = started_wall + sim_elapsed_s / cfg.time_scale
+                    delay = target_wall - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    else:
+                        await asyncio.sleep(0)
                 else:
+                    # Unpaced: still yield so HTTP clients get a turn.
                     await asyncio.sleep(0)
-            else:
-                # Unpaced: still yield so HTTP clients get a turn.
-                await asyncio.sleep(0)
+        except RunInterrupted as exc:
+            if exc.checkpoint_path is not None:
+                self.interrupted_checkpoint = str(exc.checkpoint_path)
+            _LOG.info(
+                "run interrupted at tick %d/%d (checkpoint: %s)",
+                self._tick,
+                self._steps,
+                self.interrupted_checkpoint or "none",
+            )
+            self._publish(
+                "interrupted",
+                {
+                    "tick": self._tick,
+                    "checkpoint": self.interrupted_checkpoint,
+                },
+            )
+            self._finished.set()
+            self._stopping.set()
+            return
         self._finish_report()
         self._finished.set()
         self._publish("done", {"ticks": self._tick})
@@ -332,7 +449,7 @@ class LiveTelemetryService:
             except asyncio.QueueFull:
                 # A stalled client loses events rather than stalling
                 # the simulation or the other subscribers.
-                pass
+                self._counter_dropped.inc()
 
     # ------------------------------------------------------------------
     # HTTP plumbing (deliberately tiny: GET-only HTTP/1.1, no deps)
@@ -384,6 +501,8 @@ class LiveTelemetryService:
                     "steps": self._steps,
                     "sim_time_s": self._sim_time_s,
                     "finished": self.finished,
+                    "resume_tick": self.resume_tick,
+                    "interrupted_checkpoint": self.interrupted_checkpoint,
                 }
             )
         if path == "/channels":
@@ -470,7 +589,9 @@ class LiveTelemetryService:
         await writer.drain()
 
     async def _serve_stream(self, writer: asyncio.StreamWriter) -> None:
-        queue: asyncio.Queue = asyncio.Queue(maxsize=1024)
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.sse_queue_maxsize
+        )
         self._subscribers.add(queue)
         self._gauge_clients.set(len(self._subscribers))
         head = (

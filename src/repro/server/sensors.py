@@ -37,6 +37,11 @@ class Sensor:
         self.spec = spec
         self._rng = rng
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The noise stream (exposed so checkpoints can save its state)."""
+        return self._rng
+
     def read(self, true_value: float) -> float:
         """One noisy, quantized observation of *true_value*."""
         value = float(true_value)

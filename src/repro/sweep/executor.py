@@ -20,7 +20,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -57,6 +57,32 @@ def _execute_point(spec: ScenarioSpec) -> Dict[str, Any]:
     return run_scenario(spec)
 
 
+def _execute_point_safe(
+    task: Tuple[ScenarioSpec, int, float],
+) -> Tuple[bool, Dict[str, Any]]:
+    """Isolated worker target: ``(ok, row)`` instead of a raised error.
+
+    A raising scenario is retried ``retries`` times with exponential
+    backoff; when the budget is exhausted the failure is folded into an
+    ``{"error": ...}`` row so one bad point cannot kill the pool (an
+    exception raised inside ``imap`` aborts the whole sweep and
+    discards every in-flight sibling).
+    """
+    spec, retries, backoff_s = task
+    attempt = 0
+    while True:
+        try:
+            return True, run_scenario(spec)
+        except Exception as exc:
+            if attempt >= retries:
+                return False, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            if backoff_s > 0:
+                sleep(backoff_s * 2**attempt)
+            attempt += 1
+
+
 def _resolve_points(sweep: Sweepable) -> Tuple[ScenarioSpec, ...]:
     if isinstance(sweep, GridSpec):
         return sweep.points()
@@ -77,6 +103,8 @@ def run_sweep(
     cache: Union[ResultCache, str, os.PathLike, None] = None,
     progress: Optional[Callable[[str], None]] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    retries: int = 0,
+    backoff_s: float = 0.1,
 ) -> SweepResult:
     """Run every point of *sweep* and return the tidy result table.
 
@@ -89,6 +117,15 @@ def run_sweep(
     go to this module's logger at INFO instead.  ``metrics`` (a
     :class:`~repro.obs.metrics.MetricsRegistry`) receives point /
     cache-hit counters and the per-point wall timer.
+
+    Points are isolated: a raising scenario is retried ``retries``
+    times with exponential backoff starting at ``backoff_s``, and a
+    point that still fails lands in the table as an ``error`` row
+    while every other point completes.  Failed rows are *not* cached,
+    so re-running the sweep (with the same cache) retries exactly the
+    failures — the partial ``SweepResult`` is resumable for free.  Row
+    order stays bit-identical for succeeding points whatever the
+    worker count, cache state or failure pattern.
     """
     points = _resolve_points(sweep)
     if progress is None:
@@ -97,6 +134,10 @@ def run_sweep(
         workers = default_worker_count()
     if workers < 1:
         raise ValueError("workers must be >= 1 (or None for one per core)")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if backoff_s < 0:
+        raise ValueError("backoff_s must be >= 0")
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
 
@@ -128,24 +169,37 @@ def run_sweep(
             "repro_sweep_point", "Wall time per executed sweep point"
         )
 
+    failures = 0
+
     # Rows are cached as they complete (not after the whole sweep), so
     # an interrupted or failing run keeps its partial progress durable.
-    def finish(i: int, row: Dict[str, Any], done: int) -> None:
+    # Failed rows are recorded in the table but never cached: the next
+    # run with the same cache re-executes exactly the failed points.
+    def finish(i: int, ok: bool, row: Dict[str, Any], done: int) -> None:
         """Record one completed point: table row, cache entry, progress."""
+        nonlocal failures
         rows[i] = row
-        if cache is not None:
-            cache.put(points[i], row)
-        progress(f"[{done}/{total}] {points[i].describe()}")
+        if ok:
+            if cache is not None:
+                cache.put(points[i], row)
+            progress(f"[{done}/{total}] {points[i].describe()}")
+        else:
+            failures += 1
+            progress(
+                f"[{done}/{total}] {points[i].describe()} "
+                f"FAILED: {row['error']}"
+            )
 
+    tasks = [(points[i], int(retries), float(backoff_s)) for i in misses]
     done = cache_hits
     if len(misses) <= 1 or workers == 1:
-        for i in misses:
+        for i, task in zip(misses, tasks):
             done += 1
             _t0 = perf_counter()
-            row = _execute_point(points[i])
+            ok, row = _execute_point_safe(task)
             if point_timer is not None:
                 point_timer.add(perf_counter() - _t0)
-            finish(i, row, done)
+            finish(i, ok, row, done)
     else:
         pool_size = min(workers, len(misses))
         # Chunks keep each worker's per-process memo (LUTs, fits) warm
@@ -153,12 +207,12 @@ def run_sweep(
         chunksize = max(1, len(misses) // (pool_size * 2))
         with multiprocessing.Pool(processes=pool_size) as pool:
             ordered = pool.imap(
-                _execute_point,
-                [points[i] for i in misses],
+                _execute_point_safe,
+                tasks,
                 chunksize=chunksize,
             )
             _t0 = perf_counter()
-            for i, row in zip(misses, ordered):
+            for i, (ok, row) in zip(misses, ordered):
                 done += 1
                 # Pool wall time is attributed as it drains; with N
                 # workers the per-point figure is an upper bound on
@@ -167,7 +221,13 @@ def run_sweep(
                     _t1 = perf_counter()
                     point_timer.add(_t1 - _t0)
                     _t0 = _t1
-                finish(i, row, done)
+                finish(i, ok, row, done)
+
+    if failures and metrics is not None:
+        metrics.counter(
+            "repro_sweep_point_failures_total",
+            "Sweep points that exhausted their retry budget",
+        ).inc(failures)
 
     return SweepResult.from_points(
         points,

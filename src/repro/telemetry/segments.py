@@ -221,6 +221,7 @@ class ShardedTraceWriter:
         steps: int,
         server_count: int,
         chunk_ticks: Optional[int] = None,
+        resume: bool = False,
     ) -> None:
         if steps <= 0:
             raise ValueError("steps must be positive")
@@ -240,13 +241,34 @@ class ShardedTraceWriter:
             path = _column_path(self.trace_dir, name)
             # open_memmap sizes the file and writes the .npy header;
             # the mapping itself is dropped immediately — all writes go
-            # through positional write() calls on plain handles.
-            mapped = np.lib.format.open_memmap(
-                path,
-                mode="w+",
-                dtype=_COLUMN_DTYPES[name],
-                shape=(self.steps, self.server_count),
-            )
+            # through positional write() calls on plain handles.  On
+            # resume the files must already hold the rows below the
+            # checkpoint cut, so they are reopened in place ("r+" — a
+            # "w+" open would truncate them) and only shape-checked.
+            if resume:
+                if not path.is_file():
+                    raise FileNotFoundError(
+                        f"cannot resume sharded trace: {path} is missing"
+                    )
+                mapped = np.lib.format.open_memmap(path, mode="r+")
+                if mapped.shape != (self.steps, self.server_count):
+                    raise ValueError(
+                        f"cannot resume sharded trace: {path} has shape "
+                        f"{mapped.shape}, expected "
+                        f"{(self.steps, self.server_count)}"
+                    )
+                if mapped.dtype != _COLUMN_DTYPES[name]:
+                    raise ValueError(
+                        f"cannot resume sharded trace: {path} has dtype "
+                        f"{mapped.dtype}, expected {_COLUMN_DTYPES[name]}"
+                    )
+            else:
+                mapped = np.lib.format.open_memmap(
+                    path,
+                    mode="w+",
+                    dtype=_COLUMN_DTYPES[name],
+                    shape=(self.steps, self.server_count),
+                )
             self._offsets[name] = (path, int(mapped.offset))
             del mapped
 

@@ -1,0 +1,172 @@
+"""Chaos drills: SIGKILL mid-run, resume, prove bit-identity.
+
+The crash-tolerance contract is only real if it survives *unclean*
+deaths: these tests kill -9 a shard worker (the supervisor restarts it
+from the last consistent cut in-run) and the coordinator process
+itself (a fresh process resumes the run from disk), then require the
+full trace matrix to equal an uninterrupted golden run bit-for-bit.
+"""
+
+import multiprocessing
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.engine.sharded as sharded
+from repro.core.controllers.pid import PIController
+from repro.engine.checkpoint import CheckpointConfig, latest_checkpoint
+from repro.fleet import (
+    PLACEMENT_POLICIES,
+    FleetEngine,
+    FleetScheduler,
+    FleetWorkload,
+    build_uniform_fleet,
+)
+from repro.workloads.profile import StaircaseProfile
+
+DT_S = 2.0
+DURATION_S = 240.0
+PROFILE = StaircaseProfile([25.0, 85.0, 55.0, 95.0], 60.0)
+
+TRACES = (
+    "times_s",
+    "total_power_w",
+    "fan_power_w",
+    "max_junction_c",
+    "utilization_pct",
+    "inlet_c",
+    "mean_rpm",
+    "unserved_pct",
+    "pstate_index",
+    "work_deficit_pct",
+)
+
+
+def make_engine(**kw):
+    fleet = build_uniform_fleet(rack_count=2, servers_per_rack=3)
+    return FleetEngine(
+        fleet,
+        FleetWorkload(PROFILE, fleet.server_count),
+        scheduler=FleetScheduler(PLACEMENT_POLICIES["coolest-first"]()),
+        controller_factory=lambda spec: PIController(),
+        **kw,
+    )
+
+
+def assert_identical(golden, other):
+    for name in TRACES:
+        a = np.asarray(getattr(golden, name))
+        b = np.asarray(getattr(other, name))
+        assert np.array_equal(a, b), f"trace column {name} differs"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return make_engine().run(dt_s=DT_S, duration_s=DURATION_S)
+
+
+class TestWorkerSigkill:
+    def test_supervisor_restarts_from_checkpoint(self, tmp_path, golden):
+        flag = tmp_path / "killed-once"
+        cfg = CheckpointConfig(
+            directory=tmp_path / "ckpt",
+            every_s=80.0,
+            max_restarts=2,
+            restart_backoff_s=0.0,
+        )
+
+        def kill_once(shard_id, tick):
+            # One-shot: the flag file survives the SIGKILL, so the
+            # restarted worker sails past the same tick.
+            if shard_id == 1 and tick == 60 and not flag.exists():
+                flag.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        sharded.CHAOS_WORKER_HOOK = kill_once
+        try:
+            engine = make_engine(
+                backend="sharded",
+                shards=3,
+                shard_mode="process",
+                trace_dir=str(tmp_path / "trace"),
+                checkpoint=cfg,
+            )
+            result = engine.run(dt_s=DT_S, duration_s=DURATION_S)
+        finally:
+            sharded.CHAOS_WORKER_HOOK = None
+        assert flag.exists(), "chaos hook never fired"
+        assert engine.last_run_stats["restarts"] == 1
+        assert engine.last_resume_tick == 40
+        assert_identical(golden, result)
+
+    def test_crash_without_checkpoint_is_fatal(self, tmp_path):
+        flag = tmp_path / "killed-once"
+
+        def kill_once(shard_id, tick):
+            if shard_id == 0 and tick == 20 and not flag.exists():
+                flag.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        sharded.CHAOS_WORKER_HOOK = kill_once
+        try:
+            engine = make_engine(
+                backend="sharded",
+                shards=2,
+                shard_mode="process",
+                trace_dir=str(tmp_path / "trace"),
+                barrier_timeout_s=30.0,
+            )
+            with pytest.raises(sharded.ShardCrashError, match="shard"):
+                engine.run(dt_s=DT_S, duration_s=DURATION_S)
+        finally:
+            sharded.CHAOS_WORKER_HOOK = None
+
+
+def _run_until_killed(work: str) -> None:
+    """Child-process target: run sharded, die by SIGKILL mid-run."""
+    work_path = Path(work)
+    flag = work_path / "coord-killed"
+
+    def kill_coordinator(tick):
+        # After tick 60 at least one checkpoint (tick 40) is sealed.
+        if tick == 60 and not flag.exists():
+            flag.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    sharded.CHAOS_COORDINATOR_HOOK = kill_coordinator
+    engine = make_engine(
+        backend="sharded",
+        shards=3,
+        shard_mode="process",
+        trace_dir=str(work_path / "trace"),
+        checkpoint=CheckpointConfig(directory=work_path / "ckpt",
+                                    every_s=80.0),
+        # Orphaned shard workers must not linger for the default
+        # (server-count-scaled) barrier timeout after the kill.
+        barrier_timeout_s=10.0,
+    )
+    engine.run(dt_s=DT_S, duration_s=DURATION_S)
+
+
+class TestCoordinatorSigkill:
+    def test_external_resume_bit_identical(self, tmp_path, golden):
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_run_until_killed, args=(str(tmp_path),))
+        child.start()
+        child.join(timeout=120)
+        assert not child.is_alive(), "child run did not die"
+        assert child.exitcode == -signal.SIGKILL
+        assert (tmp_path / "coord-killed").exists()
+
+        cut = latest_checkpoint(tmp_path / "ckpt")
+        assert cut is not None, "no checkpoint survived the kill"
+        resumed = make_engine(
+            backend="sharded",
+            shards=3,
+            shard_mode="process",
+            trace_dir=str(tmp_path / "trace"),
+        ).run(dt_s=DT_S, duration_s=DURATION_S, resume_from=cut)
+        assert_identical(golden, resumed)

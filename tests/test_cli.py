@@ -280,3 +280,116 @@ class TestParser:
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):
             main(["fig", "--figure", "9z"])
+
+
+class TestFleetCheckpoint:
+    """Exit-code hygiene: 0 clean, 75 resumable interruption, 1 failure."""
+
+    ARGS = [
+        "fleet",
+        "--racks", "1",
+        "--servers-per-rack", "2",
+        "--controller", "pi",
+        "--hours", "1",
+        "--dt", "60",
+    ]
+
+    def test_interrupt_resume_roundtrip(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.engine.checkpoint import EX_TEMPFAIL
+        from repro.fleet.engine import FleetEngine
+
+        golden = ["--seed", "3"] + self.ARGS
+        assert main(golden) == 0
+        golden_out = capsys.readouterr().out
+
+        class StoppingEngine(FleetEngine):
+            def _kernel_tick_stream(self, *args, **kwargs):
+                stream = super()._kernel_tick_stream(*args, **kwargs)
+                for i, item in enumerate(stream):
+                    if i == 20:
+                        self.request_stop()
+                    yield item
+
+        ckpt = tmp_path / "ckpt"
+        flags = ["--checkpoint-dir", str(ckpt), "--checkpoint-every", "300"]
+        monkeypatch.setattr(cli, "FleetEngine", StoppingEngine)
+        assert main(golden + flags) == EX_TEMPFAIL
+        captured = capsys.readouterr()
+        assert "--resume" in captured.err
+        monkeypatch.setattr(cli, "FleetEngine", FleetEngine)
+
+        assert main(golden + flags + ["--resume", str(ckpt)]) == 0
+        resumed_out = capsys.readouterr().out
+        # The CLI report (energies, hotspot, SLA, power sparkline) of
+        # the resumed run matches the uninterrupted one exactly.
+        assert resumed_out == golden_out
+
+    def test_mismatched_resume_exits_1(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        flags = ["--checkpoint-dir", str(ckpt), "--checkpoint-every", "900"]
+        assert main(self.ARGS + flags) == 0
+        capsys.readouterr()
+        # Same checkpoint, different grid: refused, unrecoverable.
+        other = [a if a != "60" else "30" for a in self.ARGS]
+        assert main(other + ["--resume", str(ckpt)]) == 1
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_missing_resume_dir_exits_1(self, tmp_path, capsys):
+        missing = tmp_path / "nothing"
+        assert main(self.ARGS + ["--resume", str(missing)]) == 1
+        assert "checkpoint" in capsys.readouterr().err
+
+
+class TestServeCheckpointArgs:
+    def test_serve_namespace_builds_engine_with_checkpoint(self, tmp_path):
+        # serve defines --checkpoint-dir but not --max-restarts; the
+        # engine builder must not assume the fleet-only flags exist.
+        import repro.cli as cli
+
+        args = cli.build_parser().parse_args(
+            [
+                "serve",
+                "--racks", "1",
+                "--servers-per-rack", "2",
+                "--hours", "1",
+                "--dt", "60",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+            ]
+        )
+        engine = cli._build_fleet_engine(args, backend="vector")
+        assert engine.checkpoint is not None
+        assert engine.checkpoint.max_restarts == 2
+
+
+class TestSweepIsolation:
+    def test_failed_point_reported_and_exit_1(self, capsys, monkeypatch):
+        import repro.sweep.scenarios as scenarios
+
+        real = scenarios.SCENARIO_KINDS["fleet"]
+
+        def flaky(params):
+            if params["policy"] == "coolest-first":
+                raise RuntimeError("rigged failure")
+            return real(params)
+
+        monkeypatch.setitem(scenarios.SCENARIO_KINDS, "fleet", flaky)
+        code = main(
+            [
+                "sweep",
+                "--racks", "1",
+                "--servers-per-rack", "2",
+                "--policy", "round-robin,coolest-first",
+                "--controller", "pi",
+                "--hours", "0.5",
+                "--dt", "60",
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED: RuntimeError: rigged failure" in out
+        assert "failures   : 1 point(s)" in out
+        # the healthy point still produced real numbers
+        assert "round-robin" in out

@@ -218,3 +218,83 @@ class TestLifecycle:
             writer.close()
 
         run_async(scenario())
+
+
+class TestGracefulDegradation:
+    """Checkpoint-on-shutdown, resume-on-start, bounded SSE queues."""
+
+    def test_shutdown_seals_checkpoint_and_resume_matches(self, tmp_path):
+        import numpy as np
+
+        columns = (
+            "times_s", "total_power_w", "fan_power_w", "max_junction_c",
+            "utilization_pct", "inlet_c", "mean_rpm", "unserved_pct",
+        )
+
+        async def golden_run():
+            service = make_service(steps=40)
+            await service.run_to_completion()
+            await service.stop()
+            return service.engine.last_result, service
+
+        async def interrupted_run():
+            service = make_service(
+                steps=40,
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every_s=600.0,
+            )
+            await service.start()
+            while service._tick < 20:
+                await asyncio.sleep(0)
+            service.request_shutdown()
+            await service._stopping.wait()
+            await service.stop()
+            return service
+
+        async def resumed_run():
+            service = make_service(
+                steps=40,
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every_s=600.0,
+            )
+            await service.run_to_completion()
+            await service.stop()
+            return service.engine.last_result, service
+
+        golden, golden_svc = run_async(golden_run())
+        interrupted = run_async(interrupted_run())
+        assert interrupted.interrupted_checkpoint is not None
+        assert not interrupted.finished or interrupted._stopping.is_set()
+
+        resumed, resumed_svc = run_async(resumed_run())
+        assert resumed_svc.resume_tick > 0
+        for name in columns:
+            a = np.asarray(getattr(golden, name))
+            b = np.asarray(getattr(resumed, name))
+            assert np.array_equal(a, b), f"column {name} differs"
+        golden_alerts = [a.to_dict() for a in golden_svc.detector.alerts]
+        resumed_alerts = [a.to_dict() for a in resumed_svc.detector.alerts]
+        assert golden_alerts == resumed_alerts
+
+    def test_stalled_sse_client_drops_and_counts(self):
+        async def scenario():
+            service = make_service(steps=20, sse_queue_maxsize=2)
+            await service.start()
+            # A subscriber that never drains: events beyond the bound
+            # are dropped and counted, the run itself never stalls.
+            queue = asyncio.Queue(maxsize=2)
+            service._subscribers.add(queue)
+            await service._finished.wait()
+            assert queue.qsize() == 2
+            dropped = service.metrics.counter(
+                "repro_service_sse_dropped_total",
+                "SSE events dropped on stalled client queues",
+            ).value
+            assert dropped >= 18
+            await service.stop()
+
+        run_async(scenario())
+
+    def test_queue_maxsize_validated(self):
+        with pytest.raises(ValueError, match="sse_queue_maxsize"):
+            ServiceConfig(sse_queue_maxsize=0)

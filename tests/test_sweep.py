@@ -241,11 +241,15 @@ class TestResultCache:
         grid = GridSpec(
             kind="fragile", base={"fail_on": 3}, axes={"x": [1, 2, 3]}
         )
-        with pytest.raises(RuntimeError, match="boom"):
-            run_sweep(grid, workers=1, cache=cache)
-        # The two points completed before the failure are durable, so
-        # a retry only re-executes the failing tail.
+        result = run_sweep(grid, workers=1, cache=cache)
+        # The failing point lands as an error row; every other point
+        # completes and is durable in the cache.  The failure itself is
+        # never cached, so a retry re-executes exactly the failing tail.
+        assert list(result.column("error"))[:2] == [None, None]
+        assert "boom" in result.column("error")[2]
         assert len(cache) == 2
+        retry = run_sweep(grid, workers=1, cache=cache)
+        assert retry.executed_count == 1 and retry.cache_hit_count == 2
 
     def test_uncacheable_points_never_cached(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
