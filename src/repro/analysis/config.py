@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Mapping, Tuple
 #: least two characters (``time_s`` carries a unit, the physics-local
 #: ``t_j`` / ``c_j`` subscripts do not).
 UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("g_per_kwh", "g/kWh"),
     ("w_per_pct", "W/%"),
     ("w_per_c", "W/degC"),
     ("w_per_k", "W/K"),
@@ -33,6 +34,7 @@ UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
     ("j_k", "J/K"),
     ("kwh", "kWh"),
     ("rpm", "RPM"),
+    ("kg", "kg"),
     ("cfm", "CFM"),
     ("pct", "%"),
     ("hz", "Hz"),
@@ -58,6 +60,8 @@ CONVERSION_RESULT_UNITS: Mapping[str, str] = {
     "kwh_to_joules": "J",
     "cfm_to_m3_s": "m^3/s",
     "m3_s_to_cfm": "CFM",
+    "grams_to_kilograms": "kg",
+    "kilowatts_to_watts": "W",
     "validate_temperature_c": "degC",
     "validate_utilization_pct": "%",
 }
@@ -80,6 +84,7 @@ RNG_ENTRY_MODULES: FrozenSet[str] = frozenset(
         "repro/workloads/datacenter.py",
         "repro/workloads/queuing.py",
         "repro/workloads/profile.py",
+        "repro/facility/workload.py",
     }
 )
 
@@ -110,6 +115,12 @@ HOT_FUNCTIONS: Mapping[str, FrozenSet[str]] = {
     ),
     "repro/telemetry/segments.py": frozenset(
         {"ShardTraceWriter.record_chunk"}
+    ),
+    "repro/facility/workload.py": frozenset(
+        {
+            "WorkloadQueue.total_demand_pct",
+            "WorkloadQueue.record_executed",
+        }
     ),
 }
 

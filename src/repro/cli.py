@@ -76,7 +76,7 @@ from repro.sweep import (
     fleet_grid,
     run_sweep,
 )
-from repro.units import hours
+from repro.units import hours, kilowatts_to_watts
 from repro.workloads.tests import paper_test_profiles
 
 SAMPLE_COLUMNS = (
@@ -478,6 +478,139 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_facility(args) -> int:
+    from repro.facility import (
+        CoolingPlant,
+        FacilityEngine,
+        PowerChain,
+        build_diurnal_carbon_model,
+        build_job_queue,
+    )
+    from repro.facility.workload import QUEUE_KINDS
+
+    if args.racks <= 0 or args.servers_per_rack <= 0:
+        raise SystemExit("--racks and --servers-per-rack must be positive")
+    if args.dt <= 0 or args.hours <= 0:
+        raise SystemExit("--dt and --hours must be positive")
+    if args.arrivals not in QUEUE_KINDS:
+        raise SystemExit(f"unknown arrival process {args.arrivals!r}")
+    spec = default_server_spec()
+    if args.controller == "coordinated":
+        spec = replace(spec, dvfs=default_dvfs_ladder())
+    fleet = build_uniform_fleet(
+        rack_count=args.racks,
+        servers_per_rack=args.servers_per_rack,
+        spec=spec,
+        crac_supply_c=args.crac_supply,
+    )
+    try:
+        queue = build_job_queue(
+            args.arrivals,
+            server_count=fleet.server_count,
+            duration_s=hours(args.hours),
+            seed=args.seed,
+            jobs_per_hour=args.jobs_per_hour,
+            mean_work_pct_s=args.mean_work_minutes * 60.0 * 100.0,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"cannot build {args.arrivals!r} queue: {exc}")
+    if args.controller in ("lut", "coordinated"):
+        if args.lut:
+            lut = LookupTable.load(Path(args.lut))
+        else:
+            lut = build_paper_lut(seed=args.seed)
+        if args.controller == "lut":
+            factory = lambda index: LUTController(lut)  # noqa: E731
+        else:
+            factory = lambda index: CoordinatedController(  # noqa: E731
+                lut, spec.dvfs
+            )
+    else:
+        factory = lambda index: _build_controller(  # noqa: E731
+            args.controller, args
+        )
+    try:
+        engine = FleetEngine(
+            fleet,
+            queue,
+            scheduler=FleetScheduler(PLACEMENT_POLICIES[args.policy]()),
+            controller_factory=factory,
+            backend=args.backend,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    cooling = (
+        None
+        if args.no_cooling
+        else CoolingPlant(supply_c=args.plant_supply)
+    )
+    rated_w = (
+        kilowatts_to_watts(args.rated_kw)
+        if args.rated_kw is not None
+        else fleet.server_count * 600.0
+    )
+    power = None if args.no_power_chain else PowerChain(rated_power_w=rated_w)
+    carbon = (
+        None
+        if args.no_carbon
+        else build_diurnal_carbon_model(
+            duration_s=hours(args.hours),
+            base_g_per_kwh=args.carbon_base,
+            peak_g_per_kwh=args.carbon_peak,
+        )
+    )
+    facility = FacilityEngine(engine, cooling=cooling, power=power, carbon=carbon)
+    result = facility.run(dt_s=args.dt)
+    m = result.metrics
+    q = m.queue
+
+    print(
+        f"facility   : {fleet.rack_count} racks x "
+        f"{fleet.racks[0].server_count} servers "
+        f"({fleet.server_count} total), CRAC {args.crac_supply:.1f} degC, "
+        f"plant supply {args.plant_supply:.1f} degC"
+    )
+    print(
+        f"scenario   : {args.arrivals} arrivals x {args.hours:g} h, "
+        f"dt {args.dt:g} s, policy {result.fleet.scheduler_name}, "
+        f"controller {result.fleet.controller_name}, backend "
+        f"{result.fleet.backend}"
+    )
+    print()
+    print(
+        format_table(
+            ["energy", "kWh"],
+            [
+                ["IT (racks)", f"{m.it_energy_kwh:.3f}"],
+                ["cooling plant", f"{m.cooling_energy_kwh:.3f}"],
+                ["UPS/PDU losses", f"{m.chain_loss_kwh:.3f}"],
+                ["facility (utility)", f"{m.facility_energy_kwh:.3f}"],
+            ],
+        )
+    )
+    print()
+    print(f"PUE        : {m.pue:.3f}")
+    print(
+        f"carbon     : {m.carbon_kg:.3f} kg CO2 "
+        f"(mean intensity {m.mean_intensity_g_per_kwh:.0f} g/kWh)"
+    )
+    print(f"peak feed  : {m.peak_utility_power_w:.0f} W at the utility meter")
+    if q is not None:
+        print(
+            f"queue      : {q.arrived} arrived = {q.completed} completed + "
+            f"{q.running} running + {q.pending} pending"
+            f"{' (drained)' if q.drained else ''}"
+        )
+        print(
+            f"SLA        : {q.sla_violations} deadline violation(s), "
+            f"mean wait {q.mean_wait_s:.0f} s, "
+            f"mean turnaround {q.mean_turnaround_s:.0f} s"
+        )
+    print(f"utility W  : {sparkline(result.utility_power_w)}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.obs import LiveTelemetryService, ServiceConfig
 
@@ -822,6 +955,109 @@ def build_parser() -> argparse.ArgumentParser:
         "with the server count; env REPRO_BARRIER_TIMEOUT_S also works)",
     )
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "facility",
+        help="run a facility-composed scenario: job queue -> fleet -> "
+        "cooling plant -> power chain -> carbon",
+    )
+    p.add_argument("--racks", type=int, default=2, help="number of racks")
+    p.add_argument(
+        "--servers-per-rack", type=int, default=4, dest="servers_per_rack"
+    )
+    p.add_argument(
+        "--policy",
+        default="coolest-first",
+        choices=sorted(PLACEMENT_POLICIES),
+        help="job placement policy",
+    )
+    p.add_argument(
+        "--arrivals",
+        default="diurnal",
+        choices=("poisson", "diurnal", "bursty"),
+        help="job arrival process feeding the queue",
+    )
+    p.add_argument(
+        "--jobs-per-hour",
+        type=float,
+        default=12.0,
+        dest="jobs_per_hour",
+        help="arrival rate (peak rate for diurnal arrivals)",
+    )
+    p.add_argument(
+        "--mean-work-minutes",
+        type=float,
+        default=5.0,
+        dest="mean_work_minutes",
+        help="mean job size, minutes of one full server",
+    )
+    p.add_argument(
+        "--controller",
+        default="lut",
+        choices=("default", "bangbang", "lut", "pi", "coordinated"),
+        help="per-server fan (or coordinated fan+DVFS) controller",
+    )
+    p.add_argument("--hours", type=float, default=24.0, help="scenario length")
+    p.add_argument("--dt", type=float, default=60.0, help="tick length, s")
+    p.add_argument(
+        "--crac-supply", type=float, default=24.0, dest="crac_supply",
+        help="CRAC supply temperature, degC",
+    )
+    p.add_argument(
+        "--plant-supply",
+        type=float,
+        default=24.0,
+        dest="plant_supply",
+        help="cooling-plant supply setpoint for the COP curve, degC",
+    )
+    p.add_argument(
+        "--rated-kw",
+        type=float,
+        dest="rated_kw",
+        help="UPS/PDU nameplate rating, kW (default: 0.6 kW per server)",
+    )
+    p.add_argument(
+        "--carbon-base",
+        type=float,
+        default=120.0,
+        dest="carbon_base",
+        help="cleanest grid intensity, g CO2 per kWh",
+    )
+    p.add_argument(
+        "--carbon-peak",
+        type=float,
+        default=450.0,
+        dest="carbon_peak",
+        help="dirtiest grid intensity, g CO2 per kWh",
+    )
+    p.add_argument(
+        "--no-cooling",
+        action="store_true",
+        dest="no_cooling",
+        help="disable the cooling plant (no cooling power)",
+    )
+    p.add_argument(
+        "--no-power-chain",
+        action="store_true",
+        dest="no_power_chain",
+        help="disable the UPS/PDU chain (lossless delivery)",
+    )
+    p.add_argument(
+        "--no-carbon",
+        action="store_true",
+        dest="no_carbon",
+        help="disable carbon accounting",
+    )
+    p.add_argument("--rpm", type=float, default=3300.0, help="default-controller RPM")
+    p.add_argument("--lut", help="LUT JSON for the lut controller")
+    p.add_argument(
+        "--backend",
+        default="vector",
+        choices=("vector", "vector-legacy", "reference"),
+        help="queue-driven demand is evaluated tick by tick, so the "
+        "sharded backend is not available here",
+    )
+    p.set_defaults(func=cmd_facility)
 
     p = sub.add_parser(
         "sweep",

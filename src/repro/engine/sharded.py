@@ -83,6 +83,7 @@ import multiprocessing
 import os
 import resource
 import shutil
+import sys
 import tempfile
 from math import gcd, isnan
 from multiprocessing.connection import wait as _sentinel_wait
@@ -1205,6 +1206,21 @@ def resolve_shard_mode(mode: str) -> str:
     return mode
 
 
+def ru_maxrss_kib(ru_maxrss: int, platform: Optional[str] = None) -> int:
+    """Normalize a ``getrusage().ru_maxrss`` reading to KiB.
+
+    POSIX leaves the unit unspecified: Linux reports KiB but macOS
+    reports bytes, so labeling the raw value ``_kb`` overstates Darwin
+    peak RSS by 1024x.  ``platform`` defaults to ``sys.platform`` and
+    exists for tests.
+    """
+    if platform is None:
+        platform = sys.platform
+    if platform == "darwin":
+        return int(ru_maxrss) // 1024
+    return int(ru_maxrss)
+
+
 def run_sharded(
     engine: "FleetEngine",
     dt_s: float,
@@ -1469,8 +1485,8 @@ def run_sharded(
             "resume_tick": start_tick,
             "restarts": restarts,
             "wall_stream_s": perf_counter() - wall_t0,
-            "ru_maxrss_stream_kb": int(usage_self.ru_maxrss),
-            "ru_maxrss_children_kb": int(usage_children.ru_maxrss),
+            "ru_maxrss_stream_kb": ru_maxrss_kib(usage_self.ru_maxrss),
+            "ru_maxrss_children_kb": ru_maxrss_kib(usage_children.ru_maxrss),
             "trace_dir": None if temporary else str(trace_dir),
         }
 

@@ -1,0 +1,53 @@
+"""Facility-level composition around the fleet engine.
+
+The paper closes the loop on *cooling power*, not just supply
+temperature; this package adds the layers between the IT racks and the
+utility meter so that trade-off is measurable end to end:
+
+* :class:`~repro.facility.cooling.CoolingPlant` — CRAC/chiller COP
+  curve: cooling power as a function of supply setpoint, return
+  temperature, and heat load,
+* :class:`~repro.facility.power.PowerChain` — UPS/PDU efficiency
+  curves from IT power to the utility feed,
+* :class:`~repro.facility.carbon.CarbonModel` — grid carbon-intensity
+  profile (g/kWh over the day),
+* :class:`~repro.facility.workload.WorkloadQueue` — a job arrival
+  process (Poisson / diurnal / bursty) with pending / running /
+  completed states and deadline SLAs, feeding per-tick demand into the
+  existing :class:`~repro.fleet.scheduler.FleetScheduler` policies,
+* :class:`~repro.facility.engine.FacilityEngine` — composes them
+  around :class:`~repro.fleet.engine.FleetEngine` per tick (workload →
+  placement → IT physics → cooling → power chain → carbon).
+
+See ``docs/facility.md`` for model formats and the PUE definition.
+"""
+
+from repro.facility.carbon import CarbonModel, build_diurnal_carbon_model
+from repro.facility.cooling import CoolingPlant
+from repro.facility.engine import FacilityEngine, FacilityResult
+from repro.facility.metrics import FacilityMetrics, QueueStats
+from repro.facility.power import EfficiencyCurve, PowerChain
+from repro.facility.workload import (
+    WorkloadQueue,
+    build_job_queue,
+    bursty_job_arrivals,
+    diurnal_job_arrivals,
+    poisson_job_arrivals,
+)
+
+__all__ = [
+    "CarbonModel",
+    "CoolingPlant",
+    "EfficiencyCurve",
+    "FacilityEngine",
+    "FacilityMetrics",
+    "FacilityResult",
+    "PowerChain",
+    "QueueStats",
+    "WorkloadQueue",
+    "build_diurnal_carbon_model",
+    "build_job_queue",
+    "bursty_job_arrivals",
+    "diurnal_job_arrivals",
+    "poisson_job_arrivals",
+]

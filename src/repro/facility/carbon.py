@@ -1,0 +1,89 @@
+"""Grid carbon-intensity model over the simulation horizon.
+
+Grid intensity (g CO2 per kWh drawn) swings over the day with the
+generation mix — low when solar/wind carry the load, high when
+peakers do.  The model reuses the workload-profile machinery: a
+*shape* profile in [0, 100] (the same :class:`TraceProfile`-backed
+``_CallableProfile`` adapter the workload builders emit) is mapped
+linearly onto a ``[base, peak]`` g/kWh band, so intensity traces get
+the same validation, zero-order-hold lookup, and duration semantics
+as utilization traces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.units import grams_to_kilograms, hours, validate_non_negative
+from repro.workloads.datacenter import _CallableProfile
+from repro.workloads.profile import UtilizationProfile
+
+
+class CarbonModel:
+    """Maps facility energy per tick to grid CO2 mass.
+
+    Parameters
+    ----------
+    shape:
+        A [0, 100] profile giving the *position* within the intensity
+        band over time (0 -> ``base_g_per_kwh``, 100 ->
+        ``peak_g_per_kwh``).
+    base_g_per_kwh / peak_g_per_kwh:
+        The intensity band endpoints, grams CO2 per kWh.
+    """
+
+    def __init__(
+        self,
+        shape: UtilizationProfile,
+        base_g_per_kwh: float = 120.0,
+        peak_g_per_kwh: float = 450.0,
+    ):
+        validate_non_negative(base_g_per_kwh, "base_g_per_kwh")
+        validate_non_negative(peak_g_per_kwh, "peak_g_per_kwh")
+        if peak_g_per_kwh < base_g_per_kwh:
+            raise ValueError("peak_g_per_kwh must be >= base_g_per_kwh")
+        self.shape = shape
+        self.base_g_per_kwh = float(base_g_per_kwh)
+        self.peak_g_per_kwh = float(peak_g_per_kwh)
+
+    def intensity_g_per_kwh(self, time_s: float) -> float:
+        """Grid intensity at *time_s*, grams CO2 per kWh."""
+        band_g_per_kwh = self.peak_g_per_kwh - self.base_g_per_kwh
+        position = self.shape.utilization_pct(time_s) / 100.0
+        return self.base_g_per_kwh + band_g_per_kwh * position
+
+    def carbon_kg(self, energy_kwh: float, time_s: float) -> float:
+        """CO2 mass for *energy_kwh* drawn around *time_s*, kg."""
+        validate_non_negative(energy_kwh, "energy_kwh")
+        carbon_g = energy_kwh * self.intensity_g_per_kwh(time_s)
+        return grams_to_kilograms(carbon_g)
+
+
+def build_diurnal_carbon_model(
+    duration_s: float = hours(24.0),
+    base_g_per_kwh: float = 120.0,
+    peak_g_per_kwh: float = 450.0,
+    cleanest_hour: float = 13.0,
+    sample_dt_s: float = 300.0,
+) -> CarbonModel:
+    """A deterministic day/night intensity cycle.
+
+    Intensity bottoms out at *cleanest_hour* (midday solar) and peaks
+    twelve hours opposite, following a cosine envelope — no RNG, so
+    carbon accounting never perturbs draw-order contracts.
+    """
+    if not 0.0 <= cleanest_hour < 24.0:
+        raise ValueError("cleanest_hour must be in [0, 24)")
+    if duration_s <= 0.0:
+        raise ValueError("duration_s must be positive")
+    times = np.arange(0.0, duration_s + sample_dt_s / 2, sample_dt_s)
+    hour_of_day = (times / 3600.0) % 24.0
+    phase = 2.0 * math.pi * (hour_of_day - cleanest_hour) / 24.0
+    shape_pct = 100.0 * (1.0 - np.cos(phase)) / 2.0
+    return CarbonModel(
+        _CallableProfile(times, shape_pct),
+        base_g_per_kwh=base_g_per_kwh,
+        peak_g_per_kwh=peak_g_per_kwh,
+    )

@@ -1,0 +1,126 @@
+"""CRAC/chiller cooling plant with a supply-setpoint COP curve.
+
+The plant removes the fleet's heat load at a coefficient of
+performance that *improves* with a warmer supply setpoint — the
+quadratic COP curve fitted to water-chilled CRAC units in the HP
+data-center characterization literature::
+
+    COP(T_supply) = 0.0068 T^2 + 0.0008 T + 0.458     (T in degC)
+
+so raising the setpoint from 15 degC (COP ~ 2.0) to 25 degC
+(COP ~ 4.7) roughly halves cooling power for the same heat — exactly
+the trade the paper's leakage-aware policies exploit, since warmer air
+also raises junction temperatures and therefore leakage and fan power
+on the IT side.
+
+A hot return stream degrades the achievable COP (the coil works
+against a larger lift), modeled as a linear penalty above a reference
+return temperature.  Cooling power is ``heat / COP_effective`` plus a
+blower overhead proportional to the heat moved.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.units import (
+    airflow_heat_capacity_w_per_k,
+    validate_non_negative,
+    validate_temperature_c,
+)
+
+#: Quadratic COP-vs-supply-temperature coefficients (a, b, c) for
+#: ``a*T^2 + b*T + c``, from the HP water-chilled CRAC fit.
+DEFAULT_COP_COEFFS: Tuple[float, float, float] = (0.0068, 0.0008, 0.458)
+
+#: COP clamp range — the quadratic fit is only valid over realistic
+#: supply setpoints; outside it we saturate rather than extrapolate.
+MIN_COP = 0.5
+MAX_COP = 12.0
+
+
+class CoolingPlant:
+    """A CRAC/chiller unit: heat load in, electrical cooling power out.
+
+    Parameters
+    ----------
+    supply_c:
+        Cold-aisle supply setpoint the plant holds, degC.
+    cop_coeffs:
+        ``(a, b, c)`` of the quadratic COP curve ``a*T^2 + b*T + c``
+        evaluated at the supply setpoint.
+    return_penalty_per_c:
+        Fractional COP loss per degC of return air above
+        ``return_ref_c`` (larger lift, worse cycle efficiency).
+    return_ref_c:
+        Return temperature at which no penalty applies, degC.
+    blower_overhead_fraction:
+        CRAC blower power as a fraction of the heat moved.
+    """
+
+    def __init__(
+        self,
+        supply_c: float = 20.0,
+        cop_coeffs: Tuple[float, float, float] = DEFAULT_COP_COEFFS,
+        return_penalty_per_c: float = 0.005,
+        return_ref_c: float = 35.0,
+        blower_overhead_fraction: float = 0.05,
+    ):
+        validate_temperature_c(supply_c, "supply_c")
+        validate_temperature_c(return_ref_c, "return_ref_c")
+        validate_non_negative(return_penalty_per_c, "return_penalty_per_c")
+        validate_non_negative(
+            blower_overhead_fraction, "blower_overhead_fraction"
+        )
+        if len(cop_coeffs) != 3:
+            raise ValueError("cop_coeffs must be (a, b, c)")
+        self.supply_c = float(supply_c)
+        self.cop_coeffs = (
+            float(cop_coeffs[0]),
+            float(cop_coeffs[1]),
+            float(cop_coeffs[2]),
+        )
+        self.return_penalty_per_c = float(return_penalty_per_c)
+        self.return_ref_c = float(return_ref_c)
+        self.blower_overhead_fraction = float(blower_overhead_fraction)
+        if self.cop(self.supply_c) <= 0.0:
+            raise ValueError(
+                f"COP curve non-positive at supply {self.supply_c} degC"
+            )
+
+    def cop(self, supply_c: float) -> float:
+        """Base coefficient of performance at a supply setpoint."""
+        a, b, c = self.cop_coeffs
+        value = a * supply_c * supply_c + b * supply_c + c
+        return float(min(MAX_COP, max(MIN_COP, value)))
+
+    def effective_cop(self, supply_c: float, return_c: float) -> float:
+        """COP after the hot-return lift penalty, clamped to the fit range."""
+        excess_c = max(0.0, return_c - self.return_ref_c)
+        penalty = 1.0 + self.return_penalty_per_c * excess_c
+        return float(max(MIN_COP, self.cop(supply_c) / penalty))
+
+    def return_temperature_c(
+        self, heat_w: float, airflow_cfm: Union[float, np.ndarray]
+    ) -> float:
+        """Hot-aisle return temperature for a heat load and airflow.
+
+        Energy balance over the room air stream: the return is the
+        supply plus ``Q / (m_dot c_p)``.  ``airflow_cfm`` may be the
+        summed per-server airflow for the tick.
+        """
+        validate_non_negative(heat_w, "heat_w")
+        capacity = airflow_heat_capacity_w_per_k(float(airflow_cfm))
+        if capacity <= 0.0:
+            return self.supply_c
+        return self.supply_c + heat_w / capacity
+
+    def cooling_power_w(self, heat_w: float, return_c: float) -> float:
+        """Electrical power to remove *heat_w* given the return stream."""
+        validate_non_negative(heat_w, "heat_w")
+        cop = self.effective_cop(self.supply_c, return_c)
+        compressor_w = heat_w / cop
+        blower_w = self.blower_overhead_fraction * heat_w
+        return compressor_w + blower_w

@@ -1,0 +1,228 @@
+"""Compose cooling, power delivery, and carbon around a fleet run.
+
+Per tick the composition mirrors the facility-simulator step order:
+workload → placement → IT physics (all inside
+:class:`~repro.fleet.engine.FleetEngine`), then cooling (heat load →
+CRAC power at the configured setpoint), then the power chain (IT power
+→ utility feed through the UPS/PDU curves), then carbon (utility
+energy × grid intensity).  The facility layers read the fleet traces
+and never feed back into the IT physics, so a run with every submodel
+disabled is **bit-identical** to a plain ``FleetEngine`` run on every
+backend — the contract ``tests/test_facility.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.facility.carbon import CarbonModel
+from repro.facility.cooling import CoolingPlant
+from repro.facility.metrics import FacilityMetrics, QueueStats
+from repro.facility.power import PowerChain
+from repro.facility.workload import WorkloadQueue
+from repro.fleet.engine import FleetEngine, FleetResult
+from repro.units import GRAMS_PER_KILOGRAM, joules_to_kwh
+
+#: Default CRAC volume per server, CFM — the constant-volume air
+#: handler sizing rule of thumb for ~300 W/server racks.
+DEFAULT_CRAC_CFM_PER_SERVER = 170.0
+
+
+@dataclass(frozen=True)
+class FacilityResult:
+    """A fleet result plus the composed facility series and metrics."""
+
+    #: The underlying IT-layer result (traces, fleet metrics).
+    fleet: FleetResult
+    #: Tick-end times, seconds (same grid as the fleet traces).
+    times_s: np.ndarray
+    #: Electrical cooling power per tick, W (zero with no plant).
+    cooling_power_w: np.ndarray
+    #: Utility-feed power per tick, W.
+    utility_power_w: np.ndarray
+    #: CRAC return-air temperature per tick, degC.
+    return_c: np.ndarray
+    #: CO2 emitted per tick, kg (zero with no carbon model).
+    carbon_kg: np.ndarray
+    #: Whole-run facility aggregates.
+    metrics: FacilityMetrics
+
+
+class FacilityEngine:
+    """Runs a :class:`FleetEngine` and composes the facility layers.
+
+    Every submodel is optional: ``None`` disables it (no cooling power
+    / lossless delivery / no carbon).  The wrapped engine is used
+    as-is — backend, scheduler, controllers, faults, capture all apply
+    unchanged — and its traces are composed *after* each run, so the
+    IT-side physics cannot be perturbed by the facility layer.
+    """
+
+    def __init__(
+        self,
+        engine: FleetEngine,
+        cooling: Optional[CoolingPlant] = None,
+        power: Optional[PowerChain] = None,
+        carbon: Optional[CarbonModel] = None,
+        crac_airflow_cfm: Optional[float] = None,
+    ):
+        if not isinstance(engine, FleetEngine):
+            raise TypeError(
+                f"engine must be a FleetEngine, got {type(engine).__name__}"
+            )
+        self.engine = engine
+        self.cooling = cooling
+        self.power = power
+        self.carbon = carbon
+        if crac_airflow_cfm is None:
+            crac_airflow_cfm = (
+                DEFAULT_CRAC_CFM_PER_SERVER * engine.fleet.server_count
+            )
+        if crac_airflow_cfm <= 0.0:
+            raise ValueError("crac_airflow_cfm must be positive")
+        self.crac_airflow_cfm = float(crac_airflow_cfm)
+        #: Result of the most recent :meth:`run`.
+        self.last_result: Optional[FacilityResult] = None
+
+    @property
+    def workload_queue(self) -> Optional[WorkloadQueue]:
+        """The wrapped engine's queue, when demand is queue-driven."""
+        workload = self.engine.workload
+        return workload if isinstance(workload, WorkloadQueue) else None
+
+    def run(
+        self,
+        dt_s: float = 1.0,
+        duration_s: Optional[float] = None,
+    ) -> FacilityResult:
+        """Run the fleet, then compose the facility layers over it."""
+        fleet_result = self.engine.run(dt_s=dt_s, duration_s=duration_s)
+        result = self._compose(fleet_result, dt_s)
+        self.last_result = result
+        self._publish(result)
+        return result
+
+    # -- composition ---------------------------------------------------
+    def _compose(
+        self, fleet_result: FleetResult, dt_s: float
+    ) -> FacilityResult:
+        times_s = fleet_result.times_s
+        steps = times_s.shape[0]
+        it_power_w = fleet_result.total_power_w.sum(axis=1)
+        cooling_power_w = np.zeros(steps)
+        utility_power_w = np.empty(steps)
+        return_c = np.empty(steps)
+        carbon_kg = np.zeros(steps)
+        chain_loss_j = 0.0
+        carbon_g_total = 0.0
+        supply_c = self.cooling.supply_c if self.cooling is not None else 0.0
+        for tick in range(steps):
+            it_w = float(it_power_w[tick])
+            if self.cooling is not None:
+                return_c[tick] = self.cooling.return_temperature_c(
+                    it_w, self.crac_airflow_cfm
+                )
+                cooling_power_w[tick] = self.cooling.cooling_power_w(
+                    it_w, float(return_c[tick])
+                )
+            else:
+                return_c[tick] = supply_c
+            cool_w = float(cooling_power_w[tick])
+            if self.power is not None:
+                utility_power_w[tick] = self.power.utility_power_w(
+                    it_w, cool_w
+                )
+                chain_loss_j += self.power.chain_loss_w(it_w) * dt_s
+            else:
+                utility_power_w[tick] = it_w + cool_w
+            if self.carbon is not None:
+                tick_kwh = joules_to_kwh(
+                    float(utility_power_w[tick]) * dt_s
+                )
+                time_s = float(times_s[tick])
+                carbon_kg[tick] = self.carbon.carbon_kg(tick_kwh, time_s)
+                carbon_g_total += (
+                    tick_kwh * self.carbon.intensity_g_per_kwh(time_s)
+                )
+        metrics = self._metrics(
+            fleet_result,
+            dt_s,
+            cooling_power_w,
+            utility_power_w,
+            carbon_kg,
+            chain_loss_j,
+        )
+        return FacilityResult(
+            fleet=fleet_result,
+            times_s=times_s,
+            cooling_power_w=cooling_power_w,
+            utility_power_w=utility_power_w,
+            return_c=return_c,
+            carbon_kg=carbon_kg,
+            metrics=metrics,
+        )
+
+    def _metrics(
+        self,
+        fleet_result: FleetResult,
+        dt_s: float,
+        cooling_power_w: np.ndarray,
+        utility_power_w: np.ndarray,
+        carbon_kg: np.ndarray,
+        chain_loss_j: float,
+    ) -> FacilityMetrics:
+        fleet_metrics = fleet_result.metrics
+        it_energy_kwh = fleet_metrics.energy_kwh
+        cooling_energy_kwh = joules_to_kwh(
+            float(cooling_power_w.sum()) * dt_s
+        )
+        chain_loss_kwh = joules_to_kwh(chain_loss_j)
+        facility_energy_kwh = joules_to_kwh(
+            float(utility_power_w.sum()) * dt_s
+        )
+        pue = (
+            facility_energy_kwh / it_energy_kwh if it_energy_kwh > 0 else 1.0
+        )
+        total_carbon_kg = float(carbon_kg.sum())
+        mean_intensity_g_per_kwh = 0.0
+        if self.carbon is not None and facility_energy_kwh > 0.0:
+            # energy-weighted mean intensity, back out of the totals
+            mean_intensity_g_per_kwh = (
+                total_carbon_kg * GRAMS_PER_KILOGRAM / facility_energy_kwh
+            )
+        queue_stats: Optional[QueueStats] = None
+        queue = self.workload_queue
+        if queue is not None:
+            queue_stats = queue.stats(float(fleet_metrics.duration_s))
+        return FacilityMetrics(
+            it_energy_kwh=it_energy_kwh,
+            cooling_energy_kwh=cooling_energy_kwh,
+            chain_loss_kwh=chain_loss_kwh,
+            facility_energy_kwh=facility_energy_kwh,
+            pue=pue,
+            carbon_kg=total_carbon_kg,
+            peak_utility_power_w=float(utility_power_w.max())
+            if utility_power_w.size
+            else 0.0,
+            mean_intensity_g_per_kwh=mean_intensity_g_per_kwh,
+            fleet=fleet_metrics,
+            queue=queue_stats,
+        )
+
+    def _publish(self, result: FacilityResult) -> None:
+        """Append facility channels to the engine's capture store."""
+        capture = self.engine.capture
+        if capture is None:
+            return
+        from repro.obs.capture import capture_facility_series
+
+        series: Dict[str, np.ndarray] = {
+            "cooling_power_w": result.cooling_power_w,
+            "utility_power_w": result.utility_power_w,
+            "return_c": result.return_c,
+            "carbon_kg": result.carbon_kg,
+        }
+        capture_facility_series(capture.store, result.times_s, series)

@@ -1,0 +1,75 @@
+"""Facility-level metrics: PUE, energy split, carbon, queue/SLA stats.
+
+Extends the fleet aggregates (:class:`~repro.fleet.metrics.FleetMetrics`)
+upward: IT energy is what the racks consumed, facility energy is what
+the utility meter saw (IT + conversion losses + cooling), and
+
+    PUE = facility energy / IT energy
+
+is the standard Green Grid ratio (1.0 = no overhead; real facilities
+run ~1.1-2.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fleet.metrics import FleetMetrics
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Job-queue accounting at the end of a run.
+
+    Conservation holds by construction:
+    ``arrived == pending + running + completed``.
+    """
+
+    #: Jobs whose arrival time has passed (admitted to the queue).
+    arrived: int
+    #: Admitted jobs that finished all their work.
+    completed: int
+    #: Admitted jobs that have received no service yet.
+    pending: int
+    #: Admitted jobs partially served.
+    running: int
+    #: Jobs that missed their deadline (finished late, or unfinished
+    #: past the deadline at the end of the run).
+    sla_violations: int
+    #: Mean arrival -> first-service delay over started jobs, seconds.
+    mean_wait_s: float
+    #: Mean arrival -> completion over completed jobs, seconds.
+    mean_turnaround_s: float
+    #: True when every generated job arrived and completed.
+    drained: bool
+    #: Total work carried by all generated jobs, single-server %*s.
+    total_work_pct_s: float
+    #: Work actually executed by the fleet for queued jobs, %*s.
+    executed_work_pct_s: float
+
+
+@dataclass(frozen=True)
+class FacilityMetrics:
+    """Whole-facility aggregates for one composed run."""
+
+    #: IT (rack) energy over the run — the fleet metrics' energy.
+    it_energy_kwh: float
+    #: Electrical energy spent removing the IT heat.
+    cooling_energy_kwh: float
+    #: UPS + PDU conversion losses.
+    chain_loss_kwh: float
+    #: Utility-meter energy: IT + chain losses + cooling.
+    facility_energy_kwh: float
+    #: Power usage effectiveness: facility energy / IT energy.
+    pue: float
+    #: Grid CO2 attributed to the facility energy, kg.
+    carbon_kg: float
+    #: Peak utility draw over the run, W.
+    peak_utility_power_w: float
+    #: Mean grid intensity weighted by facility energy, g/kWh.
+    mean_intensity_g_per_kwh: float
+    #: The underlying fleet aggregates.
+    fleet: FleetMetrics
+    #: Queue/SLA accounting (None when demand came from a profile).
+    queue: Optional[QueueStats] = None

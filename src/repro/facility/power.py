@@ -1,0 +1,135 @@
+"""UPS/PDU power-delivery chain from IT load to the utility feed.
+
+Double-conversion UPS units and PDUs waste a load-dependent fraction
+of the power they deliver; at low load the fixed conversion losses
+dominate and efficiency collapses, which is why facility PUE gets
+worse exactly when the fleet idles.  Each stage is a piecewise-linear
+efficiency curve over its *output* load fraction, the format UPS
+datasheets publish.
+
+Topology (standard single-feed): utility → UPS → PDU → IT racks, with
+the mechanical (cooling) load fed directly from the utility bus, not
+through the UPS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.units import validate_fraction, validate_non_negative
+
+#: Default double-conversion UPS efficiency curve (output load
+#: fraction -> efficiency), after typical 2N-redundant datasheets.
+DEFAULT_UPS_CURVE: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.70),
+    (0.10, 0.85),
+    (0.25, 0.91),
+    (0.50, 0.94),
+    (0.75, 0.95),
+    (1.0, 0.94),
+)
+
+#: Default PDU efficiency curve — transformer + distribution losses.
+DEFAULT_PDU_CURVE: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.95),
+    (0.25, 0.97),
+    (0.50, 0.98),
+    (1.0, 0.98),
+)
+
+
+class EfficiencyCurve:
+    """Piecewise-linear efficiency over output load fraction.
+
+    Points are ``(load_fraction, efficiency)`` with load fractions
+    strictly increasing in [0, 1] and efficiencies in (0, 1];
+    evaluation clamps outside the tabulated range.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("need at least two (load, efficiency) points")
+        loads = np.array([p[0] for p in points], dtype=float)
+        effs = np.array([p[1] for p in points], dtype=float)
+        if np.any(np.diff(loads) <= 0.0):
+            raise ValueError("load fractions must be strictly increasing")
+        for load in loads:
+            validate_fraction(float(load), "load_fraction")
+        if np.any(effs <= 0.0) or np.any(effs > 1.0):
+            raise ValueError("efficiencies must be in (0, 1]")
+        self._loads = loads
+        self._effs = effs
+
+    def efficiency(self, load_fraction: float) -> float:
+        """Interpolated efficiency at *load_fraction* (clamped)."""
+        if not np.isfinite(load_fraction):
+            raise ValueError(f"load_fraction must be finite, got {load_fraction!r}")
+        clamped = min(1.0, max(0.0, float(load_fraction)))
+        return float(np.interp(clamped, self._loads, self._effs))
+
+    @property
+    def points(self) -> Tuple[Tuple[float, float], ...]:
+        """The tabulated ``(load_fraction, efficiency)`` points."""
+        return tuple(
+            (float(load), float(eff))
+            for load, eff in zip(self._loads, self._effs)
+        )
+
+
+class PowerChain:
+    """UPS + PDU stages between the utility feed and the IT racks.
+
+    Parameters
+    ----------
+    rated_power_w:
+        Nameplate rating both stages are sized for; load fractions are
+        computed against it.
+    ups_curve / pdu_curve:
+        Per-stage :class:`EfficiencyCurve` (defaults above).
+    """
+
+    def __init__(
+        self,
+        rated_power_w: float,
+        ups_curve: Optional[EfficiencyCurve] = None,
+        pdu_curve: Optional[EfficiencyCurve] = None,
+    ):
+        validate_non_negative(rated_power_w, "rated_power_w")
+        if rated_power_w == 0.0:
+            raise ValueError("rated_power_w must be positive")
+        self.rated_power_w = float(rated_power_w)
+        self.ups_curve = (
+            ups_curve
+            if ups_curve is not None
+            else EfficiencyCurve(DEFAULT_UPS_CURVE)
+        )
+        self.pdu_curve = (
+            pdu_curve
+            if pdu_curve is not None
+            else EfficiencyCurve(DEFAULT_PDU_CURVE)
+        )
+
+    def conditioned_power_w(self, it_power_w: float) -> float:
+        """Power drawn from the utility bus to deliver *it_power_w*.
+
+        The PDU sees the IT load at its output; the UPS sees the PDU's
+        input at *its* output.  Each stage's efficiency is read at its
+        own output load fraction — non-iterative, as in standard
+        facility models.
+        """
+        validate_non_negative(it_power_w, "it_power_w")
+        pdu_fraction = it_power_w / self.rated_power_w
+        pdu_input_w = it_power_w / self.pdu_curve.efficiency(pdu_fraction)
+        ups_fraction = pdu_input_w / self.rated_power_w
+        return pdu_input_w / self.ups_curve.efficiency(ups_fraction)
+
+    def chain_loss_w(self, it_power_w: float) -> float:
+        """UPS + PDU conversion losses for an IT load."""
+        return self.conditioned_power_w(it_power_w) - it_power_w
+
+    def utility_power_w(self, it_power_w: float, cooling_power_w: float) -> float:
+        """Total utility draw: conditioned IT plus the mechanical feed."""
+        validate_non_negative(cooling_power_w, "cooling_power_w")
+        return self.conditioned_power_w(it_power_w) + cooling_power_w

@@ -344,6 +344,20 @@ class FleetEngine:
                 f"workload is sized for {workload.server_count} servers, "
                 f"fleet has {fleet.server_count}"
             )
+        # Dynamic workloads (e.g. the facility WorkloadQueue) evaluate
+        # demand tick by tick against mutable queue state, which the
+        # sharded coordinator does not replicate and the checkpoint
+        # writer does not persist — reject both up front.
+        if workload.dynamic and backend == "sharded":
+            raise ValueError(
+                "dynamic workloads are not supported on the sharded "
+                "backend; use 'vector' or 'vector-legacy'"
+            )
+        if workload.dynamic and checkpoint is not None:
+            raise ValueError(
+                "dynamic workloads cannot be checkpointed: queue state "
+                "is not persisted"
+            )
         self.workload = workload
         self.scheduler = (
             scheduler
@@ -607,6 +621,11 @@ class FleetEngine:
         steps = int(round(duration_s / dt_s))
         if steps <= 0:
             raise ValueError("workload too short for the configured dt_s")
+        if self.workload.dynamic and resume_from is not None:
+            raise ValueError(
+                "dynamic workloads cannot resume from a checkpoint"
+            )
+        self.workload.reset()
         # Compile the fault schedule once, on the engine's exact tick
         # grid, and hand the same mask arrays to whichever loop runs —
         # the backends cannot disagree about event timing.  An empty
@@ -849,6 +868,11 @@ class FleetEngine:
         steps = int(round(duration_s / dt_s))
         if steps <= 0:
             raise ValueError("workload too short for the configured dt_s")
+        if self.workload.dynamic and resume_from is not None:
+            raise ValueError(
+                "dynamic workloads cannot resume from a checkpoint"
+            )
+        self.workload.reset()
         plan = (
             self.faults.compile(self.fleet, steps, dt_s)
             if self.faults is not None
@@ -933,11 +957,18 @@ class FleetEngine:
         times_pre_list = times_pre.tolist()
         # Whole-horizon per-tick inputs: aggregate demand (the profile
         # is evaluated once, elementwise-stable) and, when any rack has
-        # a CRAC model, the per-server supply series.
-        totals_list = (
-            self.workload.profile.utilization_chunk(times_pre)
-            * self.workload.server_count
-        ).tolist()
+        # a CRAC model, the per-server supply series.  Dynamic
+        # workloads (queue-backed) cannot be precomputed: their demand
+        # depends on what earlier ticks executed, so the loop asks
+        # them tick by tick — the same call order the legacy loop
+        # uses, keeping the two backends bit-identical.
+        dynamic_demand = self.workload.dynamic
+        totals_list = None
+        if not dynamic_demand:
+            totals_list = (
+                self.workload.profile.utilization_chunk(times_pre)
+                * self.workload.server_count
+            ).tolist()
         supply_matrix = None
         if not constant_supply:
             supply_matrix = np.empty((steps, n))
@@ -1033,6 +1064,11 @@ class FleetEngine:
 
         for tick in range(start_tick, steps):
             time_s = times_pre_list[tick]
+            total_demand = (
+                totals_list[tick]
+                if totals_list is not None
+                else self.workload.total_demand_pct(time_s)
+            )
             if supply_matrix is not None:
                 supply_now = supply_matrix[tick]
             elif apply_faults:
@@ -1063,10 +1099,10 @@ class FleetEngine:
                     out_row = plan.outage[tick]
                     order = np.asarray(order)
                     counterfactual = self.scheduler.assign_indexed(
-                        order, n, totals_list[tick]
+                        order, n, total_demand
                     )
                     decision = self.scheduler.assign_indexed(
-                        order[~out_row[order]], n, totals_list[tick]
+                        order[~out_row[order]], n, total_demand
                     )
                     trace_respilled[tick] = float(
                         counterfactual.allocations_pct[out_row].sum()
@@ -1077,7 +1113,7 @@ class FleetEngine:
                     )
                 else:
                     decision = self.scheduler.assign_indexed(
-                        order, n, totals_list[tick]
+                        order, n, total_demand
                     )
             else:
                 # view-based custom policy: full legacy scheduling path
@@ -1094,7 +1130,7 @@ class FleetEngine:
                 if outage_now:
                     out_row = plan.outage[tick]
                     decision, counterfactual = self.scheduler.assign_with_spill(
-                        views, totals_list[tick], ~out_row
+                        views, total_demand, ~out_row
                     )
                     trace_respilled[tick] = float(
                         counterfactual.allocations_pct[out_row].sum()
@@ -1104,7 +1140,7 @@ class FleetEngine:
                         decision.unserved_pct - counterfactual.unserved_pct,
                     )
                 else:
-                    decision = self.scheduler.assign(views, totals_list[tick])
+                    decision = self.scheduler.assign(views, total_demand)
             if timers is not None:
                 timers[0].add(perf_counter() - _t0)
 
@@ -1190,6 +1226,10 @@ class FleetEngine:
             exhaust_rise = trace_power[tick] / air_capacity
             trace_inlet[tick] = inlet
             trace_unserved[tick] = decision.unserved_pct
+            if dynamic_demand:
+                self.workload.record_executed(
+                    time_s, float(executed.sum()), dt_s
+                )
             if timers is not None:
                 timers[2].add(perf_counter() - _t0)
 
@@ -1315,6 +1355,7 @@ class FleetEngine:
 
         apply_faults = plan is not None
         apply_excursions = getattr(physics, "apply_supply_excursions", None)
+        dynamic_demand = self.workload.dynamic
 
         # Live capture rides the same trace-row seam as the kernel
         # loop, so captured streams are backend-independent.
@@ -1460,6 +1501,10 @@ class FleetEngine:
             trace_unserved[tick] = decision.unserved_pct
             trace_pstate[tick] = state.pstate_index
             trace_deficit[tick] = state.work_deficit_pct
+            if dynamic_demand:
+                self.workload.record_executed(
+                    time_s, float(executed.sum()), dt_s
+                )
             time_s += dt_s
 
             if capture is not None and (

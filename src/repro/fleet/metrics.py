@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.fleet.topology import Fleet
-from repro.units import joules_to_kwh
+from repro.units import joules_to_kwh, kwh_to_joules
 
 #: Unserved demand below this (single-server %) does not count as a
 #: violation tick — it is scheduler round-off, not lost work.
@@ -92,7 +92,7 @@ class FleetMetrics:
         """Time-averaged whole-fleet power."""
         if self.duration_s <= 0:
             return 0.0
-        return self.energy_kwh * 3.6e6 / self.duration_s
+        return kwh_to_joules(self.energy_kwh) / self.duration_s
 
 
 def compute_fleet_metrics(

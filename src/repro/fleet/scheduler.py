@@ -416,11 +416,30 @@ class FleetWorkload:
     any fleet size.
     """
 
+    #: Profile-backed demand is a pure function of time, so the engine
+    #: may precompute it for the whole horizon.  Subclasses whose
+    #: demand depends on run state (e.g. the facility
+    #: :class:`~repro.facility.workload.WorkloadQueue`) set this True
+    #: and are evaluated tick by tick instead.
+    dynamic = False
+
     def __init__(self, profile: UtilizationProfile, server_count: int):
         if server_count <= 0:
             raise ValueError("server_count must be positive")
         self.profile = profile
         self.server_count = server_count
+
+    def reset(self) -> None:
+        """Restore pre-run state (no-op for pure profile demand)."""
+
+    def record_executed(
+        self, time_s: float, executed_total_pct: float, dt_s: float
+    ) -> None:
+        """Feed back the work the fleet executed this tick (no-op here).
+
+        Dynamic workloads use this to drain queued jobs; profile-backed
+        demand ignores it.
+        """
 
     @property
     def duration_s(self) -> float:

@@ -19,7 +19,12 @@ import numpy as np
 
 from repro.obs.store import TimeseriesStore
 
-__all__ = ["FleetCapture", "CAPTURE_SIGNALS"]
+__all__ = [
+    "FleetCapture",
+    "CAPTURE_SIGNALS",
+    "FACILITY_SIGNALS",
+    "capture_facility_series",
+]
 
 #: Per-server engine trace signals a capture can subscribe to, mapped
 #: to (channel suffix, unit).
@@ -31,6 +36,45 @@ CAPTURE_SIGNALS: Dict[str, Tuple[str, str]] = {
     "inlet": ("inlet_c", "degC"),
     "rpm": ("rpm", "RPM"),
 }
+
+#: Composed facility-layer series (see repro.facility), mapped to
+#: (channel name, unit).  These are whole-facility scalars per tick,
+#: ingested post-run by :func:`capture_facility_series`.
+FACILITY_SIGNALS: Dict[str, Tuple[str, str]] = {
+    "cooling_power_w": ("facility.cooling_power_w", "W"),
+    "utility_power_w": ("facility.utility_power_w", "W"),
+    "return_c": ("facility.return_c", "degC"),
+    "carbon_kg": ("facility.carbon_kg", "kg"),
+}
+
+
+def capture_facility_series(
+    store: TimeseriesStore,
+    times_s: np.ndarray,
+    series: Mapping[str, np.ndarray],
+) -> None:
+    """Append composed facility series as ``facility.*`` channels.
+
+    The facility layers are composed *after* the fleet run (they never
+    touch the engine's hot loop), so unlike :class:`FleetCapture` this
+    ingest is a single post-run bulk append.  *series* maps
+    :data:`FACILITY_SIGNALS` keys to per-tick arrays aligned with
+    *times_s*; unknown keys are rejected.
+    """
+    unknown = set(series) - set(FACILITY_SIGNALS)
+    if unknown:
+        raise ValueError(
+            f"unknown facility signals {sorted(unknown)!r} "
+            f"(have {sorted(FACILITY_SIGNALS)})"
+        )
+    chunk: Dict[str, np.ndarray] = {}
+    for key, values in series.items():
+        channel, unit = FACILITY_SIGNALS[key]
+        if channel not in store:
+            store.register(channel, unit)
+        chunk[channel] = np.asarray(values, dtype=float)
+    if chunk:
+        store.append_chunk(np.asarray(times_s, dtype=float), chunk)
 
 
 class FleetCapture:

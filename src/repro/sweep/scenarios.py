@@ -24,6 +24,9 @@ Registered kinds:
   sets plus the net saving (%) and the LUT's full-load speed (RPM).
 * ``"fleet"`` — a rack-scale :class:`FleetEngine` scenario; row =
   fleet aggregates (kWh, W, °C, %·s of lost work).
+* ``"facility"`` — a fleet scenario composed with the facility layers
+  (job queue → cooling plant → power chain → carbon); row = facility
+  energy split (kWh), PUE, carbon (kg), and queue/SLA counters.
 """
 
 from __future__ import annotations
@@ -529,3 +532,161 @@ def run_fleet_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
         "respilled_pct_s": m.respilled_pct_s,
         "fault_sla_pct_s": m.fault_sla_pct_s,
     }
+
+
+# ----------------------------------------------------------------------
+# kind: facility — fleet + cooling plant + power chain + carbon
+# ----------------------------------------------------------------------
+@register_scenario("facility")
+def run_facility_scenario(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One facility-composed scenario; row = PUE/energy/carbon + queue.
+
+    The IT side is a :class:`FleetEngine` driven by a
+    :class:`~repro.facility.workload.WorkloadQueue` job-arrival
+    process (``arrivals`` ∈ poisson/diurnal/bursty) instead of an
+    aggregate utilization profile; the facility layers are composed
+    around the run by :class:`~repro.facility.engine.FacilityEngine`.
+    Queue-driven demand is evaluated tick by tick, so the sharded
+    backend is rejected here (the engine raises).
+    """
+    from repro.core.controllers.coordinated import CoordinatedController
+    from repro.core.controllers.lut import LUTController
+    from repro.facility import (
+        CoolingPlant,
+        FacilityEngine,
+        PowerChain,
+        build_diurnal_carbon_model,
+        build_job_queue,
+    )
+    from repro.fleet.engine import FleetEngine
+    from repro.fleet.scheduler import PLACEMENT_POLICIES, FleetScheduler
+    from repro.server.dvfs import default_dvfs_ladder
+    from repro.units import hours, kilowatts_to_watts
+
+    _check_params(
+        params,
+        _CONTROLLER_PARAMS | _SPEC_PARAMS
+        | {
+            "racks",
+            "servers_per_rack",
+            "policy",
+            "arrivals",
+            "jobs_per_hour",
+            "mean_work_pct_s",
+            "deadline_slack",
+            "hours",
+            "dt_s",
+            "crac_supply_c",
+            "plant_supply_c",
+            "rated_kw",
+            "carbon_base_g_per_kwh",
+            "carbon_peak_g_per_kwh",
+            "seed",
+            "backend",
+        },
+        "facility",
+    )
+    spec = _derived_spec(params)
+    controller_name = str(params.get("controller", "lut"))
+    if controller_name == "coordinated" and len(spec.dvfs) == 1:
+        spec = replace(spec, dvfs=default_dvfs_ladder())
+    policy_name = str(params.get("policy", "coolest-first"))
+    if policy_name not in PLACEMENT_POLICIES:
+        raise ValueError(
+            f"unknown placement policy {policy_name!r} "
+            f"(have {sorted(PLACEMENT_POLICIES)})"
+        )
+
+    from repro.fleet.topology import build_uniform_fleet
+
+    fleet = build_uniform_fleet(
+        rack_count=int(params.get("racks", 2)),
+        servers_per_rack=int(params.get("servers_per_rack", 4)),
+        spec=spec,
+        crac_supply_c=float(params.get("crac_supply_c", 24.0)),
+    )
+    seed = int(params.get("seed", 0))
+    duration_s = hours(float(params.get("hours", 24.0)))
+    queue = build_job_queue(
+        str(params.get("arrivals", "diurnal")),
+        fleet.server_count,
+        duration_s=duration_s,
+        seed=seed,
+        jobs_per_hour=float(params.get("jobs_per_hour", 12.0)),
+        mean_work_pct_s=float(params.get("mean_work_pct_s", 30000.0)),
+        deadline_slack=float(params.get("deadline_slack", 4.0)),
+    )
+
+    if controller_name == "lut":
+        lut = _resolve_lut(params, spec)
+        factory = lambda index: LUTController(lut)  # noqa: E731
+    elif controller_name == "coordinated":
+        lut = _resolve_lut(params, spec)
+        factory = lambda index: CoordinatedController(  # noqa: E731
+            lut, spec.dvfs
+        )
+    else:
+        factory = lambda index: _build_controller(  # noqa: E731
+            controller_name, params, spec
+        )
+
+    engine = FleetEngine(
+        fleet,
+        queue,
+        scheduler=FleetScheduler(PLACEMENT_POLICIES[policy_name]()),
+        controller_factory=factory,
+        backend=str(params.get("backend", "vector")),
+        seed=seed,
+    )
+    rated_kw = params.get("rated_kw")
+    rated_w = (
+        kilowatts_to_watts(float(rated_kw))
+        if rated_kw is not None
+        else fleet.server_count * 600.0
+    )
+    facility = FacilityEngine(
+        engine,
+        cooling=CoolingPlant(
+            supply_c=float(
+                params.get(
+                    "plant_supply_c", params.get("crac_supply_c", 24.0)
+                )
+            )
+        ),
+        power=PowerChain(rated_power_w=rated_w),
+        carbon=build_diurnal_carbon_model(
+            duration_s=duration_s,
+            base_g_per_kwh=float(params.get("carbon_base_g_per_kwh", 120.0)),
+            peak_g_per_kwh=float(params.get("carbon_peak_g_per_kwh", 450.0)),
+        ),
+    )
+    m = facility.run(dt_s=float(params.get("dt_s", 60.0))).metrics
+    q = m.queue
+    row: Dict[str, Any] = {
+        "server_count": m.fleet.server_count,
+        "duration_s": m.fleet.duration_s,
+        "it_energy_kwh": m.it_energy_kwh,
+        "cooling_energy_kwh": m.cooling_energy_kwh,
+        "chain_loss_kwh": m.chain_loss_kwh,
+        "facility_energy_kwh": m.facility_energy_kwh,
+        "pue": m.pue,
+        "carbon_kg": m.carbon_kg,
+        "mean_intensity_g_per_kwh": m.mean_intensity_g_per_kwh,
+        "peak_utility_power_w": m.peak_utility_power_w,
+        "hot_spot_c": m.fleet.hot_spot_c,
+        "sla_unserved_pct_s": m.fleet.sla_unserved_pct_s,
+    }
+    if q is not None:
+        row.update(
+            {
+                "jobs_arrived": q.arrived,
+                "jobs_completed": q.completed,
+                "jobs_pending": q.pending,
+                "jobs_running": q.running,
+                "queue_sla_violations": q.sla_violations,
+                "mean_wait_s": q.mean_wait_s,
+                "mean_turnaround_s": q.mean_turnaround_s,
+                "queue_drained": int(q.drained),
+            }
+        )
+    return row

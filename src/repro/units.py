@@ -29,6 +29,13 @@ SECONDS_PER_HOUR = 3600.0
 #: Joules in one kilowatt-hour.
 JOULES_PER_KWH = 3.6e6
 
+#: Grams in one kilogram — grid carbon intensity is quoted in g/kWh
+#: but fleet totals are reported in kg.
+GRAMS_PER_KILOGRAM = 1000.0
+
+#: Watts in one kilowatt — facility ratings are quoted in kW.
+WATTS_PER_KILOWATT = 1000.0
+
 #: Density of air at ~25 °C sea level, kg/m^3.
 AIR_DENSITY_KG_M3 = 1.184
 
@@ -60,6 +67,16 @@ def joules_to_kwh(energy_j: float) -> float:
 def kwh_to_joules(energy_kwh: float) -> float:
     """Convert kilowatt-hours to joules."""
     return energy_kwh * JOULES_PER_KWH
+
+
+def grams_to_kilograms(mass_g: float) -> float:
+    """Convert grams to kilograms."""
+    return mass_g / GRAMS_PER_KILOGRAM
+
+
+def kilowatts_to_watts(power_kw: float) -> float:
+    """Convert kilowatts to watts."""
+    return power_kw * WATTS_PER_KILOWATT
 
 
 def cfm_to_m3_s(cfm: float) -> float:

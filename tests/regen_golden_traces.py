@@ -190,12 +190,76 @@ def golden_fleet_sharded() -> Table:
     return _fleet_table(result)
 
 
+def golden_facility() -> Table:
+    """Facility composition over a queue-driven 2x2 fleet, 200 ticks.
+
+    Diurnal job arrivals feed the queue-driven workload; the fleet's
+    IT power is composed through the cooling plant, UPS/PDU chain, and
+    diurnal carbon model — pinning the whole facility surface (return
+    temperature, COP, chain losses, per-tick carbon) to an exact CSV.
+    """
+    from repro.core.controllers.pid import PIController
+    from repro.facility import (
+        CoolingPlant,
+        FacilityEngine,
+        PowerChain,
+        build_diurnal_carbon_model,
+        build_job_queue,
+    )
+    from repro.fleet import (
+        FleetEngine,
+        FleetScheduler,
+        PLACEMENT_POLICIES,
+        build_uniform_fleet,
+    )
+
+    duration_s = 200 * 60.0
+    fleet = build_uniform_fleet(rack_count=2, servers_per_rack=2)
+    queue = build_job_queue(
+        "diurnal",
+        fleet.server_count,
+        duration_s=duration_s,
+        seed=5,
+        jobs_per_hour=9.0,
+    )
+    engine = FleetEngine(
+        fleet,
+        queue,
+        scheduler=FleetScheduler(PLACEMENT_POLICIES["coolest-first"]()),
+        controller_factory=lambda i: PIController(),
+    )
+    result = FacilityEngine(
+        engine,
+        cooling=CoolingPlant(),
+        power=PowerChain(rated_power_w=fleet.server_count * 600.0),
+        carbon=build_diurnal_carbon_model(duration_s=duration_s),
+    ).run(dt_s=60.0)
+    names = [
+        "time_s",
+        "it_power_w",
+        "cooling_power_w",
+        "utility_power_w",
+        "return_c",
+        "carbon_kg",
+    ]
+    columns = [
+        result.times_s,
+        result.fleet.total_power_w.sum(axis=1),
+        result.cooling_power_w,
+        result.utility_power_w,
+        result.return_c,
+        result.carbon_kg,
+    ]
+    return names, columns
+
+
 #: Golden file name → builder.
 GOLDEN_BUILDERS = {
     "run_experiment.csv": golden_run_experiment,
     "fleet_coordinated.csv": golden_fleet_coordinated,
     "fleet_fault_drill.csv": golden_fleet_fault_drill,
     "fleet_sharded.csv": golden_fleet_sharded,
+    "facility.csv": golden_facility,
 }
 
 

@@ -15,6 +15,7 @@ PACKAGES = (
     "repro.core",
     "repro.core.controllers",
     "repro.experiments",
+    "repro.facility",
     "repro.fleet",
     "repro.models",
     "repro.obs",
